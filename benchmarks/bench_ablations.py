@@ -1,0 +1,40 @@
+"""Ablation benchmarks: one per section-4/5 design device.
+
+Each benchmark compares the improved translation against a variant with
+exactly one device disabled, on a query chosen to exercise that device.
+DESIGN.md's per-experiment index maps these to the paper sections.
+"""
+
+import pytest
+
+from repro.bench.engines import make_engine
+from repro.bench.experiments import ABLATIONS
+from repro.bench.runner import cached_document
+
+from .conftest import run_benchmark
+
+
+def _cases():
+    for ablation in ABLATIONS.values():
+        for variant, options in ablation.variants.items():
+            yield pytest.param(
+                ablation, variant, options,
+                id=f"{ablation.name}-{variant}",
+            )
+
+
+@pytest.mark.parametrize("ablation,variant,options", list(_cases()))
+def test_ablation(benchmark, ablation, variant, options):
+    document = cached_document(ablation.document)
+    if options is None:
+        prepare = make_engine(variant)
+    else:
+        prepare = make_engine(variant, options)
+    runner = prepare(ablation.query)
+    count = run_benchmark(benchmark, runner, document.root)
+    benchmark.extra_info.update(
+        ablation=ablation.name,
+        variant=variant,
+        description=ablation.description,
+        results=count,
+    )

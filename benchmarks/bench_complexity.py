@@ -1,0 +1,62 @@
+"""Worst-case complexity benchmark (section 4 / Gottlob et al. [7, 8]).
+
+The classic parent/child alternation query multiplies contexts in a
+dedup-free evaluator.  Runtime is measured as the query *length* grows on
+a fixed document: polynomial engines grow linearly in query length,
+exponential ones double per round.  (The naive rounds are capped — its
+times for longer chains dwarf everything else.)
+"""
+
+import pytest
+
+from repro import parse_document
+from repro.bench.engines import make_engine
+
+from .conftest import run_benchmark
+
+
+def _chain_document(fanout=3, width=6):
+    body = "".join("<a>" + "<b/>" * fanout + "</a>" for _ in range(width))
+    return parse_document(f"<xdoc>{body}</xdoc>")
+
+
+DOC = _chain_document()
+
+_ROUNDS = {
+    "natix": (2, 4, 8, 12),
+    "memo": (2, 4, 8, 12),
+    "naive": (2, 4, 6),
+}
+
+
+@pytest.mark.parametrize(
+    "engine,rounds",
+    [(e, r) for e, rs in _ROUNDS.items() for r in rs],
+    ids=lambda v: str(v),
+)
+def test_parent_child_alternation(benchmark, engine, rounds):
+    query = "/xdoc/a" + "/b/parent::a" * rounds + "/b"
+    runner = make_engine(engine)(query)
+    count = run_benchmark(benchmark, runner, DOC.root)
+    assert count == 18
+    benchmark.extra_info.update(
+        experiment="abl-poly", engine=engine, rounds=rounds
+    )
+
+
+@pytest.mark.parametrize("engine", ["natix", "naive"])
+def test_storage_backed_evaluation(benchmark, tmp_path_factory, engine):
+    """The same query over the page store (section 5.2.2 architecture)."""
+    from repro.storage import DocumentStore
+
+    path = tmp_path_factory.mktemp("bench") / "chain.natix"
+    DocumentStore.write(DOC, path)
+    with DocumentStore.open(path, buffer_pages=16) as stored:
+        query = "/xdoc/a/b/parent::a/b"
+        runner = make_engine(engine)(query)
+        count = run_benchmark(benchmark, runner, stored.root)
+        assert count == 18
+        benchmark.extra_info.update(
+            experiment="storage", engine=engine,
+            buffer=str(stored.buffer.stats),
+        )

@@ -1,0 +1,44 @@
+"""Fig. 6: Query 1 — /child::xdoc/desc::*/anc::*/desc::*/@id.
+
+Runtime vs. document size for the algebraic engine and the main-memory
+interpreter stand-ins.  Expected shape (paper Fig. 6): the algebraic
+engine's curve grows moderately; the dedup-free interpreter's curve grows
+much faster (it multiplies duplicated contexts) and stops early.
+"""
+
+import pytest
+
+from repro.bench.engines import make_engine
+from repro.bench.experiments import FIGURE_SWEEPS
+
+from .conftest import FIGURE_SIZES, run_benchmark
+
+SWEEP = FIGURE_SWEEPS["fig6"]
+
+#: The naive interpreter's cubic blow-up caps its sizes (the paper's
+#: interpreter curves stop before the end of the x-axis too).
+_ENGINE_SIZES = {
+    "natix": FIGURE_SIZES,
+    "memo": FIGURE_SIZES,
+    "naive": FIGURE_SIZES[:2],
+}
+
+
+@pytest.mark.parametrize(
+    "engine,size",
+    [
+        (engine, size)
+        for engine, sizes in _ENGINE_SIZES.items()
+        for size in sizes
+    ],
+    ids=lambda value: str(value[0]) if isinstance(value, tuple) else value,
+)
+def test_fig6_query1(benchmark, document_cache, engine, size):
+    document = document_cache(size)
+    runner = make_engine(engine)(SWEEP.query)
+    count = run_benchmark(benchmark, runner, document.root)
+    assert count > 0
+    benchmark.extra_info["figure"] = "fig6"
+    benchmark.extra_info["elements"] = size[0]
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["results"] = count

@@ -1,0 +1,40 @@
+"""Fig. 7: Query 2 — /child::xdoc/desc::*/pre-sib::*/fol::*/@id.
+
+The hardest of the four generated-document queries: the following axis
+from every preceding sibling touches a quadratic number of nodes in any
+evaluation strategy, so all curves grow super-linearly (as in the paper's
+Fig. 7); the interpreters' grow fastest.
+"""
+
+import pytest
+
+from repro.bench.engines import make_engine
+from repro.bench.experiments import FIGURE_SWEEPS
+
+from .conftest import SMALL_SIZES, run_benchmark
+
+SWEEP = FIGURE_SWEEPS["fig7"]
+
+_ENGINE_SIZES = {
+    "natix": SMALL_SIZES,
+    "memo": SMALL_SIZES[:2],
+    "naive": SMALL_SIZES[:1],
+}
+
+
+@pytest.mark.parametrize(
+    "engine,size",
+    [
+        (engine, size)
+        for engine, sizes in _ENGINE_SIZES.items()
+        for size in sizes
+    ],
+)
+def test_fig7_query2(benchmark, document_cache, engine, size):
+    document = document_cache(size)
+    runner = make_engine(engine)(SWEEP.query)
+    count = run_benchmark(benchmark, runner, document.root)
+    assert count >= 0
+    benchmark.extra_info.update(
+        figure="fig7", elements=size[0], engine=engine, results=count
+    )

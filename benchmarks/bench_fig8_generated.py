@@ -1,0 +1,40 @@
+"""Fig. 8: Query 3 — /child::xdoc/desc::*/anc::*/anc::*/@id.
+
+Two consecutive ancestor steps: heavy duplicate generation with a small
+final result.  Expected shape (paper Fig. 8): the algebraic engine with
+pushed duplicate elimination stays near-linear; the dedup-free
+interpreter multiplies contexts twice and falls off the chart.
+"""
+
+import pytest
+
+from repro.bench.engines import make_engine
+from repro.bench.experiments import FIGURE_SWEEPS
+
+from .conftest import FIGURE_SIZES, run_benchmark
+
+SWEEP = FIGURE_SWEEPS["fig8"]
+
+_ENGINE_SIZES = {
+    "natix": FIGURE_SIZES,
+    "memo": FIGURE_SIZES,
+    "naive": FIGURE_SIZES[:2],
+}
+
+
+@pytest.mark.parametrize(
+    "engine,size",
+    [
+        (engine, size)
+        for engine, sizes in _ENGINE_SIZES.items()
+        for size in sizes
+    ],
+)
+def test_fig8_query3(benchmark, document_cache, engine, size):
+    document = document_cache(size)
+    runner = make_engine(engine)(SWEEP.query)
+    count = run_benchmark(benchmark, runner, document.root)
+    assert count > 0
+    benchmark.extra_info.update(
+        figure="fig8", elements=size[0], engine=engine, results=count
+    )

@@ -1,0 +1,28 @@
+"""Fig. 9: Query 4 — /child::xdoc/child::*/par::*/desc::*/@id.
+
+The cheapest of the four queries (the parent step collapses back to the
+root).  This is the paper's example where "one or both main-memory
+evaluators outperform Natix by a constant factor" — all engines are
+near-linear here and the interpreters' constants can win.
+"""
+
+import pytest
+
+from repro.bench.engines import make_engine
+from repro.bench.experiments import FIGURE_SWEEPS
+
+from .conftest import FIGURE_SIZES, run_benchmark
+
+SWEEP = FIGURE_SWEEPS["fig9"]
+
+
+@pytest.mark.parametrize("engine", ["natix", "memo", "naive"])
+@pytest.mark.parametrize("size", FIGURE_SIZES)
+def test_fig9_query4(benchmark, document_cache, engine, size):
+    document = document_cache(size)
+    runner = make_engine(engine)(SWEEP.query)
+    count = run_benchmark(benchmark, runner, document.root)
+    assert count > 0
+    benchmark.extra_info.update(
+        figure="fig9", elements=size[0], engine=engine, results=count
+    )

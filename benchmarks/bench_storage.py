@@ -1,0 +1,55 @@
+"""Storage scalability: query cost vs. buffer size (section 5.2.2).
+
+Natix's architectural claim is that evaluation works directly on the
+page buffer without a main-memory DOM; the buffer size then bounds
+memory while the LRU keeps hot paths cached.  This sweep runs a full
+document scan under shrinking buffers — times should degrade gracefully,
+never fail.
+"""
+
+import pytest
+
+from repro.bench.engines import make_engine
+from repro.storage import DocumentStore
+from repro.workloads import generate_document
+
+from .conftest import run_benchmark
+
+_BUFFER_SIZES = (64, 8, 2)
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    doc = generate_document(2000, 6, 4)
+    path = tmp_path_factory.mktemp("storebench") / "doc.natix"
+    DocumentStore.write(doc, path, page_size=2048)
+    return path
+
+
+@pytest.mark.parametrize("buffer_pages", _BUFFER_SIZES)
+def test_scan_under_buffer_pressure(benchmark, store_path, buffer_pages):
+    with DocumentStore.open(store_path, buffer_pages=buffer_pages) as stored:
+        runner = make_engine("natix")("/child::xdoc/descendant::*/@id")
+
+        def run(root):
+            stored.clear_node_cache()  # force record decoding each round
+            return runner(root)
+
+        count = run_benchmark(benchmark, run, stored.root)
+        assert count > 0
+        benchmark.extra_info.update(
+            experiment="storage-buffer",
+            buffer_pages=buffer_pages,
+            hits=stored.buffer.stats.hits,
+            misses=stored.buffer.stats.misses,
+            evictions=stored.buffer.stats.evictions,
+        )
+
+
+def test_memory_vs_storage_constant(benchmark, store_path):
+    """The storage indirection costs a bounded constant factor."""
+    with DocumentStore.open(store_path, buffer_pages=512) as stored:
+        runner = make_engine("natix")("count(//*)")
+        count = run_benchmark(benchmark, runner, stored.root)
+        assert count == 1
+        benchmark.extra_info.update(experiment="storage-vs-memory")

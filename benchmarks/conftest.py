@@ -1,0 +1,39 @@
+"""Shared fixtures for the pytest-benchmark evaluation suite.
+
+Documents are generated once per session and cached; every benchmark
+compiles its query once and measures execution only (matching the paper,
+whose times "do not include the time to parse/load the document").
+"""
+
+import pytest
+
+from repro.bench.runner import cached_dblp, cached_document
+
+#: Document sizes for the figure benchmarks: proportionally scaled-down
+#: versions of the paper's 2000-8000 (fanout 6, depth 4) series — see
+#: repro/bench/experiments.py for the scaling rationale.
+FIGURE_SIZES = [(250, 6, 4), (500, 6, 4), (1000, 6, 4)]
+
+#: Sizes for queries with super-linear cost (fig7's following-axis query).
+SMALL_SIZES = [(125, 6, 4), (250, 6, 4), (500, 6, 4)]
+
+DBLP_PUBLICATIONS = 1000
+
+
+@pytest.fixture(scope="session")
+def dblp_document():
+    return cached_dblp(DBLP_PUBLICATIONS)
+
+
+@pytest.fixture(scope="session")
+def document_cache():
+    return cached_document
+
+
+def run_benchmark(benchmark, runner, context_node):
+    """One-round pedantic run: documents are big, variance is low."""
+    result = benchmark.pedantic(
+        runner, args=(context_node,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    return result

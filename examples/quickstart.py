@@ -1,0 +1,63 @@
+"""Quickstart: parse a document, run XPath, inspect the algebra.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_xpath, evaluate, parse_document
+
+CATALOG = """
+<catalog>
+  <book id="b1" year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author>W. Richard Stevens</author>
+    <price>65.95</price>
+  </book>
+  <book id="b2" year="1992">
+    <title>Advanced Programming in the Unix Environment</title>
+    <author>W. Richard Stevens</author>
+    <price>65.95</price>
+  </book>
+  <book id="b3" year="2000">
+    <title>Data on the Web</title>
+    <author>Serge Abiteboul</author>
+    <author>Peter Buneman</author>
+    <author>Dan Suciu</author>
+    <price>39.95</price>
+  </book>
+</catalog>
+"""
+
+
+def main() -> None:
+    doc = parse_document(CATALOG)
+
+    # One-shot evaluation: node-sets come back as lists of nodes.
+    titles = evaluate("/catalog/book/title", doc)
+    print("All titles:")
+    for title in titles:
+        print("  -", title.string_value())
+
+    # The full XPath 1.0 feature set is available: positional
+    # predicates, node-set functions, comparisons, unions...
+    print("\nLast book:", evaluate("string(/catalog/book[last()]/title)", doc))
+    print("Books by Stevens:",
+          evaluate("count(//book[author = 'W. Richard Stevens'])", doc))
+    print("Average price:",
+          evaluate("sum(//price) div count(//price)", doc))
+    print("Multi-author books:",
+          [n.attributes[0].value
+           for n in evaluate("//book[count(author) > 1]", doc)])
+    print("By id:", evaluate("string(id('b3')/title)", doc))
+
+    # Compile once, evaluate many times; inspect the logical algebra.
+    query = compile_xpath("/catalog/book[position() = last()]/title")
+    print("\nLogical plan for", query.source)
+    print(query.explain())
+
+    result = query.evaluate(doc.root)
+    print("Result:", result[0].string_value())
+    print("Runtime counters:", dict(query.stats))
+
+
+if __name__ == "__main__":
+    main()

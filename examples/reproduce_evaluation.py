@@ -1,0 +1,47 @@
+"""Reproduce the paper's complete evaluation (section 6) in one run.
+
+Prints the four figure sweeps (Fig. 6-9), the DBLP table (Fig. 10) and
+the design-choice ablations, in paper-style textual form.  Sizes are
+scaled for Python (see repro/bench/experiments.py); set
+REPRO_BENCH_FULL=1 for the paper's original document sizes (slow).
+
+Run:  python examples/reproduce_evaluation.py
+"""
+
+from repro.bench import (
+    ABLATIONS,
+    FIG10_TABLE,
+    FIGURE_SWEEPS,
+    default_sizes,
+    run_fig10_table,
+    run_figure_sweep,
+)
+from repro.bench.runner import run_ablation
+
+
+def main() -> None:
+    sizes = default_sizes()
+    print("Figure sweeps (runtime vs. document size)")
+    print(f"sizes: {[s[0] for s in sizes]} elements\n")
+    for sweep in FIGURE_SWEEPS.values():
+        result = run_figure_sweep(sweep, sizes)
+        print(result.render())
+        print()
+
+    print("Fig. 10 — DBLP queries "
+          f"({FIG10_TABLE.publications} publications)\n")
+    print(run_fig10_table(FIG10_TABLE).render())
+    print()
+
+    print("Ablations (each section-4/5 device on vs. off)\n")
+    for ablation in ABLATIONS.values():
+        timings = run_ablation(ablation)
+        rendered = "  ".join(
+            f"{variant}: {seconds * 1000:.1f} ms"
+            for variant, seconds in timings.items()
+        )
+        print(f"{ablation.description}\n  {ablation.query}\n  {rendered}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — full-fledged algebraic XPath processing.
+
+A from-scratch Python reproduction of *Full-fledged Algebraic XPath
+Processing in Natix* (Brantner, Helmer, Kanne, Moerkotte; ICDE 2005):
+the complete translation of XPath 1.0 into a tuple-sequence algebra, an
+iterator-based physical algebra (NQE), the NVM subscript virtual machine,
+the improved polynomial-time translation, baseline interpreters, and the
+paper's full evaluation harness.
+
+Quick start::
+
+    from repro import parse_document, evaluate
+
+    doc = parse_document("<a><b>x</b><b>y</b></a>")
+    evaluate("/a/b[2]/text()", doc)
+"""
+
+from repro.api import (
+    ENGINES,
+    compile_xpath,
+    evaluate,
+    open_store,
+    parse_document,
+    store_document,
+)
+from repro.compiler import TranslationOptions, XPathCompiler
+from repro.dom import Document, DocumentBuilder, Node, NodeKind, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ENGINES",
+    "Document",
+    "DocumentBuilder",
+    "Node",
+    "NodeKind",
+    "TranslationOptions",
+    "XPathCompiler",
+    "compile_xpath",
+    "evaluate",
+    "open_store",
+    "parse_document",
+    "store_document",
+    "serialize",
+    "__version__",
+]

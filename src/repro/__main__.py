@@ -1,0 +1,139 @@
+"""Command-line interface: evaluate XPath against XML files or stores.
+
+Examples::
+
+    python -m repro '//book/title' catalog.xml
+    python -m repro --engine naive 'count(//book)' catalog.xml
+    python -m repro --explain '/a/b[position() = last()]'
+    python -m repro --store catalog.natix '//book' catalog.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    ENGINES,
+    TranslationOptions,
+    compile_xpath,
+    evaluate,
+    open_store,
+    parse_document,
+    store_document,
+)
+from repro.dom.node import Node, NodeKind
+from repro.dom.serializer import serialize
+from repro.errors import ReproError
+from repro.xpath.datamodel import number_to_string
+
+
+def _render_node(node: Node) -> str:
+    if node.kind == NodeKind.ATTRIBUTE:
+        return f'{node.name}="{node.value}"'
+    if node.kind in (NodeKind.TEXT, NodeKind.COMMENT):
+        return node.value or ""
+    if node.kind == NodeKind.ROOT:
+        return "(document root)"
+    return serialize(node)
+
+
+def _render_result(value) -> List[str]:
+    if isinstance(value, list):
+        ordered = sorted(value, key=lambda n: n.sort_key)
+        return [_render_node(node) for node in ordered]
+    if isinstance(value, bool):
+        return ["true" if value else "false"]
+    if isinstance(value, float):
+        return [number_to_string(value)]
+    return [str(value)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Algebraic XPath 1.0 processor (ICDE 2005 reproduction)",
+    )
+    parser.add_argument("query", help="XPath 1.0 expression")
+    parser.add_argument(
+        "document", nargs="?",
+        help="XML file to query ('-' for stdin); omit with --explain",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="natix",
+        help="evaluation engine (default: natix)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the logical algebra plan instead of evaluating",
+    )
+    parser.add_argument(
+        "--optimize", action="store_true",
+        help="enable the property-driven plan optimizer",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print runtime operator counters after evaluation",
+    )
+    parser.add_argument(
+        "--store", metavar="PATH",
+        help="store the parsed document as a page file, then query it",
+    )
+    arguments = parser.parse_args(argv)
+
+    options = TranslationOptions(optimize=arguments.optimize)
+
+    try:
+        if arguments.explain:
+            compiled = compile_xpath(arguments.query, options)
+            print(compiled.explain())
+            if compiled.optimizer_report:
+                for note in compiled.optimizer_report.notes:
+                    print(f"; optimizer: {note}")
+            return 0
+
+        if not arguments.document:
+            parser.error("a document is required unless --explain is given")
+        if arguments.document == "-":
+            text = sys.stdin.read()
+        else:
+            with open(arguments.document, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        document = parse_document(text)
+
+        if arguments.store:
+            store_document(document, arguments.store)
+            with open_store(arguments.store) as stored:
+                result = _evaluate(arguments, stored.root, options)
+                _print_result(arguments, result)
+                if arguments.stats:
+                    print(f"; buffer: {stored.buffer.stats}",
+                          file=sys.stderr)
+            return 0
+
+        result = _evaluate(arguments, document.root, options)
+        _print_result(arguments, result)
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _evaluate(arguments, context_node, options):
+    if arguments.engine == "natix":
+        compiled = compile_xpath(arguments.query, options)
+        result = compiled.evaluate(context_node)
+        if arguments.stats:
+            print(f"; stats: {dict(compiled.stats)}", file=sys.stderr)
+        return result
+    return evaluate(arguments.query, context_node, engine=arguments.engine)
+
+
+def _print_result(arguments, result) -> None:
+    for line in _render_result(result):
+        print(line)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""The logical tuple-sequence algebra of the paper (Fig. 1).
+
+Sequence-valued operators live in :mod:`repro.algebra.operators`; the
+scalar (subscript) expression language evaluated by the NVM lives in
+:mod:`repro.algebra.scalar`.  :mod:`repro.algebra.printer` renders plans
+as trees, and :mod:`repro.algebra.properties` infers attribute sets, free
+variables and order/duplicate properties.
+"""
+
+from repro.algebra import operators, scalar
+from repro.algebra.printer import plan_to_string
+
+__all__ = ["operators", "scalar", "plan_to_string"]

@@ -1,0 +1,588 @@
+"""Sequence-valued operators of the logical algebra (paper Fig. 1).
+
+Every operator is a node in a logical plan tree.  Following the paper's
+convention (section 3.1.1), each sequence-valued plan designates a
+*result attribute* — the attribute the paper always calls ``cn`` ("we
+always want the cn attribute to contain the node attribute that was last
+added").  Rather than physically renaming attributes to ``cn`` at every
+step, plans carry ``result_attr`` metadata, mirroring the paper's
+attribute manager which "does not emit actual copy operations" for the
+``cn`` aliasing maps (section 5.1).
+
+Operator inventory (paper notation in brackets):
+
+=====================  =======================================================
+:class:`SingletonScan`  □ — singleton sequence of the empty tuple
+:class:`VarScan`        scan of a node-set-valued ``$variable``
+:class:`Select`         σ_p
+:class:`ProjectDup`     Π^D — duplicate elimination on one attribute
+:class:`Project`        Π_A — projection (and Π_{a':a} renaming)
+:class:`MapOp`          χ_{a:e} — attach a computed attribute
+:class:`MatMap`         χ^mat — memoizing map for expensive expressions (4.3.2)
+:class:`PosMap`         χ_{cp:counter++} — position counting with context reset
+:class:`UnnestMap`      Υ_{c_i : c_{i-1}/a::t} — location step evaluation
+:class:`ExprUnnestMap`  Υ over a sequence-valued scalar (id() tokenizing)
+:class:`CrossProduct`   ×
+:class:`DJoin`          <e> — dependent join
+:class:`SemiJoin`       ⋉_p
+:class:`AntiJoin`       ▷_p
+:class:`Concat`         ⊕ — sequence concatenation (unions)
+:class:`SortOp`         Sort_a — document-order sort
+:class:`Aggregate`      𝔄_{a;f}
+:class:`BinaryGroup`    Γ — binary grouping (defines Tmp^cs_c logically, 4.3.1)
+:class:`TmpCs`          Tmp^cs / Tmp^cs_c — context-size annotation (3.3.4/4.3.1)
+:class:`MemoX`          𝔐 — memoizing sequence operator (4.2.2)
+=====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.scalar import Scalar
+from repro.xpath.axes import Axis, NodeTestKind
+
+
+class Operator:
+    """Base class of all logical operators."""
+
+    __slots__ = ("result_attr",)
+
+    #: Short name used by the plan printer.
+    symbol = "?"
+
+    def __init__(self, result_attr: Optional[str]):
+        #: The attribute holding "the node last added" (paper's cn).
+        #: ``None`` for plans that do not produce context nodes.
+        self.result_attr = result_attr
+
+    def children(self) -> Tuple["Operator", ...]:
+        return ()
+
+    def subscripts(self) -> Tuple[Scalar, ...]:
+        """Scalar subscript expressions attached to this operator."""
+        return ()
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        """Attributes introduced by this operator itself."""
+        return ()
+
+    def label(self) -> str:
+        """One-line description used by the plan printer."""
+        return self.symbol
+
+
+class SingletonScan(Operator):
+    """□ — produces exactly one empty tuple."""
+
+    __slots__ = ()
+    symbol = "□"
+
+    def __init__(self):
+        super().__init__(None)
+
+
+class VarScan(Operator):
+    """Unnests a node-set-valued XPath variable into tuples.
+
+    ``$v/child::a`` needs the variable's nodes as a tuple sequence; this
+    scan produces one tuple per node, in the order stored in the binding.
+    """
+
+    __slots__ = ("variable", "attr")
+    symbol = "VarScan"
+
+    def __init__(self, variable: str, attr: str):
+        super().__init__(attr)
+        self.variable = variable
+        self.attr = attr
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def label(self) -> str:
+        return f"VarScan[{self.attr}:${self.variable}]"
+
+
+class UnaryOperator(Operator):
+    """Base for operators with a single sequence-valued input."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Operator, result_attr: Optional[str]):
+        super().__init__(result_attr)
+        self.child = child
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+
+class BinaryOperator(Operator):
+    """Base for operators with two sequence-valued inputs."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Operator, right: Operator,
+                 result_attr: Optional[str]):
+        super().__init__(result_attr)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+
+class Select(UnaryOperator):
+    """σ_p — keeps tuples whose predicate evaluates to true."""
+
+    __slots__ = ("predicate",)
+    symbol = "σ"
+
+    def __init__(self, child: Operator, predicate: Scalar):
+        super().__init__(child, child.result_attr)
+        self.predicate = predicate
+
+    def subscripts(self) -> Tuple[Scalar, ...]:
+        return (self.predicate,)
+
+    def label(self) -> str:
+        return f"σ[{self.predicate.unparse()}]"
+
+
+class ProjectDup(UnaryOperator):
+    """Π^D — duplicate elimination on ``attr`` without projecting.
+
+    Exactly the paper's usage: "the duplicate elimination only operates on
+    the relevant context node attribute cn of the tuple, without
+    projecting away the remaining attributes" (section 3.1.1).
+    """
+
+    __slots__ = ("attr",)
+    symbol = "Π^D"
+
+    def __init__(self, child: Operator, attr: Optional[str] = None):
+        attr = attr if attr is not None else child.result_attr
+        if attr is None:
+            raise ValueError("ProjectDup requires an attribute")
+        super().__init__(child, child.result_attr)
+        self.attr = attr
+
+    def label(self) -> str:
+        return f"Π^D[{self.attr}]"
+
+
+class Project(UnaryOperator):
+    """Π_A — keep only the attributes in ``attrs`` (with optional rename).
+
+    ``renames`` maps new names to existing ones (the paper's Π_{a':a}).
+    The physical attribute manager implements renames as register aliases.
+    """
+
+    __slots__ = ("attrs", "renames")
+    symbol = "Π"
+
+    def __init__(
+        self,
+        child: Operator,
+        attrs: Sequence[str],
+        renames: Optional[dict[str, str]] = None,
+        result_attr: Optional[str] = None,
+    ):
+        super().__init__(child, result_attr or child.result_attr)
+        self.attrs = tuple(attrs)
+        self.renames = dict(renames or {})
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        # A rename introduces the new attribute name.
+        return tuple(self.renames)
+
+    def label(self) -> str:
+        parts = list(self.attrs)
+        parts.extend(f"{new}:{old}" for new, old in self.renames.items())
+        return f"Π[{', '.join(parts)}]"
+
+
+class MapOp(UnaryOperator):
+    """χ_{attr : expr} — extends every tuple with a computed attribute."""
+
+    __slots__ = ("attr", "expr")
+    symbol = "χ"
+
+    def __init__(self, child: Operator, attr: str, expr: Scalar,
+                 is_result: bool = False):
+        super().__init__(child, attr if is_result else child.result_attr)
+        self.attr = attr
+        self.expr = expr
+
+    def subscripts(self) -> Tuple[Scalar, ...]:
+        return (self.expr,)
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def label(self) -> str:
+        return f"χ[{self.attr}:{self.expr.unparse()}]"
+
+
+class MatMap(MapOp):
+    """χ^mat — a map that memoizes results keyed by its free variables.
+
+    Used for expensive predicate clauses (section 4.3.2), following
+    Hellerstein & Naughton's cached expensive methods.
+    """
+
+    __slots__ = ()
+    symbol = "χ^mat"
+
+    def label(self) -> str:
+        return f"χ^mat[{self.attr}:{self.expr.unparse()}]"
+
+
+class PosMap(UnaryOperator):
+    """χ_{cp : counter++} — attaches 1-based context positions.
+
+    In the canonical translation the counter resets when the operator is
+    re-opened (each dependent d-join evaluation is one context).  In the
+    stacked translation the operator watches ``context_attr`` (the input
+    context node c_{i-1}) and resets the counter whenever it changes
+    (section 4.3.1).
+    """
+
+    __slots__ = ("attr", "context_attr")
+    symbol = "χ#"
+
+    def __init__(self, child: Operator, attr: str,
+                 context_attr: Optional[str] = None):
+        super().__init__(child, child.result_attr)
+        self.attr = attr
+        self.context_attr = context_attr
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def label(self) -> str:
+        reset = f", reset on {self.context_attr}" if self.context_attr else ""
+        return f"χ[{self.attr}:counter++{reset}]"
+
+
+class UnnestMap(UnaryOperator):
+    """Υ_{out : in/axis::test} — evaluates one location step.
+
+    For every input tuple, enumerates the axis from the node bound to
+    ``in_attr``, filters by the node test, and emits one output tuple per
+    result node (in axis order) with the node bound to ``out_attr``.
+    This is the paper's Υ with the navigation subscript executed by NVM
+    commands against the storage layer (section 5.2.2).
+    """
+
+    __slots__ = ("in_attr", "out_attr", "axis", "test_kind", "test_name")
+    symbol = "Υ"
+
+    def __init__(
+        self,
+        child: Operator,
+        in_attr: str,
+        out_attr: str,
+        axis: Axis,
+        test_kind: NodeTestKind,
+        test_name: Optional[str],
+    ):
+        super().__init__(child, out_attr)
+        self.in_attr = in_attr
+        self.out_attr = out_attr
+        self.axis = axis
+        self.test_kind = test_kind
+        self.test_name = test_name
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.out_attr,)
+
+    def step_display(self) -> str:
+        from repro.xpath.xast import Step
+
+        return Step(self.axis, self.test_kind, self.test_name).unparse()
+
+    def label(self) -> str:
+        return f"Υ[{self.out_attr}:{self.in_attr}/{self.step_display()}]"
+
+
+class Unnest(UnaryOperator):
+    """μ_g — unnests a sequence-valued attribute (paper Fig. 1).
+
+    Each input tuple carrying a list in ``nested_attr`` yields one output
+    tuple per list element, the element bound to ``out_attr``.  The
+    translator itself only uses the fused Υ (unnest-map); μ is provided
+    for Fig.-1 completeness and for plans built programmatically.
+    """
+
+    __slots__ = ("nested_attr", "out_attr")
+    symbol = "μ"
+
+    def __init__(self, child: Operator, nested_attr: str, out_attr: str):
+        super().__init__(child, out_attr)
+        self.nested_attr = nested_attr
+        self.out_attr = out_attr
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.out_attr,)
+
+    def label(self) -> str:
+        return f"μ[{self.out_attr}:{self.nested_attr}]"
+
+
+class ExprUnnestMap(UnaryOperator):
+    """Υ over a sequence-valued scalar expression.
+
+    Used by the translation of ``id()`` on non-node-set input, where the
+    subscript tokenizes a string into a sequence (section 3.6.3), and for
+    unnesting node-set values produced by scalar machinery.
+    """
+
+    __slots__ = ("attr", "expr")
+    symbol = "Υ*"
+
+    def __init__(self, child: Operator, attr: str, expr: Scalar):
+        super().__init__(child, attr)
+        self.attr = attr
+        self.expr = expr
+
+    def subscripts(self) -> Tuple[Scalar, ...]:
+        return (self.expr,)
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def label(self) -> str:
+        return f"Υ[{self.attr}:{self.expr.unparse()}]"
+
+
+class CrossProduct(BinaryOperator):
+    """× — all combinations of left and right tuples."""
+
+    __slots__ = ()
+    symbol = "×"
+
+    def __init__(self, left: Operator, right: Operator):
+        super().__init__(left, right, right.result_attr or left.result_attr)
+
+
+class DJoin(BinaryOperator):
+    """<e> — dependent join (the paper's d-join).
+
+    For every left tuple, the right (dependent) side is re-evaluated with
+    the left tuple's attributes visible as free variables; the left tuple
+    is concatenated with every right result tuple.
+    """
+
+    __slots__ = ()
+    symbol = "◁▷"
+
+    def __init__(self, left: Operator, right: Operator):
+        super().__init__(left, right, right.result_attr or left.result_attr)
+
+    def label(self) -> str:
+        return "d-join"
+
+
+class SemiJoin(BinaryOperator):
+    """⋉_p — keeps left tuples for which some right tuple satisfies p."""
+
+    __slots__ = ("predicate",)
+    symbol = "⋉"
+
+    def __init__(self, left: Operator, right: Operator, predicate: Scalar):
+        super().__init__(left, right, left.result_attr)
+        self.predicate = predicate
+
+    def subscripts(self) -> Tuple[Scalar, ...]:
+        return (self.predicate,)
+
+    def label(self) -> str:
+        return f"⋉[{self.predicate.unparse()}]"
+
+
+class AntiJoin(BinaryOperator):
+    """▷_p — keeps left tuples for which no right tuple satisfies p."""
+
+    __slots__ = ("predicate",)
+    symbol = "▷"
+
+    def __init__(self, left: Operator, right: Operator, predicate: Scalar):
+        super().__init__(left, right, left.result_attr)
+        self.predicate = predicate
+
+    def subscripts(self) -> Tuple[Scalar, ...]:
+        return (self.predicate,)
+
+    def label(self) -> str:
+        return f"▷[{self.predicate.unparse()}]"
+
+
+class Concat(Operator):
+    """⊕ — concatenation of several sequences (union translation 3.1.3).
+
+    All inputs must expose their result under the same attribute; the
+    translator arranges this via ``result_attr`` metadata and the
+    attribute manager aliases the registers.
+    """
+
+    __slots__ = ("inputs",)
+    symbol = "⊕"
+
+    def __init__(self, inputs: Sequence[Operator], result_attr: str):
+        super().__init__(result_attr)
+        self.inputs = tuple(inputs)
+
+    def children(self) -> Tuple[Operator, ...]:
+        return self.inputs
+
+
+class SortOp(UnaryOperator):
+    """Sort_a — sorts the sequence by document order of a node attribute."""
+
+    __slots__ = ("attr",)
+    symbol = "Sort"
+
+    def __init__(self, child: Operator, attr: str):
+        super().__init__(child, child.result_attr)
+        self.attr = attr
+
+    def label(self) -> str:
+        return f"Sort[{self.attr}]"
+
+
+class Aggregate(UnaryOperator):
+    """𝔄_{a;f} — aggregates the input into a single one-attribute tuple.
+
+    ``func`` is one of :data:`repro.algebra.scalar.AGG_FUNCTIONS`;
+    ``input_attr`` defaults to the child's result attribute.  The physical
+    implementation signals early exit for ``exists`` (section 5.2.5).
+    """
+
+    __slots__ = ("attr", "func", "input_attr")
+    symbol = "𝔄"
+
+    def __init__(self, child: Operator, attr: str, func: str,
+                 input_attr: Optional[str] = None):
+        super().__init__(child, None)
+        self.attr = attr
+        self.func = func
+        self.input_attr = input_attr or child.result_attr
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def label(self) -> str:
+        return f"𝔄[{self.attr};{self.func}({self.input_attr})]"
+
+
+class BinaryGroup(BinaryOperator):
+    """Γ_{g; A1 θ A2; f} — binary grouping (paper Fig. 1).
+
+    Adds to each left tuple an attribute ``g`` holding ``f`` aggregated
+    over the right tuples matching ``left.A1 θ right.A2``.  The paper uses
+    Γ to *define* Tmp^cs_c; the physical algebra implements
+    :class:`TmpCs` directly, but Γ is provided for completeness and for
+    the logical-definition tests.
+    """
+
+    __slots__ = ("attr", "left_attr", "theta", "right_attr", "func",
+                 "func_attr")
+    symbol = "Γ"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        attr: str,
+        left_attr: str,
+        theta: str,
+        right_attr: str,
+        func: str,
+        func_attr: Optional[str] = None,
+    ):
+        super().__init__(left, right, left.result_attr)
+        self.attr = attr
+        self.left_attr = left_attr
+        self.theta = theta
+        self.right_attr = right_attr
+        self.func = func
+        self.func_attr = func_attr
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def label(self) -> str:
+        return (
+            f"Γ[{self.attr};{self.left_attr}{self.theta}{self.right_attr};"
+            f"{self.func}]"
+        )
+
+
+class TmpCs(UnaryOperator):
+    """Tmp^cs / Tmp^cs_c — materialize a context and annotate its size.
+
+    With ``context_attr=None`` this is Tmp^cs (section 3.3.4): the whole
+    input is one context.  With a context attribute it is Tmp^cs_c
+    (section 4.3.1): a context ends when the input context node changes.
+    As in the paper (section 5.2.4) there is a single implementation; the
+    context size is taken from the position counter ``cp_attr`` of the
+    final tuple of each context, so the input must already carry positions.
+    """
+
+    __slots__ = ("cs_attr", "cp_attr", "context_attr")
+    symbol = "Tmp^cs"
+
+    def __init__(self, child: Operator, cs_attr: str, cp_attr: str,
+                 context_attr: Optional[str] = None):
+        super().__init__(child, child.result_attr)
+        self.cs_attr = cs_attr
+        self.cp_attr = cp_attr
+        self.context_attr = context_attr
+
+    def produced_attrs(self) -> Tuple[str, ...]:
+        return (self.cs_attr,)
+
+    def label(self) -> str:
+        if self.context_attr:
+            return f"Tmp^cs_{self.context_attr}[{self.cs_attr}]"
+        return f"Tmp^cs[{self.cs_attr}]"
+
+
+class MemoX(UnaryOperator):
+    """𝔐 — the paper's memoizing sequence-valued operator (section 4.2.2).
+
+    Subscripted with the free variables of its producer; on evaluation it
+    returns the memoized result sequence when the key variables were seen
+    before, otherwise it evaluates the producer and records the result.
+    """
+
+    __slots__ = ("key_attrs",)
+    symbol = "𝔐"
+
+    def __init__(self, child: Operator, key_attrs: Sequence[str]):
+        super().__init__(child, child.result_attr)
+        self.key_attrs = tuple(key_attrs)
+
+    def label(self) -> str:
+        return f"𝔐[{', '.join(self.key_attrs)}]"
+
+
+def iter_plan(op: Operator):
+    """Pre-order iteration over a plan, *excluding* nested scalar plans."""
+    yield op
+    for child in op.children():
+        yield from iter_plan(child)
+
+
+def plan_operators(op: Operator) -> List[Operator]:
+    """All operators of a plan including those inside nested subscripts."""
+    from repro.algebra.scalar import nested_plans
+
+    out: List[Operator] = []
+    for node in iter_plan(op):
+        out.append(node)
+        for sub in node.subscripts():
+            for nested in nested_plans(sub):
+                out.extend(plan_operators(nested.plan))
+    return out

@@ -1,0 +1,32 @@
+"""Rendering logical plans as indented trees.
+
+The output mirrors the paper's figures 2–4: one operator per line, with
+nested (dependent or subscript) plans indented under their consumer.
+Used by tests, examples and documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algebra.operators import Operator
+from repro.algebra.scalar import nested_plans
+
+
+def plan_to_string(plan: Operator, indent: int = 0) -> str:
+    """Render ``plan`` as an indented multi-line string."""
+    lines: List[str] = []
+    _render(plan, indent, lines)
+    return "\n".join(lines)
+
+
+def _render(op: Operator, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    suffix = f"  -> {op.result_attr}" if op.result_attr else ""
+    lines.append(f"{pad}{op.label()}{suffix}")
+    for subscript in op.subscripts():
+        for nested in nested_plans(subscript):
+            lines.append(f"{pad}  [nested {nested.agg}]")
+            _render(nested.plan, depth + 2, lines)
+    for child in op.children():
+        _render(child, depth + 1, lines)

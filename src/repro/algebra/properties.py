@@ -1,0 +1,240 @@
+"""Inferred properties of logical plans.
+
+Implements the paper's notational devices as executable inference:
+
+* ``A(e)`` — the attributes produced by a plan (section 2.2.2),
+* ``F(e)`` — the free variables of a plan: attributes referenced by
+  subscripts or operators that no child produces (these must be bound by
+  an enclosing d-join or by the top-level execution context),
+* duplicate-freeness and document-order inference in the spirit of
+  Hidders & Michiels [13], which the paper names as the refinement of its
+  axis-wise ppd classification (section 4.1).  The order/duplicate
+  analysis is used by tests and by the optional ``hidders_michiels``
+  translation refinement.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.algebra import operators as ops
+from repro.algebra.scalar import nested_plans, referenced_attrs
+from repro.xpath.axes import Axis
+
+
+def attributes(plan: ops.Operator) -> Set[str]:
+    """A(e): all attributes present in the plan's output tuples."""
+    attrs: Set[str] = set()
+    for child in plan.children():
+        attrs |= attributes(child)
+    if isinstance(plan, ops.Project):
+        # Projection keeps the listed attributes and exposes renames.
+        return (attrs & set(plan.attrs)) | set(plan.renames)
+    attrs.update(plan.produced_attrs())
+    return attrs
+
+
+def free_variables(plan: ops.Operator) -> Set[str]:
+    """F(e): attributes the plan reads but does not produce itself."""
+    produced: Set[str] = set()
+    free: Set[str] = set()
+    _collect_free(plan, produced, free)
+    return free
+
+
+def _collect_free(plan: ops.Operator, produced: Set[str], free: Set[str]) -> None:
+    # Post-order: children first so 'produced' is known for subscripts.
+    children = plan.children()
+    if isinstance(plan, (ops.DJoin, ops.CrossProduct, ops.SemiJoin,
+                         ops.AntiJoin, ops.BinaryGroup)):
+        left, right = children
+        left_produced: Set[str] = set()
+        _collect_free(left, left_produced, free)
+        right_produced: Set[str] = set()
+        right_free: Set[str] = set()
+        _collect_free(right, right_produced, right_free)
+        if isinstance(plan, ops.DJoin):
+            # The dependent side sees the left attributes.
+            free |= right_free - left_produced
+        else:
+            free |= right_free
+        produced |= left_produced | right_produced
+    else:
+        for child in children:
+            _collect_free(child, produced, free)
+
+    for subscript in plan.subscripts():
+        free |= referenced_attrs(subscript) - produced
+        for nested in nested_plans(subscript):
+            free |= free_variables(nested.plan) - produced
+
+    if isinstance(plan, ops.UnnestMap):
+        if plan.in_attr not in produced:
+            free.add(plan.in_attr)
+    if isinstance(plan, ops.MemoX):
+        for key in plan.key_attrs:
+            if key not in produced:
+                free.add(key)
+
+    produced.update(plan.produced_attrs())
+
+
+# ----------------------------------------------------------------------
+# Order / duplicate analysis (Hidders & Michiels style)
+# ----------------------------------------------------------------------
+
+#: Axes whose step output is in document order *per context node*.
+_FORWARD_AXES = frozenset(
+    {
+        Axis.CHILD,
+        Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.FOLLOWING,
+        Axis.FOLLOWING_SIBLING,
+        Axis.SELF,
+        Axis.ATTRIBUTE,
+        Axis.NAMESPACE,
+    }
+)
+
+
+def step_preserves_ddo(axis: Axis, input_ddo: bool, input_single: bool) -> bool:
+    """Does a step yield distinct nodes in document order (DDO)?
+
+    This is the core transition of Hidders & Michiels' automaton,
+    restricted to the facts the translator needs: starting from a single
+    context node, ``self``, ``child``, ``attribute``, ``descendant`` and
+    ``descendant-or-self`` produce DDO output; from a DDO *sequence*, only
+    steps that cannot interleave or duplicate do.
+    """
+    if input_single:
+        return axis in _FORWARD_AXES
+    if not input_ddo:
+        return False
+    # From a duplicate-free document-ordered sequence: child keeps order
+    # only if contexts are siblings, which we cannot assume; the safe
+    # subset is self and attribute (disjoint per context, nested order).
+    return axis in (Axis.SELF, Axis.ATTRIBUTE)
+
+
+def is_document_ordered(plan: ops.Operator) -> bool:
+    """Conservative document-order (DDO) inference on the result attr.
+
+    True when the plan provably yields its result nodes in document
+    order.  Together with :func:`is_duplicate_free` this implements the
+    Hidders–Michiels-style property propagation the paper lists as
+    future work ("using properties of the intermediate results to avoid
+    duplicate elimination and sorting", section 7).
+    """
+    return _order_info(plan).ordered
+
+
+class _OrderState:
+    """Abstract state of the H-M-style order automaton.
+
+    ``ordered``   — output is in document order,
+    ``unrelated`` — no output node is an ancestor of another,
+    ``single``    — at most one output tuple.
+    """
+
+    __slots__ = ("ordered", "unrelated", "single")
+
+    def __init__(self, ordered: bool, unrelated: bool, single: bool):
+        self.ordered = ordered
+        self.unrelated = unrelated
+        self.single = single
+
+
+_BOTTOM = _OrderState(False, False, False)
+
+
+def _step_transition(axis: Axis, state: _OrderState) -> _OrderState:
+    """Order-automaton transition for one location step."""
+    if state.single:
+        # From one context node every forward axis enumerates in
+        # document order; sibling axes and child/attribute also keep
+        # nodes mutually unrelated.
+        if axis in (Axis.CHILD, Axis.ATTRIBUTE, Axis.NAMESPACE,
+                    Axis.FOLLOWING_SIBLING):
+            return _OrderState(True, True, False)
+        if axis == Axis.SELF:
+            return _OrderState(True, True, True)
+        if axis == Axis.PARENT:
+            return _OrderState(True, True, True)
+        if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
+                    Axis.FOLLOWING):
+            return _OrderState(True, False, False)
+        return _BOTTOM  # reverse axes enumerate in reverse order
+    if not state.ordered:
+        return _BOTTOM
+    if axis == Axis.SELF:
+        return state
+    if not state.unrelated:
+        return _BOTTOM
+    # Ordered + mutually unrelated contexts: subtrees are disjoint
+    # blocks in context order.
+    if axis in (Axis.CHILD, Axis.ATTRIBUTE, Axis.NAMESPACE):
+        return _OrderState(True, True, False)
+    if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+        return _OrderState(True, False, False)
+    return _BOTTOM
+
+
+def _order_info(plan: ops.Operator) -> _OrderState:
+    if isinstance(plan, ops.SingletonScan):
+        return _OrderState(True, True, True)
+    if isinstance(plan, ops.SortOp):
+        return _OrderState(True, False, False)
+    if isinstance(plan, ops.VarScan):
+        return _BOTTOM  # binding order is caller-defined
+    if isinstance(plan, (ops.Select, ops.PosMap, ops.TmpCs, ops.MatMap,
+                         ops.MemoX, ops.ProjectDup, ops.Project,
+                         ops.MapOp)):
+        return _order_info(plan.child)  # type: ignore[attr-defined]
+    if isinstance(plan, ops.UnnestMap):
+        return _step_transition(plan.axis, _order_info(plan.child))
+    if isinstance(plan, (ops.SemiJoin, ops.AntiJoin)):
+        return _order_info(plan.left)
+    if isinstance(plan, ops.Aggregate):
+        return _OrderState(True, True, True)
+    return _BOTTOM
+
+
+def is_duplicate_free(plan: ops.Operator) -> bool:
+    """Conservative duplicate-freeness of the plan's result attribute.
+
+    True when the plan provably yields each node at most once.  Used by
+    tests and by the dedup-pruning refinement.
+    """
+    if isinstance(plan, ops.ProjectDup):
+        return plan.attr == plan.result_attr
+    if isinstance(plan, ops.SingletonScan):
+        return True
+    if isinstance(plan, ops.VarScan):
+        return True  # node-set values are duplicate-free by definition
+    if isinstance(plan, (ops.Select, ops.SortOp, ops.TmpCs, ops.PosMap,
+                         ops.MemoX, ops.MatMap)):
+        return is_duplicate_free(plan.child)  # type: ignore[attr-defined]
+    if isinstance(plan, ops.MapOp):
+        return is_duplicate_free(plan.child)
+    if isinstance(plan, ops.Project):
+        return is_duplicate_free(plan.child)
+    if isinstance(plan, (ops.SemiJoin, ops.AntiJoin)):
+        return is_duplicate_free(plan.left)
+    if isinstance(plan, ops.UnnestMap):
+        # A non-ppd axis from duplicate-free input is duplicate-free.
+        from repro.xpath.axes import ppd
+
+        return (not ppd(plan.axis)) and is_duplicate_free(plan.child)
+    if isinstance(plan, ops.DJoin):
+        from repro.xpath.axes import ppd
+
+        right = plan.right
+        # A d-join whose dependent side is a single non-ppd unnest-map
+        # over the singleton scan inherits the left side's property.
+        if isinstance(right, ops.UnnestMap) and isinstance(
+            right.child, ops.SingletonScan
+        ):
+            return (not ppd(right.axis)) and is_duplicate_free(plan.left)
+        return False
+    return False

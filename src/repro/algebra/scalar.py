@@ -1,0 +1,298 @@
+"""Scalar (subscript) expressions of the algebra.
+
+The sequence-valued operators of the algebra carry *subscripts*: the
+predicate of a selection, the value expression of a map, the join
+predicate of a semi-join.  Subscripts are scalar expressions over the
+attributes of the current tuple; in Natix they are compiled to NVM
+programs (section 5.2.2), and this module defines the intermediate
+representation they are compiled from.
+
+A subscript may embed *nested sequence-valued plans* (:class:`SNested`) —
+for example ``count(π)`` inside a predicate becomes an aggregation over a
+nested algebra plan.  The physical engine exposes these to NVM programs as
+nested iterators (section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.xpath.datamodel import XPathType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.algebra.operators import Operator
+
+
+class Scalar:
+    """Base class of scalar expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Scalar", ...]:
+        return ()
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SConst(Scalar):
+    """A literal constant (string, number or boolean)."""
+
+    value: object
+
+    def unparse(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        if isinstance(self.value, bool):
+            return "true()" if self.value else "false()"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SAttr(Scalar):
+    """Reads an attribute of the current tuple (a register at runtime)."""
+
+    name: str
+
+    def unparse(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SVar(Scalar):
+    """Reads an XPath ``$variable`` from the execution context."""
+
+    name: str
+
+    def unparse(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class SFunc(Scalar):
+    """Applies a library function to already-evaluated arguments.
+
+    ``position()`` and ``last()`` never appear here — the translator turns
+    them into :class:`SAttr` reads of the predicate's ``cp``/``cs``
+    attributes, as in the paper's section 3.3.
+    """
+
+    name: str
+    args: Tuple[Scalar, ...]
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return self.args
+
+    def unparse(self) -> str:
+        return f"{self.name}({', '.join(a.unparse() for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class SStringValue(Scalar):
+    """The XPath string-value of a node-valued operand."""
+
+    operand: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"sv({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class SArith(Scalar):
+    """``+ - * div mod`` over numbers (IEEE 754)."""
+
+    op: str
+    left: Scalar
+    right: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.left, self.right)
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class SNeg(Scalar):
+    """Unary minus."""
+
+    operand: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"-{self.operand.unparse()}"
+
+
+@dataclass(frozen=True)
+class SCmp(Scalar):
+    """A comparison with the full dynamic XPath semantics.
+
+    When operand static types are known, the translator emits pre-converted
+    operands so this reduces to an atomic comparison; operands of unknown
+    type (variables) fall back to the complete cross-type matrix at
+    runtime.
+    """
+
+    op: str
+    left: Scalar
+    right: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.left, self.right)
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class SBool(Scalar):
+    """Short-circuiting ``and`` / ``or``."""
+
+    op: str
+    left: Scalar
+    right: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.left, self.right)
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class SNot(Scalar):
+    operand: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"not({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class SConvert(Scalar):
+    """Implicit conversion to a basic type (spec section 3/4 rules)."""
+
+    target: XPathType
+    operand: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"{self.target.value}({self.operand.unparse()})"
+
+
+#: Aggregation functions supported by the 𝔄 operator and SNested.
+#: ``exists`` supports the smart-aggregation early exit (section 5.2.5);
+#: ``first_string``/``first_node`` implement the document-order-first rule
+#: of ``string(node-set)``; ``collect`` materializes the node sequence for
+#: node-set-valued arguments like ``id(e)``.
+AGG_FUNCTIONS = (
+    "exists",
+    "count",
+    "sum",
+    "max",
+    "min",
+    "first_string",
+    "first_node",
+    "collect",
+)
+
+
+class SNested(Scalar):
+    """A nested sequence-valued plan aggregated to a scalar.
+
+    ``agg`` is one of :data:`AGG_FUNCTIONS`, applied to the values of the
+    plan's result attribute.  Not frozen/hashable by value — plans are
+    identity-compared.
+    """
+
+    __slots__ = ("plan", "agg")
+
+    def __init__(self, plan: "Operator", agg: str):
+        if agg not in AGG_FUNCTIONS:
+            raise ValueError(f"unknown aggregate {agg!r}")
+        self.plan = plan
+        self.agg = agg
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return ()
+
+    def unparse(self) -> str:
+        return f"𝔄[{self.agg}](<plan {self.plan.result_attr}>)"
+
+
+@dataclass(frozen=True)
+class SDeref(Scalar):
+    """Dereference an ID string to the element node carrying it.
+
+    Used by the translation of ``id()`` (section 3.6.3); evaluates to the
+    element or to ``None`` when the ID is unknown (the unnest above drops
+    empty results).
+    """
+
+    operand: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"deref({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class STokenize(Scalar):
+    """Whitespace-tokenize a string into a sequence (for ``id()``)."""
+
+    operand: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"tokenize({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class SRoot(Scalar):
+    """The document root of a node-valued operand (``root(cn)``)."""
+
+    operand: Scalar
+
+    def children(self) -> Tuple[Scalar, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"root({self.operand.unparse()})"
+
+
+def iter_scalar_tree(expr: Scalar):
+    """Pre-order iteration over a scalar expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from iter_scalar_tree(child)
+
+
+def nested_plans(expr: Scalar) -> List[SNested]:
+    """All nested plans embedded in a scalar expression."""
+    return [node for node in iter_scalar_tree(expr) if isinstance(node, SNested)]
+
+
+def referenced_attrs(expr: Scalar) -> set[str]:
+    """Attribute names read by the scalar expression itself.
+
+    Attributes read by nested plans are *free variables of those plans*
+    and are accounted for by plan-level free-variable inference.
+    """
+    return {
+        node.name for node in iter_scalar_tree(expr) if isinstance(node, SAttr)
+    }

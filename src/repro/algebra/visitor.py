@@ -1,0 +1,49 @@
+"""Generic traversal and transformation of logical plans.
+
+Plans are trees of :class:`~repro.algebra.operators.Operator` whose
+subscripts may embed nested plans (:class:`~repro.algebra.scalar.SNested`);
+both traversals descend into them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.algebra import operators as ops
+from repro.algebra import scalar as S
+
+Transform = Callable[[ops.Operator], ops.Operator]
+
+
+def walk_plan(plan: ops.Operator,
+              include_nested: bool = True) -> Iterator[ops.Operator]:
+    """Pre-order iteration, optionally descending into nested plans."""
+    yield plan
+    if include_nested:
+        for subscript in plan.subscripts():
+            for nested in S.nested_plans(subscript):
+                yield from walk_plan(nested.plan, include_nested)
+    for child in plan.children():
+        yield from walk_plan(child, include_nested)
+
+
+def transform_bottom_up(plan: ops.Operator, fn: Transform) -> ops.Operator:
+    """Rewrite a plan bottom-up, in place.
+
+    Children (and plans nested in subscripts) are transformed first, the
+    rewritten children are re-attached, then ``fn`` is applied to the
+    node itself; ``fn`` returns the (possibly replaced) node.
+    """
+    if isinstance(plan, ops.UnaryOperator):
+        plan.child = transform_bottom_up(plan.child, fn)
+    elif isinstance(plan, ops.BinaryOperator):
+        plan.left = transform_bottom_up(plan.left, fn)
+        plan.right = transform_bottom_up(plan.right, fn)
+    elif isinstance(plan, ops.Concat):
+        plan.inputs = tuple(
+            transform_bottom_up(branch, fn) for branch in plan.inputs
+        )
+    for subscript in plan.subscripts():
+        for nested in S.nested_plans(subscript):
+            nested.plan = transform_bottom_up(nested.plan, fn)
+    return fn(plan)

@@ -1,0 +1,86 @@
+"""The public convenience API.
+
+Most users need exactly three things::
+
+    from repro import parse_document, compile_xpath, evaluate
+
+    doc = parse_document("<a><b/><b/></a>")
+    print(evaluate("count(/a/b)", doc))            # 2.0
+
+    query = compile_xpath("/a/b[position() = last()]")
+    nodes = query.evaluate(doc.root)
+
+``evaluate`` accepts an engine name to pick an evaluation strategy:
+``"natix"`` (the algebraic engine with the improved translation, the
+default), ``"natix-canonical"`` (section-3 translation only), ``"naive"``
+and ``"memo"`` (the baseline interpreters).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.baselines.memo import MemoInterpreter
+from repro.baselines.naive import NaiveInterpreter
+from repro.compiler.improved import TranslationOptions
+from repro.compiler.pipeline import CompiledQuery, XPathCompiler
+from repro.dom.document import Document
+from repro.dom.node import Node
+from repro.dom.parser import parse as _parse_xml
+from repro.xpath.context import make_context
+from repro.xpath.datamodel import XPathValue
+
+#: Engine names accepted by :func:`evaluate`.
+ENGINES = ("natix", "natix-canonical", "naive", "memo")
+
+
+def parse_document(text: str, **kwargs) -> Document:
+    """Parse an XML string into a :class:`~repro.dom.document.Document`."""
+    return _parse_xml(text, **kwargs)
+
+
+def store_document(document: Document, path, **kwargs) -> None:
+    """Persist a document to a Natix-style page file."""
+    from repro.storage import DocumentStore
+
+    DocumentStore.write(document, path, **kwargs)
+
+
+def open_store(path, buffer_pages: int = 256):
+    """Open a stored document; queries run directly on the page buffer."""
+    from repro.storage import DocumentStore
+
+    return DocumentStore.open(path, buffer_pages=buffer_pages)
+
+
+def compile_xpath(
+    query: str, options: Optional[TranslationOptions] = None
+) -> CompiledQuery:
+    """Compile an XPath 1.0 expression with the algebraic compiler."""
+    return XPathCompiler(options).compile(query)
+
+
+def _context_node(target: Union[Document, Node]) -> Node:
+    if isinstance(target, Document):
+        return target.root
+    return target
+
+
+def evaluate(
+    query: str,
+    target: Union[Document, Node],
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    namespaces: Optional[Mapping[str, str]] = None,
+    engine: str = "natix",
+) -> XPathValue:
+    """One-shot evaluation of ``query`` against a document or node."""
+    node = _context_node(target)
+    if engine == "natix":
+        return compile_xpath(query).evaluate(node, variables, namespaces)
+    if engine == "natix-canonical":
+        compiled = compile_xpath(query, TranslationOptions.canonical())
+        return compiled.evaluate(node, variables, namespaces)
+    if engine in ("naive", "memo"):
+        interp = NaiveInterpreter() if engine == "naive" else MemoInterpreter()
+        return interp.evaluate(query, make_context(node, variables, namespaces))
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

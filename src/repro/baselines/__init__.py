@@ -1,0 +1,22 @@
+"""Baseline XPath evaluators.
+
+The paper compares its algebraic engine against main-memory XPath
+interpreters (Xalan-C and xsltproc).  Those C/C++ codebases are not
+available here, so this package provides spec-faithful Python stand-ins
+that preserve the relevant architectural axis of comparison:
+
+* :class:`~repro.baselines.naive.NaiveInterpreter` — a direct recursive
+  interpreter, context node at a time, no memoization.  It exhibits the
+  exponential worst case of Gottlob et al. that the paper's section 4 is
+  designed to avoid.
+* :class:`~repro.baselines.memo.MemoInterpreter` — the same interpreter
+  with a context-value table (Gottlob-style memoization), giving
+  polynomial worst-case behaviour.
+
+Both also serve as oracles in the differential test suite.
+"""
+
+from repro.baselines.naive import NaiveInterpreter
+from repro.baselines.memo import MemoInterpreter
+
+__all__ = ["NaiveInterpreter", "MemoInterpreter"]

@@ -1,0 +1,101 @@
+"""A Gottlob-style memoizing XPath interpreter.
+
+Same semantics as :class:`~repro.baselines.naive.NaiveInterpreter`, plus
+the two devices that give polynomial worst-case behaviour [7, 8]:
+
+* intermediate context lists are deduplicated after every location step,
+  so the number of contexts a step processes is bounded by the document
+  size rather than by the number of evaluation paths that reach it, and
+* a *context-value table* caches the value of every context-independent
+  sub-expression per ``(expression, context node)`` pair, so predicates
+  containing nested paths are evaluated at most once per distinct context
+  node — the same effect the paper achieves algebraically with the MemoX
+  operator (section 4.2.2).
+
+Expressions whose value depends on ``position()`` or ``last()`` are not
+cached (their context is more than the node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.baselines.naive import NaiveInterpreter
+from repro.xpath.context import EvalContext
+from repro.xpath.datamodel import XPathValue
+from repro.xpath.xast import (
+    Expr,
+    FunctionCall,
+    LocationPath,
+    PathExpr,
+    iter_child_exprs,
+)
+
+
+def _uses_position_or_last(expr: Expr, cache: Dict[int, bool]) -> bool:
+    """Whether ``expr``'s value depends on context position/size.
+
+    Nested predicates introduce their own position context, but a call in
+    a nested predicate still makes the *outer* value context-node-dependent
+    only — so recursion does not descend into predicate expressions of
+    location paths (their position context is local).  For simplicity and
+    safety this check is conservative: it looks at the whole subtree.
+    """
+    key = id(expr)
+    if key in cache:
+        return cache[key]
+    result = isinstance(expr, FunctionCall) and expr.name in ("position", "last")
+    if not result:
+        result = any(
+            _uses_position_or_last(child, cache)
+            for child in iter_child_exprs(expr)
+        )
+    cache[key] = result
+    return result
+
+
+class MemoInterpreter(NaiveInterpreter):
+    """Polynomial-time interpreter with a context-value table.
+
+    The cache lives per instance; create a fresh instance (or call
+    :meth:`clear_cache`) when the document changes.
+    """
+
+    name = "memo-interpreter"
+
+    def __init__(self):
+        super().__init__(dedup_between_steps=True)
+        self._table: Dict[Tuple[int, object], XPathValue] = {}
+        self._positional: Dict[int, bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def clear_cache(self) -> None:
+        self._table.clear()
+        self._positional.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def evaluate(self, query, context: EvalContext) -> XPathValue:
+        # The table is keyed by AST object identity, so it must not
+        # outlive the AST: memoization is per top-level evaluation, as in
+        # Gottlob et al.'s context-value tables.
+        self._table.clear()
+        self._positional.clear()
+        return super().evaluate(query, context)
+
+    def _eval(self, expr: Expr, context: EvalContext) -> XPathValue:
+        # Only node-set-producing composites are worth caching; scalars
+        # are cheap to recompute and literals are free.
+        if not isinstance(expr, (LocationPath, PathExpr, FunctionCall)):
+            return super()._eval(expr, context)
+        if _uses_position_or_last(expr, self._positional):
+            return super()._eval(expr, context)
+        key = (id(expr), context.node)
+        if key in self._table:
+            self.hits += 1
+            return self._table[key]
+        self.misses += 1
+        value = super()._eval(expr, context)
+        self._table[key] = value
+        return value

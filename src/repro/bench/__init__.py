@@ -1,0 +1,28 @@
+"""The evaluation harness reproducing the paper's section 6.
+
+:mod:`repro.bench.engines` — the engine registry (the algebraic engine in
+both translation modes plus the interpreter stand-ins for Xalan/xsltproc).
+:mod:`repro.bench.experiments` — one definition per paper artifact
+(Fig. 6–9 curves, the Fig. 10 table) and per design-choice ablation.
+:mod:`repro.bench.runner` — timing and table/series rendering.
+"""
+
+from repro.bench.engines import ENGINE_REGISTRY, make_engine
+from repro.bench.experiments import (
+    ABLATIONS,
+    FIGURE_SWEEPS,
+    FIG10_TABLE,
+    default_sizes,
+)
+from repro.bench.runner import run_figure_sweep, run_fig10_table
+
+__all__ = [
+    "ENGINE_REGISTRY",
+    "make_engine",
+    "ABLATIONS",
+    "FIGURE_SWEEPS",
+    "FIG10_TABLE",
+    "default_sizes",
+    "run_figure_sweep",
+    "run_fig10_table",
+]

@@ -1,0 +1,194 @@
+"""Experiment definitions: one entry per paper artifact and ablation.
+
+Sizes.  The paper ran 2 000–80 000-element documents on a 2.8 GHz P4
+with a C++ engine; a pure-Python reproduction is ~two orders of magnitude
+slower per node visit, and two of the Fig. 5 queries are intrinsically
+super-linear.  The default sweeps therefore use proportionally scaled
+document sizes — the *shape* of each curve (who wins, how fast each
+engine's curve grows, where interpreters blow up) is preserved; set
+``REPRO_BENCH_FULL=1`` to run the paper's original sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.improved import TranslationOptions
+from repro.workloads.querygen import FIG5_QUERIES, FIG10_QUERIES
+
+#: Default engines compared in every figure (the paper's Fig. 6-9 lines:
+#: Natix vs. the two main-memory interpreters).
+FIGURE_ENGINES = ("natix", "naive", "memo")
+
+
+def default_sizes(scale: str = "auto") -> List[Tuple[int, int, int]]:
+    """(max_elements, fanout, depth) sweep for the figure experiments."""
+    if scale == "full" or (
+        scale == "auto" and os.environ.get("REPRO_BENCH_FULL")
+    ):
+        return [(n, 6, 4) for n in (2000, 4000, 6000, 8000)] + [
+            (n, 10, 5) for n in (10000, 20000, 40000, 80000)
+        ]
+    return [(n, 6, 4) for n in (250, 500, 1000, 2000)]
+
+
+@dataclass(frozen=True)
+class FigureSweep:
+    """One runtime-vs-document-size figure (paper Fig. 6-9)."""
+
+    figure: str
+    query: str
+    description: str
+    engines: Sequence[str] = FIGURE_ENGINES
+    #: Cap for engines whose complexity explodes on this query, as the
+    #: paper's interpreter curves "stop before reaching the end of the
+    #: x-axis" when they fail on large documents.
+    engine_size_caps: Dict[str, int] = field(default_factory=dict)
+
+
+FIGURE_SWEEPS: Dict[str, FigureSweep] = {
+    "fig6": FigureSweep(
+        figure="fig6",
+        query=FIG5_QUERIES[0],
+        description="Query 1: /xdoc/desc::*/anc::*/desc::*/@id",
+        # The dedup-free interpreter multiplies contexts cubically here;
+        # cap it like the paper's DNF'd curves.
+        engine_size_caps={"naive": 1000},
+    ),
+    "fig7": FigureSweep(
+        figure="fig7",
+        query=FIG5_QUERIES[1],
+        description="Query 2: /xdoc/desc::*/pre-sib::*/fol::*/@id",
+        engine_size_caps={"naive": 500, "memo": 1000, "natix": 2000},
+    ),
+    "fig8": FigureSweep(
+        figure="fig8",
+        query=FIG5_QUERIES[2],
+        description="Query 3: /xdoc/desc::*/anc::*/anc::*/@id",
+        engine_size_caps={"naive": 1000},
+    ),
+    "fig9": FigureSweep(
+        figure="fig9",
+        query=FIG5_QUERIES[3],
+        description="Query 4: /xdoc/child::*/par::*/desc::*/@id",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Fig10Table:
+    """The DBLP query table (paper Fig. 10)."""
+
+    queries: Sequence[str]
+    #: Publications in the synthetic DBLP document ("full" approximates
+    #: the 216 MB dump's root width far better; see dblp.py).
+    publications: int
+    engines: Sequence[str] = ("naive", "natix")
+
+
+def fig10_table(scale: str = "auto") -> Fig10Table:
+    if scale == "full" or (
+        scale == "auto" and os.environ.get("REPRO_BENCH_FULL")
+    ):
+        return Fig10Table(FIG10_QUERIES, publications=50000)
+    return Fig10Table(FIG10_QUERIES, publications=2000)
+
+
+FIG10_TABLE = fig10_table()
+
+
+@dataclass(frozen=True)
+class Ablation:
+    """A design-choice ablation (one per section-4 device)."""
+
+    name: str
+    description: str
+    query: str
+    #: Engine-name -> TranslationOptions (None = interpreter engine).
+    variants: Dict[str, Optional[TranslationOptions]]
+    document: Tuple[int, int, int] = (500, 6, 4)
+
+
+ABLATIONS: Dict[str, Ablation] = {
+    "dupelim": Ablation(
+        name="dupelim",
+        description="4.1 pushed duplicate elimination on/off",
+        query=FIG5_QUERIES[0],
+        variants={
+            "push-dupelim": TranslationOptions.improved(),
+            "final-dedup-only": TranslationOptions.improved(
+                push_dup_elimination=False
+            ),
+        },
+    ),
+    "stacked": Ablation(
+        name="stacked",
+        description="4.2.1 stacked pipeline vs. canonical d-joins",
+        query=FIG5_QUERIES[3],
+        variants={
+            "stacked": TranslationOptions.improved(),
+            "d-joins": TranslationOptions.improved(stacked=False),
+        },
+    ),
+    "memox": Ablation(
+        name="memox",
+        description="4.2.2 MemoX memoization of inner paths on/off",
+        # MemoX pays off when a ppd step hands the same context node to a
+        # predicate repeatedly: every element's ancestor chain re-visits
+        # the same few ancestors (the paper's section 4.2.2 scenario).
+        query="//*/ancestor::*[count(descendant::*/following::*) > 10]",
+        variants={
+            "memox": TranslationOptions.improved(mat_expensive=False),
+            "no-memox": TranslationOptions.improved(
+                memox=False, mat_expensive=False
+            ),
+        },
+        document=(120, 5, 3),
+    ),
+    "matmap": Ablation(
+        name="matmap",
+        description="4.3.2 expensive-clause ordering + χ^mat on/off",
+        # MemoX is disabled in both variants so the χ^mat caching effect
+        # is isolated (otherwise MemoX absorbs the repeated inner-path
+        # evaluations either way).
+        query="//*/parent::*[count(descendant::*/descendant::*) > 3"
+              " and @id != '0']",
+        variants={
+            "matmap": TranslationOptions.improved(memox=False),
+            "no-matmap": TranslationOptions.improved(
+                memox=False, mat_expensive=False
+            ),
+        },
+    ),
+    "nvm": Ablation(
+        name="nvm",
+        description="5.2.2 NVM subscripts vs. tree-walking evaluation",
+        query="//*[@id > 100 and @id < 300]",
+        variants={
+            "nvm": TranslationOptions.improved(subscript_mode="nvm"),
+            "interp": TranslationOptions.improved(
+                subscript_mode="interp"
+            ),
+        },
+    ),
+    "optimizer": Ablation(
+        name="optimizer",
+        description="§7 outlook: property pass (//-merge, Π^D/Sort pruning)",
+        query="//*/@id",
+        variants={
+            "optimized": TranslationOptions.improved(optimize=True),
+            "plain": TranslationOptions.improved(),
+        },
+        document=(2000, 6, 4),
+    ),
+    "smartagg": Ablation(
+        name="smartagg",
+        description="5.2.5 smart aggregation: existential comparison",
+        query="//* = 'no-such-text-anywhere' or //*[1] = //*",
+        variants={
+            "natix": TranslationOptions.improved(),
+        },
+    ),
+}

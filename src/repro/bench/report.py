@@ -1,0 +1,129 @@
+"""Rendering pytest-benchmark JSON as paper-style tables.
+
+``pytest benchmarks/ --benchmark-only --benchmark-json=run.json`` saves
+raw results; this module groups them by the ``figure``/``ablation``
+extra-info keys the benchmark files attach and renders the same
+series/tables as :mod:`repro.bench.runner`, so CI output can be compared
+against EXPERIMENTS.md directly::
+
+    python -m repro.bench.report run.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from typing import Dict, List
+
+
+def load_benchmarks(path: str) -> List[dict]:
+    """The benchmark entries of one pytest-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return data.get("benchmarks", [])
+
+
+def group_by(entries: List[dict], key: str) -> Dict[str, List[dict]]:
+    """Group entries by an ``extra_info`` key (absent key -> skipped)."""
+    groups: Dict[str, List[dict]] = defaultdict(list)
+    for entry in entries:
+        value = entry.get("extra_info", {}).get(key)
+        if value is not None:
+            groups[str(value)].append(entry)
+    return dict(groups)
+
+
+def render_figures(entries: List[dict]) -> str:
+    """The fig6-fig9 series: engine columns, element-count rows."""
+    lines: List[str] = []
+    for figure, rows in sorted(group_by(entries, "figure").items()):
+        if figure == "fig10":
+            continue
+        lines.append(f"{figure}")
+        table: Dict[int, Dict[str, float]] = defaultdict(dict)
+        engines: List[str] = []
+        for row in rows:
+            info = row["extra_info"]
+            engine = info["engine"]
+            if engine not in engines:
+                engines.append(engine)
+            table[int(info["elements"])][engine] = row["stats"]["mean"]
+        header = "elements".rjust(10) + "".join(
+            engine.rjust(16) for engine in engines
+        )
+        lines.append(header)
+        for elements in sorted(table):
+            line = str(elements).rjust(10)
+            for engine in engines:
+                seconds = table[elements].get(engine)
+                cell = "—" if seconds is None else f"{seconds * 1e3:.1f} ms"
+                line += cell.rjust(16)
+            lines.append(line)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_fig10(entries: List[dict]) -> str:
+    """The DBLP table: query rows, engine columns."""
+    rows = group_by(entries, "figure").get("fig10", [])
+    if not rows:
+        return ""
+    table: Dict[str, Dict[str, float]] = defaultdict(dict)
+    engines: List[str] = []
+    for row in rows:
+        info = row["extra_info"]
+        engine = info["engine"]
+        if engine not in engines:
+            engines.append(engine)
+        table[info["query"]][engine] = row["stats"]["mean"]
+    width = max(len(query) for query in table) + 2
+    lines = [
+        "fig10",
+        "query".ljust(width) + "".join(e.rjust(16) for e in engines),
+    ]
+    for query, times in table.items():
+        line = query.ljust(width)
+        for engine in engines:
+            seconds = times.get(engine)
+            cell = "—" if seconds is None else f"{seconds * 1e3:.1f} ms"
+            line += cell.rjust(16)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_ablations(entries: List[dict]) -> str:
+    lines: List[str] = []
+    for name, rows in sorted(group_by(entries, "ablation").items()):
+        description = rows[0]["extra_info"].get("description", "")
+        lines.append(f"ablation {name}: {description}")
+        for row in rows:
+            variant = row["extra_info"].get("variant", "?")
+            lines.append(
+                f"  {variant:<22}{row['stats']['mean'] * 1e3:10.1f} ms"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(path: str) -> str:
+    entries = load_benchmarks(path)
+    sections = [
+        render_figures(entries),
+        render_fig10(entries),
+        render_ablations(entries),
+    ]
+    return "\n".join(section for section in sections if section)
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.bench.report <benchmark.json>",
+              file=sys.stderr)
+        return 2
+    print(render_report(argv[0]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,286 @@
+"""Phase 6: code generation — logical plans to NQE iterator trees.
+
+Responsibilities, mirroring the paper's section 5.1/5.2:
+
+* assign every attribute a register via the
+  :class:`~repro.engine.tuples.AttributeManager`; renaming projections
+  and aliasing maps (χ with a bare attribute subscript) become register
+  aliases — no copy operations are emitted,
+* compile every scalar subscript, either to an NVM program (default) or
+  to the tree-walking reference evaluator,
+* compile nested sequence-valued plans inside subscripts into nested
+  iterators (section 5.2.3),
+* compute the register sets materializing operators must snapshot,
+* collect the iterators whose memo state must be reset between plan
+  executions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra import operators as ops
+from repro.algebra import scalar as S
+from repro.algebra.properties import attributes, free_variables
+from repro.compiler.improved import TranslationOptions
+from repro.engine import basic, joins, materialize, scans, unnest
+from repro.engine.iterator import Iterator, RuntimeState
+from repro.engine.scans import SnapshotReplay
+from repro.engine.subscripts import InterpSubscript, NestedPlan, Subscript
+from repro.engine.tuples import AttributeManager
+from repro.errors import CodegenError
+from repro.nvm.compile_expr import compile_scalar
+from repro.nvm.machine import NVMSubscript
+
+
+class CodeGenerator:
+    """Compiles one logical plan into a physical iterator tree."""
+
+    def __init__(
+        self,
+        runtime: RuntimeState,
+        manager: AttributeManager,
+        options: Optional[TranslationOptions] = None,
+    ):
+        self.runtime = runtime
+        self.manager = manager
+        self.options = options or TranslationOptions()
+        #: Iterators with cross-execution memo state (MatMap, MemoX).
+        self.resettable: List[Iterator] = []
+
+    # ------------------------------------------------------------------
+
+    def build(self, plan: ops.Operator) -> Iterator:
+        """Recursively compile ``plan``."""
+        method = getattr(self, f"_build_{type(plan).__name__}", None)
+        if method is None:
+            raise CodegenError(
+                f"no code generation for {type(plan).__name__}"
+            )
+        return method(plan)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _slot(self, attr: str) -> int:
+        return self.manager.slot(attr)
+
+    def _owned_slots(self, plan: ops.Operator) -> List[int]:
+        """Registers holding attributes produced inside ``plan``."""
+        slots: Set[int] = {self._slot(a) for a in attributes(plan)}
+        return sorted(slots)
+
+    def _subscript(self, expr: S.Scalar) -> Subscript:
+        """Compile a scalar subscript with its nested plans."""
+        nested: Dict[int, NestedPlan] = {}
+        for embedded in S.nested_plans(expr):
+            iterator = self.build(embedded.plan)
+            result_attr = embedded.plan.result_attr
+            if result_attr is None:
+                raise CodegenError("nested plan lacks a result attribute")
+            nested[id(embedded)] = NestedPlan(
+                iterator, embedded.agg, self._slot(result_attr)
+            )
+        slots = {name: self._slot(name) for name in S.referenced_attrs(expr)}
+        if self.options.subscript_mode == "nvm":
+            return NVMSubscript(compile_scalar(expr, slots, nested))
+        return InterpSubscript(expr, slots, nested)
+
+    def _scalar_key_slots(self, expr: S.Scalar) -> List[int]:
+        """Registers that determine a subscript's value (memo keys)."""
+        names: Set[str] = set(S.referenced_attrs(expr))
+        for embedded in S.nested_plans(expr):
+            names |= free_variables(embedded.plan)
+        return sorted(self._slot(name) for name in names)
+
+    # -- leaves ------------------------------------------------------------
+
+    def _build_SingletonScan(self, plan: ops.SingletonScan) -> Iterator:
+        return scans.SingletonScanIt(self.runtime)
+
+    def _build_VarScan(self, plan: ops.VarScan) -> Iterator:
+        return scans.VarScanIt(self.runtime, plan.variable,
+                               self._slot(plan.attr))
+
+    # -- unary pipeline ops -------------------------------------------------
+
+    def _build_Select(self, plan: ops.Select) -> Iterator:
+        child = self.build(plan.child)
+        return basic.SelectIt(self.runtime, child,
+                              self._subscript(plan.predicate))
+
+    def _build_MapOp(self, plan: ops.MapOp) -> Iterator:
+        if isinstance(plan.expr, S.SAttr):
+            # A pure aliasing map: bind the new attribute to the same
+            # register and emit no code (paper section 5.1).
+            self.manager.alias(plan.attr, plan.expr.name)
+            return self.build(plan.child)
+        child = self.build(plan.child)
+        return basic.MapIt(
+            self.runtime, child, self._slot(plan.attr),
+            self._subscript(plan.expr),
+        )
+
+    def _build_MatMap(self, plan: ops.MatMap) -> Iterator:
+        child = self.build(plan.child)
+        iterator = basic.MatMapIt(
+            self.runtime,
+            child,
+            self._slot(plan.attr),
+            self._subscript(plan.expr),
+            self._scalar_key_slots(plan.expr),
+        )
+        self.resettable.append(iterator)
+        return iterator
+
+    def _build_PosMap(self, plan: ops.PosMap) -> Iterator:
+        child = self.build(plan.child)
+        context_slot = (
+            self._slot(plan.context_attr)
+            if plan.context_attr is not None
+            else None
+        )
+        return basic.PosMapIt(self.runtime, child, self._slot(plan.attr),
+                              context_slot)
+
+    def _build_ProjectDup(self, plan: ops.ProjectDup) -> Iterator:
+        child = self.build(plan.child)
+        return basic.ProjectDupIt(self.runtime, child, self._slot(plan.attr))
+
+    def _build_Project(self, plan: ops.Project) -> Iterator:
+        # Renames become register sharing; the direction depends on which
+        # side was assigned first (e.g. a union attribute precedes its
+        # branch attributes).
+        for new_name, old_name in plan.renames.items():
+            self.manager.unify(new_name, old_name)
+        child = self.build(plan.child)
+        return basic.PassThroughIt(self.runtime, child)
+
+    def _build_UnnestMap(self, plan: ops.UnnestMap) -> Iterator:
+        child = self.build(plan.child)
+        return unnest.UnnestMapIt(
+            self.runtime,
+            child,
+            self._slot(plan.in_attr),
+            self._slot(plan.out_attr),
+            plan.axis,
+            plan.test_kind,
+            plan.test_name,
+        )
+
+    def _build_ExprUnnestMap(self, plan: ops.ExprUnnestMap) -> Iterator:
+        child = self.build(plan.child)
+        return unnest.ExprUnnestMapIt(
+            self.runtime, child, self._slot(plan.attr),
+            self._subscript(plan.expr),
+        )
+
+    def _build_Unnest(self, plan: ops.Unnest) -> Iterator:
+        # μ is the degenerate unnest-map whose subscript just reads the
+        # nested attribute.
+        child = self.build(plan.child)
+        return unnest.ExprUnnestMapIt(
+            self.runtime, child, self._slot(plan.out_attr),
+            self._subscript(S.SAttr(plan.nested_attr)),
+        )
+
+    def _build_SortOp(self, plan: ops.SortOp) -> Iterator:
+        # Build the child first: owned-slot computation must see the
+        # register aliases the child's compilation establishes.
+        child = self.build(plan.child)
+        replayer = SnapshotReplay(self._owned_slots(plan.child))
+        return materialize.SortIt(self.runtime, child,
+                                  self._slot(plan.attr), replayer)
+
+    def _build_TmpCs(self, plan: ops.TmpCs) -> Iterator:
+        child = self.build(plan.child)
+        owned = self._owned_slots(plan.child)
+        cp_slot = self._slot(plan.cp_attr)
+        context_slot = (
+            self._slot(plan.context_attr)
+            if plan.context_attr is not None
+            else None
+        )
+        if cp_slot not in owned:
+            raise CodegenError(
+                "Tmp^cs input does not carry its position register"
+            )
+        if context_slot is not None and context_slot not in owned:
+            # The grouping attribute comes from the enclosing pipeline in
+            # stacked translations; snapshot it as well so the group
+            # boundary detection sees it.
+            owned = sorted(set(owned) | {context_slot})
+        return materialize.TmpCsIt(
+            self.runtime, child, self._slot(plan.cs_attr), cp_slot,
+            SnapshotReplay(owned), context_slot,
+        )
+
+    def _build_Aggregate(self, plan: ops.Aggregate) -> Iterator:
+        if plan.input_attr is None:
+            raise CodegenError("Aggregate requires an input attribute")
+        child = self.build(plan.child)
+        return materialize.AggregateIt(
+            self.runtime, child, self._slot(plan.attr), plan.func,
+            self._slot(plan.input_attr),
+        )
+
+    def _build_MemoX(self, plan: ops.MemoX) -> Iterator:
+        child = self.build(plan.child)
+        replayer = SnapshotReplay(self._owned_slots(plan.child))
+        iterator = materialize.MemoXIt(
+            self.runtime, child,
+            [self._slot(a) for a in plan.key_attrs], replayer,
+        )
+        self.resettable.append(iterator)
+        return iterator
+
+    # -- binary ops ----------------------------------------------------------
+
+    def _build_DJoin(self, plan: ops.DJoin) -> Iterator:
+        left = self.build(plan.left)
+        right = self.build(plan.right)
+        return joins.DJoinIt(self.runtime, left, right)
+
+    def _build_CrossProduct(self, plan: ops.CrossProduct) -> Iterator:
+        left = self.build(plan.left)
+        right = self.build(plan.right)
+        replayer = SnapshotReplay(self._owned_slots(plan.right))
+        return joins.CrossIt(self.runtime, left, right, replayer)
+
+    def _build_SemiJoin(self, plan: ops.SemiJoin) -> Iterator:
+        left = self.build(plan.left)
+        right = self.build(plan.right)
+        return joins.SemiJoinIt(self.runtime, left, right,
+                                self._subscript(plan.predicate))
+
+    def _build_AntiJoin(self, plan: ops.AntiJoin) -> Iterator:
+        left = self.build(plan.left)
+        right = self.build(plan.right)
+        return joins.SemiJoinIt(self.runtime, left, right,
+                                self._subscript(plan.predicate), anti=True)
+
+    def _build_BinaryGroup(self, plan: ops.BinaryGroup) -> Iterator:
+        left = self.build(plan.left)
+        right = self.build(plan.right)
+        func_attr = plan.func_attr or plan.right_attr
+        return materialize.BinaryGroupIt(
+            self.runtime,
+            left,
+            right,
+            self._slot(plan.attr),
+            self._slot(plan.left_attr),
+            plan.theta,
+            self._slot(plan.right_attr),
+            plan.func,
+            self._slot(func_attr),
+        )
+
+    def _build_Concat(self, plan: ops.Concat) -> Iterator:
+        # Alias every branch's result attribute to the shared union
+        # attribute *before* compiling the branches, so their subtrees
+        # write directly into the union register.
+        self.manager.slot(plan.result_attr)
+        for branch in plan.inputs:
+            if branch.result_attr is None:
+                raise CodegenError("union branch lacks a result attribute")
+        inputs = [self.build(branch) for branch in plan.inputs]
+        return joins.ConcatIt(self.runtime, inputs)

@@ -1,0 +1,87 @@
+"""Improved-translation policies (paper section 4).
+
+The canonical translation (section 3) is correct but can be exponential;
+section 4 improves it with four independent devices, each of which is a
+flag here so the ablation benchmarks can isolate its effect:
+
+* ``push_dup_elimination`` (4.1) — insert Π^D after every *ppd* step
+  instead of only once at the end,
+* ``stacked`` (4.2.1) — translate outer paths into a single operator
+  pipeline instead of a chain of d-joins,
+* ``memox`` (4.2.2) — wrap relative inner paths in the MemoX operator
+  when their context nodes may repeat,
+* ``mat_expensive`` (4.3.2) — evaluate expensive predicate clauses last,
+  behind memoizing χ^mat maps.
+
+``TranslationOptions.canonical()`` disables all four; ``improved()`` (the
+default) enables them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.xpath.axes import Axis, ppd
+
+
+@dataclass(frozen=True)
+class TranslationOptions:
+    """Knobs of the translation and code-generation phases."""
+
+    #: Section 4.1: Π^D after every duplicate-producing step.
+    push_dup_elimination: bool = True
+    #: Section 4.2.1: stacked translation of outer paths (no d-joins).
+    stacked: bool = True
+    #: Section 4.2.2: MemoX around relative inner paths.
+    memox: bool = True
+    #: Section 4.3.2: χ^mat + evaluation reordering for expensive clauses.
+    mat_expensive: bool = True
+    #: Use the paper's anti-join translation for node-set ``!=`` instead
+    #: of the spec-faithful ``≠`` semi-join (see DESIGN.md).
+    paper_neq: bool = False
+    #: Subscript backend: 'nvm' (paper) or 'interp' (reference).
+    subscript_mode: str = "nvm"
+    #: Section-7 outlook: property-driven removal of provably redundant
+    #: duplicate eliminations and sorts (see repro.compiler.optimize).
+    optimize: bool = False
+
+    @classmethod
+    def canonical(cls, **overrides) -> "TranslationOptions":
+        """The section-3 canonical translation."""
+        base = cls(
+            push_dup_elimination=False,
+            stacked=False,
+            memox=False,
+            mat_expensive=False,
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def improved(cls, **overrides) -> "TranslationOptions":
+        """The section-4 improved translation (the default)."""
+        return replace(cls(), **overrides)
+
+    # ------------------------------------------------------------------
+    # Policy decisions used by the translator
+    # ------------------------------------------------------------------
+
+    def dedup_after_step(self, axis: Axis) -> bool:
+        """Insert Π^D directly after a step along ``axis``? (4.1)"""
+        return self.push_dup_elimination and ppd(axis)
+
+    def memoize_inner_path(self, outer_axis: Axis | None) -> bool:
+        """Wrap a relative inner path in MemoX? (4.2.2)
+
+        The paper memoizes when the step feeding the predicate may hand
+        over the same context node repeatedly — i.e. after a ppd step.
+        When duplicate elimination is *not* pushed (canonical mode with
+        memox forced on), every axis may repeat contexts; this refinement
+        is irrelevant there because ``memox`` is off in canonical mode.
+        """
+        if not self.memox:
+            return False
+        if outer_axis is None:
+            return False
+        if not self.push_dup_elimination:
+            return True
+        return ppd(outer_axis)

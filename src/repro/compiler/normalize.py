@@ -1,0 +1,219 @@
+"""Phase 2: normalization — predicate classification and ordering.
+
+The paper's predicate machinery (sections 3.3 and 4.3.2) works on
+predicates that have been broken into conjunctive *clauses* and
+classified into the four sets
+
+* ``pos(p)``   — clauses calling ``position()`` but not ``last()``,
+* ``last(p)``  — clauses calling ``last()``,
+* ``cheap(p)`` — clauses cheap to evaluate,
+* ``exp(p)``   — clauses expensive to evaluate (nested paths, node-set
+  aggregates), handled with memoizing χ^mat maps and evaluated last.
+
+Normalization also performs the spec-2.4 rewriting of numeric predicates:
+``p[3]`` becomes ``p[position() = 3]``, and a predicate of statically
+unknown type (a bare variable) is marked ``dynamic_truth`` so translation
+can emit the runtime number-vs-boolean dispatch.
+
+The classification uses the paper's "simple cost model ... the number of
+instructions that are necessary to evaluate a clause": the cost estimate
+counts AST nodes, with location paths weighted by an estimated per-step
+fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.xpath.datamodel import XPathType
+from repro.xpath.xast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Number,
+    PathExpr,
+    Predicate,
+    UnionExpr,
+    iter_child_exprs,
+)
+
+#: Clauses costing more than this many estimated instructions are ``exp``.
+DEFAULT_EXPENSIVE_THRESHOLD = 40
+
+#: Estimated instruction cost of evaluating one location step.
+_STEP_COST = 25
+
+
+@dataclass
+class Clause:
+    """One conjunct of a predicate with its classification."""
+
+    expr: Expr
+    uses_position: bool
+    uses_last: bool
+    has_nested_path: bool
+    cost: int
+    expensive: bool
+
+    def describe(self) -> str:
+        tags = []
+        if self.uses_position:
+            tags.append("pos")
+        if self.uses_last:
+            tags.append("last")
+        tags.append("exp" if self.expensive else "cheap")
+        return f"{self.expr.unparse()} [{', '.join(tags)}]"
+
+
+@dataclass
+class PredicateInfo:
+    """Normalization result attached to each predicate."""
+
+    clauses: List[Clause]
+    #: The predicate's value may be a number at runtime (variable) — the
+    #: translator must emit the dynamic position-vs-boolean dispatch.
+    dynamic_truth: bool = False
+
+    @property
+    def uses_position(self) -> bool:
+        return any(c.uses_position for c in self.clauses)
+
+    @property
+    def uses_last(self) -> bool:
+        return any(c.uses_last for c in self.clauses)
+
+    @property
+    def positional(self) -> bool:
+        return self.dynamic_truth or self.uses_position or self.uses_last
+
+    @property
+    def has_nested_path(self) -> bool:
+        return any(c.has_nested_path for c in self.clauses)
+
+    def ordered_clauses(self) -> List[Clause]:
+        """Clauses in evaluation order (section 4.3.2).
+
+        cheap-without-last first (cheapest first), then cheap-with-last,
+        then expensive clauses (again cheapest first).  The translator
+        inserts the Tmp^cs operator between the first two groups.
+        """
+        cheap_no_last = [c for c in self.clauses
+                         if not c.expensive and not c.uses_last]
+        cheap_last = [c for c in self.clauses
+                      if not c.expensive and c.uses_last]
+        expensive = [c for c in self.clauses if c.expensive]
+        key = lambda c: c.cost  # noqa: E731 - tiny local ordering key
+        return (
+            sorted(cheap_no_last, key=key)
+            + sorted(cheap_last, key=key)
+            + sorted(expensive, key=key)
+        )
+
+
+def normalize(expr: Expr,
+              expensive_threshold: int = DEFAULT_EXPENSIVE_THRESHOLD) -> Expr:
+    """Annotate every predicate below ``expr`` with a PredicateInfo.
+
+    Must run after semantic analysis (needs ``static_type`` and the
+    positional flags).
+    """
+    for predicate in _iter_predicates(expr):
+        predicate.info = _normalize_predicate(predicate, expensive_threshold)
+    return expr
+
+
+def _iter_predicates(expr: Expr):
+    if isinstance(expr, LocationPath):
+        for step in expr.steps:
+            for predicate in step.predicates:
+                yield predicate
+                yield from _iter_predicates(predicate.expr)
+    elif isinstance(expr, FilterExpr):
+        yield from _iter_predicates(expr.primary)
+        for predicate in expr.predicates:
+            yield predicate
+            yield from _iter_predicates(predicate.expr)
+    elif isinstance(expr, PathExpr):
+        yield from _iter_predicates(expr.source)
+        yield from _iter_predicates(expr.path)
+    else:
+        for child in iter_child_exprs(expr):
+            yield from _iter_predicates(child)
+
+
+def _normalize_predicate(predicate: Predicate, threshold: int) -> PredicateInfo:
+    expr = predicate.expr
+    dynamic_truth = False
+    if expr.static_type == XPathType.NUMBER:
+        # Spec 2.4: a number predicate is a position test.  The rewrite is
+        # performed structurally so translation sees an ordinary
+        # positional comparison clause.
+        position_call = FunctionCall("position", [])
+        position_call.static_type = XPathType.NUMBER
+        position_call.uses_position = True
+        rewritten = BinaryOp("=", position_call, expr)
+        rewritten.static_type = XPathType.BOOLEAN
+        rewritten.uses_position = True
+        rewritten.uses_last = expr.uses_last
+        predicate.expr = rewritten
+        expr = rewritten
+    elif expr.static_type == XPathType.ANY:
+        dynamic_truth = True
+
+    clauses = [
+        _make_clause(conjunct, threshold)
+        for conjunct in _split_conjunction(expr)
+    ]
+    return PredicateInfo(clauses=clauses, dynamic_truth=dynamic_truth)
+
+
+def _split_conjunction(expr: Expr) -> List[Expr]:
+    """Split top-level ``and`` into clauses, preserving order."""
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _split_conjunction(expr.left) + _split_conjunction(expr.right)
+    return [expr]
+
+
+def _make_clause(expr: Expr, threshold: int) -> Clause:
+    cost = _estimate_cost(expr)
+    return Clause(
+        expr=expr,
+        uses_position=expr.uses_position,
+        uses_last=expr.uses_last,
+        has_nested_path=_has_nested_path(expr),
+        cost=cost,
+        expensive=cost > threshold,
+    )
+
+
+def _has_nested_path(expr: Expr) -> bool:
+    """Does the clause contain a path evaluated from the predicate context?
+
+    Any location path, path expression, filter expression or union below
+    the clause (at any depth — even inside function arguments) makes the
+    clause depend on the context node.
+    """
+    if isinstance(expr, (LocationPath, PathExpr, FilterExpr, UnionExpr)):
+        return True
+    return any(_has_nested_path(child) for child in iter_child_exprs(expr))
+
+
+def _estimate_cost(expr: Expr) -> int:
+    """Instruction-count estimate of evaluating a clause once."""
+    cost = 1
+    if isinstance(expr, LocationPath):
+        cost += _STEP_COST * len(expr.steps)
+        for step in expr.steps:
+            for predicate in step.predicates:
+                cost += _estimate_cost(predicate.expr)
+        return cost
+    if isinstance(expr, PathExpr):
+        return cost + _estimate_cost(expr.source) + _estimate_cost(expr.path)
+    if isinstance(expr, FunctionCall) and expr.name in ("count", "sum", "id"):
+        cost += _STEP_COST  # draining a node sequence
+    for child in iter_child_exprs(expr):
+        cost += _estimate_cost(child)
+    return cost

@@ -1,0 +1,177 @@
+"""Property-driven logical plan optimization (paper section 7 outlook).
+
+The paper closes with a list of algebraic optimizations to build on top
+of the complete translation; this module implements the first of them —
+"using properties of the intermediate results to avoid duplicate
+elimination and sorting" [13]:
+
+* **dedup pruning** — a Π^D whose input is provably duplicate-free
+  (:func:`repro.algebra.properties.is_duplicate_free`) is removed;
+* **sort pruning** — a Sort whose input is provably in document order
+  (:func:`repro.algebra.properties.is_document_ordered`) is removed;
+* **trivial selections** — σ[true()] is removed;
+* **descendant merging** — the ``//t`` pattern
+  ``Υ[child::t](Π^D?(Υ[descendant-or-self::node()]))`` collapses into a
+  single ``Υ[descendant::t]`` step (an instance of the paper's
+  "equivalences" item; cf. Helmer et al. [12]).  The rewrite requires
+  that nothing else reads the intermediate step's attribute — a
+  positional predicate grouping on it would change meaning.
+
+The pass is enabled with ``TranslationOptions(optimize=True)`` and runs
+between translation and code generation; it rewrites the plan in place
+(including plans nested in subscripts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.algebra import operators as ops
+from repro.algebra import scalar as S
+from repro.algebra.properties import (
+    _order_info,
+    is_document_ordered,
+    is_duplicate_free,
+)
+from repro.xpath.axes import Axis, NodeTestKind
+
+
+@dataclass
+class OptimizerReport:
+    """What the pass did — exposed for tests and EXPLAIN output."""
+
+    removed_dedups: int = 0
+    removed_sorts: int = 0
+    removed_selections: int = 0
+    merged_descendant_steps: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (
+            self.removed_dedups + self.removed_sorts
+            + self.removed_selections + self.merged_descendant_steps
+        )
+
+
+def optimize_plan(plan: ops.Operator) -> tuple[ops.Operator, OptimizerReport]:
+    """Apply the property-driven rewrites; returns (new root, report)."""
+    from repro.algebra.visitor import transform_bottom_up
+
+    report = OptimizerReport()
+    reads = _attribute_reads(plan)
+    plan = transform_bottom_up(
+        plan, lambda node: _merge_one(node, reads, report)
+    )
+    return transform_bottom_up(
+        plan, lambda node: _prune_one(node, report)
+    ), report
+
+
+# ----------------------------------------------------------------------
+# //t merging
+# ----------------------------------------------------------------------
+
+def _attribute_reads(plan: ops.Operator) -> dict:
+    """How often each attribute is *read* anywhere in the plan."""
+    reads: dict = {}
+
+    def note(name) -> None:
+        if name is not None:
+            reads[name] = reads.get(name, 0) + 1
+
+    def walk(node: ops.Operator) -> None:
+        if isinstance(node, ops.UnnestMap):
+            note(node.in_attr)
+        elif isinstance(node, ops.PosMap):
+            note(node.context_attr)
+        elif isinstance(node, ops.TmpCs):
+            note(node.context_attr)
+            note(node.cp_attr)
+        elif isinstance(node, ops.MemoX):
+            for key in node.key_attrs:
+                note(key)
+        elif isinstance(node, ops.SortOp):
+            note(node.attr)
+        elif isinstance(node, ops.ProjectDup):
+            note(node.attr)
+        elif isinstance(node, ops.Aggregate):
+            note(node.input_attr)
+        elif isinstance(node, ops.Project):
+            for old_name in node.renames.values():
+                note(old_name)
+        elif isinstance(node, ops.BinaryGroup):
+            note(node.left_attr)
+            note(node.right_attr)
+            note(node.func_attr)
+        for subscript in node.subscripts():
+            for name in S.referenced_attrs(subscript):
+                note(name)
+            for nested in S.nested_plans(subscript):
+                walk(nested.plan)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return reads
+
+
+def _merge_one(
+    plan: ops.Operator, reads: dict, report: OptimizerReport
+) -> ops.Operator:
+    """Collapse Υ[child::t]∘(Π^D?)∘Υ[descendant-or-self::node()]."""
+    if not (isinstance(plan, ops.UnnestMap) and plan.axis == Axis.CHILD):
+        return plan
+    inner = plan.child
+    consumed_dedup = None
+    if isinstance(inner, ops.ProjectDup) and inner.attr == plan.in_attr:
+        consumed_dedup = inner
+        inner = inner.child
+    if not (
+        isinstance(inner, ops.UnnestMap)
+        and inner.axis == Axis.DESCENDANT_OR_SELF
+        and inner.test_kind == NodeTestKind.NODE
+        and inner.out_attr == plan.in_attr
+    ):
+        return plan
+    # The intermediate attribute must have exactly the reads the pattern
+    # itself performs (the child step, plus the consumed Π^D).
+    expected_reads = 1 + (1 if consumed_dedup is not None else 0)
+    if reads.get(plan.in_attr, 0) != expected_reads:
+        return plan
+
+    merged = ops.UnnestMap(
+        inner.child, inner.in_attr, plan.out_attr, Axis.DESCENDANT,
+        plan.test_kind, plan.test_name,
+    )
+    report.merged_descendant_steps += 1
+    report.notes.append(
+        f"merged descendant-or-self/child into {merged.label()}"
+    )
+    if _order_info(inner.child).single:
+        # descendant:: from a single context node is duplicate-free.
+        return merged
+    return ops.ProjectDup(merged, plan.out_attr)
+
+
+def _prune_one(plan: ops.Operator, report: OptimizerReport) -> ops.Operator:
+    if isinstance(plan, ops.ProjectDup):
+        child = plan.child
+        if plan.attr == child.result_attr and is_duplicate_free(child):
+            report.removed_dedups += 1
+            report.notes.append(f"removed {plan.label()}")
+            return child
+    if isinstance(plan, ops.SortOp):
+        child = plan.child
+        if plan.attr == child.result_attr and is_document_ordered(child):
+            report.removed_sorts += 1
+            report.notes.append(f"removed {plan.label()}")
+            return child
+    if isinstance(plan, ops.Select):
+        predicate = plan.predicate
+        if isinstance(predicate, S.SConst) and predicate.value is True:
+            report.removed_selections += 1
+            report.notes.append("removed σ[true()]")
+            return plan.child
+    return plan

@@ -1,0 +1,214 @@
+"""The compiler pipeline: string in, executable plan out.
+
+Orchestrates the six phases of section 5.1.  Phase order here is
+parse → semantic analysis → rewrite (constant folding) → normalization →
+translation → code generation; folding runs before normalization so the
+cheap/expensive cost classification sees the folded clauses.
+
+:class:`CompiledQuery` is the user-facing artifact: it exposes the AST,
+the logical plan (pretty-printable) and ``evaluate()``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.algebra import operators as ops
+from repro.algebra import scalar as S
+from repro.algebra.printer import plan_to_string
+from repro.algebra.properties import free_variables
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.improved import TranslationOptions
+from repro.compiler.normalize import normalize
+from repro.compiler.rewrite import fold_constants
+from repro.compiler.semantic import analyze
+from repro.compiler.translate import (
+    TOP_CONTEXT_ATTR,
+    TOP_POSITION_ATTR,
+    TOP_SIZE_ATTR,
+    TranslationResult,
+    Translator,
+)
+from repro.dom.node import Node
+from repro.engine.context import ExecutionContext
+from repro.engine.iterator import RuntimeState
+from repro.engine.plan import PhysicalPlan
+from repro.engine.tuples import AttributeManager
+from repro.errors import CodegenError
+from repro.xpath.datamodel import XPathValue
+from repro.xpath.parser import parse_xpath
+from repro.xpath.xast import Expr
+
+#: Attributes the execution context may bind (everything else is a bug).
+_ALLOWED_FREE = frozenset(
+    {TOP_CONTEXT_ATTR, TOP_POSITION_ATTR, TOP_SIZE_ATTR}
+)
+
+#: Result attribute of top-level scalar plans.
+_SCALAR_RESULT_ATTR = "result"
+
+
+class CompiledQuery:
+    """One compiled XPath query, ready for repeated execution."""
+
+    def __init__(
+        self,
+        source: str,
+        ast: Expr,
+        translation: TranslationResult,
+        physical: PhysicalPlan,
+        options: TranslationOptions,
+    ):
+        self.source = source
+        self.ast = ast
+        self.translation = translation
+        self.physical = physical
+        self.options = options
+        #: Set when TranslationOptions(optimize=True) ran the plan pass.
+        self.optimizer_report = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def logical_plan(self) -> ops.Operator:
+        """The logical algebra plan (scalars are wrapped in a χ over □)."""
+        assert self.translation.plan is not None
+        return self.translation.plan
+
+    def explain(self) -> str:
+        """The logical plan rendered as an indented tree."""
+        return plan_to_string(self.logical_plan)
+
+    @property
+    def emits_document_order(self) -> bool:
+        """True when the plan provably yields nodes in document order."""
+        from repro.algebra.properties import is_document_ordered
+
+        return (
+            self.translation.kind == "sequence"
+            and is_document_ordered(self.logical_plan)
+        )
+
+    def evaluate(
+        self,
+        context_node: Node,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        position: int = 1,
+        size: int = 1,
+        ordered: bool = False,
+    ) -> XPathValue:
+        """Evaluate against a context node.
+
+        Node-set results are returned as duplicate-free lists (in no
+        particular order — XPath 1.0 node-sets are unordered).  Pass
+        ``ordered=True`` for document-order results; when the order
+        analysis proves the pipeline already emits document order the
+        sort is skipped (the paper's section-7 "interesting orders").
+        """
+        context = ExecutionContext(
+            context_node=context_node,
+            variables=dict(variables or {}),
+            namespaces=dict(namespaces or {}),
+            position=position,
+            size=size,
+        )
+        result = self.physical.execute(context)
+        if ordered and isinstance(result, list):
+            if self.emits_document_order:
+                self.physical.stats["order_sort_avoided"] += 1
+            else:
+                result.sort(key=lambda node: node.sort_key)
+        return result
+
+    def count(self, context_node: Node, **kwargs) -> int:
+        """Count result tuples without collecting them."""
+        context = ExecutionContext(
+            context_node=context_node,
+            variables=dict(kwargs.get("variables") or {}),
+            namespaces=dict(kwargs.get("namespaces") or {}),
+        )
+        return self.physical.execute_count(context)
+
+    @property
+    def stats(self):
+        return self.physical.stats
+
+
+class XPathCompiler:
+    """Compiles XPath 1.0 strings into executable NQE plans."""
+
+    def __init__(self, options: Optional[TranslationOptions] = None):
+        self.options = options or TranslationOptions()
+
+    def compile(self, query: str) -> CompiledQuery:
+        # Phases 1-4: parse, analyze, fold, normalize.
+        ast = parse_xpath(query)
+        analyze(ast)
+        ast = fold_constants(ast)
+        normalize(ast)
+
+        # Phase 5: translation into the algebra.
+        translator = Translator(self.options)
+        translation = translator.translate(ast)
+        optimizer_report = None
+        if translation.kind == "scalar":
+            # Wrap the top-level scalar in χ over □ so there is a single
+            # uniform plan representation.
+            assert translation.scalar is not None
+            translation.plan = ops.MapOp(
+                ops.SingletonScan(),
+                _SCALAR_RESULT_ATTR,
+                translation.scalar,
+                is_result=True,
+            )
+            translation.result_attr = _SCALAR_RESULT_ATTR
+
+        # Phase 5b (optional): property-driven plan optimization.
+        if self.options.optimize:
+            from repro.compiler.optimize import optimize_plan
+
+            assert translation.plan is not None
+            translation.plan, optimizer_report = optimize_plan(
+                translation.plan
+            )
+
+        # Phase 6: code generation.
+        physical = self._generate(translation)
+        compiled = CompiledQuery(
+            query, ast, translation, physical, self.options
+        )
+        compiled.optimizer_report = optimizer_report
+        return compiled
+
+    # ------------------------------------------------------------------
+
+    def _generate(self, translation: TranslationResult) -> PhysicalPlan:
+        plan = translation.plan
+        assert plan is not None and translation.result_attr is not None
+
+        free = free_variables(plan)
+        unknown = free - _ALLOWED_FREE
+        if unknown:
+            raise CodegenError(
+                f"plan has unexpected free attributes: {sorted(unknown)}"
+            )
+
+        manager = AttributeManager()
+        runtime = RuntimeState(regs=[], context=None)  # type: ignore[arg-type]
+        generator = CodeGenerator(runtime, manager, self.options)
+        root = generator.build(plan)
+        result_slot = manager.slot(translation.result_attr)
+
+        runtime.regs = manager.make_registers()
+        return PhysicalPlan(
+            root=root,
+            runtime=runtime,
+            manager=manager,
+            result_slot=result_slot,
+            kind=translation.kind,
+            context_slot=manager.lookup(TOP_CONTEXT_ATTR),
+            position_slot=manager.lookup(TOP_POSITION_ATTR),
+            size_slot=manager.lookup(TOP_SIZE_ATTR),
+            resettable=generator.resettable,
+        )

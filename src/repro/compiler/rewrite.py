@@ -1,0 +1,163 @@
+"""Phase 4: rewrite — constant folding.
+
+Folds constant arithmetic, comparisons, boolean connectives and pure
+library functions over constant arguments.  XPath has no boolean literal,
+so boolean results fold to ``true()``/``false()`` calls; string results
+fold to literals and numeric results to numbers.
+
+Folding respects IEEE semantics by delegating to the same
+:mod:`repro.xpath.datamodel` routines the runtime uses, so a folded
+expression is bit-identical to an evaluated one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xpath import functions as fnlib
+from repro.xpath.datamodel import (
+    XPathType,
+    XPathValue,
+    arith,
+    compare,
+    to_boolean,
+    to_number,
+)
+from repro.xpath.xast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+    PathExpr,
+    Predicate,
+    UnaryMinus,
+    UnionExpr,
+)
+
+#: Library functions safe to fold: pure, no context, no node-sets.
+_FOLDABLE_FUNCTIONS = frozenset(
+    {
+        "concat",
+        "starts-with",
+        "contains",
+        "substring-before",
+        "substring-after",
+        "substring",
+        "translate",
+        "not",
+        "true",
+        "false",
+        "floor",
+        "ceiling",
+        "round",
+    }
+)
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Return a constant-folded copy of ``expr`` (annotations preserved)."""
+    return _fold(expr)
+
+
+def _constant_value(expr: Expr) -> Optional[XPathValue]:
+    """The runtime value of a constant expression, else ``None``."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, FunctionCall) and expr.name in ("true", "false"):
+        if not expr.args:
+            return expr.name == "true"
+    return None
+
+
+def _make_constant(value: XPathValue) -> Expr:
+    if isinstance(value, bool):
+        call = FunctionCall("true" if value else "false", [])
+        call.static_type = XPathType.BOOLEAN
+        return call
+    if isinstance(value, (int, float)):
+        node = Number(float(value))
+        node.static_type = XPathType.NUMBER
+        return node
+    node = Literal(str(value))
+    node.static_type = XPathType.STRING
+    return node
+
+
+def _fold(expr: Expr) -> Expr:
+    if isinstance(expr, UnaryMinus):
+        operand = _fold(expr.operand)
+        value = _constant_value(operand)
+        if value is not None and not isinstance(value, list):
+            return _make_constant(-to_number(value))
+        folded = UnaryMinus(operand)
+        _copy_annotations(expr, folded)
+        return folded
+
+    if isinstance(expr, BinaryOp):
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        lv, rv = _constant_value(left), _constant_value(right)
+        if lv is not None and rv is not None:
+            if expr.op in ("+", "-", "*", "div", "mod"):
+                return _make_constant(
+                    arith(expr.op, to_number(lv), to_number(rv))
+                )
+            if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+                return _make_constant(compare(expr.op, lv, rv))
+            if expr.op == "and":
+                return _make_constant(to_boolean(lv) and to_boolean(rv))
+            if expr.op == "or":
+                return _make_constant(to_boolean(lv) or to_boolean(rv))
+        folded = BinaryOp(expr.op, left, right)
+        _copy_annotations(expr, folded)
+        return folded
+
+    if isinstance(expr, FunctionCall):
+        args = [_fold(arg) for arg in expr.args]
+        values = [_constant_value(arg) for arg in args]
+        if (
+            expr.name in _FOLDABLE_FUNCTIONS
+            and all(v is not None for v in values)
+        ):
+            result = fnlib.call(expr.name, None, list(values))
+            return _make_constant(result)
+        folded = FunctionCall(expr.name, args)
+        _copy_annotations(expr, folded)
+        return folded
+
+    if isinstance(expr, LocationPath):
+        for step in expr.steps:
+            for predicate in step.predicates:
+                predicate.expr = _fold(predicate.expr)
+        return expr
+
+    if isinstance(expr, PathExpr):
+        folded = PathExpr(_fold(expr.source), _fold(expr.path))
+        _copy_annotations(expr, folded)
+        return folded
+
+    if isinstance(expr, FilterExpr):
+        primary = _fold(expr.primary)
+        for predicate in expr.predicates:
+            predicate.expr = _fold(predicate.expr)
+        folded = FilterExpr(primary, expr.predicates)
+        _copy_annotations(expr, folded)
+        return folded
+
+    if isinstance(expr, UnionExpr):
+        folded = UnionExpr([_fold(op) for op in expr.operands])
+        _copy_annotations(expr, folded)
+        return folded
+
+    return expr
+
+
+def _copy_annotations(source: Expr, target: Expr) -> None:
+    target.static_type = source.static_type
+    target.uses_position = source.uses_position
+    target.uses_last = source.uses_last

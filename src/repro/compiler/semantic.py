@@ -1,0 +1,144 @@
+"""Phase 3: semantic analysis.
+
+Annotates every expression node in place with
+
+* ``static_type`` — the XPath basic type the expression evaluates to
+  (variables are ``ANY``: XPath 1.0 variables are dynamically typed),
+* ``uses_position`` / ``uses_last`` — whether the expression calls
+  ``position()``/``last()`` *in its own context* (calls inside nested
+  predicates establish their own context and do not count),
+
+and checks function names/arity and the node-set requirements of the
+grammar (path sources, union operands, filtered expressions).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathTypeError
+from repro.xpath import functions as fnlib
+from repro.xpath.datamodel import XPathType
+from repro.xpath.xast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+    PathExpr,
+    Predicate,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+
+_NODESET_OK = (XPathType.NODE_SET, XPathType.ANY)
+
+
+def analyze(expr: Expr) -> Expr:
+    """Annotate ``expr`` (recursively, in place) and return it."""
+    _analyze(expr)
+    return expr
+
+
+def _analyze(expr: Expr) -> None:
+    if isinstance(expr, Number):
+        expr.static_type = XPathType.NUMBER
+    elif isinstance(expr, Literal):
+        expr.static_type = XPathType.STRING
+    elif isinstance(expr, VariableRef):
+        expr.static_type = XPathType.ANY
+    elif isinstance(expr, FunctionCall):
+        _analyze_call(expr)
+    elif isinstance(expr, UnaryMinus):
+        _analyze(expr.operand)
+        expr.static_type = XPathType.NUMBER
+        _inherit_positional(expr, expr.operand)
+    elif isinstance(expr, BinaryOp):
+        _analyze(expr.left)
+        _analyze(expr.right)
+        if expr.op in ("or", "and", "=", "!=", "<", "<=", ">", ">="):
+            expr.static_type = XPathType.BOOLEAN
+        else:
+            expr.static_type = XPathType.NUMBER
+        _inherit_positional(expr, expr.left)
+        _inherit_positional(expr, expr.right)
+    elif isinstance(expr, LocationPath):
+        expr.static_type = XPathType.NODE_SET
+        for step in expr.steps:
+            for predicate in step.predicates:
+                _analyze_predicate(predicate)
+    elif isinstance(expr, PathExpr):
+        _analyze(expr.source)
+        if expr.source.static_type not in _NODESET_OK:
+            raise XPathTypeError(
+                "the source of a path expression must be a node-set, not "
+                f"{expr.source.static_type.value}"
+            )
+        _analyze(expr.path)
+        expr.static_type = XPathType.NODE_SET
+        _inherit_positional(expr, expr.source)
+    elif isinstance(expr, FilterExpr):
+        _analyze(expr.primary)
+        if expr.primary.static_type not in _NODESET_OK:
+            raise XPathTypeError(
+                "predicates can only filter node-sets, not "
+                f"{expr.primary.static_type.value}"
+            )
+        for predicate in expr.predicates:
+            _analyze_predicate(predicate)
+        expr.static_type = XPathType.NODE_SET
+        _inherit_positional(expr, expr.primary)
+    elif isinstance(expr, UnionExpr):
+        for operand in expr.operands:
+            _analyze(operand)
+            if operand.static_type not in _NODESET_OK:
+                raise XPathTypeError(
+                    "union operands must be node-sets, not "
+                    f"{operand.static_type.value}"
+                )
+            _inherit_positional(expr, operand)
+        expr.static_type = XPathType.NODE_SET
+    else:  # pragma: no cover - parser produces no other nodes
+        raise XPathTypeError(f"unknown expression {type(expr).__name__}")
+
+
+def _analyze_predicate(predicate: Predicate) -> None:
+    """Predicates establish a fresh position context."""
+    _analyze(predicate.expr)
+
+
+def _inherit_positional(parent: Expr, child: Expr) -> None:
+    parent.uses_position = parent.uses_position or child.uses_position
+    parent.uses_last = parent.uses_last or child.uses_last
+
+
+def _analyze_call(expr: FunctionCall) -> None:
+    signature = fnlib.lookup(expr.name)
+    arity = len(expr.args)
+    if arity < signature.min_args or (
+        signature.max_args is not None and arity > signature.max_args
+    ):
+        raise XPathTypeError(
+            f"{expr.name}() called with {arity} argument(s); expected "
+            f"{signature.min_args}"
+            + (
+                f"..{signature.max_args}"
+                if signature.max_args != signature.min_args
+                else ""
+            )
+        )
+    for index, arg in enumerate(expr.args):
+        _analyze(arg)
+        wanted = signature.param_type(index)
+        if wanted == XPathType.NODE_SET and arg.static_type not in _NODESET_OK:
+            raise XPathTypeError(
+                f"argument {index + 1} of {expr.name}() must be a node-set, "
+                f"not {arg.static_type.value}"
+            )
+        _inherit_positional(expr, arg)
+    expr.static_type = signature.return_type
+    if expr.name == "position":
+        expr.uses_position = True
+    elif expr.name == "last":
+        expr.uses_last = True

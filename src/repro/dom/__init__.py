@@ -1,0 +1,28 @@
+"""In-memory XML document model with XPath 1.0 semantics.
+
+This package provides the node protocol shared by the in-memory DOM and
+the page-backed storage proxies (:mod:`repro.storage`):
+
+* :class:`~repro.dom.node.Node` and :class:`~repro.dom.node.NodeKind` —
+  the seven XPath node kinds with total document order,
+* :class:`~repro.dom.document.Document` — a parsed document,
+* :class:`~repro.dom.builder.DocumentBuilder` — programmatic construction,
+* :func:`~repro.dom.parser.parse` — a from-scratch XML 1.0 parser,
+* :func:`~repro.dom.serializer.serialize` — the inverse of the parser.
+"""
+
+from repro.dom.node import Node, NodeKind
+from repro.dom.document import Document
+from repro.dom.builder import DocumentBuilder
+from repro.dom.parser import parse, parse_file
+from repro.dom.serializer import serialize
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Document",
+    "DocumentBuilder",
+    "parse",
+    "parse_file",
+    "serialize",
+]

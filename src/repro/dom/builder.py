@@ -1,0 +1,140 @@
+"""Programmatic document construction.
+
+:class:`DocumentBuilder` offers a push API (``start_element`` /
+``end_element`` / ``text`` / ...) used by the XML parser, the workload
+generators and tests alike.  The builder validates well-formedness-level
+invariants (single document element, balanced starts/ends) and produces a
+finished :class:`~repro.dom.document.Document`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.dom.document import Document
+from repro.dom.node import Node, NodeKind
+from repro.errors import XMLSyntaxError
+
+
+class DocumentBuilder:
+    """Incrementally builds a document in a single pre-order pass."""
+
+    def __init__(self, id_attributes: Optional[Iterable[str]] = None):
+        self._root = Node(NodeKind.ROOT)
+        self._stack: list[Node] = [self._root]
+        self._id_attributes = id_attributes
+        self._finished: Optional[Document] = None
+
+    # ------------------------------------------------------------------
+
+    def start_element(
+        self,
+        name: str,
+        attributes: Sequence[Tuple[str, str]] | Mapping[str, str] = (),
+    ) -> Node:
+        """Open an element; ``attributes`` preserve declaration order."""
+        self._check_open()
+        if len(self._stack) == 1 and any(
+            c.kind == NodeKind.ELEMENT for c in self._root.children
+        ):
+            raise XMLSyntaxError("document may have only one document element")
+        element = Node(NodeKind.ELEMENT, name=name)
+        if isinstance(attributes, Mapping):
+            attributes = list(attributes.items())
+        seen: set[str] = set()
+        for attr_name, attr_value in attributes:
+            if attr_name in seen:
+                raise XMLSyntaxError(
+                    f"duplicate attribute {attr_name!r} on <{name}>"
+                )
+            seen.add(attr_name)
+            if attr_name == "xmlns":
+                element.namespace_declarations[""] = attr_value
+            elif attr_name.startswith("xmlns:"):
+                element.namespace_declarations[attr_name[6:]] = attr_value
+            else:
+                attr = Node(NodeKind.ATTRIBUTE, name=attr_name, value=attr_value)
+                element._attributes.append(attr)
+        self._stack[-1]._children.append(element)
+        self._stack.append(element)
+        return element
+
+    def end_element(self, name: Optional[str] = None) -> None:
+        """Close the innermost open element, checking the tag name if given."""
+        self._check_open()
+        if len(self._stack) == 1:
+            raise XMLSyntaxError("end_element with no open element")
+        top = self._stack.pop()
+        if name is not None and top.name != name:
+            raise XMLSyntaxError(
+                f"mismatched end tag </{name}>, open element is <{top.name}>"
+            )
+
+    def text(self, data: str) -> None:
+        """Append character data, merging adjacent text nodes."""
+        self._check_open()
+        if not data:
+            return
+        parent = self._stack[-1]
+        if parent.kind == NodeKind.ROOT and not data.strip():
+            # Whitespace outside the document element is not a text node.
+            return
+        children = parent._children
+        if children and children[-1].kind == NodeKind.TEXT:
+            children[-1].value = (children[-1].value or "") + data
+        else:
+            children.append(Node(NodeKind.TEXT, value=data))
+
+    def comment(self, data: str) -> None:
+        self._check_open()
+        self._stack[-1]._children.append(Node(NodeKind.COMMENT, value=data))
+
+    def processing_instruction(self, target: str, data: str = "") -> None:
+        self._check_open()
+        self._stack[-1]._children.append(
+            Node(NodeKind.PROCESSING_INSTRUCTION, name=target, value=data)
+        )
+
+    # ------------------------------------------------------------------
+
+    def finish(self, uri: Optional[str] = None) -> Document:
+        """Finalize and return the document (idempotent)."""
+        if self._finished is not None:
+            return self._finished
+        if len(self._stack) != 1:
+            open_name = self._stack[-1].name
+            raise XMLSyntaxError(f"unclosed element <{open_name}>")
+        if not any(c.kind == NodeKind.ELEMENT for c in self._root.children):
+            raise XMLSyntaxError("document has no document element")
+        self._finished = Document(
+            self._root, id_attributes=self._id_attributes, uri=uri
+        )
+        return self._finished
+
+    def _check_open(self) -> None:
+        if self._finished is not None:
+            raise XMLSyntaxError("builder already finished")
+
+
+def build_element_tree(spec, id_attributes=None) -> Document:
+    """Build a document from a nested tuple spec — a test convenience.
+
+    ``spec`` is ``(name, attrs_dict, [children...])`` where children are
+    specs or plain strings (text nodes)::
+
+        build_element_tree(("a", {"id": "1"}, ["hello", ("b", {}, [])]))
+    """
+    builder = DocumentBuilder(id_attributes=id_attributes)
+
+    def emit(node_spec) -> None:
+        if isinstance(node_spec, str):
+            builder.text(node_spec)
+            return
+        name, attrs, children = node_spec
+        builder.start_element(name, list(attrs.items()))
+        for child in children:
+            emit(child)
+        builder.end_element(name)
+
+    emit(spec)
+    return builder.finish()

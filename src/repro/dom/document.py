@@ -1,0 +1,103 @@
+"""Document objects: the root of a parsed XML tree plus document services.
+
+A :class:`Document` owns the root node, assigns document order ranks, and
+maintains the ID map used by the XPath ``id()`` function.  Natix stores
+documents without a DTD, so which attributes are IDs is a per-document
+policy; by convention (and matching the paper's generated documents, whose
+elements all carry a consecutively numbered ``id`` attribute) attributes
+named ``id`` are treated as IDs unless the caller overrides
+``id_attributes``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.dom.node import Node, NodeKind
+
+#: Attribute names treated as ID-typed by default.
+DEFAULT_ID_ATTRIBUTES = frozenset({"id", "xml:id"})
+
+
+class Document:
+    """A complete XML document with total document order and an ID map."""
+
+    def __init__(
+        self,
+        root: Node,
+        id_attributes: Optional[Iterable[str]] = None,
+        uri: Optional[str] = None,
+    ):
+        if root.kind != NodeKind.ROOT:
+            raise ValueError("Document requires a ROOT node")
+        self.root = root
+        self.uri = uri
+        self.id_attributes = frozenset(
+            DEFAULT_ID_ATTRIBUTES if id_attributes is None else id_attributes
+        )
+        self._id_map: dict[str, Node] = {}
+        self._node_count = 0
+        #: True when any element declares a namespace.  Name tests take a
+        #: fast path (plain string comparison) when this is False, which
+        #: avoids an O(depth) in-scope lookup per candidate node.
+        self.has_namespace_declarations = False
+        self._finalize()
+
+    # ------------------------------------------------------------------
+
+    def _finalize(self) -> None:
+        """Assign sort keys, back-pointers and build the ID map.
+
+        Runs a single pre-order pass; see :mod:`repro.dom.node` for the
+        sort key scheme.
+        """
+        rank = 0
+        id_map = self._id_map
+        id_names = self.id_attributes
+        stack: list[Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            node.document = self
+            node.sort_key = (rank, 0, 0)
+            if node._ns_decls:
+                self.has_namespace_declarations = True
+            if node.kind == NodeKind.ELEMENT:
+                for idx, attr in enumerate(node.attributes):
+                    attr.document = self
+                    attr.parent = node
+                    attr.sort_key = (rank, 2, idx)
+                    if attr.name in id_names and attr.value is not None:
+                        # First declaration wins, as in XML validity.
+                        id_map.setdefault(attr.value, node)
+            rank += 1
+            children = node.children
+            for child in children:
+                child.parent = node
+            stack.extend(reversed(children))
+        self._node_count = rank
+
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of tree nodes (root/element/text/comment/PI)."""
+        return self._node_count
+
+    def element_count(self) -> int:
+        """Number of element nodes (computed on demand)."""
+        return sum(
+            1 for n in self.iter_nodes() if n.kind == NodeKind.ELEMENT
+        )
+
+    def get_element_by_id(self, value: str) -> Optional[Node]:
+        """The element carrying an ID-typed attribute with ``value``."""
+        return self._id_map.get(value)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """All tree nodes in document order, starting at the root."""
+        yield self.root
+        yield from self.root.iter_descendants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        top = self.root.children[0].name if self.root.children else "?"
+        return f"<Document root=<{top}> nodes={self._node_count}>"

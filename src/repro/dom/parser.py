@@ -1,0 +1,325 @@
+"""A from-scratch, non-validating XML 1.0 parser.
+
+Natix loads documents into its page store without requiring a DTD; this
+parser mirrors that behaviour: it accepts any well-formed document,
+resolves the five predefined entities and character references, handles
+CDATA sections, comments and processing instructions, and skips over a
+DOCTYPE declaration (including an internal subset) without interpreting it.
+
+The parser is a single-pass scanner over the input string feeding a
+:class:`~repro.dom.builder.DocumentBuilder`; no third-party XML machinery
+is used anywhere in the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dom.builder import DocumentBuilder
+from repro.dom.document import Document
+from repro.errors import XMLSyntaxError
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-·"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Cursor over the document text with line/column tracking."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self, pos: Optional[int] = None) -> tuple[int, int]:
+        """1-based (line, column) of ``pos`` (default: current position)."""
+        if pos is None:
+            pos = self.pos
+        prefix = self.text[:pos]
+        line = prefix.count("\n") + 1
+        column = pos - (prefix.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str, pos: Optional[int] = None) -> XMLSyntaxError:
+        line, column = self.location(pos)
+        return XMLSyntaxError(message, line=line, column=column)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> int:
+        start = self.pos
+        text, length = self.text, self.length
+        while self.pos < length and text[self.pos] in " \t\r\n":
+            self.pos += 1
+        return self.pos - start
+
+    def read_until(self, token: str, what: str) -> str:
+        """Consume text up to and including ``token``; return the text."""
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        data = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return data
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or not _is_name_start(self.text[self.pos]):
+            raise self.error("expected a name")
+        self.pos += 1
+        text, length = self.text, self.length
+        while self.pos < length and _is_name_char(text[self.pos]):
+            self.pos += 1
+        return text[start : self.pos]
+
+
+def _decode_references(raw: str, scanner: _Scanner, at: int) -> str:
+    """Replace entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    parts: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        amp = raw.find("&", i)
+        if amp < 0:
+            parts.append(raw[i:])
+            break
+        parts.append(raw[i:amp])
+        semi = raw.find(";", amp + 1)
+        if semi < 0:
+            raise scanner.error("unterminated entity reference", pos=at + amp)
+        entity = raw[amp + 1 : semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            try:
+                parts.append(chr(int(entity[2:], 16)))
+            except ValueError:
+                raise scanner.error(
+                    f"bad character reference &{entity};", pos=at + amp
+                ) from None
+        elif entity.startswith("#"):
+            try:
+                parts.append(chr(int(entity[1:], 10)))
+            except ValueError:
+                raise scanner.error(
+                    f"bad character reference &{entity};", pos=at + amp
+                ) from None
+        elif entity in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            raise scanner.error(
+                f"unknown entity &{entity};", pos=at + amp
+            )
+        i = semi + 1
+    return "".join(parts)
+
+
+def _parse_attribute_value(scanner: _Scanner) -> str:
+    quote = scanner.peek()
+    if quote not in "\"'":
+        raise scanner.error("attribute value must be quoted")
+    scanner.pos += 1
+    at = scanner.pos
+    raw = scanner.read_until(quote, "attribute value")
+    if "<" in raw:
+        raise scanner.error("'<' not allowed in attribute value", pos=at)
+    value = _decode_references(raw, scanner, at)
+    # Attribute-value normalization: whitespace becomes a single space char.
+    return value.replace("\t", " ").replace("\n", " ").replace("\r", " ")
+
+
+def _parse_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE declaration, including a bracketed internal subset."""
+    scanner.expect("<!DOCTYPE")
+    depth = 0
+    while not scanner.at_end():
+        ch = scanner.text[scanner.pos]
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise scanner.error("unbalanced ']' in DOCTYPE")
+        elif ch == ">" and depth == 0:
+            scanner.pos += 1
+            return
+        elif ch in "\"'":
+            scanner.pos += 1
+            scanner.read_until(ch, "DOCTYPE literal")
+            continue
+        scanner.pos += 1
+    raise scanner.error("unterminated DOCTYPE")
+
+
+def _parse_misc(scanner: _Scanner, builder: DocumentBuilder) -> bool:
+    """Parse one comment/PI at the cursor.  Returns False if none matched."""
+    if scanner.startswith("<!--"):
+        scanner.pos += 4
+        data = scanner.read_until("-->", "comment")
+        if "--" in data:
+            raise scanner.error("'--' not allowed inside a comment")
+        builder.comment(data)
+        return True
+    if scanner.startswith("<?"):
+        scanner.pos += 2
+        target = scanner.read_name()
+        if target.lower() == "xml":
+            raise scanner.error("XML declaration only allowed at document start")
+        scanner.skip_whitespace()
+        data = scanner.read_until("?>", "processing instruction")
+        builder.processing_instruction(target, data)
+        return True
+    return False
+
+
+def parse(
+    text: str,
+    id_attributes: Optional[Iterable[str]] = None,
+    uri: Optional[str] = None,
+) -> Document:
+    """Parse an XML document from a string.
+
+    ``id_attributes`` configures which attribute names are ID-typed (used
+    by XPath's ``id()``); the default treats ``id`` and ``xml:id`` as IDs.
+    """
+    scanner = _Scanner(text)
+    builder = DocumentBuilder(id_attributes=id_attributes)
+
+    # --- prolog ------------------------------------------------------
+    if scanner.startswith("﻿"):
+        scanner.pos += 1
+    if scanner.startswith("<?xml"):
+        scanner.pos += 5
+        scanner.read_until("?>", "XML declaration")
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!DOCTYPE"):
+            _parse_doctype(scanner)
+        elif _parse_misc(scanner, builder):
+            pass
+        else:
+            break
+
+    # --- document element --------------------------------------------
+    if not scanner.startswith("<"):
+        raise scanner.error("expected document element")
+    try:
+        _parse_element_content(scanner, builder)
+    except XMLSyntaxError as error:
+        if error.line == 0:
+            # Builder-level errors (tag mismatches, duplicate attributes)
+            # carry no location; attach the scanner's.
+            raise scanner.error(str(error).split(" (line")[0]) from None
+        raise
+
+    # --- trailing misc -------------------------------------------------
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            break
+        if not _parse_misc(scanner, builder):
+            raise scanner.error("content after document element")
+
+    return builder.finish(uri=uri)
+
+
+def _parse_element_content(scanner: _Scanner, builder: DocumentBuilder) -> None:
+    """Parse one element (start tag, content, end tag) at the cursor."""
+    # depth counts elements opened here; we loop instead of recursing so
+    # that deeply nested documents do not overflow the Python stack.
+    depth = 0
+    text = scanner.text
+    while True:
+        if scanner.startswith("<"):
+            if scanner.startswith("</"):
+                scanner.pos += 2
+                name = scanner.read_name()
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                builder.end_element(name)
+                depth -= 1
+                if depth == 0:
+                    return
+            elif scanner.startswith("<!--") or scanner.startswith("<?"):
+                if not _parse_misc(scanner, builder):
+                    raise scanner.error("malformed markup")
+            elif scanner.startswith("<![CDATA["):
+                scanner.pos += 9
+                builder.text(scanner.read_until("]]>", "CDATA section"))
+            elif scanner.startswith("<!"):
+                raise scanner.error("unexpected declaration in content")
+            else:
+                scanner.pos += 1
+                name = scanner.read_name()
+                attributes: list[tuple[str, str]] = []
+                while True:
+                    had_space = scanner.skip_whitespace()
+                    ch = scanner.peek()
+                    if ch == ">" or scanner.startswith("/>") or not ch:
+                        break
+                    if not had_space:
+                        raise scanner.error("expected whitespace before attribute")
+                    attr_name = scanner.read_name()
+                    scanner.skip_whitespace()
+                    scanner.expect("=")
+                    scanner.skip_whitespace()
+                    attributes.append((attr_name, _parse_attribute_value(scanner)))
+                builder.start_element(name, attributes)
+                if scanner.startswith("/>"):
+                    scanner.pos += 2
+                    builder.end_element(name)
+                    if depth == 0:
+                        return
+                else:
+                    scanner.expect(">")
+                    depth += 1
+        else:
+            if scanner.at_end():
+                raise scanner.error("unexpected end of input inside element")
+            end = text.find("<", scanner.pos)
+            if end < 0:
+                end = scanner.length
+            at = scanner.pos
+            raw = text[scanner.pos : end]
+            scanner.pos = end
+            if "]]>" in raw:
+                raise scanner.error("']]>' not allowed in character data")
+            builder.text(_decode_references(raw, scanner, at))
+
+
+def parse_file(
+    path, id_attributes: Optional[Iterable[str]] = None
+) -> Document:
+    """Parse an XML document from a file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), id_attributes=id_attributes, uri=str(path))

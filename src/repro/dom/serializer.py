@@ -1,0 +1,87 @@
+"""Serialization of documents back to XML text.
+
+The serializer is the inverse of :mod:`repro.dom.parser` up to the usual
+canonicalization caveats (attribute quoting, entity choices).  It is used
+for round-trip property tests and for persisting generated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dom.document import Document
+from repro.dom.node import Node, NodeKind
+
+
+def escape_text(data: str) -> str:
+    """Escape character data for element content."""
+    return (
+        data.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def escape_attribute(data: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        data.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\t", "&#9;")
+        .replace("\n", "&#10;")
+        .replace("\r", "&#13;")
+    )
+
+
+def _serialize_node(node: Node, out: list[str]) -> None:
+    # An explicit work stack keeps arbitrarily deep documents off the
+    # Python call stack; string entries are pending end tags.
+    stack: list[Node | str] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            out.append(item)
+            continue
+        kind = item.kind
+        if kind == NodeKind.TEXT:
+            out.append(escape_text(item.value or ""))
+        elif kind == NodeKind.COMMENT:
+            out.append(f"<!--{item.value or ''}-->")
+        elif kind == NodeKind.PROCESSING_INSTRUCTION:
+            data = item.value or ""
+            out.append(
+                f"<?{item.name} {data}?>" if data else f"<?{item.name}?>"
+            )
+        elif kind == NodeKind.ELEMENT:
+            out.append(f"<{item.name}")
+            for prefix, uri in sorted(item.namespace_declarations.items()):
+                decl = f"xmlns:{prefix}" if prefix else "xmlns"
+                out.append(f' {decl}="{escape_attribute(uri)}"')
+            for attr in item.attributes:
+                out.append(
+                    f' {attr.name}="{escape_attribute(attr.value or "")}"'
+                )
+            children = item.children
+            if not children:
+                out.append("/>")
+            else:
+                out.append(">")
+                stack.append(f"</{item.name}>")
+                stack.extend(reversed(children))
+        else:  # pragma: no cover - ROOT handled by serialize()
+            raise ValueError(f"cannot serialize node kind {kind}")
+
+
+def serialize(document_or_node: Document | Node, xml_declaration: bool = False) -> str:
+    """Serialize a document (or a subtree rooted at a node) to a string."""
+    out: list[str] = []
+    if xml_declaration:
+        out.append('<?xml version="1.0" encoding="UTF-8"?>')
+    if isinstance(document_or_node, Document):
+        children: Iterable[Node] = document_or_node.root.children
+    elif document_or_node.kind == NodeKind.ROOT:
+        children = document_or_node.children
+    else:
+        children = [document_or_node]
+    for child in children:
+        _serialize_node(child, out)
+    return "".join(out)

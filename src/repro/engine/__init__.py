@@ -1,0 +1,19 @@
+"""NQE — the iterator-based physical algebra (paper section 5.2).
+
+Every sequence-valued logical operator has a corresponding *iterator*
+with the classic ``open``/``next``/``close`` protocol [Graefe 93].
+Iterators of one plan share a single register file; the attribute manager
+maps attribute names to registers and aliases renamed attributes to the
+same register, so the pipeline passes tuples without copying
+(section 5.1/5.2.1).
+
+Scalar subscripts are executed either by NVM programs (the default,
+matching the paper) or by a tree-walking reference evaluator
+(``subscript_mode='interp'``); both are differentially tested.
+"""
+
+from repro.engine.context import ExecutionContext
+from repro.engine.plan import PhysicalPlan
+from repro.engine.tuples import AttributeManager
+
+__all__ = ["ExecutionContext", "PhysicalPlan", "AttributeManager"]

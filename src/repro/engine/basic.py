@@ -1,0 +1,170 @@
+"""Pipelined unary iterators: select, maps, duplicate elimination."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.engine.iterator import RuntimeState, UnaryIterator, Iterator
+from repro.engine.subscripts import Subscript
+
+
+class SelectIt(UnaryIterator):
+    """σ_p — filters tuples by a subscript predicate."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, runtime: RuntimeState, child: Iterator,
+                 predicate: Subscript):
+        super().__init__(runtime, child)
+        self.predicate = predicate
+
+    def next(self) -> bool:
+        while self.child.next():
+            if self.predicate.evaluate_bool(self.runtime):
+                self.runtime.stats["tuples:Select"] += 1
+                return True
+        return False
+
+
+class MapIt(UnaryIterator):
+    """χ — computes an attribute into a register for every tuple."""
+
+    __slots__ = ("slot", "expr")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator, slot: int,
+                 expr: Subscript):
+        super().__init__(runtime, child)
+        self.slot = slot
+        self.expr = expr
+
+    def next(self) -> bool:
+        if not self.child.next():
+            return False
+        self.runtime.regs[self.slot] = self.expr.evaluate(self.runtime)
+        return True
+
+
+class MatMapIt(UnaryIterator):
+    """χ^mat — a map memoizing results keyed by its free variables.
+
+    The memo table lives for the whole plan execution (it is *not*
+    cleared on re-open), which is the point: re-evaluations under
+    different outer tuples with equal free-variable values hit the cache
+    (section 4.3.2 / Hellerstein & Naughton).
+    """
+
+    __slots__ = ("slot", "expr", "key_slots", "_memo")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator, slot: int,
+                 expr: Subscript, key_slots: Sequence[int]):
+        super().__init__(runtime, child)
+        self.slot = slot
+        self.expr = expr
+        self.key_slots = tuple(key_slots)
+        self._memo: Dict[tuple, object] = {}
+
+    def next(self) -> bool:
+        if not self.child.next():
+            return False
+        regs = self.runtime.regs
+        key = tuple(_hashable(regs[s]) for s in self.key_slots)
+        if key in self._memo:
+            self.runtime.stats["matmap_hits"] += 1
+            regs[self.slot] = self._memo[key]
+        else:
+            self.runtime.stats["matmap_misses"] += 1
+            value = self.expr.evaluate(self.runtime)
+            self._memo[key] = value
+            regs[self.slot] = value
+        return True
+
+
+def _hashable(value: object) -> object:
+    """Memo keys must be hashable; node-set values become tuples."""
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+class PosMapIt(UnaryIterator):
+    """χ_{cp:counter++} — 1-based position counting.
+
+    With ``context_slot`` (stacked translation) the counter resets when
+    the input context node changes (section 4.3.1); without (canonical
+    translation) each ``open()`` — one dependent d-join evaluation — is
+    one context.
+    """
+
+    __slots__ = ("slot", "context_slot", "_counter", "_last_context",
+                 "_fresh")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator, slot: int,
+                 context_slot: Optional[int] = None):
+        super().__init__(runtime, child)
+        self.slot = slot
+        self.context_slot = context_slot
+        self._counter = 0
+        self._last_context: object = None
+        self._fresh = True
+
+    def open(self) -> None:
+        super().open()
+        self._counter = 0
+        self._fresh = True
+
+    def next(self) -> bool:
+        if not self.child.next():
+            return False
+        if self.context_slot is not None:
+            context = self.runtime.regs[self.context_slot]
+            # Equality, not identity: the storage layer may hand out fresh
+            # proxy objects for the same stored node.
+            if self._fresh or context != self._last_context:
+                self._counter = 0
+                self._last_context = context
+                self._fresh = False
+        self._counter += 1
+        self.runtime.regs[self.slot] = float(self._counter)
+        return True
+
+
+class ProjectDupIt(UnaryIterator):
+    """Π^D — duplicate elimination on one register, pipelined.
+
+    Keeps the first occurrence; later duplicates are skipped.  Operates
+    on node identity (nodes hash by document and sort key).
+    """
+
+    __slots__ = ("slot", "_seen")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator, slot: int):
+        super().__init__(runtime, child)
+        self.slot = slot
+        self._seen: set = set()
+
+    def open(self) -> None:
+        super().open()
+        self._seen = set()
+
+    def next(self) -> bool:
+        regs = self.runtime.regs
+        while self.child.next():
+            value = _hashable(regs[self.slot])
+            if value not in self._seen:
+                self._seen.add(value)
+                return True
+            self.runtime.stats["dupelim_dropped"] += 1
+        return False
+
+
+class PassThroughIt(UnaryIterator):
+    """Physical no-op for logical projections.
+
+    Renaming projections compile to register aliases; the pass-through
+    remains only so plan shapes stay recognizable in diagnostics.
+    """
+
+    __slots__ = ()
+
+    def next(self) -> bool:
+        return self.child.next()

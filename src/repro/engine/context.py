@@ -1,0 +1,38 @@
+"""Execution contexts for physical plans.
+
+The paper (section 2.2.2): "the free variables of the complete
+expressions must be bound by a top-level map supplied as execution
+context ... this top-level map also must provide bindings for the XPath
+$ variables and the context node".  :class:`ExecutionContext` is that
+top-level map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.dom.node import Node
+from repro.errors import UnboundVariableError
+from repro.xpath.datamodel import XPathValue
+
+
+@dataclass
+class ExecutionContext:
+    """Top-level bindings for one plan execution."""
+
+    #: The initial context node (the free ``cn`` of the paper).
+    context_node: Node
+    #: XPath ``$`` variable bindings.
+    variables: Mapping[str, XPathValue] = field(default_factory=dict)
+    #: Prefix-to-URI bindings for QName node tests (spec section 2.3).
+    namespaces: Mapping[str, str] = field(default_factory=dict)
+    #: Context position/size for a top-level ``position()``/``last()``.
+    position: int = 1
+    size: int = 1
+
+    def variable(self, name: str) -> XPathValue:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise UnboundVariableError(name) from None

@@ -1,0 +1,91 @@
+"""The iterator protocol and shared runtime state.
+
+All physical operators implement ``open``/``next``/``close``
+[Graefe 93].  ``open()`` (re)initializes the operator — d-joins re-open
+their dependent side for every outer tuple, so ``open`` must be a full
+reset.  ``next()`` advances to the next tuple, writing the operator's
+output attributes into the shared register file and returning ``True``,
+or returns ``False`` on exhaustion.
+
+:class:`RuntimeState` bundles everything iterators share: the register
+file, the execution context and the runtime counters used by the tests
+and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.engine.context import ExecutionContext
+
+
+@dataclass
+class RuntimeState:
+    """Shared mutable state of one plan execution."""
+
+    regs: List[object]
+    context: ExecutionContext
+    #: Counters: tuples produced per operator class, memo hits, etc.
+    stats: Counter = field(default_factory=Counter)
+
+
+class Iterator:
+    """Base class of all physical operators."""
+
+    __slots__ = ("runtime",)
+
+    def __init__(self, runtime: RuntimeState):
+        self.runtime = runtime
+
+    def open(self) -> None:
+        raise NotImplementedError
+
+    def next(self) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Open, count all tuples, close.  Testing convenience."""
+        self.open()
+        count = 0
+        while self.next():
+            count += 1
+        self.close()
+        return count
+
+
+class UnaryIterator(Iterator):
+    """Base for operators with one input."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, runtime: RuntimeState, child: Iterator):
+        super().__init__(runtime)
+        self.child = child
+
+    def open(self) -> None:
+        self.child.open()
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class BinaryIterator(Iterator):
+    """Base for operators with two inputs."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, runtime: RuntimeState, left: Iterator, right: Iterator):
+        super().__init__(runtime)
+        self.left = left
+        self.right = right
+
+    def close(self) -> None:
+        self.left.close()
+        self.right.close()

@@ -1,0 +1,171 @@
+"""Join iterators: d-join, cross product, semi-join, anti-join, concat."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.engine.iterator import BinaryIterator, Iterator, RuntimeState
+from repro.engine.scans import SnapshotReplay
+from repro.engine.subscripts import Subscript
+
+
+class DJoinIt(BinaryIterator):
+    """The d-join: re-evaluates the dependent side per outer tuple.
+
+    The dependent (right) side reads the outer tuple's attributes
+    directly from the shared registers — handing over the context "one
+    node at a time" exactly as in section 3.1.1.
+    """
+
+    __slots__ = ("_have_left",)
+
+    def __init__(self, runtime: RuntimeState, left: Iterator, right: Iterator):
+        super().__init__(runtime, left, right)
+        self._have_left = False
+
+    def open(self) -> None:
+        self.left.open()
+        self._have_left = False
+
+    def next(self) -> bool:
+        while True:
+            if not self._have_left:
+                if not self.left.next():
+                    return False
+                self._have_left = True
+                self.right.open()
+            if self.right.next():
+                self.runtime.stats["tuples:DJoin"] += 1
+                return True
+            self.right.close()
+            self._have_left = False
+
+    def close(self) -> None:
+        if self._have_left:
+            self.right.close()
+            self._have_left = False
+        self.left.close()
+
+
+class CrossIt(BinaryIterator):
+    """× — materializes the (independent) right side once, then replays."""
+
+    __slots__ = ("replayer", "_tuples", "_index", "_have_left", "_loaded")
+
+    def __init__(self, runtime: RuntimeState, left: Iterator, right: Iterator,
+                 replayer: SnapshotReplay):
+        super().__init__(runtime, left, right)
+        self.replayer = replayer
+        self._tuples: List[tuple] = []
+        self._index = 0
+        self._have_left = False
+        self._loaded = False
+
+    def open(self) -> None:
+        self.left.open()
+        self._have_left = False
+        self._loaded = False
+        self._tuples = []
+        self._index = 0
+
+    def _load_right(self) -> None:
+        regs = self.runtime.regs
+        self.right.open()
+        while self.right.next():
+            self._tuples.append(self.replayer.save(regs))
+        self.right.close()
+        self._loaded = True
+
+    def next(self) -> bool:
+        if not self._loaded:
+            self._load_right()
+        regs = self.runtime.regs
+        while True:
+            if not self._have_left:
+                if not self.left.next():
+                    return False
+                self._have_left = True
+                self._index = 0
+            if self._index < len(self._tuples):
+                self.replayer.restore(regs, self._tuples[self._index])
+                self._index += 1
+                return True
+            self._have_left = False
+
+    def close(self) -> None:
+        self.left.close()
+        self._tuples = []
+        self._loaded = False
+
+
+class SemiJoinIt(BinaryIterator):
+    """⋉_p — emits a left tuple iff some right tuple satisfies p.
+
+    The probe stops at the first witness (existential semantics, mirroring
+    the smart aggregation of section 5.2.5).
+    """
+
+    __slots__ = ("predicate", "anti")
+
+    def __init__(self, runtime: RuntimeState, left: Iterator, right: Iterator,
+                 predicate: Subscript, anti: bool = False):
+        super().__init__(runtime, left, right)
+        self.predicate = predicate
+        self.anti = anti
+
+    def open(self) -> None:
+        self.left.open()
+
+    def next(self) -> bool:
+        while self.left.next():
+            witness = False
+            self.right.open()
+            while self.right.next():
+                if self.predicate.evaluate_bool(self.runtime):
+                    witness = True
+                    break
+            self.right.close()
+            if witness != self.anti:
+                self.runtime.stats[
+                    "tuples:AntiJoin" if self.anti else "tuples:SemiJoin"
+                ] += 1
+                return True
+        return False
+
+    def close(self) -> None:
+        self.left.close()
+
+
+class ConcatIt(Iterator):
+    """⊕ — streams each input in turn.
+
+    All inputs write their result attribute to the same register (the
+    attribute manager aliases them), so no copying is involved.
+    """
+
+    __slots__ = ("inputs", "_current")
+
+    def __init__(self, runtime: RuntimeState, inputs: Sequence[Iterator]):
+        super().__init__(runtime)
+        self.inputs = tuple(inputs)
+        self._current = 0
+
+    def open(self) -> None:
+        self._current = 0
+        if self.inputs:
+            self.inputs[0].open()
+
+    def next(self) -> bool:
+        while self._current < len(self.inputs):
+            if self.inputs[self._current].next():
+                return True
+            self.inputs[self._current].close()
+            self._current += 1
+            if self._current < len(self.inputs):
+                self.inputs[self._current].open()
+        return False
+
+    def close(self) -> None:
+        if self._current < len(self.inputs):
+            self.inputs[self._current].close()
+        self._current = len(self.inputs)

@@ -1,0 +1,342 @@
+"""Materializing iterators: sort, Tmp^cs, aggregation, MemoX, Γ.
+
+These are the only operators that buffer tuples; everything else in the
+engine pipelines.  Buffered tuples are snapshots of the registers owned
+by the operator's subtree (see :class:`~repro.engine.scans.SnapshotReplay`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dom.node import Node
+from repro.engine.iterator import (
+    BinaryIterator,
+    Iterator,
+    RuntimeState,
+    UnaryIterator,
+)
+from repro.engine.scans import SnapshotReplay
+from repro.engine.subscripts import Subscript, run_aggregate, _as_number
+from repro.errors import ExecutionError
+
+
+class SortIt(UnaryIterator):
+    """Sort_a — materializes and sorts by document order of a node attr."""
+
+    __slots__ = ("slot", "replayer", "_tuples", "_index", "_loaded")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator, slot: int,
+                 replayer: SnapshotReplay):
+        super().__init__(runtime, child)
+        self.slot = slot
+        self.replayer = replayer
+        self._tuples: List[tuple] = []
+        self._index = 0
+        self._loaded = False
+
+    def open(self) -> None:
+        super().open()
+        self._tuples = []
+        self._index = 0
+        self._loaded = False
+
+    def _load(self) -> None:
+        regs = self.runtime.regs
+        keyed: List[tuple] = []
+        while self.child.next():
+            node = regs[self.slot]
+            if not isinstance(node, Node):
+                raise ExecutionError("Sort requires a node-valued attribute")
+            keyed.append((node.sort_key, self.replayer.save(regs)))
+        keyed.sort(key=lambda pair: pair[0])
+        self._tuples = [snapshot for _key, snapshot in keyed]
+        self._loaded = True
+        self.runtime.stats["sort_materialized"] += len(self._tuples)
+
+    def next(self) -> bool:
+        if not self._loaded:
+            self._load()
+        if self._index >= len(self._tuples):
+            return False
+        self.replayer.restore(self.runtime.regs, self._tuples[self._index])
+        self._index += 1
+        return True
+
+    def close(self) -> None:
+        super().close()
+        self._tuples = []
+        self._loaded = False
+
+
+class TmpCsIt(UnaryIterator):
+    """Tmp^cs / Tmp^cs_c — single implementation (paper section 5.2.4).
+
+    Materializes one context at a time.  The input already carries the
+    position counter ``cp``; the ``cp`` of a context's final tuple *is*
+    the context size, which is then written to the ``cs`` register while
+    the materialized context is re-emitted.  A context ends at input
+    exhaustion (Tmp^cs) or when the input context node in
+    ``context_slot`` changes (Tmp^cs_c).
+    """
+
+    __slots__ = ("cs_slot", "cp_slot", "context_slot", "replayer",
+                 "_buffer", "_index", "_size", "_pending", "_exhausted")
+
+    def __init__(
+        self,
+        runtime: RuntimeState,
+        child: Iterator,
+        cs_slot: int,
+        cp_slot: int,
+        replayer: SnapshotReplay,
+        context_slot: Optional[int] = None,
+    ):
+        super().__init__(runtime, child)
+        self.cs_slot = cs_slot
+        self.cp_slot = cp_slot
+        self.context_slot = context_slot
+        self.replayer = replayer
+        self._buffer: List[tuple] = []
+        self._index = 0
+        self._size = 0.0
+        self._pending: Optional[tuple] = None
+        self._exhausted = False
+
+    def open(self) -> None:
+        super().open()
+        self._buffer = []
+        self._index = 0
+        self._pending = None
+        self._exhausted = False
+
+    def _context_of(self, snapshot: tuple) -> object:
+        if self.context_slot is None:
+            return None
+        position = self.replayer.slots.index(self.context_slot)
+        return snapshot[position]
+
+    def _fill_group(self) -> bool:
+        """Materialize the next context; False when input is exhausted."""
+        regs = self.runtime.regs
+        self._buffer = []
+        self._index = 0
+        if self._pending is not None:
+            # Re-emitting the previous group's tuples clobbered the shared
+            # registers; restore the live producer state (the pending
+            # tuple was the last one the child actually produced) before
+            # pulling the child again, or upstream operators watching the
+            # context attribute (PosMap) would see stale values.
+            self.replayer.restore(regs, self._pending)
+            self._buffer.append(self._pending)
+            self._pending = None
+        elif not self._exhausted and self.child.next():
+            self._buffer.append(self.replayer.save(regs))
+        else:
+            self._exhausted = True
+            return False
+        group_context = self._context_of(self._buffer[0])
+        while True:
+            if not self.child.next():
+                self._exhausted = True
+                break
+            snapshot = self.replayer.save(regs)
+            if (
+                self.context_slot is not None
+                and self._context_of(snapshot) != group_context
+            ):
+                self._pending = snapshot
+                break
+            self._buffer.append(snapshot)
+        # cp of the final tuple equals the context size (section 5.2.4).
+        last = self._buffer[-1]
+        cp_position = self.replayer.slots.index(self.cp_slot)
+        self._size = last[cp_position]
+        self.runtime.stats["tmpcs_contexts"] += 1
+        return True
+
+    def next(self) -> bool:
+        regs = self.runtime.regs
+        while True:
+            if self._index < len(self._buffer):
+                self.replayer.restore(regs, self._buffer[self._index])
+                regs[self.cs_slot] = self._size
+                self._index += 1
+                return True
+            if not self._fill_group():
+                return False
+
+    def close(self) -> None:
+        super().close()
+        self._buffer = []
+        self._pending = None
+
+
+class AggregateIt(UnaryIterator):
+    """𝔄_{a;f} — aggregates the whole input into one single-attr tuple."""
+
+    __slots__ = ("out_slot", "func", "input_slot", "_done")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator, out_slot: int,
+                 func: str, input_slot: int):
+        super().__init__(runtime, child)
+        self.out_slot = out_slot
+        self.func = func
+        self.input_slot = input_slot
+        self._done = True
+
+    def open(self) -> None:
+        # The child is opened by run_aggregate.
+        self._done = False
+
+    def next(self) -> bool:
+        if self._done:
+            return False
+        value = run_aggregate(
+            self.child, self.func, self.input_slot, self.runtime
+        )
+        self.runtime.regs[self.out_slot] = value
+        self._done = True
+        return True
+
+    def close(self) -> None:
+        self._done = True
+
+
+class MemoXIt(UnaryIterator):
+    """𝔐 — the paper's memoizing sequence operator (section 4.2.2).
+
+    Keyed by the values of its subscript attributes (free variables of
+    the producer, typically the context node handed in by a d-join).  On
+    a key hit the memoized snapshots are replayed without touching the
+    producer.  The memo table survives re-opens — that is its purpose.
+    """
+
+    __slots__ = ("key_slots", "replayer", "_memo", "_current", "_index",
+                 "_recording", "_record_key")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator,
+                 key_slots: Sequence[int], replayer: SnapshotReplay):
+        super().__init__(runtime, child)
+        self.key_slots = tuple(key_slots)
+        self.replayer = replayer
+        self._memo: Dict[tuple, List[tuple]] = {}
+        self._current: List[tuple] = []
+        self._index = 0
+        self._recording = False
+        self._record_key: Optional[tuple] = None
+
+    def open(self) -> None:
+        regs = self.runtime.regs
+        key = tuple(_memo_key(regs[s]) for s in self.key_slots)
+        if key in self._memo:
+            self.runtime.stats["memox_hits"] += 1
+            self._current = self._memo[key]
+            self._index = 0
+            self._recording = False
+        else:
+            self.runtime.stats["memox_misses"] += 1
+            self.child.open()
+            self._current = []
+            self._index = 0
+            self._recording = True
+            self._record_key = key
+
+    def next(self) -> bool:
+        regs = self.runtime.regs
+        if self._recording:
+            if self.child.next():
+                self._current.append(self.replayer.save(regs))
+                return True
+            self._memo[self._record_key] = self._current
+            self._recording = False
+            return False
+        if self._index < len(self._current):
+            self.replayer.restore(regs, self._current[self._index])
+            self._index += 1
+            return True
+        return False
+
+    def close(self) -> None:
+        if self._recording:
+            # Partially drained sequences are not memoized (an enclosing
+            # early exit may abandon the producer at any point).
+            self.child.close()
+            self._recording = False
+
+
+def _memo_key(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+class BinaryGroupIt(BinaryIterator):
+    """Γ — binary grouping, provided for logical-definition completeness.
+
+    For every left tuple, aggregates the matching right tuples
+    (``left.A1 θ right.A2``) with ``func`` into the output register.  The
+    right side is re-evaluated per left tuple (the physical Tmp^cs
+    implementation is what production plans use instead).
+    """
+
+    __slots__ = ("out_slot", "left_slot", "theta", "right_slot", "func",
+                 "func_slot", "predicate")
+
+    def __init__(
+        self,
+        runtime: RuntimeState,
+        left: Iterator,
+        right: Iterator,
+        out_slot: int,
+        left_slot: int,
+        theta: str,
+        right_slot: int,
+        func: str,
+        func_slot: int,
+    ):
+        super().__init__(runtime, left, right)
+        self.out_slot = out_slot
+        self.left_slot = left_slot
+        self.theta = theta
+        self.right_slot = right_slot
+        self.func = func
+        self.func_slot = func_slot
+
+    def open(self) -> None:
+        self.left.open()
+
+    def next(self) -> bool:
+        regs = self.runtime.regs
+        if not self.left.next():
+            return False
+        left_value = regs[self.left_slot]
+        matched: List[object] = []
+        self.right.open()
+        while self.right.next():
+            if _theta_match(self.theta, left_value, regs[self.right_slot]):
+                matched.append(regs[self.func_slot])
+        self.right.close()
+        regs[self.out_slot] = _apply_group_func(self.func, matched)
+        return True
+
+    def close(self) -> None:
+        self.left.close()
+
+
+def _theta_match(theta: str, left: object, right: object) -> bool:
+    if theta == "=":
+        return left == right
+    if theta == "!=":
+        return left != right
+    raise ExecutionError(f"unsupported grouping comparison {theta!r}")
+
+
+def _apply_group_func(func: str, values: List[object]) -> object:
+    if func == "count":
+        return float(len(values))
+    if func == "sum":
+        return float(sum(_as_number(v) for v in values))
+    if func == "exists":
+        return bool(values)
+    raise ExecutionError(f"unsupported grouping aggregate {func!r}")

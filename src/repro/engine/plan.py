@@ -1,0 +1,112 @@
+"""Executable physical plans.
+
+:class:`PhysicalPlan` owns the iterator tree, the register file and the
+execution entry points.  A plan is compiled once per query and can be
+executed many times with different contexts; memoizing iterators
+(χ^mat, MemoX) are reset between executions so results never leak across
+documents or context nodes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from repro.dom.node import Node
+from repro.engine.context import ExecutionContext
+from repro.engine.iterator import Iterator, RuntimeState
+from repro.engine.tuples import AttributeManager
+from repro.errors import ExecutionError
+from repro.xpath.datamodel import XPathValue
+
+
+class PhysicalPlan:
+    """A compiled, repeatedly executable NQE plan."""
+
+    def __init__(
+        self,
+        root: Iterator,
+        runtime: RuntimeState,
+        manager: AttributeManager,
+        result_slot: int,
+        kind: str,
+        context_slot: Optional[int] = None,
+        position_slot: Optional[int] = None,
+        size_slot: Optional[int] = None,
+        resettable: Sequence[Iterator] = (),
+    ):
+        if kind not in ("sequence", "scalar"):
+            raise ValueError(f"unknown plan kind {kind!r}")
+        self.root = root
+        self.runtime = runtime
+        self.manager = manager
+        self.result_slot = result_slot
+        self.kind = kind
+        self.context_slot = context_slot
+        self.position_slot = position_slot
+        self.size_slot = size_slot
+        self.resettable = tuple(resettable)
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, context: ExecutionContext) -> None:
+        runtime = self.runtime
+        runtime.context = context
+        for index in range(len(runtime.regs)):
+            runtime.regs[index] = None
+        if self.context_slot is not None:
+            runtime.regs[self.context_slot] = context.context_node
+        if self.position_slot is not None:
+            runtime.regs[self.position_slot] = float(context.position)
+        if self.size_slot is not None:
+            runtime.regs[self.size_slot] = float(context.size)
+        for iterator in self.resettable:
+            _reset_memo(iterator)
+
+    def execute(self, context: ExecutionContext) -> XPathValue:
+        """Run the plan; node-set results are collected as a list."""
+        self._prepare(context)
+        regs = self.runtime.regs
+        self.root.open()
+        try:
+            if self.kind == "scalar":
+                if not self.root.next():
+                    raise ExecutionError("scalar plan produced no tuple")
+                return regs[self.result_slot]  # type: ignore[return-value]
+            results: List[Node] = []
+            while self.root.next():
+                results.append(regs[self.result_slot])  # type: ignore[arg-type]
+            return results
+        finally:
+            self.root.close()
+
+    def execute_count(self, context: ExecutionContext) -> int:
+        """Run the plan counting result tuples (benchmark entry point)."""
+        self._prepare(context)
+        self.root.open()
+        try:
+            count = 0
+            while self.root.next():
+                count += 1
+            return count
+        finally:
+            self.root.close()
+
+    @property
+    def stats(self) -> Counter:
+        """Runtime counters accumulated across executions."""
+        return self.runtime.stats
+
+    def reset_stats(self) -> None:
+        self.runtime.stats.clear()
+
+
+def _reset_memo(iterator: Iterator) -> None:
+    """Clear cross-execution memo state on χ^mat / MemoX iterators."""
+    from repro.engine.basic import MatMapIt
+    from repro.engine.materialize import MemoXIt
+
+    if isinstance(iterator, MatMapIt):
+        iterator._memo.clear()
+    elif isinstance(iterator, MemoXIt):
+        iterator._memo.clear()

@@ -1,0 +1,113 @@
+"""Leaf iterators: singleton scan, variable scan, snapshot replay."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.engine.iterator import Iterator, RuntimeState
+from repro.errors import ExecutionError
+
+
+class SingletonScanIt(Iterator):
+    """□ — yields exactly one (empty) tuple per open."""
+
+    __slots__ = ("_done",)
+
+    def __init__(self, runtime: RuntimeState):
+        super().__init__(runtime)
+        self._done = True
+
+    def open(self) -> None:
+        self._done = False
+
+    def next(self) -> bool:
+        if self._done:
+            return False
+        self._done = True
+        return True
+
+    def close(self) -> None:
+        self._done = True
+
+
+class VarScanIt(Iterator):
+    """Unnests a node-set-valued variable into the given register."""
+
+    __slots__ = ("variable", "slot", "_values", "_index")
+
+    def __init__(self, runtime: RuntimeState, variable: str, slot: int):
+        super().__init__(runtime)
+        self.variable = variable
+        self.slot = slot
+        self._values: Sequence[object] = ()
+        self._index = 0
+
+    def open(self) -> None:
+        value = self.runtime.context.variable(self.variable)
+        if not isinstance(value, list):
+            raise ExecutionError(
+                f"variable ${self.variable} used as a node-set but bound to "
+                f"{type(value).__name__}"
+            )
+        self._values = value
+        self._index = 0
+
+    def next(self) -> bool:
+        if self._index >= len(self._values):
+            return False
+        self.runtime.regs[self.slot] = self._values[self._index]
+        self._index += 1
+        self.runtime.stats["tuples:VarScan"] += 1
+        return True
+
+    def close(self) -> None:
+        self._values = ()
+
+
+class SnapshotReplay:
+    """Helper for materializing operators: save/restore register subsets.
+
+    ``slots`` are the registers *owned* by the materialized subtree — the
+    attributes it produces.  Restoring only those keeps values of the
+    enclosing plan (e.g. the outer tuple of a d-join) intact, which is
+    what allows MemoX to replay a memoized sequence under a different
+    outer tuple.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: Sequence[int]):
+        self.slots = tuple(slots)
+
+    def save(self, regs: List[object]) -> tuple:
+        return tuple(regs[s] for s in self.slots)
+
+    def restore(self, regs: List[object], snapshot: tuple) -> None:
+        for slot, value in zip(self.slots, snapshot):
+            regs[slot] = value
+
+
+class MaterializedScanIt(Iterator):
+    """Replays a list of snapshots (used by tests and the bench harness)."""
+
+    __slots__ = ("replayer", "tuples", "_index")
+
+    def __init__(self, runtime: RuntimeState, replayer: SnapshotReplay,
+                 tuples: Optional[List[tuple]] = None):
+        super().__init__(runtime)
+        self.replayer = replayer
+        self.tuples = tuples if tuples is not None else []
+        self._index = 0
+
+    def open(self) -> None:
+        self._index = 0
+
+    def next(self) -> bool:
+        if self._index >= len(self.tuples):
+            return False
+        self.replayer.restore(self.runtime.regs, self.tuples[self._index])
+        self._index += 1
+        return True
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,336 @@
+"""Subscript evaluation: the bridge between iterators and scalar code.
+
+A physical operator's subscript (selection predicate, map expression,
+join predicate) is a :class:`Subscript`: something that can be evaluated
+against the current register file.  Two implementations exist:
+
+* :class:`InterpSubscript` — a tree-walking reference evaluator over the
+  scalar IR; simple, used as the differential-testing baseline.
+* :class:`repro.nvm.machine.NVMSubscript` — an assembled NVM program,
+  the default, matching the paper's section 5.2.2.
+
+Nested sequence-valued plans inside subscripts are represented by
+:class:`NestedPlan` — a compiled sub-iterator plus an aggregate spec.
+Evaluating one runs the sub-iterator to completion (with the smart-
+aggregation early exit of section 5.2.5) and yields a scalar, exactly
+like the paper's "commands that can access results of nested iterators"
+(section 5.2.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.dom.node import Node
+from repro.errors import ExecutionError
+from repro.xpath.datamodel import (
+    XPathType,
+    arith,
+    compare,
+    to_boolean,
+    to_number,
+    to_string,
+)
+from repro.xpath import functions as fnlib
+from repro.algebra import scalar as S
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.iterator import Iterator, RuntimeState
+
+
+class Subscript:
+    """Evaluates to an XPath value against the current registers."""
+
+    __slots__ = ()
+
+    def evaluate(self, runtime: "RuntimeState") -> object:
+        raise NotImplementedError
+
+    def evaluate_bool(self, runtime: "RuntimeState") -> bool:
+        return to_boolean(self.evaluate(runtime))  # type: ignore[arg-type]
+
+
+class NestedPlan:
+    """A compiled nested iterator aggregated to a scalar value."""
+
+    __slots__ = ("iterator", "agg", "input_slot")
+
+    def __init__(self, iterator: "Iterator", agg: str, input_slot: int):
+        self.iterator = iterator
+        self.agg = agg
+        self.input_slot = input_slot
+
+    def evaluate(self, runtime: "RuntimeState") -> object:
+        runtime.stats["nested_plan_evals"] += 1
+        return run_aggregate(
+            self.iterator, self.agg, self.input_slot, runtime
+        )
+
+
+def run_aggregate(
+    iterator: "Iterator", agg: str, input_slot: int, runtime: "RuntimeState"
+) -> object:
+    """Drain ``iterator`` applying ``agg`` to the values in ``input_slot``.
+
+    Implements the smart aggregation of section 5.2.5: ``exists`` stops
+    after the first tuple instead of draining the input.
+    """
+    regs = runtime.regs
+    iterator.open()
+    try:
+        if agg == "exists":
+            found = iterator.next()
+            if found:
+                runtime.stats["agg_early_exits"] += 1
+            return found
+        if agg == "count":
+            count = 0
+            while iterator.next():
+                count += 1
+            return float(count)
+        if agg == "sum":
+            total = 0.0
+            while iterator.next():
+                total += _as_number(regs[input_slot])
+            return total
+        if agg in ("max", "min"):
+            # NaN inputs cannot satisfy any comparison, so they are
+            # ignored; the aggregate is NaN only when no comparable value
+            # exists (making the enclosing existential comparison false).
+            best = float("nan")
+            while iterator.next():
+                value = _as_number(regs[input_slot])
+                if math.isnan(value):
+                    continue
+                if math.isnan(best):
+                    best = value
+                elif agg == "max" and value > best:
+                    best = value
+                elif agg == "min" and value < best:
+                    best = value
+            return best
+        if agg == "first_string":
+            node = _first_node(iterator, input_slot, regs)
+            return node.string_value() if node is not None else ""
+        if agg == "first_node":
+            return _first_node(iterator, input_slot, regs)
+        if agg == "collect":
+            values: List[object] = []
+            while iterator.next():
+                values.append(regs[input_slot])
+            return values
+        raise ExecutionError(f"unknown aggregate {agg!r}")
+    finally:
+        iterator.close()
+
+
+def _first_node(iterator: "Iterator", slot: int, regs: List[object]) -> Optional[Node]:
+    """The input node first in document order (node-sets are unordered)."""
+    best: Optional[Node] = None
+    while iterator.next():
+        node = regs[slot]
+        if isinstance(node, Node) and (best is None or node.sort_key < best.sort_key):
+            best = node
+    return best
+
+
+def _as_number(value: object) -> float:
+    if isinstance(value, Node):
+        return to_number(value.string_value())
+    return to_number(value)  # type: ignore[arg-type]
+
+
+def _as_string(value: object) -> str:
+    if isinstance(value, Node):
+        return value.string_value()
+    return to_string(value)  # type: ignore[arg-type]
+
+
+def coerce(value: object, target: XPathType) -> object:
+    """Runtime conversion, treating a bare Node as its string-value."""
+    if isinstance(value, Node):
+        if target == XPathType.STRING:
+            return value.string_value()
+        if target == XPathType.NUMBER:
+            return to_number(value.string_value())
+        if target == XPathType.BOOLEAN:
+            return True  # a node exists
+        return value
+    if target == XPathType.STRING:
+        return to_string(value)  # type: ignore[arg-type]
+    if target == XPathType.NUMBER:
+        return to_number(value)  # type: ignore[arg-type]
+    if target == XPathType.BOOLEAN:
+        return to_boolean(value)  # type: ignore[arg-type]
+    return value
+
+
+class InterpSubscript(Subscript):
+    """Tree-walking reference implementation of subscript evaluation.
+
+    ``slots`` maps attribute names of :class:`~repro.algebra.scalar.SAttr`
+    nodes to register indices; ``nested`` maps :class:`SNested` IR objects
+    (by identity) to their compiled :class:`NestedPlan`.
+    """
+
+    __slots__ = ("expr", "slots", "nested")
+
+    def __init__(
+        self,
+        expr: S.Scalar,
+        slots: Dict[str, int],
+        nested: Dict[int, NestedPlan],
+    ):
+        self.expr = expr
+        self.slots = slots
+        self.nested = nested
+
+    def evaluate(self, runtime: "RuntimeState") -> object:
+        return self._eval(self.expr, runtime)
+
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: S.Scalar, runtime: "RuntimeState") -> object:
+        if isinstance(expr, S.SConst):
+            return expr.value
+        if isinstance(expr, S.SAttr):
+            return runtime.regs[self.slots[expr.name]]
+        if isinstance(expr, S.SVar):
+            return runtime.context.variable(expr.name)
+        if isinstance(expr, S.SNested):
+            return self.nested[id(expr)].evaluate(runtime)
+        if isinstance(expr, S.SStringValue):
+            return _as_string(self._eval(expr.operand, runtime))
+        if isinstance(expr, S.SConvert):
+            return coerce(self._eval(expr.operand, runtime), expr.target)
+        if isinstance(expr, S.SArith):
+            return arith(
+                expr.op,
+                _as_number(self._eval(expr.left, runtime)),
+                _as_number(self._eval(expr.right, runtime)),
+            )
+        if isinstance(expr, S.SNeg):
+            return -_as_number(self._eval(expr.operand, runtime))
+        if isinstance(expr, S.SCmp):
+            left = self._normalize_cmp(self._eval(expr.left, runtime))
+            right = self._normalize_cmp(self._eval(expr.right, runtime))
+            return compare(expr.op, left, right)
+        if isinstance(expr, S.SBool):
+            left = to_boolean(self._eval(expr.left, runtime))  # type: ignore[arg-type]
+            if expr.op == "and":
+                return left and to_boolean(self._eval(expr.right, runtime))  # type: ignore[arg-type]
+            return left or to_boolean(self._eval(expr.right, runtime))  # type: ignore[arg-type]
+        if isinstance(expr, S.SNot):
+            return not to_boolean(self._eval(expr.operand, runtime))  # type: ignore[arg-type]
+        if isinstance(expr, S.SFunc):
+            args = [self._eval(arg, runtime) for arg in expr.args]
+            return call_builtin(expr.name, args, runtime)
+        if isinstance(expr, S.SDeref):
+            return deref(self._eval(expr.operand, runtime), runtime)
+        if isinstance(expr, S.STokenize):
+            return _as_string(self._eval(expr.operand, runtime)).split()
+        if isinstance(expr, S.SRoot):
+            node = self._eval(expr.operand, runtime)
+            if not isinstance(node, Node):
+                raise ExecutionError("root() requires a node operand")
+            return node.root()
+        raise ExecutionError(f"cannot evaluate scalar {type(expr).__name__}")
+
+    @staticmethod
+    def _normalize_cmp(value: object) -> object:
+        """Bare nodes in comparisons behave as singleton node-sets."""
+        if isinstance(value, Node):
+            return [value]
+        return value
+
+
+# ----------------------------------------------------------------------
+# Builtin function table shared by the interpreter subscripts and the NVM
+# ----------------------------------------------------------------------
+
+def deref(value: object, runtime: "RuntimeState") -> Optional[Node]:
+    """Dereference an ID string against the context document."""
+    document = runtime.context.context_node.document
+    if document is None:
+        return None
+    return document.get_element_by_id(_as_string(value))
+
+
+def _node_arg(value: object) -> Optional[Node]:
+    """Interpret a builtin argument as a node (first in doc order)."""
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, list):
+        nodes = [v for v in value if isinstance(v, Node)]
+        if not nodes:
+            return None
+        return min(nodes, key=lambda n: n.sort_key)
+    return None
+
+
+def call_builtin(name: str, args: List[object], runtime: "RuntimeState") -> object:
+    """Invoke a context-free builtin by name.
+
+    The translator has already eliminated ``position()``/``last()``
+    (attribute reads) and the implicit-context forms (explicit ``cn``
+    argument), so the builtins here are pure functions — with the node-
+    specific variants the algebra needs (``name_of`` etc.).
+    """
+    if name == "pred_truth":
+        # Spec 2.4 dispatch for dynamically typed predicate values: a
+        # number is a position test, everything else converts to boolean.
+        value, position = args
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value) == to_number(position)  # type: ignore[arg-type]
+        if isinstance(value, Node):
+            return True
+        return to_boolean(value)  # type: ignore[arg-type]
+    if name == "name_of":
+        return _name_of(_node_arg(args[0]))
+    if name == "local_name_of":
+        node = _node_arg(args[0])
+        return node.local_name if node is not None else ""
+    if name == "namespace_uri_of":
+        node = _node_arg(args[0])
+        return node.namespace_uri() if node is not None else ""
+    if name == "lang_of":
+        node = _node_arg(args[0])
+        return _lang_of(node, _as_string(args[1]))
+    # The explicit-argument forms of the context-defaulting functions
+    # (the translator always passes the argument explicitly).
+    if name == "string-length":
+        return float(len(_as_string(args[0])))
+    if name == "normalize-space":
+        return " ".join(_as_string(args[0]).split())
+    # Library functions on basic types: convert Node arguments to their
+    # string-values first (the translator passes nodes only where the
+    # signature wants strings/numbers/objects).
+    converted = [
+        a.string_value() if isinstance(a, Node) else a for a in args
+    ]
+    return fnlib.call(name, None, converted)  # type: ignore[arg-type]
+
+
+def _name_of(node: Optional[Node]) -> str:
+    from repro.dom.node import NodeKind
+
+    if node is None:
+        return ""
+    if node.kind in (NodeKind.ELEMENT, NodeKind.ATTRIBUTE,
+                     NodeKind.PROCESSING_INSTRUCTION, NodeKind.NAMESPACE):
+        return node.name or ""
+    return ""
+
+
+def _lang_of(node: Optional[Node], target: str) -> bool:
+    if node is not None and not node.is_tree_node():
+        node = node.parent
+    while node is not None:
+        for attr in node.attributes:
+            if attr.name == "xml:lang":
+                language = (attr.value or "").lower()
+                wanted = target.lower()
+                return language == wanted or language.startswith(wanted + "-")
+        node = node.parent
+    return False

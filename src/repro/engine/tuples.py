@@ -1,0 +1,96 @@
+"""Registers and the attribute manager.
+
+The physical algebra is a pipeline: most operators never copy tuples.
+Instead, a plan owns a single *register file* (a Python list), every
+attribute name is mapped to a register index by the
+:class:`AttributeManager`, and an operator "produces a tuple" by writing
+its output attributes' registers and returning from ``next()``.
+
+The attribute manager also implements the paper's section-5.1 remark that
+the compiler "does not emit actual copy operations" for the many
+``cn``-aliasing maps and renaming projections: :meth:`AttributeManager.alias`
+binds a second name to an existing register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class AttributeManager:
+    """Assigns attribute names to register slots, with aliasing."""
+
+    def __init__(self):
+        self._slots: Dict[str, int] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------
+
+    def slot(self, name: str) -> int:
+        """The register index of ``name``, allocating one if new."""
+        if name not in self._slots:
+            self._slots[name] = self._count
+            self._count += 1
+        return self._slots[name]
+
+    def alias(self, new_name: str, existing_name: str) -> int:
+        """Bind ``new_name`` to the register of ``existing_name``.
+
+        This is the no-copy implementation of Π_{a':a} and of the
+        χ_{cn:c_i} maps of the canonical translation.
+        """
+        index = self.slot(existing_name)
+        current = self._slots.get(new_name)
+        if current is not None and current != index:
+            raise ValueError(
+                f"attribute {new_name!r} already bound to a different register"
+            )
+        self._slots[new_name] = index
+        return index
+
+    def unify(self, first: str, second: str) -> int:
+        """Make two attribute names share one register.
+
+        Whichever name already has a register wins; if both do, they must
+        already agree.  Used for renaming projections, whose direction
+        depends on whether the consumer (union attribute) or the producer
+        (step attribute) was assigned first.
+        """
+        first_slot = self._slots.get(first)
+        second_slot = self._slots.get(second)
+        if first_slot is None and second_slot is None:
+            index = self.slot(first)
+            self._slots[second] = index
+            return index
+        if first_slot is None:
+            self._slots[first] = second_slot  # type: ignore[assignment]
+            return second_slot  # type: ignore[return-value]
+        if second_slot is None:
+            self._slots[second] = first_slot
+            return first_slot
+        if first_slot != second_slot:
+            raise ValueError(
+                f"attributes {first!r} and {second!r} are bound to "
+                "different registers"
+            )
+        return first_slot
+
+    def lookup(self, name: str) -> Optional[int]:
+        """The register of ``name`` or ``None`` when unassigned."""
+        return self._slots.get(name)
+
+    @property
+    def register_count(self) -> int:
+        return self._count
+
+    def make_registers(self) -> List[object]:
+        """A fresh register file sized for this manager."""
+        return [None] * self._count
+
+    def names_for(self, index: int) -> List[str]:
+        """All attribute names aliased to a register (diagnostics)."""
+        return sorted(n for n, s in self._slots.items() if s == index)
+
+    def snapshot_schema(self) -> Dict[str, int]:
+        """A copy of the name-to-register mapping (diagnostics)."""
+        return dict(self._slots)

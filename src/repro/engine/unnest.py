@@ -1,0 +1,137 @@
+"""Unnest-map iterators: location step evaluation (paper's Υ).
+
+The unnest-map is where the algebra touches the document: for each input
+tuple it navigates the axis from the node in the input register, applies
+the node test, and streams the qualifying nodes into the output register
+in axis order.  Navigation goes through the shared node protocol, so the
+same iterator runs against the in-memory DOM or the page-backed store —
+the paper's "direct access to the persistent representation in the Natix
+page buffer" (section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator as PyIterator, Mapping, Optional
+
+from repro.dom.node import Node
+from repro.engine.iterator import Iterator, RuntimeState, UnaryIterator
+from repro.engine.subscripts import Subscript
+from repro.errors import ExecutionError
+from repro.xpath.axes import (
+    Axis,
+    NodeTestKind,
+    iter_axis,
+    make_node_test,
+)
+
+
+class UnnestMapIt(UnaryIterator):
+    """Υ_{out : in/axis::test} — one location step."""
+
+    __slots__ = ("in_slot", "out_slot", "axis", "test_kind", "test_name",
+                 "_generator", "_test", "_test_context")
+
+    def __init__(
+        self,
+        runtime: RuntimeState,
+        child: Iterator,
+        in_slot: int,
+        out_slot: int,
+        axis: Axis,
+        test_kind: NodeTestKind,
+        test_name: Optional[str],
+    ):
+        super().__init__(runtime, child)
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+        self.axis = axis
+        self.test_kind = test_kind
+        self.test_name = test_name
+        self._generator: Optional[PyIterator[Node]] = None
+        self._test = None
+        self._test_context = None
+
+    def open(self) -> None:
+        super().open()
+        self._generator = None
+        context = self.runtime.context
+        if self._test is None or self._test_context is not context:
+            # Compile the node test once per execution context (its
+            # namespace bindings parameterize prefixed tests).
+            self._test = make_node_test(
+                self.test_kind, self.test_name, self.axis,
+                context.namespaces,
+            )
+            self._test_context = context
+
+    def next(self) -> bool:
+        regs = self.runtime.regs
+        test = self._test
+        stats = self.runtime.stats
+        while True:
+            if self._generator is not None:
+                for candidate in self._generator:
+                    stats["axis_nodes_visited"] += 1
+                    if test(candidate):
+                        regs[self.out_slot] = candidate
+                        stats["tuples:UnnestMap"] += 1
+                        return True
+                self._generator = None
+            if not self.child.next():
+                return False
+            context_node = regs[self.in_slot]
+            if context_node is None:
+                # An unbound optional context (e.g. deref miss) has no
+                # step results.
+                continue
+            if not isinstance(context_node, Node):
+                raise ExecutionError(
+                    f"location step input is not a node: {context_node!r}"
+                )
+            self._generator = iter_axis(self.axis, context_node)
+
+    def close(self) -> None:
+        super().close()
+        self._generator = None
+
+
+class ExprUnnestMapIt(UnaryIterator):
+    """Υ over a sequence-valued subscript (``id()`` tokenization etc.).
+
+    The subscript evaluates to a Python list; one output tuple is emitted
+    per element.  ``None`` elements are dropped (dangling ID references).
+    """
+
+    __slots__ = ("out_slot", "expr", "_values", "_index")
+
+    def __init__(self, runtime: RuntimeState, child: Iterator, out_slot: int,
+                 expr: Subscript):
+        super().__init__(runtime, child)
+        self.out_slot = out_slot
+        self.expr = expr
+        self._values: list = []
+        self._index = 0
+
+    def open(self) -> None:
+        super().open()
+        self._values = []
+        self._index = 0
+
+    def next(self) -> bool:
+        regs = self.runtime.regs
+        while True:
+            while self._index < len(self._values):
+                value = self._values[self._index]
+                self._index += 1
+                if value is not None:
+                    regs[self.out_slot] = value
+                    return True
+            if not self.child.next():
+                return False
+            value = self.expr.evaluate(self.runtime)
+            if isinstance(value, list):
+                self._values = value
+                self._index = 0
+            else:
+                self._values = [value]
+                self._index = 0

@@ -1,0 +1,87 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The compiler distinguishes between errors in the *document* layer (parsing
+and storage), the *query* layer (lexing, parsing, semantic analysis of XPath
+expressions), and the *execution* layer (NVM and iterator runtime).  Keeping
+a single rooted hierarchy lets callers catch ``ReproError`` when they do not
+care which stage failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by the XML parser on malformed input.
+
+    Carries the 1-based ``line`` and ``column`` of the offending position.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class StorageError(ReproError):
+    """Raised by the paged document store on corrupt or invalid data."""
+
+
+class XPathError(ReproError):
+    """Base class for all errors concerning an XPath expression."""
+
+
+class XPathSyntaxError(XPathError):
+    """Raised when an XPath expression does not conform to the grammar."""
+
+    def __init__(self, message: str, position: int = 0):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class XPathTypeError(XPathError):
+    """Raised by semantic analysis on static type violations.
+
+    Examples: calling a function with the wrong arity, using a location
+    path where the grammar requires a node-set but the expression has a
+    scalar type.
+    """
+
+
+class XPathNameError(XPathError):
+    """Raised for references to unknown functions, variables or prefixes."""
+
+
+class TranslationError(ReproError):
+    """Raised when an AST cannot be translated into the algebra.
+
+    A correct compiler never raises this for well-typed input; it guards
+    against internal inconsistencies.
+    """
+
+
+class CodegenError(ReproError):
+    """Raised during physical plan generation (phase 6 of the compiler)."""
+
+
+class NVMError(ReproError):
+    """Raised by the Natix Virtual Machine for invalid programs."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the iterator engine for runtime failures.
+
+    The only expected runtime failures are resource-exhaustion guards and
+    unbound free variables in the execution context.
+    """
+
+
+class UnboundVariableError(ExecutionError):
+    """Raised when evaluation references a variable the context lacks."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unbound variable ${name}")
+        self.name = name

@@ -1,0 +1,30 @@
+"""NVM — the Natix Virtual Machine (paper section 5.2.2).
+
+Non-sequence-valued subscripts of the physical algebra are compiled to
+assembler-like register programs and interpreted by this VM.  The VM can
+
+* read attributes of the current tuple (``load_slot``),
+* execute XPath basic-type functions and operators as single commands,
+* access the results of nested iterators (``exec_nested``,
+  section 5.2.3),
+* navigate to node properties (string-value, ID dereferencing, document
+  root).
+
+:mod:`repro.nvm.compile_expr` compiles scalar IR to programs;
+:mod:`repro.nvm.assembler` provides a textual assembly round-trip.
+"""
+
+from repro.nvm.isa import Instruction, Opcode
+from repro.nvm.machine import NVMProgram, NVMSubscript
+from repro.nvm.compile_expr import compile_scalar
+from repro.nvm.assembler import assemble, disassemble
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "NVMProgram",
+    "NVMSubscript",
+    "compile_scalar",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,144 @@
+"""Textual NVM assembly: disassemble programs and assemble them back.
+
+The format is one instruction per line::
+
+    0: load_slot  r0, s3
+    1: strval     r1, r0
+    2: load_const r2, c0          ; '1991'
+    3: cmp_eq     r3, r1, r2
+    4: ret        r3
+
+Operand sigils: ``r`` local register, ``s`` tuple slot, ``c`` constant
+pool index, ``n`` name pool index, ``p`` nested plan index, ``@`` jump
+target.  ``assemble`` parses this format back into a program (pools for
+constants/names must be supplied; nested plans cannot be expressed in
+text and are carried over from a template program).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from repro.errors import NVMError
+from repro.nvm.isa import Instruction, Opcode, make
+from repro.nvm.machine import NVMProgram
+
+#: Operand sigils per opcode, aligned with the operand tuple.
+_SIGILS = {
+    Opcode.LOAD_CONST: ("r", "c"),
+    Opcode.LOAD_SLOT: ("r", "s"),
+    Opcode.LOAD_VAR: ("r", "n"),
+    Opcode.MOV: ("r", "r"),
+    Opcode.ADD: ("r", "r", "r"),
+    Opcode.SUB: ("r", "r", "r"),
+    Opcode.MUL: ("r", "r", "r"),
+    Opcode.DIV: ("r", "r", "r"),
+    Opcode.MOD: ("r", "r", "r"),
+    Opcode.NEG: ("r", "r"),
+    Opcode.CMP_EQ: ("r", "r", "r"),
+    Opcode.CMP_NE: ("r", "r", "r"),
+    Opcode.CMP_LT: ("r", "r", "r"),
+    Opcode.CMP_LE: ("r", "r", "r"),
+    Opcode.CMP_GT: ("r", "r", "r"),
+    Opcode.CMP_GE: ("r", "r", "r"),
+    Opcode.NOT: ("r", "r"),
+    Opcode.TO_BOOL: ("r", "r"),
+    Opcode.TO_NUM: ("r", "r"),
+    Opcode.TO_STR: ("r", "r"),
+    Opcode.STRVAL: ("r", "r"),
+    Opcode.DEREF: ("r", "r"),
+    Opcode.TOKENIZE: ("r", "r"),
+    Opcode.ROOT: ("r", "r"),
+    Opcode.JUMP: ("@",),
+    Opcode.JUMP_IF_FALSE: ("r", "@"),
+    Opcode.JUMP_IF_TRUE: ("r", "@"),
+    Opcode.EXEC_NESTED: ("r", "p"),
+    Opcode.RET: ("r",),
+}
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+_OPERAND_RE = re.compile(r"^([rscnp@])(\d+)$")
+
+
+def disassemble(program: NVMProgram) -> str:
+    """Render a program as assembly text."""
+    lines: List[str] = []
+    for pc, instruction in enumerate(program.instructions):
+        opcode, operands = instruction
+        if opcode == Opcode.CALL:
+            sigils: Sequence[str] = ("r", "n") + ("r",) * (len(operands) - 2)
+        else:
+            sigils = _SIGILS[opcode]
+        rendered = ", ".join(
+            f"{sigil if sigil != '@' else '@'}{value}"
+            for sigil, value in zip(sigils, operands)
+        )
+        comment = _comment_for(program, instruction)
+        suffix = f"    ; {comment}" if comment else ""
+        lines.append(f"{pc:3d}: {opcode.value:<14}{rendered}{suffix}")
+    return "\n".join(lines)
+
+
+def _comment_for(program: NVMProgram, instruction: Instruction) -> Optional[str]:
+    opcode, operands = instruction
+    if opcode == Opcode.LOAD_CONST:
+        return repr(program.constants[operands[1]])
+    if opcode in (Opcode.LOAD_VAR,):
+        return f"${program.names[operands[1]]}"
+    if opcode == Opcode.CALL:
+        return f"{program.names[operands[1]]}()"
+    return None
+
+
+def assemble(
+    text: str,
+    constants: Sequence[object] = (),
+    names: Sequence[str] = (),
+    template: Optional[NVMProgram] = None,
+) -> NVMProgram:
+    """Parse assembly text back into a program.
+
+    ``constants``/``names`` supply the pools; when re-assembling a
+    disassembled program, pass it as ``template`` to reuse its pools and
+    nested plans.
+    """
+    if template is not None:
+        constants = template.constants
+        names = template.names
+        nested = template.nested
+    else:
+        nested = ()
+    instructions: List[Instruction] = []
+    max_register = -1
+    for raw_line in text.splitlines():
+        line = raw_line.split(";")[0].strip()
+        if not line:
+            continue
+        line = re.sub(r"^\d+:\s*", "", line)
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        opcode = _OPCODES_BY_NAME.get(mnemonic)
+        if opcode is None:
+            raise NVMError(f"unknown mnemonic {mnemonic!r}")
+        operands: List[int] = []
+        if len(parts) > 1:
+            for token in parts[1].split(","):
+                token = token.strip()
+                match = _OPERAND_RE.match(token)
+                if not match:
+                    raise NVMError(f"bad operand {token!r}")
+                sigil, number = match.groups()
+                value = int(number)
+                if sigil == "r":
+                    max_register = max(max_register, value)
+                operands.append(value)
+        if opcode == Opcode.CALL:
+            instructions.append(Instruction(opcode, tuple(operands)))
+        else:
+            instructions.append(make(opcode, *operands))
+    program = NVMProgram(
+        instructions, constants, names, nested, max_register + 1
+    )
+    program.validate()
+    return program

@@ -1,0 +1,201 @@
+"""Compiling scalar IR to NVM programs.
+
+Single-pass code generation with a linear register allocator (registers
+are never reused across subexpressions; programs are tiny).  Boolean
+``and``/``or`` compile to short-circuit jumps; everything else is
+straight-line code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.algebra import scalar as S
+from repro.engine.subscripts import NestedPlan
+from repro.errors import CodegenError
+from repro.nvm.isa import Instruction, Opcode, make
+from repro.nvm.machine import NVMProgram
+from repro.xpath.datamodel import XPathType
+
+_ARITH = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL,
+          "div": Opcode.DIV, "mod": Opcode.MOD}
+_CMP = {"=": Opcode.CMP_EQ, "!=": Opcode.CMP_NE, "<": Opcode.CMP_LT,
+        "<=": Opcode.CMP_LE, ">": Opcode.CMP_GT, ">=": Opcode.CMP_GE}
+_CONVERT = {
+    XPathType.BOOLEAN: Opcode.TO_BOOL,
+    XPathType.NUMBER: Opcode.TO_NUM,
+    XPathType.STRING: Opcode.TO_STR,
+}
+
+
+class _Compiler:
+    def __init__(self, slots: Dict[str, int], nested: Dict[int, NestedPlan]):
+        self.slots = slots
+        self.nested_map = nested
+        self.instructions: List[Instruction] = []
+        self.constants: List[object] = []
+        self.names: List[str] = []
+        self.nested: List[NestedPlan] = []
+        self.n_registers = 0
+
+    # ------------------------------------------------------------------
+
+    def fresh(self) -> int:
+        register = self.n_registers
+        self.n_registers += 1
+        return register
+
+    def const_index(self, value: object) -> int:
+        # Constants are few; linear identity-aware search suffices and
+        # avoids hashing unhashable values.
+        for index, existing in enumerate(self.constants):
+            if existing is value or (
+                type(existing) is type(value) and existing == value
+            ):
+                return index
+        self.constants.append(value)
+        return len(self.constants) - 1
+
+    def name_index(self, name: str) -> int:
+        if name in self.names:
+            return self.names.index(name)
+        self.names.append(name)
+        return len(self.names) - 1
+
+    def emit(self, opcode: Opcode, *operands: int) -> None:
+        self.instructions.append(make(opcode, *operands))
+
+    def emit_call(self, dst: int, name: str, args: List[int]) -> None:
+        self.instructions.append(
+            Instruction(Opcode.CALL, (dst, self.name_index(name), *args))
+        )
+
+    # ------------------------------------------------------------------
+
+    def compile(self, expr: S.Scalar) -> int:
+        """Emit code computing ``expr``; return its result register."""
+        if isinstance(expr, S.SConst):
+            dst = self.fresh()
+            self.emit(Opcode.LOAD_CONST, dst, self.const_index(expr.value))
+            return dst
+        if isinstance(expr, S.SAttr):
+            try:
+                slot = self.slots[expr.name]
+            except KeyError:
+                raise CodegenError(
+                    f"attribute {expr.name!r} has no register"
+                ) from None
+            dst = self.fresh()
+            self.emit(Opcode.LOAD_SLOT, dst, slot)
+            return dst
+        if isinstance(expr, S.SVar):
+            dst = self.fresh()
+            self.emit(Opcode.LOAD_VAR, dst, self.name_index(expr.name))
+            return dst
+        if isinstance(expr, S.SNested):
+            plan = self.nested_map.get(id(expr))
+            if plan is None:
+                raise CodegenError("nested plan was not compiled")
+            self.nested.append(plan)
+            dst = self.fresh()
+            self.emit(Opcode.EXEC_NESTED, dst, len(self.nested) - 1)
+            return dst
+        if isinstance(expr, S.SStringValue):
+            src = self.compile(expr.operand)
+            dst = self.fresh()
+            self.emit(Opcode.STRVAL, dst, src)
+            return dst
+        if isinstance(expr, S.SConvert):
+            src = self.compile(expr.operand)
+            opcode = _CONVERT.get(expr.target)
+            if opcode is None:
+                return src  # ANY/identity conversion
+            dst = self.fresh()
+            self.emit(opcode, dst, src)
+            return dst
+        if isinstance(expr, S.SArith):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            dst = self.fresh()
+            self.emit(_ARITH[expr.op], dst, left, right)
+            return dst
+        if isinstance(expr, S.SNeg):
+            src = self.compile(expr.operand)
+            dst = self.fresh()
+            self.emit(Opcode.NEG, dst, src)
+            return dst
+        if isinstance(expr, S.SCmp):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            dst = self.fresh()
+            self.emit(_CMP[expr.op], dst, left, right)
+            return dst
+        if isinstance(expr, S.SNot):
+            src = self.compile(expr.operand)
+            dst = self.fresh()
+            self.emit(Opcode.NOT, dst, src)
+            return dst
+        if isinstance(expr, S.SBool):
+            return self._compile_bool(expr)
+        if isinstance(expr, S.SFunc):
+            args = [self.compile(arg) for arg in expr.args]
+            dst = self.fresh()
+            self.emit_call(dst, expr.name, args)
+            return dst
+        if isinstance(expr, S.SDeref):
+            src = self.compile(expr.operand)
+            dst = self.fresh()
+            self.emit(Opcode.DEREF, dst, src)
+            return dst
+        if isinstance(expr, S.STokenize):
+            src = self.compile(expr.operand)
+            dst = self.fresh()
+            self.emit(Opcode.TOKENIZE, dst, src)
+            return dst
+        if isinstance(expr, S.SRoot):
+            src = self.compile(expr.operand)
+            dst = self.fresh()
+            self.emit(Opcode.ROOT, dst, src)
+            return dst
+        raise CodegenError(f"cannot compile scalar {type(expr).__name__}")
+
+    def _compile_bool(self, expr: S.SBool) -> int:
+        """Short-circuit ``and``/``or`` via conditional jumps."""
+        dst = self.fresh()
+        left = self.compile(expr.left)
+        self.emit(Opcode.TO_BOOL, dst, left)
+        jump_opcode = (
+            Opcode.JUMP_IF_FALSE if expr.op == "and" else Opcode.JUMP_IF_TRUE
+        )
+        patch_at = len(self.instructions)
+        self.emit(jump_opcode, dst, 0)  # patched below
+        right = self.compile(expr.right)
+        self.emit(Opcode.TO_BOOL, dst, right)
+        target = len(self.instructions)
+        self.instructions[patch_at] = make(jump_opcode, dst, target)
+        return dst
+
+
+def compile_scalar(
+    expr: S.Scalar,
+    slots: Dict[str, int],
+    nested: Dict[int, NestedPlan],
+) -> NVMProgram:
+    """Compile scalar IR into a validated NVM program.
+
+    ``slots`` maps attribute names to tuple registers; ``nested`` maps
+    embedded :class:`~repro.algebra.scalar.SNested` nodes (by ``id``) to
+    their compiled nested plans.
+    """
+    compiler = _Compiler(slots, nested)
+    result = compiler.compile(expr)
+    compiler.emit(Opcode.RET, result)
+    program = NVMProgram(
+        compiler.instructions,
+        compiler.constants,
+        compiler.names,
+        compiler.nested,
+        compiler.n_registers,
+    )
+    program.validate()
+    return program

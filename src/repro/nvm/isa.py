@@ -1,0 +1,129 @@
+"""The NVM instruction set.
+
+A program operates on a file of *local* registers (``r0``, ``r1``, ...)
+private to one program invocation, plus read access to the plan's shared
+tuple registers ("slots").  Programs are straight-line code with
+conditional jumps for the short-circuiting ``and``/``or`` operators.
+
+Instruction operands are small integers: register numbers, slot numbers,
+indices into the program's constant/name pools, nested-plan indices, or
+jump targets.  The textual form (see :mod:`repro.nvm.assembler`) writes
+one instruction per line, e.g.::
+
+    load_slot   r0, s2        ; r0 := tuple attribute in slot 2
+    strval      r1, r0        ; r1 := string-value(r0)
+    load_const  r2, c0        ; r2 := '1991'
+    cmp_eq      r3, r1, r2
+    ret         r3
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import NamedTuple, Tuple
+
+
+class Opcode(Enum):
+    """NVM opcodes.  Operand conventions are documented per group."""
+
+    # Data movement: (dst, src_index)
+    LOAD_CONST = "load_const"   # dst := constants[src]
+    LOAD_SLOT = "load_slot"     # dst := tuple slot src
+    LOAD_VAR = "load_var"       # dst := $names[src] from execution context
+    MOV = "mov"                 # dst := register src
+
+    # Arithmetic (dst, a, b) — operands coerced to number, IEEE 754.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"                 # (dst, a)
+
+    # Comparisons (dst, a, b) — full dynamic XPath comparison matrix.
+    CMP_EQ = "cmp_eq"
+    CMP_NE = "cmp_ne"
+    CMP_LT = "cmp_lt"
+    CMP_LE = "cmp_le"
+    CMP_GT = "cmp_gt"
+    CMP_GE = "cmp_ge"
+
+    # Boolean (dst, a).
+    NOT = "not"
+
+    # Conversions (dst, a).
+    TO_BOOL = "to_bool"
+    TO_NUM = "to_num"
+    TO_STR = "to_str"
+    STRVAL = "strval"           # XPath string-value of a node operand
+
+    # Node commands (dst, a).
+    DEREF = "deref"             # ID string -> element (or None)
+    TOKENIZE = "tokenize"       # string -> whitespace token list
+    ROOT = "root"               # node -> document root node
+
+    # Control flow.
+    JUMP = "jump"               # (target)
+    JUMP_IF_FALSE = "jump_if_false"  # (cond_reg, target)
+    JUMP_IF_TRUE = "jump_if_true"    # (cond_reg, target)
+
+    # Calls.
+    CALL = "call"               # (dst, name_index, arg_reg...) builtin call
+    EXEC_NESTED = "exec_nested"  # (dst, nested_index) nested iterator result
+
+    RET = "ret"                 # (src) — program result
+
+
+class Instruction(NamedTuple):
+    """One NVM instruction: an opcode plus integer operands."""
+
+    opcode: Opcode
+    operands: Tuple[int, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(str(o) for o in self.operands)
+        return f"{self.opcode.value} {args}"
+
+
+def make(opcode: Opcode, *operands: int) -> Instruction:
+    """Construct an instruction (validates operand counts)."""
+    expected = _ARITY.get(opcode)
+    if expected is not None and len(operands) != expected:
+        raise ValueError(
+            f"{opcode.value} expects {expected} operands, got {len(operands)}"
+        )
+    return Instruction(opcode, tuple(operands))
+
+
+#: Fixed operand counts (CALL is variadic and absent).
+_ARITY = {
+    Opcode.LOAD_CONST: 2,
+    Opcode.LOAD_SLOT: 2,
+    Opcode.LOAD_VAR: 2,
+    Opcode.MOV: 2,
+    Opcode.ADD: 3,
+    Opcode.SUB: 3,
+    Opcode.MUL: 3,
+    Opcode.DIV: 3,
+    Opcode.MOD: 3,
+    Opcode.NEG: 2,
+    Opcode.CMP_EQ: 3,
+    Opcode.CMP_NE: 3,
+    Opcode.CMP_LT: 3,
+    Opcode.CMP_LE: 3,
+    Opcode.CMP_GT: 3,
+    Opcode.CMP_GE: 3,
+    Opcode.NOT: 2,
+    Opcode.TO_BOOL: 2,
+    Opcode.TO_NUM: 2,
+    Opcode.TO_STR: 2,
+    Opcode.STRVAL: 2,
+    Opcode.DEREF: 2,
+    Opcode.TOKENIZE: 2,
+    Opcode.ROOT: 2,
+    Opcode.JUMP: 1,
+    Opcode.JUMP_IF_FALSE: 2,
+    Opcode.JUMP_IF_TRUE: 2,
+    Opcode.EXEC_NESTED: 2,
+    Opcode.RET: 1,
+}

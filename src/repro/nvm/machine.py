@@ -1,0 +1,193 @@
+"""The NVM interpreter.
+
+:class:`NVMProgram` is a compiled program: instructions plus constant,
+name and nested-plan pools.  :class:`NVMSubscript` adapts a program to
+the engine's :class:`~repro.engine.subscripts.Subscript` protocol, so
+physical operators are agnostic about which subscript backend they run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.dom.node import Node
+from repro.engine.subscripts import (
+    NestedPlan,
+    Subscript,
+    call_builtin,
+    coerce,
+    deref,
+)
+from repro.errors import NVMError
+from repro.nvm.isa import Instruction, Opcode
+from repro.xpath.datamodel import (
+    XPathType,
+    arith,
+    compare,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.iterator import RuntimeState
+
+
+class NVMProgram:
+    """A compiled NVM program with its pools."""
+
+    __slots__ = ("instructions", "constants", "names", "nested", "n_registers")
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        constants: Sequence[object],
+        names: Sequence[str],
+        nested: Sequence[NestedPlan],
+        n_registers: int,
+    ):
+        self.instructions = tuple(instructions)
+        self.constants = tuple(constants)
+        self.names = tuple(names)
+        self.nested = tuple(nested)
+        self.n_registers = n_registers
+
+    def validate(self) -> None:
+        """Static checks: operand ranges and jump targets."""
+        size = len(self.instructions)
+        for pc, instruction in enumerate(self.instructions):
+            op, operands = instruction.opcode, instruction.operands
+            if op in (Opcode.JUMP, Opcode.JUMP_IF_FALSE, Opcode.JUMP_IF_TRUE):
+                target = operands[-1]
+                if not 0 <= target <= size:
+                    raise NVMError(f"jump target {target} out of range at {pc}")
+            if op == Opcode.LOAD_CONST and operands[1] >= len(self.constants):
+                raise NVMError(f"constant index out of range at {pc}")
+            if op == Opcode.LOAD_VAR and operands[1] >= len(self.names):
+                raise NVMError(f"name index out of range at {pc}")
+            if op == Opcode.EXEC_NESTED and operands[1] >= len(self.nested):
+                raise NVMError(f"nested plan index out of range at {pc}")
+
+
+def _num(value: object) -> float:
+    if isinstance(value, Node):
+        return to_number(value.string_value())
+    return to_number(value)  # type: ignore[arg-type]
+
+
+def _cmp_operand(value: object) -> object:
+    if isinstance(value, Node):
+        return [value]
+    return value
+
+
+_ARITH_OPS = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.MUL: "*",
+    Opcode.DIV: "div",
+    Opcode.MOD: "mod",
+}
+
+_CMP_OPS = {
+    Opcode.CMP_EQ: "=",
+    Opcode.CMP_NE: "!=",
+    Opcode.CMP_LT: "<",
+    Opcode.CMP_LE: "<=",
+    Opcode.CMP_GT: ">",
+    Opcode.CMP_GE: ">=",
+}
+
+
+def execute(program: NVMProgram, runtime: "RuntimeState") -> object:
+    """Run ``program`` against the current tuple; return its result."""
+    regs: List[object] = [None] * program.n_registers
+    slots = runtime.regs
+    instructions = program.instructions
+    pc = 0
+    size = len(instructions)
+    while pc < size:
+        opcode, operands = instructions[pc]
+        pc += 1
+        if opcode == Opcode.LOAD_SLOT:
+            regs[operands[0]] = slots[operands[1]]
+        elif opcode == Opcode.LOAD_CONST:
+            regs[operands[0]] = program.constants[operands[1]]
+        elif opcode == Opcode.LOAD_VAR:
+            regs[operands[0]] = runtime.context.variable(
+                program.names[operands[1]]
+            )
+        elif opcode == Opcode.MOV:
+            regs[operands[0]] = regs[operands[1]]
+        elif opcode in _ARITH_OPS:
+            regs[operands[0]] = arith(
+                _ARITH_OPS[opcode], _num(regs[operands[1]]),
+                _num(regs[operands[2]]),
+            )
+        elif opcode == Opcode.NEG:
+            regs[operands[0]] = -_num(regs[operands[1]])
+        elif opcode in _CMP_OPS:
+            regs[operands[0]] = compare(
+                _CMP_OPS[opcode],
+                _cmp_operand(regs[operands[1]]),
+                _cmp_operand(regs[operands[2]]),
+            )
+        elif opcode == Opcode.NOT:
+            regs[operands[0]] = not to_boolean(regs[operands[1]])  # type: ignore[arg-type]
+        elif opcode == Opcode.TO_BOOL:
+            regs[operands[0]] = coerce(regs[operands[1]], XPathType.BOOLEAN)
+        elif opcode == Opcode.TO_NUM:
+            regs[operands[0]] = coerce(regs[operands[1]], XPathType.NUMBER)
+        elif opcode == Opcode.TO_STR:
+            regs[operands[0]] = coerce(regs[operands[1]], XPathType.STRING)
+        elif opcode == Opcode.STRVAL:
+            value = regs[operands[1]]
+            if isinstance(value, Node):
+                regs[operands[0]] = value.string_value()
+            else:
+                regs[operands[0]] = to_string(value)  # type: ignore[arg-type]
+        elif opcode == Opcode.DEREF:
+            regs[operands[0]] = deref(regs[operands[1]], runtime)
+        elif opcode == Opcode.TOKENIZE:
+            value = regs[operands[1]]
+            text = value.string_value() if isinstance(value, Node) else to_string(value)  # type: ignore[arg-type]
+            regs[operands[0]] = text.split()
+        elif opcode == Opcode.ROOT:
+            node = regs[operands[1]]
+            if not isinstance(node, Node):
+                raise NVMError("root: operand is not a node")
+            regs[operands[0]] = node.root()
+        elif opcode == Opcode.JUMP:
+            pc = operands[0]
+        elif opcode == Opcode.JUMP_IF_FALSE:
+            if not to_boolean(regs[operands[0]]):  # type: ignore[arg-type]
+                pc = operands[1]
+        elif opcode == Opcode.JUMP_IF_TRUE:
+            if to_boolean(regs[operands[0]]):  # type: ignore[arg-type]
+                pc = operands[1]
+        elif opcode == Opcode.CALL:
+            dst, name_index = operands[0], operands[1]
+            args = [regs[r] for r in operands[2:]]
+            regs[dst] = call_builtin(program.names[name_index], args, runtime)
+        elif opcode == Opcode.EXEC_NESTED:
+            regs[operands[0]] = program.nested[operands[1]].evaluate(runtime)
+        elif opcode == Opcode.RET:
+            return regs[operands[0]]
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise NVMError(f"unknown opcode {opcode}")
+    raise NVMError("program ended without ret")
+
+
+class NVMSubscript(Subscript):
+    """Adapter: run an NVM program as an operator subscript."""
+
+    __slots__ = ("program",)
+
+    def __init__(self, program: NVMProgram):
+        program.validate()
+        self.program = program
+
+    def evaluate(self, runtime: "RuntimeState") -> object:
+        runtime.stats["nvm_invocations"] += 1
+        return execute(self.program, runtime)

@@ -1,0 +1,28 @@
+"""Page-based persistent document storage (the Natix storage substrate).
+
+The paper's engine evaluates location steps "via NVM commands that
+directly access the persistent representation of the documents in the
+Natix page buffer ... avoiding an expensive representation change into a
+separate main memory format" (section 5.2.2).  This package reproduces
+that architecture in Python:
+
+* :mod:`repro.storage.encoding` — varint/record binary encoding,
+* :mod:`repro.storage.pages` — the page file and the LRU buffer manager
+  with hit/miss statistics,
+* :mod:`repro.storage.store` — storing documents into a page file and
+  opening them again,
+* :mod:`repro.storage.nodes` — lazy node proxies implementing the same
+  node protocol as the in-memory DOM, so every engine runs unchanged on
+  either representation.
+"""
+
+from repro.storage.pages import BufferManager, PageFile, PAGE_SIZE
+from repro.storage.store import DocumentStore, StoredDocument
+
+__all__ = [
+    "BufferManager",
+    "PageFile",
+    "PAGE_SIZE",
+    "DocumentStore",
+    "StoredDocument",
+]

@@ -1,0 +1,80 @@
+"""Binary encoding primitives for the page store.
+
+Everything in the store is built from two primitives: unsigned LEB128
+varints and length-prefixed UTF-8 strings.  Node records use
+*biased* ids (``id + 1``) so that "no node" encodes as 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import StorageError
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise StorageError(f"cannot encode negative varint {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise StorageError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise StorageError("varint too long")
+
+
+def encode_string(text: str, out: bytearray) -> None:
+    """Append a length-prefixed UTF-8 string."""
+    raw = text.encode("utf-8")
+    encode_varint(len(raw), out)
+    out.extend(raw)
+
+
+def decode_string(data: bytes, offset: int) -> Tuple[str, int]:
+    length, offset = decode_varint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise StorageError("truncated string")
+    return data[offset:end].decode("utf-8"), end
+
+
+def encode_id_list(ids: List[int], out: bytearray) -> None:
+    """Append a delta-encoded monotone id list (children are pre-order)."""
+    encode_varint(len(ids), out)
+    previous = 0
+    for identifier in ids:
+        if identifier < previous:
+            raise StorageError("id list must be non-decreasing")
+        encode_varint(identifier - previous, out)
+        previous = identifier
+
+
+def decode_id_list(data: bytes, offset: int) -> Tuple[List[int], int]:
+    count, offset = decode_varint(data, offset)
+    ids: List[int] = []
+    previous = 0
+    for _ in range(count):
+        delta, offset = decode_varint(data, offset)
+        previous += delta
+        ids.append(previous)
+    return ids, offset

@@ -1,0 +1,67 @@
+"""Lazy node proxies over the page store.
+
+:class:`StoredNode` subclasses the in-memory :class:`~repro.dom.node.Node`
+and overrides the structural accessors to fetch through the store on
+first use.  Everything above the node protocol — the axes, the physical
+algebra, the interpreters — runs unchanged on stored documents; no full
+main-memory representation of the document is ever built (children are
+materialized per visited node, and the page buffer bounds what is held
+in memory at the byte level).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.dom.node import Node, NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.store import StoredDocument
+
+
+class StoredNode(Node):
+    """A node whose structure loads lazily from the page store."""
+
+    __slots__ = ("_store_doc", "_node_id", "_children_loaded",
+                 "_child_ids")
+
+    def __init__(
+        self,
+        store_doc: "StoredDocument",
+        node_id: int,
+        kind: NodeKind,
+        name: Optional[str],
+        value: Optional[str],
+        parent: Optional[Node],
+        child_ids: Sequence[int],
+        sort_key: tuple,
+    ):
+        super().__init__(kind, name=name, value=value)
+        self._store_doc = store_doc
+        self._node_id = node_id
+        self._children_loaded = False
+        self._child_ids = tuple(child_ids)
+        self.parent = parent
+        self.document = store_doc  # duck-typed Document
+        self.sort_key = sort_key
+
+    # ------------------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def children(self) -> Sequence[Node]:
+        if not self._children_loaded:
+            self._children = [
+                self._store_doc.node(child_id, parent=self)
+                for child_id in self._child_ids
+            ]
+            self._children_loaded = True
+        return self._children
+
+    # ``attributes`` are decoded together with the record (they are tiny
+    # and always adjacent), and ``string_value``/traversal in the base
+    # class go through the lazy ``children`` property, so no further
+    # overrides are needed.

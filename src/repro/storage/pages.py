@@ -1,0 +1,122 @@
+"""The page file and the buffer manager.
+
+The store's data region is an array of fixed-size pages on disk.  All
+reads go through the :class:`BufferManager`, which keeps a bounded LRU
+cache of page images and counts hits, misses and evictions — the
+statistics the storage benchmarks and the scalability tests observe.
+
+Records are addressed by absolute byte offset and length; a record may
+span pages (long text nodes), in which case the buffer manager fetches
+the covered page range.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import BinaryIO, Optional
+
+from repro.errors import StorageError
+
+#: Default page size in bytes (Natix uses disk-style small pages).
+PAGE_SIZE = 8192
+
+#: Default number of pages the buffer manager keeps in memory.
+DEFAULT_BUFFER_PAGES = 256
+
+
+class PageFile:
+    """Random-access page I/O over one open file."""
+
+    def __init__(self, handle: BinaryIO, data_start: int, data_length: int,
+                 page_size: int = PAGE_SIZE):
+        self._handle = handle
+        self.data_start = data_start
+        self.data_length = data_length
+        self.page_size = page_size
+
+    @property
+    def page_count(self) -> int:
+        return -(-self.data_length // self.page_size)
+
+    def read_page(self, page_no: int) -> bytes:
+        if page_no < 0 or page_no >= self.page_count:
+            raise StorageError(f"page {page_no} out of range")
+        self._handle.seek(self.data_start + page_no * self.page_size)
+        return self._handle.read(self.page_size)
+
+
+@dataclass
+class BufferStats:
+    """Counters exposed to tests and benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferManager:
+    """A bounded LRU cache of page images."""
+
+    def __init__(self, page_file: PageFile,
+                 capacity: int = DEFAULT_BUFFER_PAGES):
+        if capacity < 1:
+            raise StorageError("buffer capacity must be at least one page")
+        self._file = page_file
+        self._capacity = capacity
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+        self.stats = BufferStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._pages)
+
+    def get_page(self, page_no: int) -> bytes:
+        cached = self._pages.get(page_no)
+        if cached is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(page_no)
+            return cached
+        self.stats.misses += 1
+        image = self._file.read_page(page_no)
+        self._pages[page_no] = image
+        if len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return image
+
+    def read_record(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at data-region ``offset`` (may span pages)."""
+        if offset < 0 or offset + length > self._file.data_length:
+            raise StorageError("record range out of bounds")
+        page_size = self._file.page_size
+        first_page = offset // page_size
+        last_page = (offset + length - 1) // page_size if length else first_page
+        if first_page == last_page:
+            page = self.get_page(first_page)
+            start = offset - first_page * page_size
+            return page[start : start + length]
+        parts = []
+        remaining = length
+        cursor = offset
+        for page_no in range(first_page, last_page + 1):
+            page = self.get_page(page_no)
+            start = cursor - page_no * page_size
+            take = min(page_size - start, remaining)
+            parts.append(page[start : start + take])
+            cursor += take
+            remaining -= take
+        return b"".join(parts)
+
+    def clear(self) -> None:
+        self._pages.clear()

@@ -1,0 +1,21 @@
+"""Workload generators for the paper's evaluation (section 6).
+
+* :mod:`repro.workloads.docgen` — the breadth-first generated documents
+  of section 6.2.1,
+* :mod:`repro.workloads.dblp` — a synthetic DBLP-shaped corpus standing
+  in for the 216 MB DBLP dump of section 6.2.2 (see DESIGN.md for the
+  substitution rationale),
+* :mod:`repro.workloads.querygen` — systematic location-path enumeration
+  ("all location paths of length 3") and the paper's Fig. 5 query set.
+"""
+
+from repro.workloads.docgen import generate_document
+from repro.workloads.dblp import generate_dblp
+from repro.workloads.querygen import FIG5_QUERIES, generate_axis_paths
+
+__all__ = [
+    "generate_document",
+    "generate_dblp",
+    "FIG5_QUERIES",
+    "generate_axis_paths",
+]

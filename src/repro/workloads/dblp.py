@@ -1,0 +1,172 @@
+"""A synthetic DBLP-shaped corpus (substitution for [16], section 6.2.2).
+
+The paper's DBLP experiment runs thirteen queries against the 216 MB
+DBLP XML dump — proprietary-scale data we cannot ship.  This generator
+produces a seeded, statistically DBLP-shaped document at configurable
+scale:
+
+* a flat ``dblp`` root with a very large number of publication children
+  (``article``, ``inproceedings``, ``proceedings``, ``phdthesis``),
+* every publication carries a ``key`` attribute (``journals/...`` /
+  ``conf/...``), a ``title``, 1–6 ``author`` elements, a ``year`` and a
+  venue element,
+* the specific constants the paper's queries mention are guaranteed to
+  exist: author ``Guido Moerkotte`` and key ``conf/er/LockemannM91``.
+
+The queries only depend on this shape (wide root for positional
+predicates, selective value predicates on ``year``/``author``/``@key``),
+so the substitution preserves the behaviour the experiment measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.dom.builder import DocumentBuilder
+from repro.dom.document import Document
+
+#: Publication kind mix, roughly matching DBLP's proportions.
+_KINDS: Sequence[tuple[str, float]] = (
+    ("article", 0.38),
+    ("inproceedings", 0.50),
+    ("proceedings", 0.07),
+    ("phdthesis", 0.05),
+)
+
+_FIRST = (
+    "Guido", "Sven", "Carl-Christian", "Matthias", "Anna", "Wei",
+    "Divesh", "Nick", "Mary", "Georg", "Christoph", "Reinhard",
+    "Daniela", "Donald", "Torsten", "Jan", "Philippe", "Laks",
+)
+_LAST = (
+    "Moerkotte", "Helmer", "Kanne", "Brantner", "Koch", "Pichler",
+    "Gottlob", "Srivastava", "Koudas", "Grust", "Kossmann", "Florescu",
+    "Hidders", "Michiels", "Fernandez", "Simeon", "Graefe", "Ley",
+)
+_TITLE_WORDS = (
+    "Efficient", "Algebraic", "XPath", "Query", "Processing", "Native",
+    "XML", "Database", "Optimization", "Evaluation", "Indexing",
+    "Holistic", "Twig", "Join", "Pattern", "Matching", "Streams",
+    "Storage", "Transactions", "Views",
+)
+_JOURNALS = ("tods", "vldb", "sigmod", "tkde", "is", "dke")
+_CONFERENCES = ("icde", "vldb", "sigmod", "edbt", "cikm", "wise", "er")
+
+#: The author and key constants used verbatim by the paper's queries.
+SPECIAL_AUTHOR = "Guido Moerkotte"
+SPECIAL_KEY = "conf/er/LockemannM91"
+
+
+def generate_dblp(
+    publications: int = 2000,
+    seed: int = 20050405,  # ICDE 2005's opening day
+    special_author_every: int = 40,
+) -> Document:
+    """Generate a DBLP-shaped document with ``publications`` entries.
+
+    Deterministic for a given ``seed``.  Every ``special_author_every``-th
+    ``inproceedings`` gets :data:`SPECIAL_AUTHOR` as an author so the
+    paper's author queries select a realistic, non-empty fraction.
+    """
+    rng = random.Random(seed)
+    builder = DocumentBuilder(id_attributes=("key",))
+    builder.start_element("dblp", [])
+
+    special_key_emitted = False
+    inproceedings_count = 0
+    for index in range(publications):
+        kind = _pick_kind(rng)
+        year = rng.randint(1980, 2004)
+        if kind == "inproceedings":
+            inproceedings_count += 1
+        force_special_author = (
+            kind == "inproceedings"
+            and special_author_every > 0
+            and inproceedings_count % special_author_every == 0
+        )
+        if kind == "inproceedings" and not special_key_emitted:
+            key = SPECIAL_KEY
+            special_key_emitted = True
+            year = 1991
+        else:
+            key = _make_key(rng, kind, index)
+        _emit_publication(builder, rng, kind, key, year,
+                          force_special_author)
+
+    builder.end_element("dblp")
+    return builder.finish()
+
+
+def _pick_kind(rng: random.Random) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for kind, share in _KINDS:
+        cumulative += share
+        if roll < cumulative:
+            return kind
+    return _KINDS[-1][0]
+
+
+def _make_key(rng: random.Random, kind: str, index: int) -> str:
+    if kind == "article":
+        return f"journals/{rng.choice(_JOURNALS)}/P{index}"
+    if kind in ("inproceedings", "proceedings"):
+        return f"conf/{rng.choice(_CONFERENCES)}/P{index}"
+    return f"phd/P{index}"
+
+
+def _make_title(rng: random.Random) -> str:
+    words = rng.sample(_TITLE_WORDS, rng.randint(3, 6))
+    return " ".join(words) + "."
+
+
+def _make_author(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+
+
+def _emit_publication(
+    builder: DocumentBuilder,
+    rng: random.Random,
+    kind: str,
+    key: str,
+    year: int,
+    force_special_author: bool,
+) -> None:
+    builder.start_element(kind, [("key", key), ("mdate", f"{year}-06-01")])
+
+    authors: List[str] = [
+        _make_author(rng) for _ in range(rng.randint(1, 6))
+    ]
+    if force_special_author:
+        authors[rng.randrange(len(authors))] = SPECIAL_AUTHOR
+    if key == SPECIAL_KEY and SPECIAL_AUTHOR not in authors:
+        authors[0] = SPECIAL_AUTHOR
+    for author in authors:
+        builder.start_element("author", [])
+        builder.text(author)
+        builder.end_element("author")
+
+    builder.start_element("title", [])
+    builder.text(_make_title(rng))
+    builder.end_element("title")
+
+    if kind == "article":
+        _leaf(builder, "journal", rng.choice(_JOURNALS).upper())
+        _leaf(builder, "volume", str(rng.randint(1, 40)))
+        _leaf(builder, "pages", f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+    elif kind in ("inproceedings", "proceedings"):
+        _leaf(builder, "booktitle", rng.choice(_CONFERENCES).upper())
+        _leaf(builder, "pages", f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+    else:
+        _leaf(builder, "school", "Universität Mannheim")
+
+    _leaf(builder, "year", str(year))
+    _leaf(builder, "url", f"db/{key}.html")
+    builder.end_element(kind)
+
+
+def _leaf(builder: DocumentBuilder, name: str, text: str) -> None:
+    builder.start_element(name, [])
+    builder.text(text)
+    builder.end_element(name)

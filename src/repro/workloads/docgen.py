@@ -1,0 +1,117 @@
+"""The paper's document generator (section 6.2.1).
+
+"The documents ... were generated.  They differ in the number of
+elements, fanout and document depth.  The document generator follows a
+breadth first algorithm and fills every depth of the document with the
+given fanout until the maximum number of elements or depth is reached.
+The root element of every document has the name xdoc.  Every element
+contains an attribute id which is consecutively numbered."
+
+The paper's concrete configurations are exposed as
+:data:`PAPER_SMALL_SERIES` (2000–8000 elements, fanout 6, depth 4) and
+:data:`PAPER_LARGE_SERIES` (10000–80000 elements, fanout 10, depth 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence
+
+from repro.dom.builder import DocumentBuilder
+from repro.dom.document import Document
+from repro.dom.node import Node, NodeKind
+
+#: (max_elements, fanout, depth) triples matching the paper's figures.
+PAPER_SMALL_SERIES: Sequence[tuple[int, int, int]] = tuple(
+    (n, 6, 4) for n in (2000, 4000, 6000, 8000)
+)
+PAPER_LARGE_SERIES: Sequence[tuple[int, int, int]] = tuple(
+    (n, 10, 5) for n in (10000, 20000, 40000, 80000)
+)
+
+#: Element names used below the root, cycling by depth.
+_NAMES = ("section", "item", "entry", "leaf", "part", "unit")
+
+
+def generate_document(
+    max_elements: int,
+    fanout: int,
+    depth: int,
+    element_names: Optional[Sequence[str]] = None,
+) -> Document:
+    """Generate a breadth-first document per the paper's description.
+
+    ``depth`` counts levels below the root; the root ``xdoc`` element is
+    level 0 and carries ``id="0"``.  Generation stops when either
+    ``max_elements`` elements exist or every level up to ``depth`` is
+    full.
+    """
+    if max_elements < 1:
+        raise ValueError("max_elements must be at least 1")
+    if fanout < 1 or depth < 0:
+        raise ValueError("fanout must be >= 1 and depth >= 0")
+    names = tuple(element_names or _NAMES)
+
+    builder = _TreeAssembler()
+    root = builder.make_element("xdoc", 0)
+    count = 1
+    queue: deque[tuple[_PendingElement, int]] = deque([(root, 0)])
+    while queue and count < max_elements:
+        parent, level = queue.popleft()
+        if level >= depth:
+            continue
+        name = names[level % len(names)]
+        for _ in range(fanout):
+            if count >= max_elements:
+                break
+            child = builder.make_element(name, count)
+            parent.children.append(child)
+            count += 1
+            queue.append((child, level + 1))
+    return builder.finish(root)
+
+
+class _PendingElement:
+    """A lightweight element record used during generation."""
+
+    __slots__ = ("name", "identifier", "children")
+
+    def __init__(self, name: str, identifier: int):
+        self.name = name
+        self.identifier = identifier
+        self.children: List["_PendingElement"] = []
+
+
+class _TreeAssembler:
+    """Builds the DOM from pending records in one pass at the end.
+
+    Generating into lightweight records first keeps the breadth-first
+    phase allocation-cheap; the DOM (with document-order ranks and the ID
+    map) is assembled once the shape is final.
+    """
+
+    def make_element(self, name: str, identifier: int) -> _PendingElement:
+        return _PendingElement(name, identifier)
+
+    def finish(self, root: _PendingElement) -> Document:
+        builder = DocumentBuilder()
+        stack: List[tuple[_PendingElement, bool]] = [(root, False)]
+        while stack:
+            pending, done = stack.pop()
+            if done:
+                builder.end_element(pending.name)
+                continue
+            builder.start_element(
+                pending.name, [("id", str(pending.identifier))]
+            )
+            stack.append((pending, True))
+            for child in reversed(pending.children):
+                stack.append((child, False))
+        return builder.finish()
+
+
+def element_count(document: Document) -> int:
+    """Number of element nodes in a generated document."""
+    return sum(
+        1 for node in document.iter_nodes() if node.kind == NodeKind.ELEMENT
+    )

@@ -1,0 +1,87 @@
+"""Query workload generation.
+
+Section 6.2.1: "The queries were obtained by systematically generating
+all XPath location paths of length 3 with a node test checking for any
+element node in each step."  :func:`generate_axis_paths` reproduces that
+enumeration (for arbitrary lengths); :data:`FIG5_QUERIES` lists the four
+sample queries the paper selected as representative patterns (Fig. 5),
+and :data:`FIG10_QUERIES` the thirteen DBLP queries of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Sequence
+
+from repro.xpath.axes import Axis
+
+#: The four queries of the paper's Fig. 5 (axis shorthands expanded).
+FIG5_QUERIES: Sequence[str] = (
+    "/child::xdoc/descendant::*/ancestor::*/descendant::*/attribute::id",
+    "/child::xdoc/descendant::*/preceding-sibling::*/following::*"
+    "/attribute::id",
+    "/child::xdoc/descendant::*/ancestor::*/ancestor::*/attribute::id",
+    "/child::xdoc/child::*/parent::*/descendant::*/attribute::id",
+)
+
+#: The thirteen DBLP queries of the paper's Fig. 10, verbatim.
+FIG10_QUERIES: Sequence[str] = (
+    "/dblp/article/title",
+    "/dblp/*/title",
+    "/dblp/article[position() = 3]/title",
+    "/dblp/article[position() < 100]/title",
+    "/dblp/article[position() = last()]/title",
+    "/dblp/article[position() = last() - 10]/title",
+    "/dblp/article/title | /dblp/inproceedings/title",
+    "/dblp/article[count(author) = 4]/@key",
+    "/dblp/article[year = '1991']/@key",
+    "/dblp/inproceedings[year = '1991']/@key",
+    "/dblp/*[author = 'Guido Moerkotte']/@key",
+    "/dblp/inproceedings[@key = 'conf/er/LockemannM91']/title",
+    "/dblp/inproceedings[author = 'Guido Moerkotte']"
+    "[position() = last()]/title",
+)
+
+#: Axes entering the systematic enumeration (element principal type).
+ELEMENT_AXES: Sequence[Axis] = (
+    Axis.CHILD,
+    Axis.DESCENDANT,
+    Axis.PARENT,
+    Axis.ANCESTOR,
+    Axis.FOLLOWING_SIBLING,
+    Axis.PRECEDING_SIBLING,
+    Axis.FOLLOWING,
+    Axis.PRECEDING,
+    Axis.SELF,
+    Axis.DESCENDANT_OR_SELF,
+    Axis.ANCESTOR_OR_SELF,
+)
+
+
+def generate_axis_paths(
+    length: int = 3,
+    axes: Sequence[Axis] = ELEMENT_AXES,
+    prefix: str = "/child::xdoc",
+    suffix: str = "/attribute::id",
+) -> Iterator[str]:
+    """All location paths of ``length`` ``axis::*`` steps.
+
+    Mirrors the paper's query generator: each query starts at the
+    ``xdoc`` root element, applies ``length`` wildcard element steps, and
+    projects the ``id`` attribute.
+    """
+    for combination in itertools.product(axes, repeat=length):
+        steps = "".join(f"/{axis.value}::*" for axis in combination)
+        yield f"{prefix}{steps}{suffix}"
+
+
+def sample_axis_paths(
+    length: int = 3, stride: int = 37, limit: int = 40
+) -> List[str]:
+    """A deterministic, well-spread sample of the systematic query set.
+
+    Exhaustively running all ``11**3`` length-3 paths is a test-suite
+    job; benchmarks and examples use this strided sample instead.
+    """
+    queries = list(generate_axis_paths(length))
+    return [queries[i] for i in range(0, len(queries), stride)][:limit]

@@ -1,0 +1,17 @@
+"""XPath 1.0 front end: lexer, parser, data model, axes and functions."""
+
+from repro.xpath.parser import parse_xpath
+from repro.xpath.datamodel import (
+    XPathType,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+__all__ = [
+    "parse_xpath",
+    "XPathType",
+    "to_boolean",
+    "to_number",
+    "to_string",
+]

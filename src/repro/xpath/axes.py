@@ -1,0 +1,363 @@
+"""The thirteen XPath axes and node tests.
+
+Each axis is implemented as a generator yielding nodes in *axis order*:
+forward axes in document order, reverse axes (``ancestor``,
+``ancestor-or-self``, ``preceding``, ``preceding-sibling``) in reverse
+document order.  Axis order is what makes ``position()`` count proximity
+position for reverse axes, as the spec requires — the unnest-map operator
+simply enumerates the generator.
+
+The module also implements the paper's *ppd* classification (section 4.1):
+the set of axes that may produce duplicates when applied to a node-set of
+several context nodes, after which the improved translation inserts a
+duplicate elimination.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, Iterator, Mapping, Optional
+
+from repro.dom.node import Node, NodeKind
+
+
+class Axis(Enum):
+    """Axis identifiers, named exactly as in the XPath grammar."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    FOLLOWING_SIBLING = "following-sibling"
+    PRECEDING_SIBLING = "preceding-sibling"
+    FOLLOWING = "following"
+    PRECEDING = "preceding"
+    ATTRIBUTE = "attribute"
+    NAMESPACE = "namespace"
+    SELF = "self"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+
+
+#: Shorthand axis names accepted by the parser in addition to the
+#: grammar names.  The paper's own figures use these (Fig. 5).
+AXIS_ALIASES: Dict[str, str] = {
+    "desc": "descendant",
+    "anc": "ancestor",
+    "par": "parent",
+    "fol": "following",
+    "prec": "preceding",
+    "fol-sib": "following-sibling",
+    "pre-sib": "preceding-sibling",
+    "attr": "attribute",
+}
+
+_AXES_BY_NAME = {axis.value: axis for axis in Axis}
+
+
+def axis_by_name(name: str) -> Optional[Axis]:
+    """Resolve an axis name or paper shorthand; ``None`` if unknown."""
+    return _AXES_BY_NAME.get(AXIS_ALIASES.get(name, name))
+
+
+#: Axes that enumerate in reverse document order.
+REVERSE_AXES = frozenset(
+    {Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF, Axis.PRECEDING, Axis.PRECEDING_SIBLING}
+)
+
+#: The paper's section-4.1 list: location steps along these axes may
+#: produce duplicates when the preceding context contains several nodes.
+PPD_AXES = frozenset(
+    {
+        Axis.FOLLOWING,
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING,
+        Axis.PRECEDING_SIBLING,
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF,
+    }
+)
+
+
+def ppd(axis: Axis) -> bool:
+    """True iff a step along ``axis`` potentially produces duplicates."""
+    return axis in PPD_AXES
+
+
+def principal_node_kind(axis: Axis) -> NodeKind:
+    """The principal node type of an axis (spec section 2.3)."""
+    if axis == Axis.ATTRIBUTE:
+        return NodeKind.ATTRIBUTE
+    if axis == Axis.NAMESPACE:
+        return NodeKind.NAMESPACE
+    return NodeKind.ELEMENT
+
+
+# ----------------------------------------------------------------------
+# Axis generators
+# ----------------------------------------------------------------------
+
+def _child(node: Node) -> Iterator[Node]:
+    yield from node.children
+
+
+def _descendant(node: Node) -> Iterator[Node]:
+    yield from node.iter_descendants()
+
+
+def _descendant_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from node.iter_descendants()
+
+
+def _parent(node: Node) -> Iterator[Node]:
+    if node.parent is not None:
+        yield node.parent
+
+
+def _ancestor(node: Node) -> Iterator[Node]:
+    current = node.parent
+    while current is not None:
+        yield current
+        current = current.parent
+
+
+def _ancestor_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from _ancestor(node)
+
+
+def _following_sibling(node: Node) -> Iterator[Node]:
+    yield from node.iter_following_siblings()
+
+
+def _preceding_sibling(node: Node) -> Iterator[Node]:
+    yield from node.iter_preceding_siblings()
+
+
+def _following(node: Node) -> Iterator[Node]:
+    """Nodes after the context in document order, minus its descendants.
+
+    For attribute and namespace nodes the axis starts with the owner
+    element's subtree, because those nodes precede the element's children
+    in document order yet have no descendants of their own.
+    """
+    if not node.is_tree_node():
+        owner = node.parent
+        if owner is None:
+            return
+        yield from owner.iter_descendants()
+        yield from _following(owner)
+        return
+    current: Optional[Node] = node
+    while current is not None:
+        for sibling in current.iter_following_siblings():
+            yield sibling
+            if sibling.kind == NodeKind.ELEMENT:
+                yield from sibling.iter_descendants()
+        current = current.parent
+
+
+def _subtree_reverse(node: Node) -> Iterator[Node]:
+    """A subtree (including its root) in reverse document order.
+
+    Reverse document order is exactly the reverse of the pre-order
+    sequence; an explicit stack keeps deep documents off the Python
+    call stack.
+    """
+    preorder = [node]
+    stack = list(reversed(node.children))
+    while stack:
+        current = stack.pop()
+        preorder.append(current)
+        if current.kind == NodeKind.ELEMENT:
+            stack.extend(reversed(current.children))
+    return reversed(preorder)
+
+
+def _preceding(node: Node) -> Iterator[Node]:
+    """Nodes before the context in reverse document order, minus ancestors."""
+    if not node.is_tree_node():
+        owner = node.parent
+        if owner is not None:
+            yield from _preceding(owner)
+        return
+    current: Optional[Node] = node
+    while current is not None:
+        for sibling in current.iter_preceding_siblings():
+            yield from _subtree_reverse(sibling)
+        current = current.parent
+
+
+def _attribute(node: Node) -> Iterator[Node]:
+    yield from node.attributes
+
+
+def _namespace(node: Node) -> Iterator[Node]:
+    """Synthesized namespace nodes for an element context.
+
+    Namespace nodes are created on demand (one per in-scope binding) with
+    sort keys placing them between the element and its attributes; the
+    element is recorded as their parent, as the spec requires.
+    """
+    if node.kind != NodeKind.ELEMENT:
+        return
+    bindings = node.in_scope_namespaces()
+    rank = node.sort_key[0]
+    for idx, prefix in enumerate(sorted(bindings)):
+        ns = Node(NodeKind.NAMESPACE, name=prefix, value=bindings[prefix])
+        ns.parent = node
+        ns.document = node.document
+        ns.sort_key = (rank, 1, idx)
+        yield ns
+
+
+def _self(node: Node) -> Iterator[Node]:
+    yield node
+
+
+_AXIS_FUNCTIONS: Dict[Axis, Callable[[Node], Iterator[Node]]] = {
+    Axis.CHILD: _child,
+    Axis.DESCENDANT: _descendant,
+    Axis.DESCENDANT_OR_SELF: _descendant_or_self,
+    Axis.PARENT: _parent,
+    Axis.ANCESTOR: _ancestor,
+    Axis.ANCESTOR_OR_SELF: _ancestor_or_self,
+    Axis.FOLLOWING_SIBLING: _following_sibling,
+    Axis.PRECEDING_SIBLING: _preceding_sibling,
+    Axis.FOLLOWING: _following,
+    Axis.PRECEDING: _preceding,
+    Axis.ATTRIBUTE: _attribute,
+    Axis.NAMESPACE: _namespace,
+    Axis.SELF: _self,
+}
+
+
+def iter_axis(axis: Axis, node: Node) -> Iterator[Node]:
+    """Enumerate ``axis`` from ``node`` in axis order."""
+    return _AXIS_FUNCTIONS[axis](node)
+
+
+# ----------------------------------------------------------------------
+# Node tests
+# ----------------------------------------------------------------------
+
+class NodeTestKind(Enum):
+    """Which node test production was used."""
+
+    NAME = "name"            # QName or NCName
+    ANY_NAME = "*"           # * (or prefix:*)
+    NODE = "node"            # node()
+    TEXT = "text"            # text()
+    COMMENT = "comment"      # comment()
+    PI = "processing-instruction"  # processing-instruction(Literal?)
+
+
+def make_node_test(
+    kind: NodeTestKind,
+    name: Optional[str],
+    axis: Axis,
+    namespaces: Optional[Mapping[str, str]] = None,
+) -> Callable[[Node], bool]:
+    """Compile a node test into a specialized predicate closure.
+
+    The unnest-map iterator applies its node test to every axis
+    candidate; resolving the test kind once (instead of per node) is a
+    measurable constant-factor win — one of the paper's "engineering
+    details in NQE" (section 6.2).
+    """
+    if kind == NodeTestKind.NODE:
+        return lambda node: True
+    if kind == NodeTestKind.TEXT:
+        return lambda node: node.kind == NodeKind.TEXT
+    if kind == NodeTestKind.COMMENT:
+        return lambda node: node.kind == NodeKind.COMMENT
+    if kind == NodeTestKind.PI:
+        target = name
+        if target is None:
+            return lambda node: (
+                node.kind == NodeKind.PROCESSING_INSTRUCTION
+            )
+        return lambda node: (
+            node.kind == NodeKind.PROCESSING_INSTRUCTION
+            and node.name == target
+        )
+    principal = principal_node_kind(axis)
+    if kind == NodeTestKind.ANY_NAME and name is None:
+        return lambda node: node.kind == principal
+    # Prefixed / namespace-sensitive tests keep the general path through
+    # node_test_matches; the plain-name common case gets the fast path.
+    if kind == NodeTestKind.NAME and ":" not in (name or ""):
+        wanted = name
+
+        def plain_name_test(node: Node) -> bool:
+            if node.kind != principal or node.name != wanted:
+                return False
+            document = node.document
+            if document is not None and not getattr(
+                document, "has_namespace_declarations", True
+            ):
+                return True
+            return not node.namespace_uri()
+
+        return plain_name_test
+    return lambda node: node_test_matches(kind, name, axis, node, namespaces)
+
+
+def node_test_matches(
+    kind: NodeTestKind,
+    name: Optional[str],
+    axis: Axis,
+    node: Node,
+    namespaces: Optional[Mapping[str, str]] = None,
+) -> bool:
+    """Evaluate a node test against ``node`` reached along ``axis``.
+
+    ``name`` is the test's QName (for NAME), the prefix (for a
+    ``prefix:*`` ANY_NAME; ``None`` for a bare ``*``), or the PI target
+    literal (for PI; ``None`` matches every PI).  ``namespaces`` maps the
+    *expression context* prefixes to URIs, per spec section 2.3 — the
+    document's own declarations are irrelevant for resolving the test's
+    prefix.
+    """
+    if kind == NodeTestKind.NODE:
+        return True
+    if kind == NodeTestKind.TEXT:
+        return node.kind == NodeKind.TEXT
+    if kind == NodeTestKind.COMMENT:
+        return node.kind == NodeKind.COMMENT
+    if kind == NodeTestKind.PI:
+        if node.kind != NodeKind.PROCESSING_INSTRUCTION:
+            return False
+        return name is None or node.name == name
+    principal = principal_node_kind(axis)
+    if node.kind != principal:
+        return False
+    if kind == NodeTestKind.ANY_NAME:
+        if name is None:
+            return True
+        # prefix:* — match any local name in the prefix's namespace.
+        uri = (namespaces or {}).get(name, "")
+        return node.namespace_uri() == uri and bool(uri)
+    # NAME test.
+    if ":" in (name or ""):
+        prefix, local = name.split(":", 1)  # type: ignore[union-attr]
+        uri = (namespaces or {}).get(prefix, "")
+        if not uri:
+            return False
+        return node.local_name == local and node.namespace_uri() == uri
+    if axis == Axis.NAMESPACE:
+        return node.name == name
+    if node.name != name:
+        return False
+    # In a document without namespace declarations no node has a
+    # namespace URI; skip the O(depth) in-scope lookup.
+    document = node.document
+    if document is not None and not getattr(
+        document, "has_namespace_declarations", True
+    ):
+        return True
+    return not node.namespace_uri()

@@ -1,0 +1,60 @@
+"""Evaluation contexts (spec section 1).
+
+An XPath expression is evaluated with respect to a context consisting of a
+context node, a context position and size, variable bindings, a function
+library and namespace declarations.  :class:`EvalContext` carries exactly
+that; it is shared by the baseline interpreters, the NVM builtins and the
+top-level API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from repro.dom.node import Node
+from repro.errors import UnboundVariableError
+from repro.xpath.datamodel import XPathValue
+
+
+@dataclass
+class EvalContext:
+    """One XPath evaluation context.
+
+    Contexts are treated as immutable: derived contexts (for predicate
+    evaluation, nested paths, ...) are created via :meth:`with_node` /
+    :meth:`with_position`.
+    """
+
+    node: Node
+    position: int = 1
+    size: int = 1
+    variables: Mapping[str, XPathValue] = field(default_factory=dict)
+    namespaces: Mapping[str, str] = field(default_factory=dict)
+
+    def variable(self, name: str) -> XPathValue:
+        """Look up a ``$name`` binding; raises if unbound."""
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise UnboundVariableError(name) from None
+
+    def with_node(self, node: Node, position: int = 1, size: int = 1) -> "EvalContext":
+        """A derived context with a new node/position/size."""
+        return replace(self, node=node, position=position, size=size)
+
+    def with_position(self, position: int, size: int) -> "EvalContext":
+        return replace(self, position=position, size=size)
+
+
+def make_context(
+    node: Node,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    namespaces: Optional[Mapping[str, str]] = None,
+) -> EvalContext:
+    """Create a top-level context for ``node`` (position = size = 1)."""
+    return EvalContext(
+        node=node,
+        variables=dict(variables or {}),
+        namespaces=dict(namespaces or {}),
+    )

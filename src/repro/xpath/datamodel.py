@@ -1,0 +1,340 @@
+"""The XPath 1.0 value model and its conversion/comparison semantics.
+
+XPath expressions evaluate to one of four basic types (spec section 1):
+
+* *node-set* — represented here as a Python ``list`` of
+  :class:`~repro.dom.node.Node`, duplicate-free but in arbitrary order
+  (XPath 1.0 node-sets are unordered collections),
+* *boolean* — Python ``bool``,
+* *number* — an IEEE 754 double, Python ``float`` (integers are widened),
+* *string* — Python ``str``.
+
+This module centralizes the W3C conversion rules (spec section 4) and the
+cross-type comparison matrix (spec section 3.4) so that the algebraic
+engine, the NVM and the baseline interpreters share one semantics and can
+be differentially tested against each other.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Iterable, List, Sequence, Union
+
+from repro.dom.node import Node
+
+XPathValue = Union[bool, float, str, List[Node]]
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class XPathType(Enum):
+    """Static types assigned by semantic analysis."""
+
+    NODE_SET = "node-set"
+    BOOLEAN = "boolean"
+    NUMBER = "number"
+    STRING = "string"
+    #: Used before semantic analysis or for context-dependent expressions.
+    ANY = "any"
+
+
+def type_of(value: XPathValue) -> XPathType:
+    """Dynamic type of a runtime value."""
+    if isinstance(value, bool):
+        return XPathType.BOOLEAN
+    if isinstance(value, (int, float)):
+        return XPathType.NUMBER
+    if isinstance(value, str):
+        return XPathType.STRING
+    if isinstance(value, list):
+        return XPathType.NODE_SET
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Document order helpers
+# ----------------------------------------------------------------------
+
+def document_order(nodes: Iterable[Node]) -> List[Node]:
+    """The nodes sorted into document order."""
+    return sorted(nodes, key=lambda n: n.sort_key)
+
+
+def first_in_document_order(nodes: Sequence[Node]) -> Node:
+    """The member of a non-empty node-set that comes first in the document."""
+    return min(nodes, key=lambda n: n.sort_key)
+
+
+def deduplicate(nodes: Iterable[Node]) -> List[Node]:
+    """Remove duplicate nodes, keeping first occurrence order."""
+    seen: set[Node] = set()
+    out: List[Node] = []
+    for node in nodes:
+        if node not in seen:
+            seen.add(node)
+            out.append(node)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Conversions (spec section 4)
+# ----------------------------------------------------------------------
+
+def to_string(value: XPathValue) -> str:
+    """The ``string()`` function's conversion (spec section 4.2)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return number_to_string(float(value))
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        if not value:
+            return ""
+        return first_in_document_order(value).string_value()
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+def number_to_string(number: float) -> str:
+    """Render an IEEE double per the spec's decimal-form rules.
+
+    NaN renders as ``NaN``, signed zero as ``0``, infinities as
+    ``Infinity``/``-Infinity``, integral values without a decimal point and
+    everything else as the shortest decimal form without an exponent.
+    """
+    if math.isnan(number):
+        return "NaN"
+    if number == 0:
+        return "0"
+    if math.isinf(number):
+        return "Infinity" if number > 0 else "-Infinity"
+    if number == int(number) and abs(number) < 1e16:
+        return str(int(number))
+    text = repr(number)
+    if "e" in text or "E" in text:
+        # Expand exponent notation into plain decimal form.
+        text = format(number, ".{}f".format(_decimals_for(number))).rstrip("0")
+        if text.endswith("."):
+            text = text[:-1]
+    return text
+
+
+def _decimals_for(number: float) -> int:
+    """Enough fraction digits to round-trip ``number`` in fixed notation."""
+    magnitude = abs(number)
+    if magnitude >= 1:
+        return 17
+    # Small magnitudes need extra places for the leading zeros.
+    return min(1074, 17 + int(-math.floor(math.log10(magnitude))))
+
+
+def to_number(value: XPathValue) -> float:
+    """The ``number()`` function's conversion (spec section 4.4)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return string_to_number(value)
+    if isinstance(value, list):
+        return string_to_number(to_string(value))
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+def string_to_number(text: str) -> float:
+    """Parse a string per the XPath ``Number`` production; else NaN.
+
+    Note that XPath numbers permit a leading ``-`` but no ``+`` sign and no
+    exponent, so ``number('+1')`` and ``number('1e3')`` are both NaN.
+    """
+    stripped = text.strip(" \t\r\n")
+    if not stripped:
+        return NAN
+    body = stripped[1:] if stripped.startswith("-") else stripped
+    if not body:
+        return NAN
+    dot = body.find(".")
+    if dot >= 0:
+        integer, fraction = body[:dot], body[dot + 1 :]
+        if "." in fraction:
+            return NAN
+        if not integer and not fraction:
+            return NAN
+        if (integer and not integer.isdigit()) or (
+            fraction and not fraction.isdigit()
+        ):
+            return NAN
+    elif not body.isdigit():
+        return NAN
+    try:
+        return float(stripped)
+    except ValueError:  # pragma: no cover - guarded by the checks above
+        return NAN
+
+
+def to_boolean(value: XPathValue) -> bool:
+    """The ``boolean()`` function's conversion (spec section 4.3)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return number != 0 and not math.isnan(number)
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, list):
+        return len(value) > 0
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+def convert(value: XPathValue, target: XPathType) -> XPathValue:
+    """Convert ``value`` to the given basic type (identity for ANY)."""
+    if target == XPathType.STRING:
+        return to_string(value)
+    if target == XPathType.NUMBER:
+        return to_number(value)
+    if target == XPathType.BOOLEAN:
+        return to_boolean(value)
+    if target == XPathType.NODE_SET:
+        if isinstance(value, list):
+            return value
+        raise TypeError(f"cannot convert {type_of(value).value} to node-set")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Arithmetic (spec section 3.5)
+# ----------------------------------------------------------------------
+
+def arith(op: str, left: float, right: float) -> float:
+    """IEEE 754 arithmetic for ``+ - * div mod`` including the zero cases."""
+    if math.isnan(left) or math.isnan(right):
+        if op in ("+", "-", "*", "div", "mod"):
+            return NAN
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "div":
+        if right == 0:
+            if left == 0 or math.isnan(left):
+                return NAN
+            sign = math.copysign(1.0, left) * math.copysign(1.0, right)
+            return INF * sign
+        return left / right
+    if op == "mod":
+        # XPath mod truncates toward zero (like Java %), unlike Python %.
+        if right == 0 or math.isinf(left) or math.isnan(left) or math.isnan(right):
+            return NAN
+        if math.isinf(right):
+            return left
+        return math.fmod(left, right)
+    raise ValueError(f"unknown arithmetic operator {op!r}")
+
+
+def negate(value: float) -> float:
+    """Unary minus (preserves NaN, flips signed zero)."""
+    return -value
+
+
+def xpath_round(number: float) -> float:
+    """``round()`` per spec: ties go toward positive infinity.
+
+    ``round(-0.5)`` is negative zero and NaN/infinities pass through.
+    """
+    if math.isnan(number) or math.isinf(number):
+        return number
+    rounded = math.floor(number + 0.5)
+    if rounded == 0 and (number < 0 or (number == 0 and math.copysign(1, number) < 0)):
+        return -0.0
+    return float(rounded)
+
+
+# ----------------------------------------------------------------------
+# Comparisons (spec section 3.4)
+# ----------------------------------------------------------------------
+
+def _numeric_compare(op: str, a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return False
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _atomic_compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    """Compare two non-node-set values per the spec's precedence rules."""
+    if op in ("=", "!="):
+        if isinstance(left, bool) or isinstance(right, bool):
+            result = to_boolean(left) == to_boolean(right)
+        elif isinstance(left, (int, float)) or isinstance(right, (int, float)):
+            # Python float equality is IEEE 754: NaN = NaN is false and
+            # NaN != anything is true, exactly as XPath requires.
+            result = to_number(left) == to_number(right)
+        else:
+            result = to_string(left) == to_string(right)
+        return result if op == "=" else not result
+    # Relational operators always compare as numbers.
+    return _numeric_compare(op, to_number(left), to_number(right))
+
+
+def compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    """Full cross-type comparison including existential node-set semantics.
+
+    Exactly one subtlety deserves a note: when a node-set meets ``=`` or
+    ``!=`` against a number or string, the comparison is existential over
+    the node string-values; NaN makes every numeric comparison false, so
+    ``ns != 'x'`` is *not* the negation of ``ns = 'x'``.
+    """
+    left_is_ns = isinstance(left, list)
+    right_is_ns = isinstance(right, list)
+
+    if left_is_ns and right_is_ns:
+        if op in ("=", "!="):
+            right_strings = {node.string_value() for node in right}
+            for node in left:
+                sv = node.string_value()
+                if op == "=" and sv in right_strings:
+                    return True
+                if op == "!=" and any(sv != other for other in right_strings):
+                    return True
+            return False
+        for a in left:
+            na = string_to_number(a.string_value())
+            for b in right:
+                if _numeric_compare(op, na, string_to_number(b.string_value())):
+                    return True
+        return False
+
+    if left_is_ns or right_is_ns:
+        nodes, other = (left, right) if left_is_ns else (right, left)
+        node_side_is_left = left_is_ns
+        if isinstance(other, bool):
+            return _atomic_compare(op if node_side_is_left else _flip(op),
+                                   to_boolean(nodes), other)
+        for node in nodes:
+            sv: XPathValue = node.string_value()
+            a, b = (sv, other) if node_side_is_left else (other, sv)
+            if _atomic_compare(op, a, b):
+                return True
+        return False
+
+    return _atomic_compare(op, left, right)
+
+
+def _flip(op: str) -> str:
+    """Mirror a comparison operator (for swapped operands)."""
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[op]

@@ -1,0 +1,400 @@
+"""The XPath 1.0 core function library (spec section 4).
+
+All 27 functions are implemented here once and reused by every evaluation
+strategy in the repository: the baseline interpreters call them directly,
+the NVM exposes them as builtin commands, and semantic analysis uses the
+signature table to type-check calls and to insert implicit conversions.
+
+Each function is registered with a :class:`Signature` describing
+
+* its minimum/maximum argument count (``max_args=None`` for variadic),
+* the parameter types arguments are implicitly converted to
+  (``OBJECT`` parameters take any value unchanged, ``NODE_SET``
+  parameters are type-checked but never converted),
+* its static return type,
+* whether it needs the dynamic context (``position()``, ``last()``, the
+  zero-argument forms of ``string()``/``name()``/..., and ``lang()``),
+* whether it is *position-based* — the property the paper's predicate
+  classification (sections 3.3, 4.3) revolves around.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dom.node import Node, NodeKind
+from repro.errors import XPathNameError, XPathTypeError
+from repro.xpath.context import EvalContext
+from repro.xpath.datamodel import (
+    NAN,
+    XPathType,
+    XPathValue,
+    deduplicate,
+    first_in_document_order,
+    to_boolean,
+    to_number,
+    to_string,
+    xpath_round,
+)
+
+#: Parameter type marker: accept any value without conversion.
+OBJECT = XPathType.ANY
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Static description of one library function."""
+
+    name: str
+    min_args: int
+    max_args: Optional[int]
+    param_types: Sequence[XPathType]
+    return_type: XPathType
+    needs_context: bool
+    impl: Callable[..., XPathValue]
+    position_based: bool = False
+
+    def param_type(self, index: int) -> XPathType:
+        """Declared type of the ``index``-th parameter (variadics repeat)."""
+        if index < len(self.param_types):
+            return self.param_types[index]
+        if self.max_args is None and self.param_types:
+            return self.param_types[-1]
+        raise XPathTypeError(
+            f"{self.name}() takes at most {len(self.param_types)} arguments"
+        )
+
+
+_REGISTRY: Dict[str, Signature] = {}
+
+
+def _register(
+    name: str,
+    min_args: int,
+    max_args: Optional[int],
+    param_types: Sequence[XPathType],
+    return_type: XPathType,
+    needs_context: bool = False,
+    position_based: bool = False,
+) -> Callable[[Callable[..., XPathValue]], Callable[..., XPathValue]]:
+    def decorator(impl: Callable[..., XPathValue]) -> Callable[..., XPathValue]:
+        _REGISTRY[name] = Signature(
+            name,
+            min_args,
+            max_args,
+            tuple(param_types),
+            return_type,
+            needs_context,
+            impl,
+            position_based,
+        )
+        return impl
+
+    return decorator
+
+
+def lookup(name: str) -> Signature:
+    """Find a function by name; raises :class:`XPathNameError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise XPathNameError(f"unknown function {name}()") from None
+
+
+def all_function_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def call(name: str, context: Optional[EvalContext], args: List[XPathValue]) -> XPathValue:
+    """Dynamically invoke a library function (used by the interpreters)."""
+    signature = lookup(name)
+    if len(args) < signature.min_args or (
+        signature.max_args is not None and len(args) > signature.max_args
+    ):
+        raise XPathTypeError(
+            f"{name}() called with {len(args)} arguments"
+        )
+    converted: List[XPathValue] = []
+    for index, value in enumerate(args):
+        target = signature.param_type(index)
+        if target == XPathType.NODE_SET:
+            if not isinstance(value, list):
+                raise XPathTypeError(
+                    f"argument {index + 1} of {name}() must be a node-set"
+                )
+            converted.append(value)
+        elif target == OBJECT:
+            converted.append(value)
+        elif target == XPathType.STRING:
+            converted.append(to_string(value))
+        elif target == XPathType.NUMBER:
+            converted.append(to_number(value))
+        elif target == XPathType.BOOLEAN:
+            converted.append(to_boolean(value))
+        else:  # pragma: no cover - no other param types are registered
+            converted.append(value)
+    if signature.needs_context:
+        # Most context-dependent functions only need the context for
+        # their zero-argument defaulting form; id() and lang() need the
+        # document / ancestor chain regardless.
+        always_needs = name in ("position", "last", "id", "lang")
+        if context is None and (always_needs or not converted):
+            raise XPathTypeError(f"{name}() requires an evaluation context")
+        return signature.impl(context, *converted)
+    return signature.impl(*converted)
+
+
+# ----------------------------------------------------------------------
+# 4.1 Node-set functions
+# ----------------------------------------------------------------------
+
+@_register("last", 0, 0, (), XPathType.NUMBER, needs_context=True,
+           position_based=True)
+def fn_last(context: EvalContext) -> float:
+    return float(context.size)
+
+
+@_register("position", 0, 0, (), XPathType.NUMBER, needs_context=True,
+           position_based=True)
+def fn_position(context: EvalContext) -> float:
+    return float(context.position)
+
+
+@_register("count", 1, 1, (XPathType.NODE_SET,), XPathType.NUMBER)
+def fn_count(nodes: List[Node]) -> float:
+    return float(len(nodes))
+
+
+@_register("id", 1, 1, (OBJECT,), XPathType.NODE_SET, needs_context=True)
+def fn_id(context: EvalContext, value: XPathValue) -> List[Node]:
+    document = context.node.document
+    if document is None:
+        return []
+    if isinstance(value, list):
+        tokens: List[str] = []
+        for node in value:
+            tokens.extend(node.string_value().split())
+    else:
+        tokens = to_string(value).split()
+    found = [document.get_element_by_id(token) for token in tokens]
+    return deduplicate(node for node in found if node is not None)
+
+
+def _name_target(context: EvalContext, nodes: Optional[List[Node]]) -> Optional[Node]:
+    if nodes is None:
+        return context.node
+    if not nodes:
+        return None
+    return first_in_document_order(nodes)
+
+
+@_register("local-name", 0, 1, (XPathType.NODE_SET,), XPathType.STRING,
+           needs_context=True)
+def fn_local_name(context: EvalContext, nodes: Optional[List[Node]] = None) -> str:
+    node = _name_target(context, nodes)
+    return node.local_name if node is not None else ""
+
+
+@_register("namespace-uri", 0, 1, (XPathType.NODE_SET,), XPathType.STRING,
+           needs_context=True)
+def fn_namespace_uri(context: EvalContext, nodes: Optional[List[Node]] = None) -> str:
+    node = _name_target(context, nodes)
+    return node.namespace_uri() if node is not None else ""
+
+
+@_register("name", 0, 1, (XPathType.NODE_SET,), XPathType.STRING,
+           needs_context=True)
+def fn_name(context: EvalContext, nodes: Optional[List[Node]] = None) -> str:
+    node = _name_target(context, nodes)
+    if node is None:
+        return ""
+    if node.kind in (NodeKind.ELEMENT, NodeKind.ATTRIBUTE,
+                     NodeKind.PROCESSING_INSTRUCTION, NodeKind.NAMESPACE):
+        return node.name or ""
+    return ""
+
+
+# ----------------------------------------------------------------------
+# 4.2 String functions
+# ----------------------------------------------------------------------
+
+@_register("string", 0, 1, (OBJECT,), XPathType.STRING, needs_context=True)
+def fn_string(context: EvalContext, value: Optional[XPathValue] = None) -> str:
+    if value is None:
+        return context.node.string_value()
+    return to_string(value)
+
+
+@_register("concat", 2, None, (XPathType.STRING, XPathType.STRING),
+           XPathType.STRING)
+def fn_concat(*parts: str) -> str:
+    return "".join(parts)
+
+
+@_register("starts-with", 2, 2, (XPathType.STRING, XPathType.STRING),
+           XPathType.BOOLEAN)
+def fn_starts_with(haystack: str, prefix: str) -> bool:
+    return haystack.startswith(prefix)
+
+
+@_register("contains", 2, 2, (XPathType.STRING, XPathType.STRING),
+           XPathType.BOOLEAN)
+def fn_contains(haystack: str, needle: str) -> bool:
+    return needle in haystack
+
+
+@_register("substring-before", 2, 2, (XPathType.STRING, XPathType.STRING),
+           XPathType.STRING)
+def fn_substring_before(haystack: str, needle: str) -> str:
+    index = haystack.find(needle)
+    return haystack[:index] if index >= 0 else ""
+
+
+@_register("substring-after", 2, 2, (XPathType.STRING, XPathType.STRING),
+           XPathType.STRING)
+def fn_substring_after(haystack: str, needle: str) -> str:
+    index = haystack.find(needle)
+    return haystack[index + len(needle) :] if index >= 0 else ""
+
+
+@_register("substring", 2, 3,
+           (XPathType.STRING, XPathType.NUMBER, XPathType.NUMBER),
+           XPathType.STRING)
+def fn_substring(text: str, start: float, length: Optional[float] = None) -> str:
+    """``substring()`` with the spec's rounding/NaN/infinity corner cases.
+
+    The spec defines the result as the characters at 1-based positions
+    ``p`` with ``round(start) <= p < round(start) + round(length)`` where
+    comparisons involving NaN are false.
+    """
+    begin = xpath_round(start)
+    if math.isnan(begin):
+        return ""
+    if length is None:
+        end = math.inf
+    else:
+        rounded = xpath_round(length)
+        if math.isnan(rounded):
+            return ""
+        end = begin + rounded
+    out: List[str] = []
+    for offset, ch in enumerate(text):
+        p = offset + 1
+        if p >= begin and p < end:
+            out.append(ch)
+    return "".join(out)
+
+
+@_register("string-length", 0, 1, (XPathType.STRING,), XPathType.NUMBER,
+           needs_context=True)
+def fn_string_length(context: EvalContext, text: Optional[str] = None) -> float:
+    if text is None:
+        text = context.node.string_value()
+    return float(len(text))
+
+
+@_register("normalize-space", 0, 1, (XPathType.STRING,), XPathType.STRING,
+           needs_context=True)
+def fn_normalize_space(context: EvalContext, text: Optional[str] = None) -> str:
+    if text is None:
+        text = context.node.string_value()
+    return " ".join(text.split())
+
+
+@_register("translate", 3, 3,
+           (XPathType.STRING, XPathType.STRING, XPathType.STRING),
+           XPathType.STRING)
+def fn_translate(text: str, source: str, target: str) -> str:
+    mapping: Dict[str, Optional[str]] = {}
+    for index, ch in enumerate(source):
+        if ch not in mapping:  # first occurrence wins, per spec
+            mapping[ch] = target[index] if index < len(target) else None
+    out: List[str] = []
+    for ch in text:
+        if ch in mapping:
+            replacement = mapping[ch]
+            if replacement is not None:
+                out.append(replacement)
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# 4.3 Boolean functions
+# ----------------------------------------------------------------------
+
+@_register("boolean", 1, 1, (OBJECT,), XPathType.BOOLEAN)
+def fn_boolean(value: XPathValue) -> bool:
+    return to_boolean(value)
+
+
+@_register("not", 1, 1, (XPathType.BOOLEAN,), XPathType.BOOLEAN)
+def fn_not(value: bool) -> bool:
+    return not value
+
+
+@_register("true", 0, 0, (), XPathType.BOOLEAN)
+def fn_true() -> bool:
+    return True
+
+
+@_register("false", 0, 0, (), XPathType.BOOLEAN)
+def fn_false() -> bool:
+    return False
+
+
+@_register("lang", 1, 1, (XPathType.STRING,), XPathType.BOOLEAN,
+           needs_context=True)
+def fn_lang(context: EvalContext, target: str) -> bool:
+    node: Optional[Node] = context.node
+    if node is not None and not node.is_tree_node():
+        node = node.parent
+    while node is not None:
+        for attr in node.attributes:
+            if attr.name == "xml:lang":
+                language = (attr.value or "").lower()
+                wanted = target.lower()
+                return language == wanted or language.startswith(wanted + "-")
+        node = node.parent
+    return False
+
+
+# ----------------------------------------------------------------------
+# 4.4 Number functions
+# ----------------------------------------------------------------------
+
+@_register("number", 0, 1, (OBJECT,), XPathType.NUMBER, needs_context=True)
+def fn_number(context: EvalContext, value: Optional[XPathValue] = None) -> float:
+    if value is None:
+        return to_number(context.node.string_value())
+    return to_number(value)
+
+
+@_register("sum", 1, 1, (XPathType.NODE_SET,), XPathType.NUMBER)
+def fn_sum(nodes: List[Node]) -> float:
+    total = 0.0
+    for node in nodes:
+        total += to_number(node.string_value())
+    return total
+
+
+@_register("floor", 1, 1, (XPathType.NUMBER,), XPathType.NUMBER)
+def fn_floor(value: float) -> float:
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return float(math.floor(value))
+
+
+@_register("ceiling", 1, 1, (XPathType.NUMBER,), XPathType.NUMBER)
+def fn_ceiling(value: float) -> float:
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return float(math.ceil(value))
+
+
+@_register("round", 1, 1, (XPathType.NUMBER,), XPathType.NUMBER)
+def fn_round(value: float) -> float:
+    return xpath_round(value)

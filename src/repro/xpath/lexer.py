@@ -1,0 +1,251 @@
+"""The XPath 1.0 lexer.
+
+Implements the full lexical structure of spec section 3.7, including the
+two disambiguation rules that make the grammar LL(1)-parsable:
+
+* if there is a preceding token, and it is not ``@``, ``::``, ``(``, ``[``,
+  ``,`` or an Operator, then ``*`` is the multiplication operator and an
+  NCName must be recognized as an OperatorName (``and or mod div``);
+* otherwise, an NCName followed by ``(`` is a FunctionName (or a NodeType
+  name), and an NCName followed by ``::`` is an AxisName.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.tokens import (
+    NODE_TYPE_NAMES,
+    OPERATOR_NAMES,
+    Token,
+    TokenKind,
+)
+
+_WHITESPACE = " \t\r\n"
+_SINGLE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "@": TokenKind.AT,
+    ",": TokenKind.COMMA,
+}
+#: Token kinds after which ``*`` is a wildcard and NCNames are names.
+_NAME_CONTEXT_KINDS = frozenset(
+    {
+        TokenKind.AT,
+        TokenKind.COLONCOLON,
+        TokenKind.LPAREN,
+        TokenKind.LBRACKET,
+        TokenKind.COMMA,
+        TokenKind.OPERATOR,
+    }
+)
+
+
+def _is_ncname_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ncname_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_.-·"
+
+
+class Lexer:
+    """Tokenizes one XPath expression string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: List[Token] = []
+
+    # ------------------------------------------------------------------
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, position=self.pos)
+
+    def _preceded_by_name_context(self) -> bool:
+        """True when the *next* NCName/star must be read as a name test.
+
+        This encodes the spec's "there is a preceding token and the token
+        is not one of ..." rule, inverted.
+        """
+        if not self.tokens:
+            return True
+        prev = self.tokens[-1]
+        if prev.kind in _NAME_CONTEXT_KINDS:
+            return True
+        # '/' and '//' are Operators in the spec's sense as well.
+        return False
+
+    # ------------------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        """Produce the token list, ending with an END token."""
+        text = self.text
+        length = len(text)
+        while True:
+            while self.pos < length and text[self.pos] in _WHITESPACE:
+                self.pos += 1
+            if self.pos >= length:
+                break
+            start = self.pos
+            ch = text[self.pos]
+
+            if ch in _SINGLE_CHAR:
+                self.pos += 1
+                self.tokens.append(Token(_SINGLE_CHAR[ch], ch, start))
+            elif ch == ":" and text.startswith("::", self.pos):
+                self.pos += 2
+                self.tokens.append(Token(TokenKind.COLONCOLON, "::", start))
+            elif ch == ".":
+                if text.startswith("..", self.pos):
+                    self.pos += 2
+                    self.tokens.append(Token(TokenKind.DOTDOT, "..", start))
+                elif self.pos + 1 < length and text[self.pos + 1].isdigit():
+                    self._lex_number()
+                else:
+                    self.pos += 1
+                    self.tokens.append(Token(TokenKind.DOT, ".", start))
+            elif ch.isdigit():
+                self._lex_number()
+            elif ch in "\"'":
+                self._lex_literal()
+            elif ch == "$":
+                self._lex_variable()
+            elif ch == "/":
+                if text.startswith("//", self.pos):
+                    self.pos += 2
+                    self.tokens.append(Token(TokenKind.OPERATOR, "//", start))
+                else:
+                    self.pos += 1
+                    self.tokens.append(Token(TokenKind.OPERATOR, "/", start))
+            elif ch in "|+-=":
+                self.pos += 1
+                self.tokens.append(Token(TokenKind.OPERATOR, ch, start))
+            elif ch == "!":
+                if text.startswith("!=", self.pos):
+                    self.pos += 2
+                    self.tokens.append(Token(TokenKind.OPERATOR, "!=", start))
+                else:
+                    raise self.error("'!' is only valid as part of '!='")
+            elif ch in "<>":
+                op = ch
+                if text.startswith(ch + "=", self.pos):
+                    op += "="
+                self.pos += len(op)
+                self.tokens.append(Token(TokenKind.OPERATOR, op, start))
+            elif ch == "*":
+                self.pos += 1
+                if self._preceded_by_name_context():
+                    self.tokens.append(Token(TokenKind.WILDCARD, "*", start))
+                else:
+                    self.tokens.append(Token(TokenKind.OPERATOR, "*", start))
+            elif _is_ncname_start(ch):
+                self._lex_name()
+            else:
+                raise self.error(f"unexpected character {ch!r}")
+        self.tokens.append(Token(TokenKind.END, "", self.pos))
+        return self.tokens
+
+    # ------------------------------------------------------------------
+
+    def _lex_number(self) -> None:
+        start = self.pos
+        text, length = self.text, len(self.text)
+        while self.pos < length and text[self.pos].isdigit():
+            self.pos += 1
+        if self.pos < length and text[self.pos] == ".":
+            self.pos += 1
+            while self.pos < length and text[self.pos].isdigit():
+                self.pos += 1
+        self.tokens.append(Token(TokenKind.NUMBER, text[start : self.pos], start))
+
+    def _lex_literal(self) -> None:
+        start = self.pos
+        quote = self.text[self.pos]
+        end = self.text.find(quote, self.pos + 1)
+        if end < 0:
+            raise self.error("unterminated string literal")
+        self.tokens.append(
+            Token(TokenKind.LITERAL, self.text[start + 1 : end], start)
+        )
+        self.pos = end + 1
+
+    def _lex_variable(self) -> None:
+        start = self.pos
+        self.pos += 1  # consume '$'
+        name = self._read_qname()
+        self.tokens.append(Token(TokenKind.VARIABLE, name, start))
+
+    def _read_ncname(self) -> str:
+        start = self.pos
+        if self.pos >= len(self.text) or not _is_ncname_start(self.text[self.pos]):
+            raise self.error("expected a name")
+        self.pos += 1
+        text, length = self.text, len(self.text)
+        while self.pos < length and _is_ncname_char(text[self.pos]):
+            self.pos += 1
+        return text[start : self.pos]
+
+    def _read_qname(self) -> str:
+        name = self._read_ncname()
+        text = self.text
+        # 'a:b' but not 'a::b'.
+        if (
+            self.pos + 1 < len(text)
+            and text[self.pos] == ":"
+            and _is_ncname_start(text[self.pos + 1])
+        ):
+            self.pos += 1
+            name += ":" + self._read_ncname()
+        return name
+
+    def _lex_name(self) -> None:
+        start = self.pos
+        name_context = self._preceded_by_name_context()
+        name = self._read_ncname()
+
+        if not name_context:
+            if name in OPERATOR_NAMES:
+                self.tokens.append(Token(TokenKind.OPERATOR, name, start))
+                return
+            raise self.error(
+                f"{name!r} cannot follow an expression (expected an operator)"
+            )
+
+        text = self.text
+        # prefix:* wildcard.
+        if text.startswith(":*", self.pos):
+            self.pos += 2
+            self.tokens.append(Token(TokenKind.WILDCARD, name + ":*", start))
+            return
+        # Extend to a QName when followed by ':NCName' (but not '::').
+        if (
+            self.pos + 1 < len(text)
+            and text[self.pos] == ":"
+            and text[self.pos + 1] != ":"
+            and _is_ncname_start(text[self.pos + 1])
+        ):
+            self.pos += 1
+            name += ":" + self._read_ncname()
+
+        lookahead = self.pos
+        while lookahead < len(text) and text[lookahead] in _WHITESPACE:
+            lookahead += 1
+
+        if text.startswith("::", lookahead):
+            self.tokens.append(Token(TokenKind.AXIS_NAME, name, start))
+        elif lookahead < len(text) and text[lookahead] == "(":
+            if name in NODE_TYPE_NAMES:
+                self.tokens.append(Token(TokenKind.NODE_TYPE, name, start))
+            else:
+                self.tokens.append(Token(TokenKind.FUNCTION_NAME, name, start))
+        else:
+            self.tokens.append(Token(TokenKind.NAME, name, start))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize an XPath expression string."""
+    return Lexer(text).tokenize()

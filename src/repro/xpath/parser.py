@@ -1,0 +1,322 @@
+"""Recursive-descent parser for the complete XPath 1.0 grammar.
+
+The grammar is taken verbatim from the W3C recommendation [Clark & DeRose
+1999].  All abbreviations are expanded during parsing (see
+:mod:`repro.xpath.xast`), and the paper's shorthand axis names from Fig. 5
+(``desc``, ``anc``, ``pre-sib``, ``fol``, ``par``, ...) are accepted as
+axis aliases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.axes import Axis, NodeTestKind, axis_by_name
+from repro.xpath.lexer import tokenize
+from repro.xpath.tokens import Token, TokenKind
+from repro.xpath.xast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+    PathExpr,
+    Predicate,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+
+#: Token kinds that can begin a location step.
+_STEP_START = frozenset(
+    {
+        TokenKind.NAME,
+        TokenKind.WILDCARD,
+        TokenKind.AXIS_NAME,
+        TokenKind.NODE_TYPE,
+        TokenKind.AT,
+        TokenKind.DOT,
+        TokenKind.DOTDOT,
+    }
+)
+
+#: Token kinds that can begin a primary (filter) expression.
+_PRIMARY_START = frozenset(
+    {
+        TokenKind.VARIABLE,
+        TokenKind.LITERAL,
+        TokenKind.NUMBER,
+        TokenKind.LPAREN,
+        TokenKind.FUNCTION_NAME,
+    }
+)
+
+
+def _self_node_step() -> Step:
+    return Step(Axis.SELF, NodeTestKind.NODE, None)
+
+
+def _parent_node_step() -> Step:
+    return Step(Axis.PARENT, NodeTestKind.NODE, None)
+
+
+def _descendant_or_self_step() -> Step:
+    return Step(Axis.DESCENDANT_OR_SELF, NodeTestKind.NODE, None)
+
+
+class Parser:
+    """Parses one token stream into an AST."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != TokenKind.END:
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, position=self.current.position)
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        if self.current.kind != kind:
+            raise self.error(f"expected {what}, found {self.current.value!r}")
+        return self.advance()
+
+    def at_operator(self, *ops: str) -> bool:
+        token = self.current
+        return token.kind == TokenKind.OPERATOR and token.value in ops
+
+    # ------------------------------------------------------------------
+    # Expression grammar (precedence climbing via one method per level)
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.at_operator("or"):
+            self.advance()
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_equality()
+        while self.at_operator("and"):
+            self.advance()
+            left = BinaryOp("and", left, self._parse_equality())
+        return left
+
+    def _parse_equality(self) -> Expr:
+        left = self._parse_relational()
+        while self.at_operator("=", "!="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expr:
+        left = self._parse_additive()
+        while self.at_operator("<", "<=", ">", ">="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.at_operator("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self.at_operator("*", "div", "mod"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.at_operator("-"):
+            self.advance()
+            return UnaryMinus(self._parse_unary())
+        return self._parse_union()
+
+    def _parse_union(self) -> Expr:
+        left = self._parse_path()
+        if not self.at_operator("|"):
+            return left
+        operands = [left]
+        while self.at_operator("|"):
+            self.advance()
+            operands.append(self._parse_path())
+        return UnionExpr(operands)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _parse_path(self) -> Expr:
+        """PathExpr: a location path, or a filter expr with optional path."""
+        token = self.current
+        if token.kind in _PRIMARY_START:
+            filter_expr = self._parse_filter()
+            if self.at_operator("/", "//"):
+                steps: List[Step] = []
+                if self.advance().value == "//":
+                    steps.append(_descendant_or_self_step())
+                steps.extend(self._parse_relative_steps())
+                return PathExpr(filter_expr, LocationPath(False, steps))
+            return filter_expr
+        return self._parse_location_path()
+
+    def _parse_filter(self) -> Expr:
+        primary = self._parse_primary()
+        predicates: List[Predicate] = []
+        while self.current.kind == TokenKind.LBRACKET:
+            predicates.append(self._parse_predicate())
+        if predicates:
+            return FilterExpr(primary, predicates)
+        return primary
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == TokenKind.VARIABLE:
+            self.advance()
+            return VariableRef(token.value)
+        if token.kind == TokenKind.LITERAL:
+            self.advance()
+            return Literal(token.value)
+        if token.kind == TokenKind.NUMBER:
+            self.advance()
+            return Number(float(token.value))
+        if token.kind == TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN, "')'")
+            return inner
+        if token.kind == TokenKind.FUNCTION_NAME:
+            return self._parse_function_call()
+        raise self.error(f"unexpected token {token.value!r}")
+
+    def _parse_function_call(self) -> FunctionCall:
+        name = self.advance().value
+        self.expect(TokenKind.LPAREN, "'('")
+        args: List[Expr] = []
+        if self.current.kind != TokenKind.RPAREN:
+            args.append(self.parse_expr())
+            while self.current.kind == TokenKind.COMMA:
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect(TokenKind.RPAREN, "')'")
+        return FunctionCall(name, args)
+
+    def _parse_location_path(self) -> LocationPath:
+        token = self.current
+        if self.at_operator("/"):
+            self.advance()
+            if self.current.kind in _STEP_START:
+                return LocationPath(True, self._parse_relative_steps())
+            return LocationPath(True, [])  # bare '/': the root node
+        if self.at_operator("//"):
+            self.advance()
+            steps = [_descendant_or_self_step()]
+            steps.extend(self._parse_relative_steps())
+            return LocationPath(True, steps)
+        if token.kind in _STEP_START:
+            return LocationPath(False, self._parse_relative_steps())
+        raise self.error(f"expected a location path, found {token.value!r}")
+
+    def _parse_relative_steps(self) -> List[Step]:
+        steps = [self._parse_step()]
+        while self.at_operator("/", "//"):
+            if self.advance().value == "//":
+                steps.append(_descendant_or_self_step())
+            steps.append(self._parse_step())
+        return steps
+
+    def _parse_step(self) -> Step:
+        token = self.current
+        if token.kind == TokenKind.DOT:
+            self.advance()
+            return _self_node_step()
+        if token.kind == TokenKind.DOTDOT:
+            self.advance()
+            return _parent_node_step()
+
+        axis = Axis.CHILD
+        if token.kind == TokenKind.AT:
+            self.advance()
+            axis = Axis.ATTRIBUTE
+        elif token.kind == TokenKind.AXIS_NAME:
+            resolved = axis_by_name(token.value)
+            if resolved is None:
+                raise self.error(f"unknown axis {token.value!r}")
+            axis = resolved
+            self.advance()
+            self.expect(TokenKind.COLONCOLON, "'::'")
+
+        test_kind, test_name = self._parse_node_test()
+        predicates: List[Predicate] = []
+        while self.current.kind == TokenKind.LBRACKET:
+            predicates.append(self._parse_predicate())
+        return Step(axis, test_kind, test_name, predicates)
+
+    def _parse_node_test(self) -> tuple[NodeTestKind, Optional[str]]:
+        token = self.current
+        if token.kind == TokenKind.NAME:
+            self.advance()
+            return NodeTestKind.NAME, token.value
+        if token.kind == TokenKind.WILDCARD:
+            self.advance()
+            if token.value == "*":
+                return NodeTestKind.ANY_NAME, None
+            return NodeTestKind.ANY_NAME, token.value[:-2]  # strip ':*'
+        if token.kind == TokenKind.NODE_TYPE:
+            self.advance()
+            self.expect(TokenKind.LPAREN, "'('")
+            target: Optional[str] = None
+            if token.value == "processing-instruction":
+                if self.current.kind == TokenKind.LITERAL:
+                    target = self.advance().value
+            self.expect(TokenKind.RPAREN, "')'")
+            kinds = {
+                "node": NodeTestKind.NODE,
+                "text": NodeTestKind.TEXT,
+                "comment": NodeTestKind.COMMENT,
+                "processing-instruction": NodeTestKind.PI,
+            }
+            return kinds[token.value], target
+        raise self.error(f"expected a node test, found {token.value!r}")
+
+    def _parse_predicate(self) -> Predicate:
+        self.expect(TokenKind.LBRACKET, "'['")
+        expr = self.parse_expr()
+        self.expect(TokenKind.RBRACKET, "']'")
+        return Predicate(expr)
+
+
+def parse_xpath(text: str) -> Expr:
+    """Parse an XPath 1.0 expression string into an AST.
+
+    Raises :class:`~repro.errors.XPathSyntaxError` on malformed input.
+    """
+    parser = Parser(tokenize(text))
+    expr = parser.parse_expr()
+    if parser.current.kind != TokenKind.END:
+        raise parser.error(
+            f"unexpected trailing input {parser.current.value!r}"
+        )
+    return expr

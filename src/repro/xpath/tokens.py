@@ -1,0 +1,49 @@
+"""Token definitions for the XPath 1.0 lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Lexical token categories after spec-3.7 disambiguation."""
+
+    NUMBER = auto()         # 3, 3.14, .5
+    LITERAL = auto()        # 'abc' or "abc"
+    VARIABLE = auto()       # $name
+    NAME = auto()           # QName used as a name test
+    FUNCTION_NAME = auto()  # QName directly followed by '('
+    AXIS_NAME = auto()      # NCName directly followed by '::'
+    NODE_TYPE = auto()      # comment | text | processing-instruction | node
+    WILDCARD = auto()       # * as a name test (incl. prefix:*)
+    OPERATOR = auto()       # / // | + - = != < <= > >= * and or mod div
+    LPAREN = auto()         # (
+    RPAREN = auto()         # )
+    LBRACKET = auto()       # [
+    RBRACKET = auto()       # ]
+    DOT = auto()            # .
+    DOTDOT = auto()         # ..
+    AT = auto()             # @
+    COMMA = auto()          # ,
+    COLONCOLON = auto()     # ::
+    END = auto()            # end of input
+
+
+#: NCNames that are operators when the disambiguation rule applies.
+OPERATOR_NAMES = frozenset({"and", "or", "mod", "div"})
+
+#: NCNames naming node types in the grammar.
+NODE_TYPE_NAMES = frozenset({"comment", "text", "processing-instruction", "node"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source offset."""
+
+    kind: TokenKind
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}, @{self.position})"

@@ -1,0 +1,198 @@
+"""Abstract syntax tree for XPath 1.0 expressions.
+
+The parser produces these nodes with all abbreviations already expanded
+(``//`` to ``/descendant-or-self::node()/``, ``@n`` to ``attribute::n``,
+``.``/``..`` to ``self::node()``/``parent::node()``, omitted axes to
+``child``), so later compiler phases only deal with the unabbreviated
+grammar.
+
+Semantic analysis (phase 3) annotates every expression node in place with
+``static_type`` (:class:`~repro.xpath.datamodel.XPathType`) and sets the
+context-dependency flags used by the normalization of predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.xpath.axes import Axis, NodeTestKind
+from repro.xpath.datamodel import XPathType
+
+
+@dataclass
+class Expr:
+    """Base class for all expression nodes."""
+
+    #: Filled in by semantic analysis.
+    static_type: XPathType = field(
+        default=XPathType.ANY, init=False, repr=False, compare=False
+    )
+    #: True if the subtree calls position() outside nested predicates.
+    uses_position: bool = field(
+        default=False, init=False, repr=False, compare=False
+    )
+    #: True if the subtree calls last() outside nested predicates.
+    uses_last: bool = field(default=False, init=False, repr=False, compare=False)
+
+    def unparse(self) -> str:
+        """Render back to XPath surface syntax (unabbreviated)."""
+        raise NotImplementedError
+
+
+@dataclass
+class Number(Expr):
+    value: float
+
+    def unparse(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass
+class Literal(Expr):
+    value: str
+
+    def unparse(self) -> str:
+        quote = "'" if "'" not in self.value else '"'
+        return f"{quote}{self.value}{quote}"
+
+
+@dataclass
+class VariableRef(Expr):
+    name: str
+
+    def unparse(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str
+    args: List[Expr]
+
+    def unparse(self) -> str:
+        return f"{self.name}({', '.join(a.unparse() for a in self.args)})"
+
+
+@dataclass
+class BinaryOp(Expr):
+    """``or and = != < <= > >= + - * div mod`` with two operands."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass
+class UnaryMinus(Expr):
+    operand: Expr
+
+    def unparse(self) -> str:
+        return f"-{self.operand.unparse()}"
+
+
+@dataclass
+class Predicate:
+    """One ``[expr]`` predicate attached to a step or filter expression."""
+
+    expr: Expr
+    #: Set by normalization (phase 2): a
+    #: :class:`repro.compiler.normalize.PredicateInfo` with the clause
+    #: split and the cheap/exp/pos/last classification of section 4.3.2.
+    info: object = field(default=None, repr=False, compare=False)
+
+    def unparse(self) -> str:
+        return f"[{self.expr.unparse()}]"
+
+
+@dataclass
+class Step:
+    """An unabbreviated location step ``axis::test[pred]...``."""
+
+    axis: Axis
+    test_kind: NodeTestKind
+    #: QName for NAME tests, prefix for ``prefix:*``, PI target for PI.
+    test_name: Optional[str]
+    predicates: List[Predicate] = field(default_factory=list)
+
+    def test_unparse(self) -> str:
+        if self.test_kind == NodeTestKind.NAME:
+            return self.test_name or ""
+        if self.test_kind == NodeTestKind.ANY_NAME:
+            return f"{self.test_name}:*" if self.test_name else "*"
+        if self.test_kind == NodeTestKind.PI and self.test_name is not None:
+            return f"processing-instruction('{self.test_name}')"
+        return f"{self.test_kind.value}()"
+
+    def unparse(self) -> str:
+        preds = "".join(p.unparse() for p in self.predicates)
+        return f"{self.axis.value}::{self.test_unparse()}{preds}"
+
+
+@dataclass
+class LocationPath(Expr):
+    """An absolute or relative location path."""
+
+    absolute: bool
+    steps: List[Step]
+
+    def unparse(self) -> str:
+        body = "/".join(s.unparse() for s in self.steps)
+        return ("/" + body) if self.absolute else body
+
+
+@dataclass
+class FilterExpr(Expr):
+    """A primary expression with predicates: ``(e)[p1]...[ph]``."""
+
+    primary: Expr
+    predicates: List[Predicate]
+
+    def unparse(self) -> str:
+        preds = "".join(p.unparse() for p in self.predicates)
+        return f"({self.primary.unparse()}){preds}"
+
+
+@dataclass
+class PathExpr(Expr):
+    """A general path expression ``e / relative-path`` (spec 3.3)."""
+
+    source: Expr
+    path: LocationPath
+
+    def unparse(self) -> str:
+        return f"{self.source.unparse()}/{self.path.unparse()}"
+
+
+@dataclass
+class UnionExpr(Expr):
+    """``e1 | e2 | ... | en`` — flattened into one node."""
+
+    operands: List[Expr]
+
+    def unparse(self) -> str:
+        return " | ".join(o.unparse() for o in self.operands)
+
+
+def iter_child_exprs(expr: Expr) -> Tuple[Expr, ...]:
+    """Direct sub-expressions of a node (predicates included)."""
+    if isinstance(expr, FunctionCall):
+        return tuple(expr.args)
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnaryMinus):
+        return (expr.operand,)
+    if isinstance(expr, LocationPath):
+        return tuple(p.expr for s in expr.steps for p in s.predicates)
+    if isinstance(expr, FilterExpr):
+        return (expr.primary,) + tuple(p.expr for p in expr.predicates)
+    if isinstance(expr, PathExpr):
+        return (expr.source, expr.path)
+    if isinstance(expr, UnionExpr):
+        return tuple(expr.operands)
+    return ()

@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_document
+from repro.baselines import MemoInterpreter, NaiveInterpreter
+from repro.compiler import TranslationOptions, XPathCompiler
+from repro.xpath.context import make_context
+
+#: A small document exercising every node kind, mixed content, IDs and
+#: namespaces.  Reused throughout the suite.
+SAMPLE_XML = """<xdoc id="0">
+ <a id="1" x="p"><b id="2">x</b><b id="3">y</b><c id="9">x</c></a>
+ <a id="4"><b id="5">z</b><d id="6"><b id="7">w</b></d></a>
+ <e id="8" xml:lang="en-US">10<!--note--><?target data?></e>
+</xdoc>"""
+
+
+@pytest.fixture(scope="session")
+def sample_doc():
+    return parse_document(SAMPLE_XML)
+
+
+@pytest.fixture(scope="session")
+def engines():
+    """Callables evaluating a query string against a context node."""
+
+    naive = NaiveInterpreter()
+    memo = MemoInterpreter()
+    improved = XPathCompiler(TranslationOptions.improved())
+    canonical = XPathCompiler(TranslationOptions.canonical())
+
+    def run_naive(query, node, **kwargs):
+        return naive.evaluate(query, make_context(node, **kwargs))
+
+    def run_memo(query, node, **kwargs):
+        return memo.evaluate(query, make_context(node, **kwargs))
+
+    def run_improved(query, node, **kwargs):
+        return improved.compile(query).evaluate(node, **kwargs)
+
+    def run_canonical(query, node, **kwargs):
+        return canonical.compile(query).evaluate(node, **kwargs)
+
+    return {
+        "naive": run_naive,
+        "memo": run_memo,
+        "natix": run_improved,
+        "natix-canonical": run_canonical,
+    }
+
+
+def normalize_result(value):
+    """Canonical, order-insensitive form of an XPath value for comparison.
+
+    Node-sets become sorted identity tuples; NaN becomes the string
+    ``"NaN"`` (NaN != NaN would break equality checks).
+    """
+    if isinstance(value, list):
+        return tuple(
+            sorted((id(n.document), n.sort_key) for n in value)
+        )
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    return value
+
+
+def assert_engines_agree(engines, query, node, **kwargs):
+    """Run ``query`` on all engines and assert identical results."""
+    results = {
+        name: normalize_result(run(query, node, **kwargs))
+        for name, run in engines.items()
+    }
+    baseline = results["naive"]
+    for name, result in results.items():
+        assert result == baseline, (
+            f"{name} disagrees with naive on {query!r}:\n"
+            f"  naive: {baseline!r}\n  {name}: {result!r}"
+        )
+    return baseline

@@ -1,0 +1,292 @@
+"""Tests for all thirteen axes: membership, axis order, ppd classes."""
+
+import pytest
+
+from repro import parse_document
+from repro.dom.node import NodeKind
+from repro.xpath.axes import (
+    Axis,
+    AXIS_ALIASES,
+    NodeTestKind,
+    PPD_AXES,
+    REVERSE_AXES,
+    axis_by_name,
+    iter_axis,
+    node_test_matches,
+    ppd,
+    principal_node_kind,
+)
+
+#          r
+#        / | \
+#       a  b  c
+#      /|     |
+#     d e     f
+XML = (
+    '<r id="r"><a id="a"><d id="d"/><e id="e"/></a>'
+    '<b id="b">text</b><c id="c"><f id="f"/></c></r>'
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_document(XML)
+
+
+def by_id(doc, ident):
+    return doc.get_element_by_id(ident)
+
+
+def ids(nodes):
+    out = []
+    for node in nodes:
+        if node.kind == NodeKind.ELEMENT:
+            out.append(node.attributes[0].value)
+        else:
+            out.append(node.kind.name.lower())
+    return out
+
+
+class TestForwardAxes:
+    def test_child(self, doc):
+        assert ids(iter_axis(Axis.CHILD, by_id(doc, "r"))) == ["a", "b", "c"]
+
+    def test_child_includes_text(self, doc):
+        kinds = [n.kind for n in iter_axis(Axis.CHILD, by_id(doc, "b"))]
+        assert kinds == [NodeKind.TEXT]
+
+    def test_descendant_preorder(self, doc):
+        assert ids(
+            n for n in iter_axis(Axis.DESCENDANT, by_id(doc, "r"))
+            if n.kind == NodeKind.ELEMENT
+        ) == ["a", "d", "e", "b", "c", "f"]
+
+    def test_descendant_or_self(self, doc):
+        result = ids(
+            n for n in iter_axis(Axis.DESCENDANT_OR_SELF, by_id(doc, "a"))
+            if n.kind == NodeKind.ELEMENT
+        )
+        assert result == ["a", "d", "e"]
+
+    def test_following_sibling(self, doc):
+        assert ids(iter_axis(Axis.FOLLOWING_SIBLING, by_id(doc, "a"))) == [
+            "b", "c",
+        ]
+
+    def test_following_excludes_descendants(self, doc):
+        result = ids(
+            n for n in iter_axis(Axis.FOLLOWING, by_id(doc, "a"))
+            if n.kind == NodeKind.ELEMENT
+        )
+        assert result == ["b", "c", "f"]
+
+    def test_following_in_document_order(self, doc):
+        keys = [n.sort_key for n in iter_axis(Axis.FOLLOWING, by_id(doc, "d"))]
+        assert keys == sorted(keys)
+
+    def test_self(self, doc):
+        assert ids(iter_axis(Axis.SELF, by_id(doc, "a"))) == ["a"]
+
+    def test_attribute(self, doc):
+        attrs = list(iter_axis(Axis.ATTRIBUTE, by_id(doc, "a")))
+        assert [a.name for a in attrs] == ["id"]
+        assert all(a.kind == NodeKind.ATTRIBUTE for a in attrs)
+
+    def test_attribute_of_non_element_empty(self, doc):
+        text = by_id(doc, "b").children[0]
+        assert list(iter_axis(Axis.ATTRIBUTE, text)) == []
+
+
+class TestReverseAxes:
+    def test_parent(self, doc):
+        assert ids(iter_axis(Axis.PARENT, by_id(doc, "d"))) == ["a"]
+
+    def test_parent_of_root_empty(self, doc):
+        assert list(iter_axis(Axis.PARENT, doc.root)) == []
+
+    def test_ancestor_reverse_document_order(self, doc):
+        result = list(iter_axis(Axis.ANCESTOR, by_id(doc, "d")))
+        assert ids(n for n in result if n.kind == NodeKind.ELEMENT) == [
+            "a", "r",
+        ]
+        assert result[-1].kind == NodeKind.ROOT
+
+    def test_ancestor_or_self(self, doc):
+        result = ids(
+            n for n in iter_axis(Axis.ANCESTOR_OR_SELF, by_id(doc, "d"))
+            if n.kind == NodeKind.ELEMENT
+        )
+        assert result == ["d", "a", "r"]
+
+    def test_preceding_sibling_reverse_order(self, doc):
+        assert ids(iter_axis(Axis.PRECEDING_SIBLING, by_id(doc, "c"))) == [
+            "b", "a",
+        ]
+
+    def test_preceding_excludes_ancestors(self, doc):
+        result = ids(
+            n for n in iter_axis(Axis.PRECEDING, by_id(doc, "f"))
+            if n.kind == NodeKind.ELEMENT
+        )
+        assert result == ["b", "e", "d", "a"]  # reverse document order
+
+    def test_preceding_reverse_document_order(self, doc):
+        keys = [n.sort_key for n in iter_axis(Axis.PRECEDING, by_id(doc, "f"))]
+        assert keys == sorted(keys, reverse=True)
+
+
+class TestAttributeContext:
+    def test_parent_of_attribute(self, doc):
+        attr = by_id(doc, "d").attributes[0]
+        assert ids(iter_axis(Axis.PARENT, attr)) == ["d"]
+
+    def test_ancestor_of_attribute(self, doc):
+        attr = by_id(doc, "d").attributes[0]
+        result = ids(
+            n for n in iter_axis(Axis.ANCESTOR, attr)
+            if n.kind == NodeKind.ELEMENT
+        )
+        assert result == ["d", "a", "r"]
+
+    def test_following_of_attribute_includes_owner_subtree(self, doc):
+        attr = by_id(doc, "a").attributes[0]
+        result = ids(
+            n for n in iter_axis(Axis.FOLLOWING, attr)
+            if n.kind == NodeKind.ELEMENT
+        )
+        assert result == ["d", "e", "b", "c", "f"]
+
+    def test_child_of_attribute_empty(self, doc):
+        attr = by_id(doc, "a").attributes[0]
+        assert list(iter_axis(Axis.CHILD, attr)) == []
+
+
+class TestNamespaceAxis:
+    def test_namespace_nodes(self):
+        doc = parse_document('<a xmlns:p="urn:p"><b/></a>')
+        a = doc.root.children[0]
+        namespaces = list(iter_axis(Axis.NAMESPACE, a))
+        names = {n.name: n.value for n in namespaces}
+        assert names["p"] == "urn:p"
+        assert "xml" in names
+        assert all(n.kind == NodeKind.NAMESPACE for n in namespaces)
+        assert all(n.parent is a for n in namespaces)
+
+    def test_namespace_nodes_inherited(self):
+        doc = parse_document('<a xmlns:p="urn:p"><b/></a>')
+        b = doc.root.children[0].children[0]
+        names = {n.name for n in iter_axis(Axis.NAMESPACE, b)}
+        assert "p" in names
+
+    def test_namespace_sort_between_element_and_attributes(self):
+        doc = parse_document('<a xmlns:p="urn:p" x="1"/>')
+        a = doc.root.children[0]
+        ns = next(iter(iter_axis(Axis.NAMESPACE, a)))
+        assert a.sort_key < ns.sort_key < a.attributes[0].sort_key
+
+    def test_non_element_has_no_namespace_nodes(self, doc):
+        text = by_id(doc, "b").children[0]
+        assert list(iter_axis(Axis.NAMESPACE, text)) == []
+
+
+class TestClassification:
+    def test_ppd_set_matches_paper(self):
+        expected = {
+            Axis.FOLLOWING, Axis.FOLLOWING_SIBLING, Axis.PRECEDING,
+            Axis.PRECEDING_SIBLING, Axis.PARENT, Axis.ANCESTOR,
+            Axis.ANCESTOR_OR_SELF, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF,
+        }
+        assert PPD_AXES == frozenset(expected)
+        assert all(ppd(a) for a in expected)
+        assert not ppd(Axis.CHILD)
+        assert not ppd(Axis.SELF)
+        assert not ppd(Axis.ATTRIBUTE)
+        assert not ppd(Axis.NAMESPACE)
+
+    def test_reverse_axes(self):
+        assert REVERSE_AXES == frozenset(
+            {Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF, Axis.PRECEDING,
+             Axis.PRECEDING_SIBLING}
+        )
+
+    def test_principal_node_kinds(self):
+        assert principal_node_kind(Axis.ATTRIBUTE) == NodeKind.ATTRIBUTE
+        assert principal_node_kind(Axis.NAMESPACE) == NodeKind.NAMESPACE
+        assert principal_node_kind(Axis.CHILD) == NodeKind.ELEMENT
+
+    def test_paper_aliases(self):
+        assert axis_by_name("desc") == Axis.DESCENDANT
+        assert axis_by_name("anc") == Axis.ANCESTOR
+        assert axis_by_name("pre-sib") == Axis.PRECEDING_SIBLING
+        assert axis_by_name("fol") == Axis.FOLLOWING
+        assert axis_by_name("par") == Axis.PARENT
+        assert axis_by_name("child") == Axis.CHILD
+        assert axis_by_name("bogus") is None
+        assert set(AXIS_ALIASES) >= {"desc", "anc", "par", "fol", "pre-sib"}
+
+
+class TestNodeTests:
+    def test_name_test(self, doc):
+        a = by_id(doc, "a")
+        assert node_test_matches(NodeTestKind.NAME, "a", Axis.CHILD, a)
+        assert not node_test_matches(NodeTestKind.NAME, "b", Axis.CHILD, a)
+
+    def test_wildcard_respects_principal_type(self, doc):
+        text = by_id(doc, "b").children[0]
+        assert not node_test_matches(NodeTestKind.ANY_NAME, None, Axis.CHILD,
+                                     text)
+        attr = by_id(doc, "a").attributes[0]
+        assert node_test_matches(NodeTestKind.ANY_NAME, None, Axis.ATTRIBUTE,
+                                 attr)
+        assert not node_test_matches(NodeTestKind.ANY_NAME, None, Axis.CHILD,
+                                     attr)
+
+    def test_node_test_matches_everything(self, doc):
+        text = by_id(doc, "b").children[0]
+        assert node_test_matches(NodeTestKind.NODE, None, Axis.CHILD, text)
+
+    def test_text_comment_tests(self):
+        doc = parse_document("<a>t<!--c--></a>")
+        a = doc.root.children[0]
+        text, comment = a.children
+        assert node_test_matches(NodeTestKind.TEXT, None, Axis.CHILD, text)
+        assert not node_test_matches(NodeTestKind.TEXT, None, Axis.CHILD,
+                                     comment)
+        assert node_test_matches(NodeTestKind.COMMENT, None, Axis.CHILD,
+                                 comment)
+
+    def test_pi_test_with_target(self):
+        doc = parse_document("<a><?t1 x?><?t2 y?></a>")
+        pi1, pi2 = doc.root.children[0].children
+        assert node_test_matches(NodeTestKind.PI, None, Axis.CHILD, pi1)
+        assert node_test_matches(NodeTestKind.PI, "t1", Axis.CHILD, pi1)
+        assert not node_test_matches(NodeTestKind.PI, "t1", Axis.CHILD, pi2)
+
+    def test_prefixed_name_test_uses_expression_context(self):
+        doc = parse_document('<p:a xmlns:p="urn:p"/>')
+        a = doc.root.children[0]
+        # The expression context, not the document, resolves prefixes.
+        assert node_test_matches(
+            NodeTestKind.NAME, "q:a", Axis.CHILD, a, {"q": "urn:p"}
+        )
+        assert not node_test_matches(
+            NodeTestKind.NAME, "q:a", Axis.CHILD, a, {"q": "urn:other"}
+        )
+        assert not node_test_matches(NodeTestKind.NAME, "q:a", Axis.CHILD, a)
+
+    def test_prefix_wildcard(self):
+        doc = parse_document('<p:a xmlns:p="urn:p"/>')
+        a = doc.root.children[0]
+        assert node_test_matches(
+            NodeTestKind.ANY_NAME, "q", Axis.CHILD, a, {"q": "urn:p"}
+        )
+        assert not node_test_matches(
+            NodeTestKind.ANY_NAME, "q", Axis.CHILD, a, {}
+        )
+
+    def test_unprefixed_test_requires_no_namespace(self):
+        doc = parse_document('<a xmlns="urn:d"/>')
+        a = doc.root.children[0]
+        # Per XPath 1.0 an unprefixed name test selects nodes in *no*
+        # namespace; a default-namespaced element does not match.
+        assert not node_test_matches(NodeTestKind.NAME, "a", Axis.CHILD, a)

@@ -1,0 +1,105 @@
+"""Tests for the benchmark JSON report renderer."""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    group_by,
+    load_benchmarks,
+    render_ablations,
+    render_fig10,
+    render_figures,
+    render_report,
+)
+
+
+def _entry(mean, **extra):
+    return {"stats": {"mean": mean}, "extra_info": extra}
+
+
+@pytest.fixture()
+def benchmark_json(tmp_path):
+    data = {
+        "benchmarks": [
+            _entry(0.005, figure="fig6", engine="natix", elements=250),
+            _entry(0.010, figure="fig6", engine="natix", elements=500),
+            _entry(0.300, figure="fig6", engine="naive", elements=250),
+            _entry(0.002, figure="fig10", engine="natix",
+                   query="/dblp/article/title"),
+            _entry(0.004, figure="fig10", engine="naive",
+                   query="/dblp/article/title"),
+            _entry(0.001, ablation="stacked", variant="stacked",
+                   description="stacked vs d-joins"),
+            _entry(0.002, ablation="stacked", variant="d-joins",
+                   description="stacked vs d-joins"),
+            _entry(0.999),  # no extra info: ignored by all groupings
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestGrouping:
+    def test_load(self, benchmark_json):
+        assert len(load_benchmarks(benchmark_json)) == 8
+
+    def test_group_by_skips_missing_keys(self, benchmark_json):
+        entries = load_benchmarks(benchmark_json)
+        groups = group_by(entries, "figure")
+        assert set(groups) == {"fig6", "fig10"}
+        assert len(groups["fig6"]) == 3
+
+
+class TestRendering:
+    def test_figures_table(self, benchmark_json):
+        text = render_figures(load_benchmarks(benchmark_json))
+        assert "fig6" in text
+        assert "5.0 ms" in text
+        assert "300.0 ms" in text
+        # naive has no 500-element point: rendered as a gap.
+        assert "—" in text
+        # fig10 is rendered by its own function, not here.
+        assert "dblp" not in text
+
+    def test_fig10_table(self, benchmark_json):
+        text = render_fig10(load_benchmarks(benchmark_json))
+        assert "/dblp/article/title" in text
+        assert "2.0 ms" in text and "4.0 ms" in text
+
+    def test_ablations(self, benchmark_json):
+        text = render_ablations(load_benchmarks(benchmark_json))
+        assert "ablation stacked" in text
+        assert "d-joins" in text
+
+    def test_full_report(self, benchmark_json):
+        text = render_report(benchmark_json)
+        assert "fig6" in text and "fig10" in text and "ablation" in text
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"benchmarks": []}))
+        assert render_report(str(path)) == ""
+
+
+class TestRealRun:
+    def test_round_trip_with_pytest_benchmark(self, tmp_path):
+        """A real (tiny) benchmark run must render without errors."""
+        import subprocess
+        import sys
+
+        json_path = tmp_path / "run.json"
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "pytest",
+                "benchmarks/bench_fig9_generated.py::test_fig9_query4",
+                "--benchmark-only", "-q", "-k", "natix and size0",
+                f"--benchmark-json={json_path}",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stdout
+        text = render_report(str(json_path))
+        assert "fig9" in text

@@ -1,0 +1,190 @@
+"""Behavioural tests for the section-4 complexity devices.
+
+These verify the *mechanisms* (memo hits, pushed dedup, early exit), and
+that the improved translation does polynomially bounded work where the
+canonical/naive strategies multiply evaluations — using operator counters
+rather than wall-clock time, so the tests are deterministic.
+"""
+
+import pytest
+
+from repro import compile_xpath, parse_document, TranslationOptions
+from repro.baselines import MemoInterpreter, NaiveInterpreter
+from repro.workloads import generate_document
+from repro.xpath.context import make_context
+
+from .conftest import normalize_result
+
+
+def chain_document(width=4, depth=4):
+    """A document whose parent/descendant alternation multiplies contexts."""
+    parts = ["<xdoc>"]
+    for _ in range(width):
+        parts.append("<a>" + "<b/>" * depth + "</a>")
+    parts.append("</xdoc>")
+    return parse_document("".join(parts))
+
+
+class TestPushedDuplicateElimination:
+    def test_intermediate_results_bounded(self):
+        doc = generate_document(500, 5, 4)
+        query = "/child::xdoc/descendant::*/ancestor::*/descendant::*"
+        improved = compile_xpath(query)
+        canonical = compile_xpath(query, TranslationOptions.canonical())
+
+        improved_result = improved.evaluate(doc.root)
+        canonical_result = canonical.evaluate(doc.root)
+        assert normalize_result(improved_result) == normalize_result(
+            canonical_result
+        )
+        # The canonical plan pushes duplicated contexts through the last
+        # step; the improved plan dedups first and does strictly less
+        # unnest work.
+        assert (
+            improved.stats["tuples:UnnestMap"]
+            < canonical.stats["tuples:UnnestMap"]
+        )
+
+    def test_duplicates_dropped_early(self):
+        doc = generate_document(200, 4, 3)
+        improved = compile_xpath("//*/ancestor::*/@id")
+        improved.evaluate(doc.root)
+        assert improved.stats["dupelim_dropped"] > 0
+
+
+class TestMemoX:
+    def test_memo_hits_on_repeated_contexts(self):
+        # ancestor::a receives every b's ancestor, so each distinct a
+        # arrives `depth` times; the inner path of its predicate is
+        # memoized (4.2.2).  χ^mat would absorb the repetition before
+        # MemoX sees it, so isolate MemoX by disabling it.
+        doc = chain_document(width=3, depth=5)
+        compiled = compile_xpath(
+            "//b/ancestor::a[count(b) = 5]",
+            TranslationOptions(mat_expensive=False),
+        )
+        result = compiled.evaluate(doc.root)
+        assert len(result) == 3
+        assert compiled.stats["memox_hits"] > 0
+        assert compiled.stats["memox_misses"] == 3
+
+    def test_memo_disabled_in_canonical(self):
+        doc = chain_document(width=3, depth=4)
+        compiled = compile_xpath(
+            "//b/ancestor::a[count(b) = 4]",
+            TranslationOptions.canonical(),
+        )
+        compiled.evaluate(doc.root)
+        assert compiled.stats.get("memox_hits", 0) == 0
+
+    def test_memoization_preserves_results(self):
+        doc = chain_document(width=4, depth=3)
+        query = "//b/ancestor::a[b/following-sibling::b]/@id"
+        with_memo = compile_xpath(query)
+        without = compile_xpath(query, TranslationOptions(memox=False))
+        assert normalize_result(with_memo.evaluate(doc.root)) == (
+            normalize_result(without.evaluate(doc.root))
+        )
+
+    def test_memo_reset_between_documents(self):
+        doc_a = parse_document("<xdoc><a><b/></a></xdoc>")
+        doc_b = parse_document("<xdoc><a><b/><b/></a></xdoc>")
+        compiled = compile_xpath("//b/ancestor::a[count(b) = 2]")
+        assert compiled.evaluate(doc_a.root) == []
+        assert len(compiled.evaluate(doc_b.root)) == 1
+
+
+class TestMatMap:
+    def test_expensive_clause_memoized(self):
+        # parent::a receives each a once per b child; the expensive
+        # count(b) clause value is cached by χ^mat, keyed on the context.
+        doc = chain_document(width=2, depth=6)
+        compiled = compile_xpath("//b/parent::a[count(b) > 2]")
+        result = compiled.evaluate(doc.root)
+        assert len(result) == 2
+        assert compiled.stats["matmap_misses"] == 2
+        assert compiled.stats["matmap_hits"] == 10
+
+    def test_independent_bound_computed_once(self):
+        doc = parse_document(
+            "<r>" + "".join(f"<a>{i + 100}</a>" for i in range(20))
+            + "<b>10</b><b>115</b></r>"
+        )
+        # count() drains fully (no existential early exit), so every a
+        # probes the bound; max(//b) has no free variables bound per
+        # tuple and is computed exactly once.  mat_expensive is disabled
+        # so the only χ^mat in the plan is the comparison bound.
+        compiled = compile_xpath(
+            "count(//a[. < //b])", TranslationOptions(mat_expensive=False)
+        )
+        assert compiled.evaluate(doc.root) == 15.0
+        assert compiled.stats["matmap_misses"] == 1
+        assert compiled.stats["matmap_hits"] == 19
+
+    def test_exists_early_exit_skips_bound_reuse(self):
+        # With boolean() the existential aggregate stops at the first
+        # witness; the bound is still computed at most once.
+        doc = parse_document("<r><a>1</a><a>2</a><b>10</b></r>")
+        compiled = compile_xpath("//a < //b")
+        assert compiled.evaluate(doc.root) is True
+        assert compiled.stats["matmap_misses"] == 1
+
+
+class TestSmartAggregation:
+    def test_exists_early_exit(self):
+        doc = generate_document(2000, 10, 4)
+        compiled = compile_xpath("boolean(//*)")
+        assert compiled.evaluate(doc.root) is True
+        assert compiled.stats["agg_early_exits"] == 1
+        # Early exit means the unnest never enumerated the whole document.
+        assert compiled.stats["tuples:UnnestMap"] < 10
+
+    def test_count_drains_fully(self):
+        doc = generate_document(100, 4, 4)
+        compiled = compile_xpath("count(//*)")
+        assert compiled.evaluate(doc.root) == 100.0
+        assert compiled.stats.get("agg_early_exits", 0) == 0
+
+
+class TestInterpreterComplexityContrast:
+    def test_naive_duplicates_multiply(self):
+        # The classic duplicate-amplifying query: each b/parent::a/b
+        # round-trip multiplies the context list in a dedup-free
+        # interpreter.
+        doc = chain_document(width=1, depth=3)
+        query = "/xdoc/a" + "/b/parent::a" * 6 + "/b"
+        naive = NaiveInterpreter()
+        memo = MemoInterpreter()
+        context = make_context(doc.root)
+
+        result_naive = naive.evaluate(query, context)
+        result_memo = memo.evaluate(query, context)
+        assert normalize_result(result_naive) == normalize_result(
+            result_memo
+        )
+
+    def test_improved_engine_work_is_linear_in_rounds(self):
+        doc = chain_document(width=1, depth=3)
+        counts = []
+        for rounds in (2, 4, 8):
+            query = "/xdoc/a" + "/b/parent::a" * rounds + "/b"
+            compiled = compile_xpath(query)
+            compiled.evaluate(doc.root)
+            counts.append(compiled.stats["tuples:UnnestMap"])
+        # Work grows linearly with query length (dedup between steps),
+        # not exponentially.
+        growth1 = counts[1] - counts[0]
+        growth2 = counts[2] - counts[1]
+        assert growth2 <= growth1 * 2 + 4
+
+    def test_canonical_engine_work_multiplies(self):
+        doc = chain_document(width=1, depth=3)
+        counts = []
+        for rounds in (2, 4):
+            query = "/xdoc/a" + "/b/parent::a" * rounds + "/b"
+            compiled = compile_xpath(query, TranslationOptions.canonical())
+            compiled.evaluate(doc.root)
+            counts.append(compiled.stats["tuples:UnnestMap"])
+        # Without pushed dedup each parent/child round multiplies
+        # contexts by the fanout (3): super-linear growth.
+        assert counts[1] > counts[0] * 4

@@ -1,0 +1,267 @@
+"""Tests for XPath value conversions, arithmetic and comparisons.
+
+These pin the W3C corner cases every engine relies on: IEEE semantics,
+the number grammar (no '+', no exponent), document-order-first for
+string(node-set), the existential comparison matrix.
+"""
+
+import math
+
+import pytest
+
+from repro import parse_document
+from repro.xpath.datamodel import (
+    NAN,
+    arith,
+    compare,
+    deduplicate,
+    document_order,
+    first_in_document_order,
+    number_to_string,
+    string_to_number,
+    to_boolean,
+    to_number,
+    to_string,
+    type_of,
+    xpath_round,
+    XPathType,
+)
+
+
+class TestNumberToString:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (float("nan"), "NaN"),
+            (0.0, "0"),
+            (-0.0, "0"),
+            (float("inf"), "Infinity"),
+            (float("-inf"), "-Infinity"),
+            (1.0, "1"),
+            (-17.0, "-17"),
+            (1.5, "1.5"),
+            (-0.25, "-0.25"),
+            (1e21, "1000000000000000000000"),
+        ],
+    )
+    def test_rendering(self, value, expected):
+        assert number_to_string(value) == expected
+
+    def test_small_magnitude_no_exponent(self):
+        out = number_to_string(1e-7)
+        assert "e" not in out and "E" not in out
+        assert float(out) == 1e-7
+
+
+class TestStringToNumber:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", 1.0),
+            ("  42  ", 42.0),
+            ("-3.5", -3.5),
+            (".5", 0.5),
+            ("5.", 5.0),
+            ("-.5", -0.5),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert string_to_number(text) == expected
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "  ", "+1", "1e3", "0x10", "1.2.3", "-", ".", "1,000", "abc",
+         "1 2"],
+    )
+    def test_invalid_is_nan(self, text):
+        assert math.isnan(string_to_number(text))
+
+
+class TestToBoolean:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, False),
+            (-0.0, False),
+            (float("nan"), False),
+            (1.0, True),
+            (float("inf"), True),
+            ("", False),
+            ("false", True),  # non-empty string is true!
+            ([], False),
+            (True, True),
+            (False, False),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert to_boolean(value) is expected
+
+    def test_nonempty_nodeset_true(self):
+        doc = parse_document("<a/>")
+        assert to_boolean([doc.root]) is True
+
+
+class TestToNumber:
+    def test_booleans(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_nodeset_via_string_value(self):
+        doc = parse_document("<a> 12 </a>")
+        assert to_number([doc.root.children[0]]) == 12.0
+
+    def test_empty_nodeset_is_nan(self):
+        assert math.isnan(to_number([]))
+
+
+class TestToString:
+    def test_booleans(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+
+    def test_nodeset_uses_first_in_document_order(self):
+        doc = parse_document("<r><a>first</a><b>second</b></r>")
+        r = doc.root.children[0]
+        reversed_set = [r.children[1], r.children[0]]
+        assert to_string(reversed_set) == "first"
+
+    def test_empty_nodeset(self):
+        assert to_string([]) == ""
+
+
+class TestTypeOf:
+    def test_all_types(self):
+        assert type_of(True) == XPathType.BOOLEAN
+        assert type_of(1.5) == XPathType.NUMBER
+        assert type_of("x") == XPathType.STRING
+        assert type_of([]) == XPathType.NODE_SET
+
+    def test_rejects_foreign(self):
+        with pytest.raises(TypeError):
+            type_of(object())
+
+
+class TestArithmetic:
+    def test_division_by_zero(self):
+        assert arith("div", 1.0, 0.0) == float("inf")
+        assert arith("div", -1.0, 0.0) == float("-inf")
+        assert math.isnan(arith("div", 0.0, 0.0))
+
+    def test_mod_truncates_toward_zero(self):
+        # Unlike Python's %, XPath mod keeps the dividend's sign.
+        assert arith("mod", 5.0, 2.0) == 1.0
+        assert arith("mod", -5.0, 2.0) == -1.0
+        assert arith("mod", 5.0, -2.0) == 1.0
+        assert arith("mod", 1.5, 1.0) == 0.5
+
+    def test_mod_corner_cases(self):
+        assert math.isnan(arith("mod", 1.0, 0.0))
+        assert math.isnan(arith("mod", float("inf"), 2.0))
+        assert arith("mod", 3.0, float("inf")) == 3.0
+
+    def test_nan_propagates(self):
+        for op in ("+", "-", "*", "div", "mod"):
+            assert math.isnan(arith(op, NAN, 1.0))
+            assert math.isnan(arith(op, 1.0, NAN))
+
+
+class TestRound:
+    def test_ties_toward_positive_infinity(self):
+        assert xpath_round(0.5) == 1.0
+        assert xpath_round(-0.5) == 0.0
+        assert math.copysign(1.0, xpath_round(-0.5)) == -1.0  # negative zero
+        assert xpath_round(-1.5) == -1.0
+        assert xpath_round(1.5) == 2.0
+
+    def test_specials_pass_through(self):
+        assert math.isnan(xpath_round(NAN))
+        assert xpath_round(float("inf")) == float("inf")
+
+
+class TestCompareAtomic:
+    def test_boolean_precedence(self):
+        # With a boolean operand, both sides convert to boolean.
+        assert compare("=", True, 1.0)
+        assert compare("=", True, "nonempty")
+        assert compare("!=", False, "x")
+
+    def test_number_precedence(self):
+        assert compare("=", 1.0, "1")
+        assert not compare("=", 1.0, "one")
+        assert compare("!=", 1.0, "one")  # NaN != 1 is true
+
+    def test_string_comparison(self):
+        assert compare("=", "a", "a")
+        assert not compare("=", "a", "b")
+
+    def test_relational_always_numeric(self):
+        assert compare("<", "2", "10")  # numeric, not lexicographic
+        assert not compare("<", "b", "a")  # NaN comparisons are false
+
+    def test_nan_equality(self):
+        assert not compare("=", NAN, NAN)
+        assert compare("!=", NAN, NAN)
+
+
+class TestCompareNodeSets:
+    @pytest.fixture()
+    def doc(self):
+        return parse_document("<r><a>1</a><a>2</a><b>2</b><b>3</b></r>")
+
+    def _sets(self, doc):
+        r = doc.root.children[0]
+        a_nodes = [n for n in r.children if n.name == "a"]
+        b_nodes = [n for n in r.children if n.name == "b"]
+        return a_nodes, b_nodes
+
+    def test_existential_equality(self, doc):
+        a_nodes, b_nodes = self._sets(doc)
+        assert compare("=", a_nodes, b_nodes)  # both contain "2"
+        assert compare("!=", a_nodes, b_nodes)  # and differing pairs exist
+
+    def test_disjoint_sets(self, doc):
+        a_nodes, _ = self._sets(doc)
+        assert not compare("=", a_nodes, [])
+        assert not compare("!=", a_nodes, [])
+
+    def test_nodeset_vs_string(self, doc):
+        a_nodes, _ = self._sets(doc)
+        assert compare("=", a_nodes, "1")
+        assert not compare("=", a_nodes, "3")
+        assert compare("!=", a_nodes, "1")  # the "2" node differs
+
+    def test_nodeset_vs_number_relational(self, doc):
+        a_nodes, b_nodes = self._sets(doc)
+        assert compare("<", a_nodes, 2.0)
+        assert not compare(">", a_nodes, 2.0)
+        assert compare(">=", b_nodes, 3.0)
+
+    def test_orientation_preserved(self, doc):
+        a_nodes, _ = self._sets(doc)
+        assert compare(">", 3.0, a_nodes)
+        assert not compare("<", 3.0, a_nodes)
+
+    def test_nodeset_vs_boolean(self, doc):
+        a_nodes, _ = self._sets(doc)
+        assert compare("=", a_nodes, True)
+        assert compare("=", [], False)
+        assert not compare("=", [], True)
+
+
+class TestOrderHelpers:
+    def test_document_order_sorts(self):
+        doc = parse_document("<r><a/><b/><c/></r>")
+        r = doc.root.children[0]
+        shuffled = [r.children[2], r.children[0], r.children[1]]
+        assert [n.name for n in document_order(shuffled)] == ["a", "b", "c"]
+
+    def test_first_in_document_order(self):
+        doc = parse_document("<r><a/><b/></r>")
+        r = doc.root.children[0]
+        assert first_in_document_order(list(reversed(r.children))).name == "a"
+
+    def test_deduplicate_keeps_first_occurrence(self):
+        doc = parse_document("<r><a/></r>")
+        a = doc.root.children[0].children[0]
+        r = doc.root.children[0]
+        assert deduplicate([a, r, a, r]) == [a, r]

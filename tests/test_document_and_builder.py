@@ -1,0 +1,126 @@
+"""Remaining coverage for Document services and builder conveniences."""
+
+import pytest
+
+from repro import parse_document
+from repro.dom.builder import DocumentBuilder, build_element_tree
+from repro.dom.document import DEFAULT_ID_ATTRIBUTES, Document
+from repro.dom.node import Node, NodeKind
+
+
+class TestDocumentServices:
+    def test_node_count_counts_tree_nodes_only(self):
+        doc = parse_document('<a x="1"><b/>text<!--c--></a>')
+        # root + a + b + text + comment = 5; the attribute is not a tree
+        # node.
+        assert doc.node_count == 5
+
+    def test_element_count(self):
+        doc = parse_document("<a><b/><b/><c/></a>")
+        assert doc.element_count() == 4
+
+    def test_iter_nodes_starts_at_root(self):
+        doc = parse_document("<a><b/></a>")
+        nodes = list(doc.iter_nodes())
+        assert nodes[0].kind == NodeKind.ROOT
+        assert [n.name for n in nodes[1:]] == ["a", "b"]
+
+    def test_default_id_attribute_names(self):
+        assert DEFAULT_ID_ATTRIBUTES == frozenset({"id", "xml:id"})
+        doc = parse_document('<a xml:id="k"/>')
+        assert doc.get_element_by_id("k").name == "a"
+
+    def test_document_requires_root_kind(self):
+        element = Node(NodeKind.ELEMENT, name="a")
+        with pytest.raises(ValueError):
+            Document(element)
+
+    def test_namespace_declaration_flag(self):
+        assert not parse_document("<a/>").has_namespace_declarations
+        assert parse_document(
+            '<a xmlns:p="urn:p"/>'
+        ).has_namespace_declarations
+        assert parse_document(
+            '<a><b xmlns="urn:d"/></a>'
+        ).has_namespace_declarations
+
+    def test_uri_recorded(self):
+        doc = parse_document("<a/>")
+        assert doc.uri is None
+        from repro.dom.parser import parse
+
+        assert parse("<a/>", uri="mem://x").uri == "mem://x"
+
+
+class TestBuildElementTree:
+    def test_nested_spec(self):
+        doc = build_element_tree(
+            ("a", {"id": "1"}, ["hello", ("b", {"x": "2"}, [])])
+        )
+        a = doc.root.children[0]
+        assert a.name == "a"
+        assert a.children[0].value == "hello"
+        assert a.children[1].name == "b"
+        assert doc.get_element_by_id("1") is a
+
+    def test_custom_id_attributes(self):
+        doc = build_element_tree(
+            ("a", {"key": "k"}, []), id_attributes=("key",)
+        )
+        assert doc.get_element_by_id("k").name == "a"
+
+
+class TestBuilderDetails:
+    def test_text_merging(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.text("one")
+        builder.text(" two")
+        builder.end_element()
+        doc = builder.finish()
+        a = doc.root.children[0]
+        assert len(a.children) == 1
+        assert a.string_value() == "one two"
+
+    def test_empty_text_ignored(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.text("")
+        builder.end_element()
+        assert builder.finish().root.children[0].children == []
+
+    def test_whitespace_outside_document_element_dropped(self):
+        builder = DocumentBuilder()
+        builder.text("   \n  ")
+        builder.start_element("a")
+        builder.end_element()
+        doc = builder.finish()
+        assert [c.kind for c in doc.root.children] == [NodeKind.ELEMENT]
+
+    def test_namespace_attributes_become_declarations(self):
+        builder = DocumentBuilder()
+        builder.start_element(
+            "a", [("xmlns", "urn:d"), ("xmlns:p", "urn:p"), ("x", "1")]
+        )
+        builder.end_element()
+        a = builder.finish().root.children[0]
+        assert a.namespace_declarations == {"": "urn:d", "p": "urn:p"}
+        assert [attr.name for attr in a.attributes] == ["x"]
+
+    def test_mapping_attributes_accepted(self):
+        builder = DocumentBuilder()
+        builder.start_element("a", {"x": "1", "y": "2"})
+        builder.end_element()
+        a = builder.finish().root.children[0]
+        assert {attr.name for attr in a.attributes} == {"x", "y"}
+
+    def test_pi_and_comment_helpers(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.processing_instruction("t", "data")
+        builder.comment("note")
+        builder.end_element()
+        a = builder.finish().root.children[0]
+        assert [c.kind for c in a.children] == [
+            NodeKind.PROCESSING_INSTRUCTION, NodeKind.COMMENT,
+        ]

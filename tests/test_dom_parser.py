@@ -1,0 +1,192 @@
+"""Tests for the from-scratch XML parser and the serializer."""
+
+import pytest
+
+from repro import parse_document, serialize
+from repro.dom.node import NodeKind
+from repro.dom.parser import parse
+from repro.dom.serializer import escape_attribute, escape_text
+from repro.errors import XMLSyntaxError
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse("<a/>")
+        assert doc.root.children[0].name == "a"
+
+    def test_nested_elements(self):
+        doc = parse("<a><b><c/></b></a>")
+        assert doc.root.children[0].children[0].children[0].name == "c"
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.string_value() == "hello"
+
+    def test_mixed_content(self):
+        doc = parse("<a>x<b>y</b>z</a>")
+        a = doc.root.children[0]
+        kinds = [c.kind for c in a.children]
+        assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+
+    def test_attributes_preserve_order(self):
+        doc = parse('<a c="3" a="1" b="2"/>')
+        assert [n.name for n in doc.root.children[0].attributes] == [
+            "c", "a", "b",
+        ]
+
+    def test_single_and_double_quotes(self):
+        doc = parse("<a x='1' y=\"2\"/>")
+        attrs = {n.name: n.value for n in doc.root.children[0].attributes}
+        assert attrs == {"x": "1", "y": "2"}
+
+    def test_whitespace_in_tags(self):
+        doc = parse('<a  x = "1"   ></a >')
+        assert doc.root.children[0].attributes[0].value == "1"
+
+    def test_deeply_nested_does_not_recurse(self):
+        depth = 5000
+        text = "".join(f"<e{i}>" for i in range(depth)) + "".join(
+            f"</e{i}>" for i in reversed(range(depth))
+        )
+        doc = parse(text)
+        assert doc.node_count == depth + 1
+
+
+class TestEntitiesAndCData:
+    def test_predefined_entities(self):
+        doc = parse("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.string_value() == "<>&'\""
+
+    def test_character_references(self):
+        doc = parse("<a>&#65;&#x42;&#x1F600;</a>")
+        assert doc.root.string_value() == "AB\U0001F600"
+
+    def test_entities_in_attributes(self):
+        doc = parse('<a x="&amp;&#65;"/>')
+        assert doc.root.children[0].attributes[0].value == "&A"
+
+    def test_cdata(self):
+        doc = parse("<a><![CDATA[<not> & markup]]></a>")
+        assert doc.root.string_value() == "<not> & markup"
+
+    def test_cdata_merges_with_text(self):
+        doc = parse("<a>x<![CDATA[y]]>z</a>")
+        a = doc.root.children[0]
+        assert len(a.children) == 1
+        assert a.string_value() == "xyz"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&unknown;</a>")
+
+    def test_bad_char_reference_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&#xZZ;</a>")
+
+
+class TestPrologAndMisc:
+    def test_xml_declaration(self):
+        doc = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.root.children[0].name == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse('<!DOCTYPE a SYSTEM "a.dtd"><a/>')
+        assert doc.root.children[0].name == "a"
+
+    def test_doctype_with_internal_subset(self):
+        doc = parse("<!DOCTYPE a [<!ELEMENT a EMPTY> <!ATTLIST a x ID #IMPLIED>]><a/>")
+        assert doc.root.children[0].name == "a"
+
+    def test_comments_outside_document_element(self):
+        doc = parse("<!--before--><a/><!--after-->")
+        kinds = [c.kind for c in doc.root.children]
+        assert kinds == [NodeKind.COMMENT, NodeKind.ELEMENT, NodeKind.COMMENT]
+
+    def test_pi_in_content(self):
+        doc = parse("<a><?target some data?></a>")
+        pi = doc.root.children[0].children[0]
+        assert pi.name == "target"
+        assert pi.value == "some data"
+
+    def test_attribute_value_normalization(self):
+        doc = parse('<a x="a\tb\nc"/>')
+        assert doc.root.children[0].attributes[0].value == "a b c"
+
+
+class TestWellFormednessErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",                       # no document element
+            "<a>",                    # unclosed
+            "<a></b>",                # mismatched tags
+            "<a/><b/>",               # two document elements
+            '<a x="1" x="2"/>',       # duplicate attribute
+            "<a x=1/>",               # unquoted attribute
+            '<a x="<"/>',             # < in attribute value
+            "<a>&amp</a>",            # unterminated entity
+            "<a><!--unclosed</a>",    # unterminated comment
+            "<a>]]></a>",             # bare CDATA end
+            "<a><!-- -- --></a>",     # double hyphen in comment
+            "<a>text</a>extra",       # content after document element
+            "<1a/>",                  # bad name start
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            parse("<a>\n<b>\n</a>")
+        assert info.value.line >= 2
+
+
+class TestSerializer:
+    def test_escaping_text(self):
+        assert escape_text("a<b&c>d") == "a&lt;b&amp;c&gt;d"
+
+    def test_escaping_attribute(self):
+        assert escape_attribute('a"b\nc') == "a&quot;b&#10;c"
+
+    def test_round_trip_structure(self):
+        text = ('<r a="1"><x>t&amp;t</x><!--c--><?p d?>'
+                "<y><![CDATA[<raw>]]></y></r>")
+        doc = parse(text)
+        again = parse(serialize(doc))
+        assert serialize(again) == serialize(doc)
+
+    def test_self_closing_for_empty(self):
+        assert serialize(parse("<a></a>")) == "<a/>"
+
+    def test_xml_declaration_flag(self):
+        out = serialize(parse("<a/>"), xml_declaration=True)
+        assert out.startswith("<?xml")
+
+    def test_namespace_declarations_serialized(self):
+        text = '<a xmlns:p="urn:p"><p:b/></a>'
+        doc = parse(text)
+        assert 'xmlns:p="urn:p"' in serialize(doc)
+
+    def test_serialize_subtree(self):
+        doc = parse("<a><b>x</b></a>")
+        b = doc.root.children[0].children[0]
+        assert serialize(b) == "<b>x</b>"
+
+
+class TestIdHandling:
+    def test_default_id_attribute(self):
+        doc = parse('<a id="k1"><b id="k2"/></a>')
+        assert doc.get_element_by_id("k2").name == "b"
+
+    def test_custom_id_attributes(self):
+        doc = parse('<a key="k1"/>', id_attributes=("key",))
+        assert doc.get_element_by_id("k1").name == "a"
+
+    def test_first_declaration_wins(self):
+        doc = parse('<a id="k"><b id="k"/></a>')
+        assert doc.get_element_by_id("k").name == "a"
+
+    def test_unknown_id(self):
+        doc = parse('<a id="k"/>')
+        assert doc.get_element_by_id("nope") is None

@@ -1,0 +1,253 @@
+"""End-to-end differential tests: all four engines over a query corpus.
+
+Every query is evaluated by the naive interpreter (the spec oracle), the
+memoizing interpreter, the canonical algebraic engine and the improved
+algebraic engine; all four must agree.
+"""
+
+import pytest
+
+from repro import parse_document
+
+from .conftest import assert_engines_agree
+
+DOC = parse_document(
+    """<xdoc id="0">
+ <a id="1" x="p"><b id="2">x</b><b id="3">y</b><c id="9">x</c></a>
+ <a id="4"><b id="5">z</b><d id="6"><b id="7">w</b></d></a>
+ <e id="8" xml:lang="en">10</e>
+ <f id="10"><g id="11"><h id="12"><b id="13">deep</b></h></g></f>
+</xdoc>"""
+)
+
+LOCATION_PATH_QUERIES = [
+    "/xdoc",
+    "/xdoc/a",
+    "/xdoc/a/b",
+    "//b",
+    "//*",
+    "//@id",
+    "//node()",
+    "//text()",
+    "/",
+    "/xdoc/a/..",
+    "/xdoc/a/.",
+    "//b/parent::*",
+    "//b/ancestor::*",
+    "//b/ancestor-or-self::b",
+    "//h/ancestor::*/b",
+    "/xdoc/a/following-sibling::*",
+    "/xdoc/e/preceding-sibling::a",
+    "//d/following::*",
+    "//g/preceding::b",
+    "//b/self::b",
+    "//b/self::c",
+    "/xdoc//b",
+    "//b//text()",
+    "/descendant::b",
+    "/descendant-or-self::node()/child::b",
+    "//b/ancestor::*/descendant::*/@id",
+    "/child::xdoc/descendant::*/ancestor::*/descendant::*/@id",
+    "/child::xdoc/child::*/parent::*/descendant::*/@id",
+    "/child::xdoc/descendant::*/preceding-sibling::*/following::*/@id",
+    "/child::xdoc/descendant::*/ancestor::*/ancestor::*/@id",
+]
+
+PREDICATE_QUERIES = [
+    "//b[1]",
+    "//b[2]",
+    "//b[0]",
+    "//b[99]",
+    "//b[position() = 1]",
+    "//b[position() > 1]",
+    "//b[position() < 2]",
+    "//b[last()]",
+    "//b[position() = last()]",
+    "//b[last() - 1]",
+    "//a/*[last()]",
+    "//a/*[last() - 1]",
+    "//b[position() mod 2 = 1]",
+    "//b[position() != last()]",
+    "//a[1]/b[2]",
+    "//a[2]/b[1]",
+    "//*[@id]",
+    "//*[@x = 'p']",
+    "//a[b]",
+    "//a[b = 'y']",
+    "//a[not(b = 'y')]",
+    "//a[b][d]",
+    "//a[b and d]",
+    "//a[b or d]",
+    "//b[. = 'z']",
+    "//b[../@id = '1']",
+    "//b[ancestor::d]",
+    "//b[following::b]",
+    "//b[not(following::b)]",
+    "//b[preceding-sibling::b]",
+    "//a[count(b) = 2]",
+    "//a[count(b) > count(d)]",
+    "//a[count(descendant::b) = 2]/@id",
+    "//*[sum(b/@id) > 4]/@id",
+    "//a[string-length(b) = 1]",
+    "//b[string-length() = 1]",
+    "//b[contains(., 'z')]",
+    "//b[starts-with(., 'w')]",
+    "//a[@x][1]",
+    "//a[1][@x]",
+    "//b[position() = 2 and . = 'y']",
+    "//*[self::b or self::c][last()]",
+    "//b[true()]",
+    "//b[false()]",
+    "//b['nonempty']",
+    "//e[lang('en')]",
+    "//b[lang('en')]",
+    "//a[descendant::b[. = 'w']]",
+    "//a[.//b = 'w']/@id",
+    "//a[b[2] = 'y']/@id",
+]
+
+FILTER_AND_PATH_QUERIES = [
+    "(//b)[1]",
+    "(//b)[last()]",
+    "(//b)[position() = 2]",
+    "(//b/ancestor::*)[2]/@id",
+    "(//a | //d)[last()]/@id",
+    "(//b)[@id > 3]",
+    "id('1')",
+    "id('1')/b",
+    "id('1 4')/b/@id",
+    "id('nope')",
+    "id(//a/@id)/b[1]/@id",
+    "id(string(//a/@id))",
+    "//a/b | //a/c",
+    "//b | //b",
+    "/xdoc/a | /xdoc/e | /xdoc/f",
+    "(//a)[1]/b[2]/text()",
+]
+
+SCALAR_QUERIES = [
+    "count(//b)",
+    "count(//b[2])",
+    "count(//*) - count(//a)",
+    "sum(//@id)",
+    "sum(//b/@id) div count(//b)",
+    "string(//b)",
+    "string(//b[last()])",
+    "string(/xdoc/e + 5)",
+    "number(//e)",
+    "number(//b)",
+    "boolean(//b)",
+    "boolean(//zzz)",
+    "not(//zzz)",
+    "name(//*[2])",
+    "name(//@x)",
+    "local-name(//*[2])",
+    "namespace-uri(//*)",
+    "concat(name(/xdoc), ':', count(//a))",
+    "string-length(string(//b))",
+    "normalize-space('  a   b  ')",
+    "substring(string(//b[. = 'deep']), 2, 2)",
+    "translate(string(//b), 'xyz', 'XYZ')",
+    "floor(sum(//@id) div 7)",
+    "ceiling(count(//b) div 2)",
+    "round(sum(//@id) div count(//b))",
+    "-count(//b)",
+    "3 * -2 + 1",
+    "10 mod 3",
+    "7 div 2",
+    "1 div 0 > 1000000",
+    "0 div 0 = 0 div 0",
+]
+
+COMPARISON_QUERIES = [
+    "//b = //c",
+    "//b != //c",
+    "//b = //zzz",
+    "//b != //zzz",
+    "//b = 'x'",
+    "//b != 'x'",
+    "'x' = //b",
+    "//@id = 4",
+    "//@id > 12",
+    "//@id < 1",
+    "4 = //@id",
+    "12 < //@id",
+    "//@id >= //e",
+    "//e > //b/@id",
+    "//b = true()",
+    "//zzz = false()",
+    "true() != //zzz",
+    "//e = 10",
+    "//e < //f//@id",
+    "count(//b) = count(//b/..//b)",
+]
+
+
+class TestLocationPaths:
+    @pytest.mark.parametrize("query", LOCATION_PATH_QUERIES)
+    def test_agreement(self, engines, query):
+        assert_engines_agree(engines, query, DOC.root)
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("query", PREDICATE_QUERIES)
+    def test_agreement(self, engines, query):
+        assert_engines_agree(engines, query, DOC.root)
+
+
+class TestFilterAndPathExpressions:
+    @pytest.mark.parametrize("query", FILTER_AND_PATH_QUERIES)
+    def test_agreement(self, engines, query):
+        assert_engines_agree(engines, query, DOC.root)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("query", SCALAR_QUERIES)
+    def test_agreement(self, engines, query):
+        assert_engines_agree(engines, query, DOC.root)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("query", COMPARISON_QUERIES)
+    def test_agreement(self, engines, query):
+        assert_engines_agree(engines, query, DOC.root)
+
+
+class TestRelativeContexts:
+    """Queries evaluated from non-root context nodes."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "b",
+            "b[2]",
+            ".",
+            "..",
+            "descendant::b",
+            "following-sibling::*/@id",
+            "preceding-sibling::*",
+            "ancestor::*",
+            "//b",          # absolute from a nested context
+            "/xdoc/a[1]/b",
+            "count(b)",
+            "string(.)",
+            "position() + last()",
+            "../e",
+            ".//b",
+        ],
+    )
+    def test_from_second_a(self, engines, query):
+        second_a = DOC.get_element_by_id("4")
+        assert_engines_agree(engines, query, second_a)
+
+    @pytest.mark.parametrize(
+        "query", ["..", "ancestor::*", "string(.)", "self::node()"]
+    )
+    def test_from_attribute_context(self, engines, query):
+        attr = DOC.get_element_by_id("1").attributes[0]
+        assert_engines_agree(engines, query, attr)
+
+    def test_from_text_node(self, engines):
+        text = DOC.get_element_by_id("2").children[0]
+        assert_engines_agree(engines, "..", text)
+        assert_engines_agree(engines, "string-length()", text)

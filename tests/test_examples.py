@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run successfully."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    script = os.path.join(EXAMPLES_DIR, name)
+    completed = subprocess.run(
+        [sys.executable, script, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Data on the Web" in out
+        assert "Logical plan" in out
+        assert "Tmp^cs" in out
+
+    def test_plan_explorer(self):
+        out = run_example("plan_explorer.py")
+        assert "d-join" in out            # canonical plan
+        assert "Π^D" in out               # pushed dedup
+        assert "load_slot" in out         # NVM disassembly
+
+    def test_paged_storage(self):
+        out = run_example("paged_storage.py")
+        assert "matches in-memory: True" in out
+        assert "Buffer manager" in out
+        assert "matches in-memory: False" not in out
+
+    def test_dblp_queries_small(self):
+        out = run_example("dblp_queries.py", "120")
+        assert "Fig. 10 reproduction" in out
+        assert "/dblp/article/title" in out
+        # All thirteen query rows present.
+        assert out.count("ms") >= 26
+
+    def test_reproduce_evaluation_runs(self):
+        # The full run takes a few seconds at scaled sizes; assert the
+        # key artifacts all appear.
+        out = run_example("reproduce_evaluation.py", timeout=600)
+        for marker in ("fig6", "fig7", "fig8", "fig9", "Fig. 10",
+                       "Ablations", "pushed duplicate elimination"):
+            assert marker in out

@@ -1,0 +1,277 @@
+"""Property-based tests (hypothesis): random documents × random queries.
+
+The central property is *engine agreement*: for any document and any
+generated query, the naive interpreter, the memoizing interpreter and the
+algebraic engine (canonical, improved, and improved-with-interp-subscripts)
+produce the same XPath value.  Further properties cover duplicate
+freeness, parser and storage round-trips, and conversion laws.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    TranslationOptions,
+    compile_xpath,
+    parse_document,
+    serialize,
+)
+from repro.baselines import MemoInterpreter, NaiveInterpreter
+from repro.storage import DocumentStore
+from repro.xpath.context import make_context
+from repro.xpath.datamodel import (
+    number_to_string,
+    string_to_number,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+from .conftest import normalize_result
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_NAMES = ("a", "b", "c")
+_TEXTS = ("", "x", "1", "2", "deep")
+
+
+@st.composite
+def xml_trees(draw, max_depth=4):
+    """A random element subtree as (name, attrs, children)."""
+    name = draw(st.sampled_from(_NAMES))
+    attrs = {}
+    if draw(st.booleans()):
+        attrs["x"] = draw(st.sampled_from(("1", "2", "v")))
+    if max_depth <= 0:
+        children = [draw(st.sampled_from(_TEXTS))]
+    else:
+        children = draw(
+            st.lists(
+                st.one_of(
+                    st.sampled_from(_TEXTS),
+                    xml_trees(max_depth=max_depth - 1),
+                ),
+                max_size=4,
+            )
+        )
+    return (name, attrs, children)
+
+
+def _render(tree) -> str:
+    if isinstance(tree, str):
+        return tree
+    name, attrs, children = tree
+    rendered_attrs = "".join(f' {k}="{v}"' for k, v in attrs.items())
+    body = "".join(_render(c) for c in children)
+    return f"<{name}{rendered_attrs}>{body}</{name}>"
+
+
+@st.composite
+def documents(draw):
+    tree = draw(xml_trees())
+    return parse_document(f"<root>{_render(tree)}</root>")
+
+
+_AXES = (
+    "child", "descendant", "parent", "ancestor", "following-sibling",
+    "preceding-sibling", "following", "preceding", "self",
+    "descendant-or-self", "ancestor-or-self",
+)
+_TESTS = ("a", "b", "c", "*", "node()", "text()")
+_PREDICATES = (
+    "1", "2", "last()", "position() = last()", "position() > 1",
+    "@x", "@x = '1'", ". = 'x'", "count(*) > 1", "b", "not(b)",
+    "position() mod 2 = 0", "string-length() > 1",
+)
+
+
+@st.composite
+def queries(draw):
+    steps = []
+    for _ in range(draw(st.integers(1, 4))):
+        axis = draw(st.sampled_from(_AXES))
+        test = draw(st.sampled_from(_TESTS))
+        step = f"{axis}::{test}"
+        if draw(st.integers(0, 3)) == 0:
+            step += f"[{draw(st.sampled_from(_PREDICATES))}]"
+        steps.append(step)
+    prefix = "/" if draw(st.booleans()) else ""
+    return prefix + "/".join(steps)
+
+
+_SCALAR_TEMPLATES = (
+    "count({q})",
+    "string({q})",
+    "boolean({q})",
+    "number({q})",
+    "sum({q}/@x)",
+    "count({q}) + count({q})",
+    "string-length(string({q}))",
+)
+
+
+@st.composite
+def scalar_queries(draw):
+    template = draw(st.sampled_from(_SCALAR_TEMPLATES))
+    return template.format(q=draw(queries()))
+
+
+# ----------------------------------------------------------------------
+# Engine agreement
+# ----------------------------------------------------------------------
+
+_naive = NaiveInterpreter()
+_memo = MemoInterpreter()
+_ENGINE_OPTIONS = (
+    TranslationOptions.improved(),
+    TranslationOptions.canonical(),
+    TranslationOptions(subscript_mode="interp"),
+)
+
+
+def _check_agreement(doc, query):
+    context = make_context(doc.root)
+    expected = normalize_result(_naive.evaluate(query, context))
+    assert normalize_result(_memo.evaluate(query, context)) == expected
+    for options in _ENGINE_OPTIONS:
+        compiled = compile_xpath(query, options)
+        assert normalize_result(compiled.evaluate(doc.root)) == expected, (
+            f"{options} disagrees on {query!r} over {serialize(doc)!r}"
+        )
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_engines_agree_on_paths(doc, query):
+    _check_agreement(doc, query)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=scalar_queries())
+def test_engines_agree_on_scalars(doc, query):
+    _check_agreement(doc, query)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_results_are_duplicate_free(doc, query):
+    result = compile_xpath(query).evaluate(doc.root)
+    identities = [(id(n.document), n.sort_key) for n in result]
+    assert len(identities) == len(set(identities))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_union_with_self_is_identity(doc, query):
+    plain = compile_xpath(query).evaluate(doc.root)
+    doubled = compile_xpath(f"{query} | {query}").evaluate(doc.root)
+    assert normalize_result(plain) == normalize_result(doubled)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_true_predicate_is_identity(doc, query):
+    plain = compile_xpath(query).evaluate(doc.root)
+    filtered = compile_xpath(f"{query}[true()]").evaluate(doc.root)
+    assert normalize_result(plain) == normalize_result(filtered)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_count_matches_result_length(doc, query):
+    nodes = compile_xpath(query).evaluate(doc.root)
+    count = compile_xpath(f"count({query})").evaluate(doc.root)
+    assert count == float(len(nodes))
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_optimizer_preserves_results(doc, query):
+    plain = compile_xpath(query)
+    optimized = compile_xpath(query, TranslationOptions(optimize=True))
+    assert normalize_result(plain.evaluate(doc.root)) == normalize_result(
+        optimized.evaluate(doc.root)
+    )
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_order_inference_is_sound(doc, query):
+    """A claimed document-order pipeline must actually emit it."""
+    compiled = compile_xpath(query)
+    result = compiled.evaluate(doc.root)
+    if compiled.emits_document_order:
+        keys = [n.sort_key for n in result]
+        assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(doc=documents())
+def test_parser_serializer_round_trip(doc):
+    text = serialize(doc)
+    again = parse_document(text)
+    assert serialize(again) == text
+    assert [n.kind for n in again.iter_nodes()] == [
+        n.kind for n in doc.iter_nodes()
+    ]
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(doc=documents(), query=queries())
+def test_storage_round_trip_preserves_queries(doc, query, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "doc.natix"
+    DocumentStore.write(doc, path)
+    with DocumentStore.open(path, buffer_pages=2) as stored:
+        mem = compile_xpath(query).evaluate(doc.root)
+        disk = compile_xpath(query).evaluate(stored.root)
+        assert sorted(n.sort_key for n in mem) == sorted(
+            n.sort_key for n in disk
+        )
+
+
+# ----------------------------------------------------------------------
+# Conversion laws
+# ----------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(st.floats(allow_nan=True, allow_infinity=True))
+def test_number_string_round_trip(value):
+    text = number_to_string(value)
+    back = string_to_number(text)
+    if math.isnan(value):
+        assert text == "NaN" and math.isnan(back)
+    elif math.isinf(value):
+        assert math.isnan(back)  # 'Infinity' is not in the Number grammar
+    else:
+        assert back == value
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.one_of(st.booleans(), st.floats(allow_nan=True), st.text()))
+def test_boolean_number_laws(value):
+    # boolean(number(boolean(x))) == boolean(x) per the conversion tables.
+    assert to_boolean(to_number(to_boolean(value))) == to_boolean(value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.floats(allow_nan=True, allow_infinity=True))
+def test_string_of_number_is_stable(value):
+    # string() is idempotent through a round-trip on its own output.
+    once = to_string(value)
+    assert to_string(once) == once

@@ -1,0 +1,110 @@
+"""Tests specific to the baseline interpreters (not shared semantics)."""
+
+import pytest
+
+from repro import parse_document
+from repro.baselines import MemoInterpreter, NaiveInterpreter
+from repro.errors import XPathTypeError
+from repro.xpath.context import EvalContext, make_context
+
+DOC = parse_document(
+    '<r><a id="1"><b>x</b><b>y</b></a><a id="2"><b>z</b></a></r>'
+)
+
+
+class TestNaiveInterpreter:
+    def test_keeps_duplicates_between_steps_by_default(self):
+        interp = NaiveInterpreter()
+        assert interp.dedup_between_steps is False
+        # The final value is still duplicate-free (spec).
+        result = interp.evaluate(
+            "//b/parent::a", make_context(DOC.root)
+        )
+        assert len(result) == 2
+
+    def test_dedup_flag_changes_internal_behaviour_not_results(self):
+        plain = NaiveInterpreter()
+        dedup = NaiveInterpreter(dedup_between_steps=True)
+        context = make_context(DOC.root)
+        query = "//b/parent::a/b"
+        assert sorted(
+            n.sort_key for n in plain.evaluate(query, context)
+        ) == sorted(n.sort_key for n in dedup.evaluate(query, context))
+
+    def test_precompiled_ast_accepted(self):
+        from repro.xpath.parser import parse_xpath
+
+        ast = parse_xpath("count(//b)")
+        assert NaiveInterpreter().evaluate(ast, make_context(DOC.root)) == 3.0
+
+    def test_type_errors(self):
+        interp = NaiveInterpreter()
+        context = make_context(DOC.root)
+        with pytest.raises(XPathTypeError):
+            interp.evaluate("count(1)/a", context)
+        with pytest.raises(XPathTypeError):
+            interp.evaluate("(1)[1]", context)
+
+    def test_module_level_convenience(self):
+        from repro.baselines.naive import evaluate as naive_evaluate
+
+        assert naive_evaluate("count(//a)", DOC.root) == 2.0
+
+
+class TestMemoInterpreter:
+    def test_hits_accumulate_on_repeated_contexts(self):
+        # ancestor::a hands the same a to the predicate for every b
+        # child, so count(b) is answered from the context-value table.
+        interp = MemoInterpreter()
+        context = make_context(DOC.root)
+        result = interp.evaluate("//b/ancestor::a[count(b) > 1]", context)
+        assert len(result) == 1
+        assert interp.hits > 0
+
+    def test_cache_cleared_per_query(self):
+        interp = MemoInterpreter()
+        context = make_context(DOC.root)
+        interp.evaluate("//b", context)
+        first_misses = interp.misses
+        interp.evaluate("//b", context)
+        # The context-value table does not leak across top-level queries
+        # (AST object identity would be unsound), so the second run
+        # misses again rather than hitting stale entries.
+        assert interp.misses > first_misses
+        assert interp.hits == 0
+
+    def test_positional_expressions_not_cached(self):
+        interp = MemoInterpreter()
+        context = make_context(DOC.root)
+        result = interp.evaluate("//b[position() = last()]", context)
+        assert len(result) == 2
+
+    def test_clear_cache(self):
+        interp = MemoInterpreter()
+        interp.evaluate("//b", make_context(DOC.root))
+        interp.clear_cache()
+        assert interp.hits == 0 and interp.misses == 0
+
+
+class TestEvalContext:
+    def test_with_node_derives(self):
+        context = make_context(DOC.root, variables={"v": 1.0})
+        b = DOC.root.children[0].children[0].children[0]
+        derived = context.with_node(b, position=2, size=5)
+        assert derived.node is b
+        assert derived.position == 2 and derived.size == 5
+        assert derived.variable("v") == 1.0
+        # The original is unchanged (contexts are value-like).
+        assert context.position == 1
+
+    def test_with_position(self):
+        context = make_context(DOC.root)
+        derived = context.with_position(3, 9)
+        assert (derived.position, derived.size) == (3, 9)
+        assert derived.node is context.node
+
+    def test_unbound_variable(self):
+        from repro.errors import UnboundVariableError
+
+        with pytest.raises(UnboundVariableError):
+            make_context(DOC.root).variable("missing")

@@ -1,0 +1,150 @@
+"""Tests for the XPath lexer, especially the 3.7 disambiguation rules."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import tokenize
+from repro.xpath.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop END
+
+
+def pairs(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_numbers(self):
+        assert pairs("3") == [(TokenKind.NUMBER, "3")]
+        assert pairs("3.14") == [(TokenKind.NUMBER, "3.14")]
+        assert pairs(".5") == [(TokenKind.NUMBER, ".5")]
+        assert pairs("42.") == [(TokenKind.NUMBER, "42.")]
+
+    def test_literals(self):
+        assert pairs("'abc'") == [(TokenKind.LITERAL, "abc")]
+        assert pairs('"a\'b"') == [(TokenKind.LITERAL, "a'b")]
+        assert pairs("''") == [(TokenKind.LITERAL, "")]
+
+    def test_variables(self):
+        assert pairs("$x") == [(TokenKind.VARIABLE, "x")]
+        assert pairs("$ns:x") == [(TokenKind.VARIABLE, "ns:x")]
+
+    def test_punctuation(self):
+        assert kinds("( ) [ ] @ , ..") == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACKET,
+            TokenKind.RBRACKET, TokenKind.AT, TokenKind.COMMA,
+            TokenKind.DOTDOT,
+        ]
+
+    def test_operators(self):
+        expected = ["/", "//", "|", "+", "-", "=", "!=", "<", "<=", ">", ">="]
+        tokens = pairs("/ // | + - = != < <= > >=")
+        assert [v for _, v in tokens] == expected
+        assert all(k == TokenKind.OPERATOR for k, _ in tokens)
+
+    def test_whitespace_ignored(self):
+        assert pairs(" \t\n a \r ") == [(TokenKind.NAME, "a")]
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'abc")
+
+    def test_stray_exclamation(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a ! b")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")
+
+
+class TestStarDisambiguation:
+    def test_leading_star_is_wildcard(self):
+        assert pairs("*") == [(TokenKind.WILDCARD, "*")]
+
+    def test_star_after_operand_is_multiplication(self):
+        tokens = pairs("2 * 3")
+        assert tokens[1] == (TokenKind.OPERATOR, "*")
+
+    def test_star_after_slash_is_wildcard(self):
+        tokens = pairs("a/*")
+        assert tokens[2] == (TokenKind.WILDCARD, "*")
+
+    def test_star_after_at_is_wildcard(self):
+        tokens = pairs("@*")
+        assert tokens[1] == (TokenKind.WILDCARD, "*")
+
+    def test_star_times_star(self):
+        # First * is a wildcard (a name), second is multiplication, third
+        # is a wildcard again.
+        tokens = pairs("* * *")
+        assert [k for k, _ in tokens] == [
+            TokenKind.WILDCARD, TokenKind.OPERATOR, TokenKind.WILDCARD,
+        ]
+
+    def test_prefix_wildcard(self):
+        assert pairs("ns:*") == [(TokenKind.WILDCARD, "ns:*")]
+
+    def test_star_after_bracket_is_wildcard(self):
+        tokens = pairs("a[*")
+        assert tokens[2] == (TokenKind.WILDCARD, "*")
+
+
+class TestNameDisambiguation:
+    def test_operator_names_after_operand(self):
+        tokens = pairs("a and b or c div d mod e")
+        operators = [v for k, v in tokens if k == TokenKind.OPERATOR]
+        assert operators == ["and", "or", "div", "mod"]
+
+    def test_operator_names_as_element_names(self):
+        # At expression start, "and" is an element name test.
+        assert pairs("and")[0] == (TokenKind.NAME, "and")
+        assert pairs("div/mod")[0] == (TokenKind.NAME, "div")
+
+    def test_function_name(self):
+        assert pairs("count(x)")[0] == (TokenKind.FUNCTION_NAME, "count")
+
+    def test_function_name_with_space(self):
+        assert pairs("count (x)")[0] == (TokenKind.FUNCTION_NAME, "count")
+
+    def test_node_type_names(self):
+        for name in ("node", "text", "comment", "processing-instruction"):
+            assert pairs(f"{name}()")[0] == (TokenKind.NODE_TYPE, name)
+
+    def test_node_type_without_parens_is_name(self):
+        assert pairs("text")[0] == (TokenKind.NAME, "text")
+
+    def test_axis_name(self):
+        tokens = pairs("child::a")
+        assert tokens[0] == (TokenKind.AXIS_NAME, "child")
+        assert tokens[1] == (TokenKind.COLONCOLON, "::")
+        assert tokens[2] == (TokenKind.NAME, "a")
+
+    def test_axis_name_with_space(self):
+        assert pairs("child ::a")[0] == (TokenKind.AXIS_NAME, "child")
+
+    def test_qname(self):
+        assert pairs("ns:local")[0] == (TokenKind.NAME, "ns:local")
+
+    def test_qname_not_across_double_colon(self):
+        tokens = pairs("ancestor-or-self::b")
+        assert tokens[0] == (TokenKind.AXIS_NAME, "ancestor-or-self")
+
+    def test_name_after_operator_is_name(self):
+        tokens = pairs("a | b")
+        assert tokens[2] == (TokenKind.NAME, "b")
+
+    def test_name_cannot_follow_operand(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a b")
+
+    def test_names_with_dots_and_dashes(self):
+        assert pairs("foo-bar.baz")[0] == (TokenKind.NAME, "foo-bar.baz")
+
+
+class TestPositions:
+    def test_token_positions(self):
+        tokens = tokenize("a / b")
+        assert [t.position for t in tokens[:3]] == [0, 2, 4]

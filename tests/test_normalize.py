@@ -1,0 +1,141 @@
+"""Tests for normalization: clause split and the 4.3.2 classification."""
+
+import pytest
+
+from repro.compiler.normalize import (
+    DEFAULT_EXPENSIVE_THRESHOLD,
+    PredicateInfo,
+    normalize,
+)
+from repro.compiler.semantic import analyze
+from repro.xpath.parser import parse_xpath
+from repro.xpath.xast import BinaryOp, FunctionCall
+
+
+def normalized_predicate(text, threshold=DEFAULT_EXPENSIVE_THRESHOLD):
+    """Parse a path whose first step has one predicate; return its info."""
+    ast = normalize(analyze(parse_xpath(text)), threshold)
+    return ast.steps[0].predicates[0].info
+
+
+class TestClauseSplit:
+    def test_single_clause(self):
+        info = normalized_predicate("a[@x = '1']")
+        assert isinstance(info, PredicateInfo)
+        assert len(info.clauses) == 1
+
+    def test_conjunction_split(self):
+        info = normalized_predicate("a[@x and @y and @z]")
+        assert len(info.clauses) == 3
+
+    def test_or_not_split(self):
+        info = normalized_predicate("a[@x or @y]")
+        assert len(info.clauses) == 1
+
+    def test_nested_and_inside_or_not_split(self):
+        info = normalized_predicate("a[(@x and @y) or @z]")
+        assert len(info.clauses) == 1
+
+    def test_clause_order_preserved(self):
+        # Even an attribute access is a nested path (it needs the context
+        # node); a pure positional clause is not.
+        info = normalized_predicate("a[position() > 1 and b]")
+        assert not info.clauses[0].has_nested_path
+        assert info.clauses[1].has_nested_path
+
+
+class TestNumericPredicateRewrite:
+    def test_literal_number(self):
+        ast = normalize(analyze(parse_xpath("a[3]")))
+        rewritten = ast.steps[0].predicates[0].expr
+        assert isinstance(rewritten, BinaryOp) and rewritten.op == "="
+        assert isinstance(rewritten.left, FunctionCall)
+        assert rewritten.left.name == "position"
+
+    def test_numeric_expression(self):
+        ast = normalize(analyze(parse_xpath("a[last() - 1]")))
+        info = ast.steps[0].predicates[0].info
+        assert info.uses_position and info.uses_last
+
+    def test_boolean_predicate_not_rewritten(self):
+        ast = normalize(analyze(parse_xpath("a[@x]")))
+        info = ast.steps[0].predicates[0].info
+        assert not info.positional
+
+    def test_variable_predicate_dynamic(self):
+        info = normalized_predicate("a[$v]")
+        assert info.dynamic_truth
+        assert info.positional  # must count positions for the dispatch
+
+
+class TestClassification:
+    def test_position_and_last_sets(self):
+        info = normalized_predicate("a[position() > 1 and last() > 2 and @x]")
+        flags = [(c.uses_position, c.uses_last) for c in info.clauses]
+        assert flags == [(True, False), (False, True), (False, False)]
+
+    def test_nested_path_detection(self):
+        info = normalized_predicate(
+            "a[count(b/c) = 1 and position() != 2]"
+        )
+        assert info.clauses[0].has_nested_path
+        assert not info.clauses[1].has_nested_path
+
+    def test_expensive_classification(self):
+        info = normalized_predicate(
+            "a[b/c/d/e and @x]"
+        )
+        assert info.clauses[0].expensive
+        assert not info.clauses[1].expensive
+
+    def test_threshold_configurable(self):
+        info = normalized_predicate("a[b/c/d/e and @x]", threshold=10**9)
+        assert not any(c.expensive for c in info.clauses)
+
+    def test_cost_monotone_in_steps(self):
+        short = normalized_predicate("a[b]").clauses[0].cost
+        long = normalized_predicate("a[b/c/d]").clauses[0].cost
+        assert long > short
+
+
+class TestOrderedClauses:
+    def test_cheap_before_expensive(self):
+        info = normalized_predicate(
+            "a[b/c/d/e and @x = '1']"
+        )
+        ordered = info.ordered_clauses()
+        assert not ordered[0].expensive
+        assert ordered[-1].expensive
+
+    def test_last_clauses_after_plain_cheap(self):
+        info = normalized_predicate(
+            "a[position() = last() and @x]"
+        )
+        ordered = info.ordered_clauses()
+        assert not ordered[0].uses_last
+        assert ordered[1].uses_last
+
+    def test_all_clauses_kept(self):
+        info = normalized_predicate(
+            "a[@x and position() = last() and b/c/d/e and @y]"
+        )
+        assert len(info.ordered_clauses()) == len(info.clauses) == 4
+
+
+class TestDeepNormalization:
+    def test_nested_predicates_normalized(self):
+        ast = normalize(analyze(parse_xpath("a[b[c[2]]]")))
+        inner = ast.steps[0].predicates[0].expr  # path b[...]
+        deeper = inner.steps[0].predicates[0].expr  # path c[2]
+        deepest = deeper.steps[0].predicates[0]
+        assert deepest.info is not None
+        assert deepest.info.positional
+
+    def test_filter_expr_predicates_normalized(self):
+        ast = normalize(analyze(parse_xpath("(//a)[2]")))
+        assert ast.predicates[0].info is not None
+
+    def test_predicates_in_function_args(self):
+        ast = normalize(analyze(parse_xpath("count(//a[@x])")))
+        path = ast.args[0]
+        assert path.steps[-1].predicates[0].info is not None

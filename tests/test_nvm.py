@@ -1,0 +1,216 @@
+"""Tests for the NVM: ISA, interpreter, compiler, assembler round-trip."""
+
+import math
+
+import pytest
+
+from repro.algebra import scalar as S
+from repro.engine.context import ExecutionContext
+from repro.engine.iterator import RuntimeState
+from repro.engine.subscripts import InterpSubscript
+from repro.errors import NVMError
+from repro.nvm import assemble, compile_scalar, disassemble
+from repro.nvm.isa import Instruction, Opcode, make
+from repro.nvm.machine import NVMProgram, NVMSubscript, execute
+from repro import parse_document
+from repro.xpath.datamodel import XPathType
+
+
+def runtime_for(regs, node=None, variables=None):
+    doc = parse_document("<a>7</a>") if node is None else None
+    context_node = node if node is not None else doc.root
+    return RuntimeState(
+        regs=regs,
+        context=ExecutionContext(context_node, variables=variables or {}),
+    )
+
+
+def run_scalar(expr, slots=None, regs=None, **kwargs):
+    program = compile_scalar(expr, slots or {}, {})
+    return execute(program, runtime_for(regs or [], **kwargs))
+
+
+class TestISA:
+    def test_make_validates_arity(self):
+        make(Opcode.MOV, 0, 1)
+        with pytest.raises(ValueError):
+            make(Opcode.MOV, 0)
+        with pytest.raises(ValueError):
+            make(Opcode.RET, 1, 2)
+
+    def test_program_validation_catches_bad_jump(self):
+        program = NVMProgram(
+            [make(Opcode.JUMP, 99)], (), (), (), 1
+        )
+        with pytest.raises(NVMError):
+            program.validate()
+
+    def test_program_validation_catches_bad_const(self):
+        program = NVMProgram(
+            [make(Opcode.LOAD_CONST, 0, 5), make(Opcode.RET, 0)],
+            ("only-one",), (), (), 1,
+        )
+        with pytest.raises(NVMError):
+            program.validate()
+
+    def test_missing_ret_detected_at_runtime(self):
+        program = NVMProgram([make(Opcode.LOAD_CONST, 0, 0)], (1.0,), (),
+                             (), 1)
+        with pytest.raises(NVMError):
+            execute(program, runtime_for([]))
+
+
+class TestExecution:
+    def test_constants_and_arith(self):
+        expr = S.SArith("+", S.SConst(2.0),
+                        S.SArith("*", S.SConst(3.0), S.SConst(4.0)))
+        assert run_scalar(expr) == 14.0
+
+    def test_division_semantics(self):
+        assert run_scalar(S.SArith("div", S.SConst(1.0), S.SConst(0.0))) == (
+            float("inf")
+        )
+        assert math.isnan(
+            run_scalar(S.SArith("mod", S.SConst(1.0), S.SConst(0.0)))
+        )
+
+    def test_slot_access(self):
+        expr = S.SArith("+", S.SAttr("x"), S.SAttr("y"))
+        assert run_scalar(expr, slots={"x": 0, "y": 1},
+                          regs=[10.0, 32.0]) == 42.0
+
+    def test_variables(self):
+        assert run_scalar(S.SVar("v"), variables={"v": "hello"}) == "hello"
+
+    def test_comparisons_full_matrix(self):
+        assert run_scalar(S.SCmp("=", S.SConst(1.0), S.SConst("1"))) is True
+        assert run_scalar(S.SCmp("<", S.SConst("2"), S.SConst("10"))) is True
+        assert run_scalar(
+            S.SCmp("=", S.SConst(True), S.SConst("x"))
+        ) is True
+
+    def test_string_value_of_node(self):
+        doc = parse_document("<a>7</a>")
+        expr = S.SStringValue(S.SAttr("n"))
+        assert run_scalar(expr, slots={"n": 0},
+                          regs=[doc.root.children[0]]) == "7"
+
+    def test_conversions(self):
+        assert run_scalar(
+            S.SConvert(XPathType.NUMBER, S.SConst("3.5"))
+        ) == 3.5
+        assert run_scalar(
+            S.SConvert(XPathType.BOOLEAN, S.SConst(""))
+        ) is False
+        assert run_scalar(
+            S.SConvert(XPathType.STRING, S.SConst(2.0))
+        ) == "2"
+
+    def test_short_circuit_and(self):
+        # If the right side evaluated, division by zero -> inf != 'boom'.
+        expr = S.SBool("and", S.SConst(False),
+                       S.SCmp("=", S.SConst(1.0), S.SConst(1.0)))
+        assert run_scalar(expr) is False
+
+    def test_short_circuit_or(self):
+        expr = S.SBool("or", S.SConst(True), S.SConst(False))
+        assert run_scalar(expr) is True
+
+    def test_not_and_neg(self):
+        assert run_scalar(S.SNot(S.SConst(""))) is True
+        assert run_scalar(S.SNeg(S.SConst("3"))) == -3.0
+
+    def test_function_call(self):
+        expr = S.SFunc("concat", (S.SConst("a"), S.SConst("b")))
+        assert run_scalar(expr) == "ab"
+
+    def test_deref_and_tokenize(self):
+        doc = parse_document('<r id="r1"><x id="x1"/></r>')
+        tokens = run_scalar(S.STokenize(S.SConst(" a  b c ")),
+                            node=doc.root)
+        assert tokens == ["a", "b", "c"]
+        node = run_scalar(S.SDeref(S.SConst("x1")), node=doc.root)
+        assert node.name == "x"
+        assert run_scalar(S.SDeref(S.SConst("zz")), node=doc.root) is None
+
+    def test_root_command(self):
+        doc = parse_document("<a><b/></a>")
+        b = doc.root.children[0].children[0]
+        expr = S.SRoot(S.SAttr("n"))
+        assert run_scalar(expr, slots={"n": 0}, regs=[b],
+                          node=doc.root) == doc.root
+
+
+class TestNVMInterpAgreement:
+    """The NVM and the tree-walking evaluator must agree exactly."""
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            S.SArith("mod", S.SConst(-5.0), S.SConst(2.0)),
+            S.SCmp("!=", S.SConst(float("nan")), S.SConst(1.0)),
+            S.SBool("or", S.SConst(False), S.SCmp(">", S.SConst(2.0),
+                                                  S.SConst(1.0))),
+            S.SFunc("substring", (S.SConst("12345"), S.SConst(1.5),
+                                  S.SConst(2.6))),
+            S.SConvert(XPathType.NUMBER, S.SConst("  12 ")),
+            S.SNeg(S.SNeg(S.SConst(5.0))),
+            S.SFunc("translate", (S.SConst("abc"), S.SConst("ab"),
+                                  S.SConst("BA"))),
+        ],
+        ids=repr,
+    )
+    def test_agreement(self, expr):
+        runtime = runtime_for([])
+        nvm_result = NVMSubscript(compile_scalar(expr, {}, {})).evaluate(
+            runtime
+        )
+        interp_result = InterpSubscript(expr, {}, {}).evaluate(runtime)
+        if isinstance(nvm_result, float) and math.isnan(nvm_result):
+            assert math.isnan(interp_result)
+        else:
+            assert nvm_result == interp_result
+
+
+class TestAssembler:
+    def _program(self):
+        expr = S.SBool(
+            "and",
+            S.SCmp("=", S.SAttr("x"), S.SConst("v")),
+            S.SCmp(">", S.SAttr("y"), S.SConst(2.0)),
+        )
+        return compile_scalar(expr, {"x": 0, "y": 1}, {})
+
+    def test_disassemble_mentions_pools(self):
+        text = disassemble(self._program())
+        assert "load_slot" in text
+        assert "cmp_eq" in text
+        assert "'v'" in text  # constant comment
+
+    def test_round_trip_execution(self):
+        program = self._program()
+        text = disassemble(program)
+        again = assemble(text, template=program)
+        runtime = runtime_for(["v", 3.0])
+        assert execute(program, runtime) is True
+        assert execute(again, runtime) is True
+        runtime.regs[1] = 1.0
+        assert execute(again, runtime) is False
+
+    def test_assemble_rejects_garbage(self):
+        with pytest.raises(NVMError):
+            assemble("frobnicate r0, r1")
+        with pytest.raises(NVMError):
+            assemble("mov r0, banana")
+
+    def test_assemble_from_scratch(self):
+        program = assemble(
+            """
+            load_const r0, c0
+            load_const r1, c1
+            add r2, r0, r1
+            ret r2
+            """,
+            constants=(40.0, 2.0),
+        )
+        assert execute(program, runtime_for([])) == 42.0

@@ -1,0 +1,166 @@
+"""Tests for the property-driven optimizer and ordered evaluation."""
+
+import pytest
+
+from repro import TranslationOptions, compile_xpath, parse_document
+from repro.algebra import operators as ops
+from repro.algebra.properties import is_document_ordered
+
+from .conftest import normalize_result
+
+DOC = parse_document(
+    '<r id="0"><a id="1"><b id="2">x</b><b id="3">y</b></a>'
+    '<a id="4"><b id="5">z</b><a id="6"><b id="7">w</b></a></a></r>'
+)
+
+OPT = TranslationOptions(optimize=True)
+
+
+def count_ops(compiled, kind):
+    return sum(
+        1 for op in ops.plan_operators(compiled.logical_plan)
+        if isinstance(op, kind)
+    )
+
+
+class TestDedupPruning:
+    def test_canonical_child_path_dedup_removed(self):
+        options = TranslationOptions.canonical(optimize=True)
+        compiled = compile_xpath("/r/a/b", options)
+        assert count_ops(compiled, ops.ProjectDup) == 0
+        assert compiled.optimizer_report.removed_dedups == 1
+
+    def test_needed_dedups_kept(self):
+        compiled = compile_xpath("//b/ancestor::a", OPT)
+        # Ancestor steps genuinely produce duplicates; their Π^D stays.
+        assert count_ops(compiled, ops.ProjectDup) >= 1
+
+    def test_results_unchanged(self):
+        for query in ("/r/a/b", "//b/ancestor::a/@id", "//a | //b",
+                      "count(//b[. = 'w'])"):
+            plain = compile_xpath(query)
+            optimized = compile_xpath(query, OPT)
+            assert normalize_result(plain.evaluate(DOC.root)) == (
+                normalize_result(optimized.evaluate(DOC.root))
+            )
+
+    def test_report_absent_without_flag(self):
+        assert compile_xpath("/r/a").optimizer_report is None
+
+
+class TestSortPruning:
+    def test_filter_sort_on_ordered_pipeline_removed(self):
+        # (/r/a/b) is provably in document order: the Sort the filter
+        # expression introduces for its positional predicate is pruned.
+        compiled = compile_xpath("(/r/a/b)[2]", OPT)
+        assert count_ops(compiled, ops.SortOp) == 0
+        assert compiled.optimizer_report.removed_sorts == 1
+
+    def test_sort_kept_on_unordered_input(self):
+        compiled = compile_xpath("(//b/ancestor::a)[1]", OPT)
+        assert count_ops(compiled, ops.SortOp) == 1
+
+    def test_pruned_sort_results_unchanged(self):
+        for query in ("(/r/a/b)[2]", "(/r/a/b)[last()]"):
+            plain = compile_xpath(query)
+            optimized = compile_xpath(query, OPT)
+            assert normalize_result(plain.evaluate(DOC.root)) == (
+                normalize_result(optimized.evaluate(DOC.root))
+            )
+
+
+class TestOrderInference:
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ("/r", True),
+            ("/r/a", True),
+            ("/r/a/b", True),                      # sibling-block chain
+            ("/r/a/@id", True),
+            ("/descendant::b", True),               # from a single node
+            ("//b", False),                         # conservative
+            ("//b/ancestor::a", False),
+            ("/r/a/preceding-sibling::a", False),   # reverse order
+            ("/r/descendant::b/self::b", True),     # self preserves DDO
+            ("/r/self::r/descendant::b", True),
+        ],
+    )
+    def test_emits_document_order(self, query, expected):
+        compiled = compile_xpath(query)
+        assert compiled.emits_document_order is expected
+
+    def test_inference_is_sound(self):
+        """Whenever the analysis claims order, the engine must deliver."""
+        queries = [
+            "/r", "/r/a", "/r/a/b", "/r/a/@id", "/descendant::b",
+            "/r/self::r/descendant::b", "/r/a/b[. != 'y']",
+            "/r/a[2]/b", "/descendant::a/@id",
+        ]
+        for query in queries:
+            compiled = compile_xpath(query)
+            result = compiled.evaluate(DOC.root)
+            keys = [n.sort_key for n in result]
+            if compiled.emits_document_order:
+                assert keys == sorted(keys), query
+
+
+class TestDescendantMerging:
+    def test_double_slash_merges_to_descendant_step(self):
+        compiled = compile_xpath("//b", OPT)
+        assert compiled.optimizer_report.merged_descendant_steps == 1
+        assert count_ops(compiled, ops.UnnestMap) == 1
+        step = next(
+            op for op in ops.plan_operators(compiled.logical_plan)
+            if isinstance(op, ops.UnnestMap)
+        )
+        from repro.xpath.axes import Axis
+
+        assert step.axis == Axis.DESCENDANT
+
+    def test_positional_predicate_blocks_merge(self):
+        # //b[2] groups positions by the descendant-or-self context;
+        # merging would change which b counts as "second".
+        compiled = compile_xpath("//b[2]", OPT)
+        assert compiled.optimizer_report.merged_descendant_steps == 0
+
+    def test_merge_from_multi_context_adds_dedup(self):
+        compiled = compile_xpath("//a//b", OPT)
+        assert compiled.optimizer_report.merged_descendant_steps == 2
+        # The second merge starts from many a-contexts: a Π^D guards it.
+        assert count_ops(compiled, ops.ProjectDup) >= 1
+
+    def test_merge_results_unchanged(self):
+        for query in ("//b", "//a//b", "count(//b)", "//b/ancestor::a//b",
+                      "//b[. = 'y']", "sum(//a//@id)"):
+            plain = compile_xpath(query)
+            optimized = compile_xpath(query, OPT)
+            assert normalize_result(plain.evaluate(DOC.root)) == (
+                normalize_result(optimized.evaluate(DOC.root))
+            ), query
+
+    def test_merge_reduces_axis_work(self):
+        plain = compile_xpath("//b")
+        optimized = compile_xpath("//b", OPT)
+        plain.evaluate(DOC.root)
+        optimized.evaluate(DOC.root)
+        assert (
+            optimized.stats["axis_nodes_visited"]
+            < plain.stats["axis_nodes_visited"]
+        )
+
+
+class TestOrderedEvaluation:
+    def test_ordered_results_sorted(self):
+        compiled = compile_xpath("//b/ancestor::a/@id")
+        result = compiled.evaluate(DOC.root, ordered=True)
+        keys = [n.sort_key for n in result]
+        assert keys == sorted(keys)
+
+    def test_sort_avoided_when_provable(self):
+        compiled = compile_xpath("/r/a/b")
+        compiled.evaluate(DOC.root, ordered=True)
+        assert compiled.stats["order_sort_avoided"] == 1
+
+    def test_scalar_results_unaffected(self):
+        compiled = compile_xpath("count(//b)")
+        assert compiled.evaluate(DOC.root, ordered=True) == 4.0

@@ -1,0 +1,101 @@
+"""Tests for phase 4: constant folding."""
+
+import pytest
+
+from repro.compiler.rewrite import fold_constants
+from repro.compiler.semantic import analyze
+from repro.xpath.parser import parse_xpath
+from repro.xpath.xast import (
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+)
+
+
+def folded(text):
+    return fold_constants(analyze(parse_xpath(text)))
+
+
+class TestArithmeticFolding:
+    def test_simple(self):
+        out = folded("1 + 2 * 3")
+        assert isinstance(out, Number) and out.value == 7.0
+
+    def test_unary_minus(self):
+        out = folded("-(2 + 3)")
+        assert isinstance(out, Number) and out.value == -5.0
+
+    def test_division_semantics_preserved(self):
+        out = folded("1 div 0")
+        assert out.value == float("inf")
+
+    def test_mod_semantics_preserved(self):
+        assert folded("-5 mod 2").value == -1.0
+
+
+class TestComparisonsAndBooleans:
+    def test_comparison_folds_to_boolean_call(self):
+        out = folded("1 < 2")
+        assert isinstance(out, FunctionCall) and out.name == "true"
+        out = folded("2 < 1")
+        assert out.name == "false"
+
+    def test_boolean_connectives(self):
+        assert folded("true() and false()").name == "false"
+        assert folded("true() or false()").name == "true"
+
+    def test_string_comparison(self):
+        assert folded("'a' = 'a'").name == "true"
+
+
+class TestFunctionFolding:
+    def test_concat(self):
+        out = folded("concat('a', 'b', 'c')")
+        assert isinstance(out, Literal) and out.value == "abc"
+
+    def test_string_functions(self):
+        assert folded("contains('hello', 'ell')").name == "true"
+        assert folded("substring('12345', 2, 3)").value == "234"
+        assert folded("translate('abc', 'b', 'B')").value == "aBc"
+
+    def test_number_functions(self):
+        assert folded("floor(2.7)").value == 2.0
+        assert folded("round(-2.5)").value == -2.0
+
+    def test_not_folds(self):
+        assert folded("not(true())").name == "false"
+
+    def test_context_functions_not_folded(self):
+        out = folded("position() + 0")
+        assert isinstance(out, BinaryOp)
+
+    def test_nodeset_functions_not_folded(self):
+        out = folded("count(//a)")
+        assert isinstance(out, FunctionCall) and out.name == "count"
+
+
+class TestPartialFolding:
+    def test_folds_constant_subtrees(self):
+        out = folded("count(//a) + (2 * 3)")
+        assert isinstance(out, BinaryOp)
+        assert isinstance(out.right, Number) and out.right.value == 6.0
+
+    def test_folds_inside_predicates(self):
+        out = folded("a[1 + 1]")
+        assert isinstance(out, LocationPath)
+        predicate = out.steps[0].predicates[0].expr
+        assert isinstance(predicate, Number) and predicate.value == 2.0
+
+    def test_annotations_preserved(self):
+        out = folded("position() + 1")
+        assert out.uses_position
+
+    def test_folded_constant_has_type(self):
+        from repro.xpath.datamodel import XPathType
+
+        out = folded("1 + 1")
+        assert out.static_type == XPathType.NUMBER
+        assert folded("1 < 2").static_type == XPathType.BOOLEAN
+        assert folded("concat('a','b')").static_type == XPathType.STRING

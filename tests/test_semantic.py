@@ -1,0 +1,95 @@
+"""Tests for semantic analysis: static types, positional flags, checks."""
+
+import pytest
+
+from repro.compiler.semantic import analyze
+from repro.errors import XPathNameError, XPathTypeError
+from repro.xpath.datamodel import XPathType
+from repro.xpath.parser import parse_xpath
+
+
+def typed(text):
+    return analyze(parse_xpath(text)).static_type
+
+
+class TestStaticTypes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", XPathType.NUMBER),
+            ("'s'", XPathType.STRING),
+            ("$v", XPathType.ANY),
+            ("/a/b", XPathType.NODE_SET),
+            ("a | b", XPathType.NODE_SET),
+            ("(//a)[1]", XPathType.NODE_SET),
+            ("$v/a", XPathType.NODE_SET),
+            ("id('x')", XPathType.NODE_SET),
+            ("1 + 2", XPathType.NUMBER),
+            ("-a", XPathType.NUMBER),
+            ("1 = 2", XPathType.BOOLEAN),
+            ("a < b", XPathType.BOOLEAN),
+            ("a and b", XPathType.BOOLEAN),
+            ("count(//a)", XPathType.NUMBER),
+            ("string(1)", XPathType.STRING),
+            ("not(a)", XPathType.BOOLEAN),
+            ("concat('a', 'b')", XPathType.STRING),
+        ],
+    )
+    def test_types(self, text, expected):
+        assert typed(text) == expected
+
+
+class TestPositionalFlags:
+    def test_direct_calls(self):
+        expr = analyze(parse_xpath("position() + 1"))
+        assert expr.uses_position and not expr.uses_last
+
+    def test_last_flag(self):
+        expr = analyze(parse_xpath("last() - 1"))
+        assert expr.uses_last and not expr.uses_position
+
+    def test_nested_predicates_do_not_leak(self):
+        # position() inside a nested predicate has its own context.
+        expr = analyze(parse_xpath("count(a[position() = 2])"))
+        assert not expr.uses_position
+
+    def test_propagation_through_operators(self):
+        expr = analyze(parse_xpath("not(position() = last())"))
+        assert expr.uses_position and expr.uses_last
+
+    def test_predicate_expr_flags(self):
+        path = analyze(parse_xpath("a[position() = 1]"))
+        predicate = path.steps[0].predicates[0]
+        assert predicate.expr.uses_position
+
+
+class TestChecks:
+    def test_unknown_function(self):
+        with pytest.raises(XPathNameError):
+            analyze(parse_xpath("nope()"))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "count(1)",          # node-set parameter violated
+            "sum('x')",
+            "count()",           # arity
+            "position(1)",
+            "substring('a')",
+            "1/a",               # path source must be a node-set
+            "'s'/a",
+            "count(//a)/b",      # number as path source
+            "(1)[2]",            # filtering a number
+            "a | 1",             # union operand
+        ],
+    )
+    def test_type_errors(self, text):
+        with pytest.raises(XPathTypeError):
+            analyze(parse_xpath(text))
+
+    def test_variables_allowed_everywhere(self):
+        # ANY-typed variables pass node-set contexts (checked at runtime).
+        analyze(parse_xpath("count($v)"))
+        analyze(parse_xpath("$v/a"))
+        analyze(parse_xpath("$v | //a"))
+        analyze(parse_xpath("($v)[1]"))

@@ -1,0 +1,130 @@
+"""Evaluation over paged storage: axes, systematic paths, paper queries.
+
+The storage proxies must be observationally identical to the in-memory
+DOM for every axis and every engine.  These tests re-run the axis
+enumeration and the systematic length-2 query set against a stored
+document and compare node identities with the in-memory evaluation.
+"""
+
+import pytest
+
+from repro import compile_xpath, evaluate, parse_document
+from repro.storage import DocumentStore
+from repro.workloads import generate_dblp, generate_document
+from repro.workloads.querygen import (
+    FIG10_QUERIES,
+    FIG5_QUERIES,
+    sample_axis_paths,
+)
+from repro.xpath.axes import Axis, iter_axis
+
+from .conftest import SAMPLE_XML
+
+
+@pytest.fixture(scope="module")
+def stored_sample(tmp_path_factory):
+    doc = parse_document(SAMPLE_XML)
+    path = tmp_path_factory.mktemp("stores") / "sample.natix"
+    DocumentStore.write(doc, path)
+    with DocumentStore.open(path, buffer_pages=4) as stored:
+        yield doc, stored
+
+
+@pytest.fixture(scope="module")
+def stored_generated(tmp_path_factory):
+    doc = generate_document(150, 4, 3)
+    path = tmp_path_factory.mktemp("stores") / "generated.natix"
+    DocumentStore.write(doc, path)
+    with DocumentStore.open(path, buffer_pages=8) as stored:
+        yield doc, stored
+
+
+class TestAxesOverStorage:
+    @pytest.mark.parametrize("axis", list(Axis))
+    def test_axis_enumeration_matches_memory(self, stored_sample, axis):
+        doc, stored = stored_sample
+        # Compare the axis from every tree node of the document.
+        mem_nodes = list(doc.iter_nodes())
+        disk_nodes = list(stored.iter_nodes())
+        assert len(mem_nodes) == len(disk_nodes)
+        for mem_node, disk_node in zip(mem_nodes, disk_nodes):
+            mem_axis = [n.sort_key for n in iter_axis(axis, mem_node)]
+            disk_axis = [n.sort_key for n in iter_axis(axis, disk_node)]
+            assert mem_axis == disk_axis, (axis, mem_node.sort_key)
+
+
+class TestSystematicPathsOverStorage:
+    QUERIES = sample_axis_paths(2, stride=7, limit=18)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_agreement(self, stored_generated, query):
+        doc, stored = stored_generated
+        compiled = compile_xpath(query)
+        mem = compiled.evaluate(doc.root)
+        disk = compiled.evaluate(stored.root)
+        assert sorted(n.sort_key for n in mem) == sorted(
+            n.sort_key for n in disk
+        )
+
+
+class TestPaperQueriesOverStorage:
+    @pytest.fixture(scope="class")
+    def stored_dblp(self, tmp_path_factory):
+        doc = generate_dblp(150, seed=11)
+        path = tmp_path_factory.mktemp("stores") / "dblp.natix"
+        DocumentStore.write(doc, path)
+        with DocumentStore.open(path, buffer_pages=16) as stored:
+            yield doc, stored
+
+    @pytest.mark.parametrize("query", FIG10_QUERIES)
+    def test_fig10_over_storage(self, stored_dblp, query):
+        doc, stored = stored_dblp
+        compiled = compile_xpath(query)
+        mem = compiled.evaluate(doc.root)
+        disk = compiled.evaluate(stored.root)
+        assert sorted(n.sort_key for n in mem) == sorted(
+            n.sort_key for n in disk
+        )
+
+    @pytest.mark.parametrize("query", FIG5_QUERIES)
+    def test_fig5_over_storage(self, stored_generated, query):
+        doc, stored = stored_generated
+        mem = evaluate(query, doc.root)
+        disk = evaluate(query, stored.root)
+        assert sorted(n.sort_key for n in mem) == sorted(
+            n.sort_key for n in disk
+        )
+
+    def test_interpreters_over_storage(self, stored_generated):
+        _, stored = stored_generated
+        for engine in ("naive", "memo"):
+            result = evaluate(
+                "count(//*[@id > 10])", stored.root, engine=engine
+            )
+            assert result == evaluate("count(//*[@id > 10])", stored.root)
+
+
+class TestBufferPressure:
+    def test_tiny_buffer_correct_under_eviction(self, tmp_path):
+        doc = generate_document(600, 5, 4)
+        path = tmp_path / "pressure.natix"
+        DocumentStore.write(doc, path, page_size=256)
+        with DocumentStore.open(path, buffer_pages=2) as stored:
+            stored.clear_node_cache()
+            want = evaluate("count(//*)", doc.root)
+            got = evaluate("count(//*)", stored.root)
+            assert want == got
+            stats = stored.buffer.stats
+            assert stats.evictions > 10  # the buffer really was pressured
+
+    def test_node_cache_clear_mid_session(self, tmp_path):
+        doc = generate_document(100, 4, 3)
+        path = tmp_path / "clear.natix"
+        DocumentStore.write(doc, path)
+        with DocumentStore.open(path) as stored:
+            first = evaluate("//*/@id", stored.root)
+            stored.clear_node_cache()
+            second = evaluate("//*/@id", stored.root)
+            assert sorted(n.sort_key for n in first) == sorted(
+                n.sort_key for n in second
+            )

@@ -1,0 +1,265 @@
+"""Tests for the translation phase: plan shapes per paper sections 3-4."""
+
+import pytest
+
+from repro.algebra import operators as ops
+from repro.algebra import scalar as S
+from repro.algebra.printer import plan_to_string
+from repro.compiler.improved import TranslationOptions
+from repro.compiler.normalize import normalize
+from repro.compiler.rewrite import fold_constants
+from repro.compiler.semantic import analyze
+from repro.compiler.translate import Translator
+from repro.xpath.parser import parse_xpath
+
+
+def translate(text, options=None):
+    ast = normalize(fold_constants(analyze(parse_xpath(text))))
+    return Translator(options or TranslationOptions()).translate(ast)
+
+
+def all_operators(result):
+    """Every operator of a translation result (plan or scalar nested)."""
+    if result.plan is not None:
+        return ops.plan_operators(result.plan)
+    out = []
+    for nested in S.nested_plans(result.scalar):
+        out.extend(ops.plan_operators(nested.plan))
+    return out
+
+
+def operators_of(plan):
+    return [type(op).__name__ for op in ops.plan_operators(plan)]
+
+
+def count_ops(plan_or_result, kind):
+    if isinstance(plan_or_result, ops.Operator):
+        source = ops.plan_operators(plan_or_result)
+    else:
+        source = all_operators(plan_or_result)
+    return sum(1 for op in source if isinstance(op, kind))
+
+
+class TestCanonicalTranslation:
+    """Section 3: chains of d-joins with a final duplicate elimination."""
+
+    def test_path_is_djoin_chain(self):
+        result = translate("/a/b/c", TranslationOptions.canonical())
+        assert count_ops(result.plan, ops.DJoin) == 3
+        assert count_ops(result.plan, ops.UnnestMap) == 3
+
+    def test_final_dedup_always_present(self):
+        result = translate("/a/b", TranslationOptions.canonical())
+        assert isinstance(result.plan, ops.ProjectDup)
+
+    def test_no_intermediate_dedup(self):
+        result = translate(
+            "/descendant::a/ancestor::b", TranslationOptions.canonical()
+        )
+        assert count_ops(result.plan, ops.ProjectDup) == 1
+
+    def test_dependent_side_is_unnest_over_singleton(self):
+        result = translate("/a", TranslationOptions.canonical())
+        djoin = next(
+            op for op in ops.plan_operators(result.plan)
+            if isinstance(op, ops.DJoin)
+        )
+        assert isinstance(djoin.right, ops.UnnestMap)
+        assert isinstance(djoin.right.child, ops.SingletonScan)
+
+    def test_no_memox_in_canonical(self):
+        result = translate(
+            "/descendant::a[b/c]", TranslationOptions.canonical()
+        )
+        assert count_ops(result.plan, ops.MemoX) == 0
+
+
+class TestImprovedTranslation:
+    """Section 4: stacked pipelines, pushed dedup, MemoX."""
+
+    def test_stacked_has_no_djoins(self):
+        result = translate("/a/b/c")
+        assert count_ops(result.plan, ops.DJoin) == 0
+        assert count_ops(result.plan, ops.UnnestMap) == 3
+
+    def test_dedup_after_ppd_steps_only(self):
+        result = translate("/a/descendant::b/c")
+        # One Π^D after the descendant step; child steps need none.
+        assert count_ops(result.plan, ops.ProjectDup) == 1
+
+    def test_dup_free_last_step_means_no_final_dedup(self):
+        result = translate("/a/b")
+        assert count_ops(result.plan, ops.ProjectDup) == 0
+
+    def test_memox_for_inner_path_after_ppd_step(self):
+        result = translate("/descendant::a[b/c]")
+        assert count_ops(result.plan, ops.MemoX) == 1
+
+    def test_no_memox_after_non_ppd_step(self):
+        result = translate("/a/b[c/d]")
+        assert count_ops(result.plan, ops.MemoX) == 0
+
+    def test_paper_example_fig3_shape(self):
+        # /a1::t1/a2::t2/a3::t3 with ppd(a2): a single pipeline with one
+        # duplicate elimination above step 2 (paper Fig. 3).
+        result = translate("/child::t1/descendant::t2/child::t3")
+        rendered = plan_to_string(result.plan)
+        assert rendered.count("d-join") == 0
+        assert rendered.count("Π^D") == 1
+
+
+class TestPredicateTranslation:
+    def test_simple_predicate_is_select(self):
+        result = translate("/a[@x]")
+        assert count_ops(result.plan, ops.Select) == 1
+        assert count_ops(result.plan, ops.PosMap) == 0
+
+    def test_positional_predicate_adds_posmap(self):
+        result = translate("/a/b[position() = 2]")
+        assert count_ops(result.plan, ops.PosMap) == 1
+        assert count_ops(result.plan, ops.TmpCs) == 0
+
+    def test_last_predicate_adds_tmpcs(self):
+        result = translate("/a/b[last()]")
+        assert count_ops(result.plan, ops.TmpCs) == 1
+        assert count_ops(result.plan, ops.PosMap) == 1
+
+    def test_stacked_positional_groups_on_input_context(self):
+        result = translate("/a/b[position() = 2]")
+        posmap = next(
+            op for op in ops.plan_operators(result.plan)
+            if isinstance(op, ops.PosMap)
+        )
+        assert posmap.context_attr is not None
+
+    def test_canonical_positional_has_no_group_attr(self):
+        result = translate(
+            "/a/b[position() = 2]", TranslationOptions.canonical()
+        )
+        posmap = next(
+            op for op in ops.plan_operators(result.plan)
+            if isinstance(op, ops.PosMap)
+        )
+        assert posmap.context_attr is None
+
+    def test_expensive_clause_gets_matmap(self):
+        result = translate("/a[b/c/d/e and @x]")
+        assert count_ops(result.plan, ops.MatMap) == 1
+
+    def test_expensive_clause_plain_select_in_canonical(self):
+        result = translate(
+            "/a[b/c/d/e and @x]", TranslationOptions.canonical()
+        )
+        assert count_ops(result.plan, ops.MatMap) == 0
+
+    def test_multiple_predicates_stack(self):
+        result = translate("/a/b[@x][position() = 1]")
+        assert count_ops(result.plan, ops.Select) == 2
+        assert count_ops(result.plan, ops.PosMap) == 1
+
+
+class TestFilterAndPathExpressions:
+    def test_filter_with_positional_predicate_sorts(self):
+        result = translate("(//a)[2]")
+        assert count_ops(result.plan, ops.SortOp) == 1
+
+    def test_filter_without_positional_predicate_does_not_sort(self):
+        result = translate("(//a)[@x]")
+        assert count_ops(result.plan, ops.SortOp) == 0
+
+    def test_variable_path_source(self):
+        result = translate("$v/a")
+        assert count_ops(result.plan, ops.VarScan) == 1
+
+    def test_union_concat_plus_dedup(self):
+        result = translate("a | b | c")
+        concat = next(
+            op for op in ops.plan_operators(result.plan)
+            if isinstance(op, ops.Concat)
+        )
+        assert len(concat.inputs) == 3
+        assert isinstance(result.plan, ops.ProjectDup)
+
+
+class TestComparisons:
+    def test_nodeset_nodeset_equality_semijoin(self):
+        result = translate("a = b")
+        assert count_ops(result, ops.SemiJoin) == 1
+
+    def test_nodeset_inequality_default_is_semijoin(self):
+        result = translate("a != b")
+        assert count_ops(result, ops.SemiJoin) == 1
+        assert count_ops(result, ops.AntiJoin) == 0
+
+    def test_paper_neq_uses_antijoin(self):
+        result = translate(
+            "a != b", TranslationOptions(paper_neq=True)
+        )
+        assert count_ops(result, ops.AntiJoin) == 1
+
+    def test_relational_nodeset_uses_aggregate_bound(self):
+        result = translate("a < b")
+        matmaps = [
+            op for op in all_operators(result)
+            if isinstance(op, ops.MatMap)
+        ]
+        assert len(matmaps) == 1
+        nested = S.nested_plans(matmaps[0].expr)
+        assert nested and nested[0].agg == "max"
+
+    def test_relational_gt_uses_min(self):
+        result = translate("a > b")
+        matmap = next(
+            op for op in all_operators(result)
+            if isinstance(op, ops.MatMap)
+        )
+        assert S.nested_plans(matmap.expr)[0].agg == "min"
+
+
+class TestScalarTranslation:
+    def test_scalar_result_kind(self):
+        result = translate("1 + 2")
+        assert result.kind == "scalar"
+
+    def test_count_becomes_nested_count(self):
+        result = translate("count(//a)")
+        assert isinstance(result.scalar, S.SNested)
+        assert result.scalar.agg == "count"
+
+    def test_boolean_conversion_is_exists(self):
+        result = translate("boolean(//a)")
+        assert isinstance(result.scalar, S.SNested)
+        assert result.scalar.agg == "exists"
+
+    def test_string_of_nodeset_is_first_string(self):
+        result = translate("string(//a)")
+        assert result.scalar.agg == "first_string"
+
+    def test_position_reads_top_attr(self):
+        result = translate("position()")
+        assert isinstance(result.scalar, S.SAttr)
+        assert result.scalar.name == "cp_top"
+
+    def test_id_translation_shape(self):
+        result = translate("id('x')")
+        names = operators_of(result.plan)
+        assert names.count("ExprUnnestMap") == 2  # tokenize + deref
+        assert isinstance(result.plan, ops.ProjectDup)
+
+
+class TestPlanPrinter:
+    def test_renders_nested_plans(self):
+        result = translate("/a[count(b) = 2]")
+        rendered = plan_to_string(result.plan)
+        assert "[nested count]" in rendered
+        assert "Υ" in rendered
+
+    def test_fig4_query_renders(self):
+        # The paper's Fig. 4 query.
+        result = translate(
+            "/child::t1/child::t2[child::t4/child::t5]"
+            "[position() = last()]/child::t3"
+        )
+        rendered = plan_to_string(result.plan)
+        assert "Tmp^cs" in rendered
+        assert "counter++" in rendered

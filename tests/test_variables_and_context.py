@@ -1,0 +1,172 @@
+"""Tests for variables, namespaces in the expression context, and the
+engine option knobs (paper_neq, subscript_mode)."""
+
+import pytest
+
+from repro import compile_xpath, parse_document, TranslationOptions
+from repro.errors import UnboundVariableError, ExecutionError
+
+from .conftest import assert_engines_agree, normalize_result
+
+DOC = parse_document(
+    '<r id="0"><a id="1">x</a><a id="2">y</a><b id="3">y</b></r>'
+)
+
+
+class TestVariables:
+    def test_scalar_variables(self, engines):
+        for query in ("$n + 1", "$s", "concat($s, '!')", "$b or false()"):
+            assert_engines_agree(
+                engines, query, DOC.root,
+                variables={"n": 41.0, "s": "hi", "b": True},
+            )
+
+    def test_nodeset_variable_as_path_source(self, engines):
+        a_nodes = [DOC.get_element_by_id("1"), DOC.get_element_by_id("2")]
+        assert_engines_agree(
+            engines, "$v/@id", DOC.root, variables={"v": a_nodes}
+        )
+
+    def test_nodeset_variable_in_filter(self, engines):
+        a_nodes = [DOC.get_element_by_id("2"), DOC.get_element_by_id("1")]
+        assert_engines_agree(
+            engines, "($v)[1]/@id", DOC.root, variables={"v": a_nodes}
+        )
+        assert_engines_agree(
+            engines, "($v)[last()]/@id", DOC.root, variables={"v": a_nodes}
+        )
+
+    def test_variable_in_union(self, engines):
+        assert_engines_agree(
+            engines, "$v | //b", DOC.root,
+            variables={"v": [DOC.get_element_by_id("1")]},
+        )
+
+    def test_variable_in_comparison(self, engines):
+        for query in ("//a = $s", "$n < //@id", "$v = //b",
+                      "count($v) = 1"):
+            assert_engines_agree(
+                engines, query, DOC.root,
+                variables={"s": "y", "n": 1.5,
+                           "v": [DOC.get_element_by_id("2")]},
+            )
+
+    def test_variable_as_predicate_value(self, engines):
+        # Dynamic dispatch: a numeric variable is a position test, a
+        # string is a truth test.
+        a1 = normalize_result([DOC.get_element_by_id("1")])
+        result = assert_engines_agree(
+            engines, "//a[$p]", DOC.root, variables={"p": 1.0}
+        )
+        assert result == a1
+        result = assert_engines_agree(
+            engines, "//a[$p]", DOC.root, variables={"p": "anything"}
+        )
+        assert len(result) == 2
+
+    def test_unbound_variable_raises(self):
+        compiled = compile_xpath("$nope")
+        with pytest.raises(UnboundVariableError):
+            compiled.evaluate(DOC.root)
+
+    def test_scalar_variable_in_path_position_raises(self):
+        compiled = compile_xpath("$v/a")
+        with pytest.raises(ExecutionError):
+            compiled.evaluate(DOC.root, variables={"v": 1.0})
+
+
+class TestNamespaceContext:
+    NSDOC = parse_document(
+        '<root xmlns:p="urn:p"><p:item id="1"/><item id="2"/>'
+        '<q:item xmlns:q="urn:q" id="3"/></root>'
+    )
+
+    def test_prefixed_name_test(self, engines):
+        result = assert_engines_agree(
+            engines, "//x:item/@id", self.NSDOC.root,
+            namespaces={"x": "urn:p"},
+        )
+        assert len(result) == 1
+
+    def test_unprefixed_matches_no_namespace_only(self, engines):
+        result = assert_engines_agree(engines, "//item/@id",
+                                      self.NSDOC.root)
+        assert len(result) == 1
+
+    def test_prefix_wildcard(self, engines):
+        result = assert_engines_agree(
+            engines, "count(//x:*)", self.NSDOC.root,
+            namespaces={"x": "urn:q"},
+        )
+        assert result == 1.0
+
+    def test_namespace_axis(self, engines):
+        result = assert_engines_agree(
+            engines, "count(/root/namespace::*)", self.NSDOC.root
+        )
+        assert result == 2.0  # p and xml
+
+    def test_namespace_uri_function(self, engines):
+        assert_engines_agree(
+            engines, "namespace-uri(//x:item)", self.NSDOC.root,
+            namespaces={"x": "urn:p"},
+        )
+
+
+class TestTopLevelPositionContext:
+    def test_top_level_position_and_last(self):
+        compiled = compile_xpath("position() * 100 + last()")
+        assert compiled.evaluate(DOC.root, position=3, size=7) == 307.0
+
+    def test_default_position_is_one(self):
+        compiled = compile_xpath("position() = 1 and last() = 1")
+        assert compiled.evaluate(DOC.root) is True
+
+
+class TestOptionKnobs:
+    def test_paper_neq_divergence(self):
+        """The paper's anti-join != differs from W3C exactly when every
+        left value also occurs on the right."""
+        doc = parse_document("<r><a>1</a><b>1</b><b>2</b></r>")
+        spec = compile_xpath("//a != //b")
+        paper = compile_xpath(
+            "//a != //b", TranslationOptions(paper_neq=True)
+        )
+        # W3C: exists (a, b) with different values -> (1, 2) -> true.
+        assert spec.evaluate(doc.root) is True
+        # Paper anti-join: exists a with no equal b -> none -> false.
+        assert paper.evaluate(doc.root) is False
+
+    def test_paper_neq_agrees_on_disjoint_sets(self):
+        doc = parse_document("<r><a>1</a><b>2</b></r>")
+        for options in (None, TranslationOptions(paper_neq=True)):
+            compiled = compile_xpath("//a != //b", options)
+            assert compiled.evaluate(doc.root) is True
+
+    def test_interp_subscript_mode_agrees(self):
+        queries = [
+            "//a[. = 'y']/@id",
+            "count(//a[@id > 1])",
+            "//a[position() = last()]",
+            "sum(//@id) * 2",
+        ]
+        for query in queries:
+            nvm = compile_xpath(query)
+            interp = compile_xpath(
+                query, TranslationOptions(subscript_mode="interp")
+            )
+            assert normalize_result(nvm.evaluate(DOC.root)) == (
+                normalize_result(interp.evaluate(DOC.root))
+            )
+
+    def test_interp_mode_uses_no_nvm(self):
+        compiled = compile_xpath(
+            "//a[. = 'y']", TranslationOptions(subscript_mode="interp")
+        )
+        compiled.evaluate(DOC.root)
+        assert compiled.stats.get("nvm_invocations", 0) == 0
+
+    def test_nvm_mode_uses_nvm(self):
+        compiled = compile_xpath("//a[. = 'y']")
+        compiled.evaluate(DOC.root)
+        assert compiled.stats["nvm_invocations"] > 0

@@ -1,0 +1,154 @@
+"""Tests for the workload generators (paper section 6)."""
+
+import pytest
+
+from repro import evaluate
+from repro.dom.node import NodeKind
+from repro.workloads import (
+    FIG5_QUERIES,
+    generate_axis_paths,
+    generate_dblp,
+    generate_document,
+)
+from repro.workloads.dblp import SPECIAL_AUTHOR, SPECIAL_KEY
+from repro.workloads.docgen import (
+    PAPER_LARGE_SERIES,
+    PAPER_SMALL_SERIES,
+    element_count,
+)
+from repro.workloads.querygen import (
+    ELEMENT_AXES,
+    FIG10_QUERIES,
+    sample_axis_paths,
+)
+
+
+class TestDocGen:
+    def test_root_is_xdoc(self):
+        doc = generate_document(100, 3, 4)
+        assert doc.root.children[0].name == "xdoc"
+
+    def test_ids_consecutive(self):
+        doc = generate_document(50, 3, 4)
+        ids = sorted(
+            int(n.attributes[0].value)
+            for n in doc.iter_nodes()
+            if n.kind == NodeKind.ELEMENT
+        )
+        assert ids == list(range(50))
+
+    def test_max_elements_respected(self):
+        doc = generate_document(77, 6, 10)
+        assert element_count(doc) == 77
+
+    def test_depth_limit(self):
+        doc = generate_document(10**6, 2, 3)
+        # Full binary-ish tree to depth 3: 1 + 2 + 4 + 8 = 15 elements.
+        assert element_count(doc) == 15
+        assert float(evaluate("count(//*[not(*)])", doc)) == 8.0
+
+    def test_fanout(self):
+        doc = generate_document(1000, 5, 2)
+        assert evaluate("count(/xdoc/*)", doc) == 5.0
+        assert evaluate("count(/xdoc/*/*)", doc) == 25.0
+
+    def test_breadth_first_fill(self):
+        # With max_elements cutting generation short, earlier levels are
+        # complete before later ones begin.
+        doc = generate_document(10, 3, 5)
+        level1 = evaluate("count(/xdoc/*)", doc)
+        assert level1 == 3.0
+
+    def test_paper_series_constants(self):
+        assert [n for n, _, _ in PAPER_SMALL_SERIES] == [
+            2000, 4000, 6000, 8000,
+        ]
+        assert all(f == 6 and d == 4 for _, f, d in PAPER_SMALL_SERIES)
+        assert [n for n, _, _ in PAPER_LARGE_SERIES] == [
+            10000, 20000, 40000, 80000,
+        ]
+        assert all(f == 10 and d == 5 for _, f, d in PAPER_LARGE_SERIES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_document(0, 3, 3)
+        with pytest.raises(ValueError):
+            generate_document(10, 0, 3)
+
+
+class TestDBLP:
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return generate_dblp(400, seed=7)
+
+    def test_deterministic(self):
+        a = generate_dblp(50, seed=1)
+        b = generate_dblp(50, seed=1)
+        assert [n.name for n in a.iter_nodes()] == [
+            n.name for n in b.iter_nodes()
+        ]
+
+    def test_publication_count(self, dblp):
+        assert evaluate("count(/dblp/*)", dblp) == 400.0
+
+    def test_every_publication_has_key_title_year(self, dblp):
+        assert evaluate("count(/dblp/*[@key])", dblp) == 400.0
+        assert evaluate("count(/dblp/*[title])", dblp) == 400.0
+        assert evaluate("count(/dblp/*[year])", dblp) == 400.0
+
+    def test_author_counts_in_range(self, dblp):
+        assert evaluate(
+            "count(/dblp/*[count(author) < 1 or count(author) > 6])", dblp
+        ) == 0.0
+
+    def test_special_constants_present(self, dblp):
+        key_hits = evaluate(
+            f"/dblp/inproceedings[@key = '{SPECIAL_KEY}']", dblp
+        )
+        assert len(key_hits) == 1
+        author_hits = evaluate(
+            f"count(/dblp/*[author = '{SPECIAL_AUTHOR}'])", dblp
+        )
+        assert author_hits >= 1.0
+
+    def test_special_key_year_is_1991(self, dblp):
+        assert evaluate(
+            f"string(/dblp/*[@key = '{SPECIAL_KEY}']/year)", dblp
+        ) == "1991"
+
+    def test_kind_mix(self, dblp):
+        articles = evaluate("count(/dblp/article)", dblp)
+        inproc = evaluate("count(/dblp/inproceedings)", dblp)
+        assert articles > 50
+        assert inproc > 100
+
+    def test_key_is_id_attribute(self, dblp):
+        node = dblp.get_element_by_id(SPECIAL_KEY)
+        assert node is not None and node.name == "inproceedings"
+
+
+class TestQueryGen:
+    def test_fig5_queries_parse_and_run(self):
+        doc = generate_document(200, 4, 3)
+        for query in FIG5_QUERIES:
+            result = evaluate(query, doc)
+            assert isinstance(result, list)
+
+    def test_fig10_queries_count(self):
+        assert len(FIG10_QUERIES) == 13
+
+    def test_systematic_enumeration_size(self):
+        queries = list(generate_axis_paths(3))
+        assert len(queries) == len(ELEMENT_AXES) ** 3
+
+    def test_enumeration_shape(self):
+        queries = list(generate_axis_paths(1))
+        assert all(q.startswith("/child::xdoc/") for q in queries)
+        assert all(q.endswith("/attribute::id") for q in queries)
+
+    def test_sample_is_deterministic_subset(self):
+        sample = sample_axis_paths(3, stride=37, limit=10)
+        assert len(sample) == 10
+        assert sample == sample_axis_paths(3, stride=37, limit=10)
+        universe = set(generate_axis_paths(3))
+        assert set(sample) <= universe

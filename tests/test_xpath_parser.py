@@ -1,0 +1,254 @@
+"""Tests for the XPath grammar parser and abbreviation expansion."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.axes import Axis, NodeTestKind
+from repro.xpath.parser import parse_xpath
+from repro.xpath.xast import (
+    BinaryOp,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+    PathExpr,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+
+
+def unparse(text):
+    return parse_xpath(text).unparse()
+
+
+class TestLocationPaths:
+    def test_absolute_vs_relative(self):
+        assert parse_xpath("/a").absolute
+        assert not parse_xpath("a").absolute
+
+    def test_bare_slash(self):
+        path = parse_xpath("/")
+        assert isinstance(path, LocationPath)
+        assert path.absolute and path.steps == []
+
+    def test_explicit_axes(self):
+        path = parse_xpath("ancestor-or-self::node()")
+        assert path.steps[0].axis == Axis.ANCESTOR_OR_SELF
+        assert path.steps[0].test_kind == NodeTestKind.NODE
+
+    def test_all_axes_parse(self):
+        for axis in Axis:
+            path = parse_xpath(f"{axis.value}::*")
+            assert path.steps[0].axis == axis
+
+    def test_paper_axis_shorthands(self):
+        path = parse_xpath("/child::xdoc/desc::*/anc::*/pre-sib::*/fol::*")
+        assert [s.axis for s in path.steps] == [
+            Axis.CHILD, Axis.DESCENDANT, Axis.ANCESTOR,
+            Axis.PRECEDING_SIBLING, Axis.FOLLOWING,
+        ]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("sideways::a")
+
+
+class TestAbbreviations:
+    def test_default_axis_is_child(self):
+        assert parse_xpath("a").steps[0].axis == Axis.CHILD
+
+    def test_at_is_attribute(self):
+        assert parse_xpath("@id").steps[0].axis == Axis.ATTRIBUTE
+
+    def test_dot(self):
+        step = parse_xpath(".").steps[0]
+        assert step.axis == Axis.SELF
+        assert step.test_kind == NodeTestKind.NODE
+
+    def test_dotdot(self):
+        step = parse_xpath("..").steps[0]
+        assert step.axis == Axis.PARENT
+
+    def test_double_slash(self):
+        path = parse_xpath("a//b")
+        assert [s.axis for s in path.steps] == [
+            Axis.CHILD, Axis.DESCENDANT_OR_SELF, Axis.CHILD,
+        ]
+
+    def test_leading_double_slash(self):
+        path = parse_xpath("//b")
+        assert path.absolute
+        assert path.steps[0].axis == Axis.DESCENDANT_OR_SELF
+
+    def test_unparse_is_unabbreviated(self):
+        assert unparse("//a/@b") == (
+            "/descendant-or-self::node()/child::a/attribute::b"
+        )
+
+
+class TestNodeTests:
+    def test_name_test(self):
+        step = parse_xpath("foo").steps[0]
+        assert (step.test_kind, step.test_name) == (NodeTestKind.NAME, "foo")
+
+    def test_qname_test(self):
+        step = parse_xpath("ns:foo").steps[0]
+        assert step.test_name == "ns:foo"
+
+    def test_wildcards(self):
+        assert parse_xpath("*").steps[0].test_kind == NodeTestKind.ANY_NAME
+        step = parse_xpath("ns:*").steps[0]
+        assert (step.test_kind, step.test_name) == (NodeTestKind.ANY_NAME,
+                                                    "ns")
+
+    def test_node_type_tests(self):
+        assert parse_xpath("text()").steps[0].test_kind == NodeTestKind.TEXT
+        assert parse_xpath("comment()").steps[0].test_kind == (
+            NodeTestKind.COMMENT
+        )
+
+    def test_pi_with_target(self):
+        step = parse_xpath("processing-instruction('tgt')").steps[0]
+        assert (step.test_kind, step.test_name) == (NodeTestKind.PI, "tgt")
+
+
+class TestExpressions:
+    def test_precedence_or_lowest(self):
+        expr = parse_xpath("1 = 2 or 3 = 4 and 5 = 6")
+        assert isinstance(expr, BinaryOp) and expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_xpath("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_xpath("8 - 4 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_relational_chains(self):
+        expr = parse_xpath("1 < 2 <= 3")
+        assert expr.op == "<="
+        assert expr.left.op == "<"
+
+    def test_unary_minus_stacks(self):
+        expr = parse_xpath("--1")
+        assert isinstance(expr, UnaryMinus)
+        assert isinstance(expr.operand, UnaryMinus)
+
+    def test_unary_minus_precedence(self):
+        # Per the grammar, -a|b parses as -(a|b).
+        expr = parse_xpath("-a | b")
+        assert isinstance(expr, UnaryMinus)
+        assert isinstance(expr.operand, UnionExpr)
+
+    def test_union_flattening(self):
+        expr = parse_xpath("a | b | c")
+        assert isinstance(expr, UnionExpr)
+        assert len(expr.operands) == 3
+
+    def test_parenthesized(self):
+        expr = parse_xpath("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+
+class TestPrimaries:
+    def test_literal_and_number(self):
+        assert isinstance(parse_xpath("'s'"), Literal)
+        assert isinstance(parse_xpath("1.5"), Number)
+        assert parse_xpath("1.5").value == 1.5
+
+    def test_variable(self):
+        expr = parse_xpath("$v")
+        assert isinstance(expr, VariableRef) and expr.name == "v"
+
+    def test_function_calls(self):
+        expr = parse_xpath("concat('a', 'b', 'c')")
+        assert isinstance(expr, FunctionCall)
+        assert len(expr.args) == 3
+
+    def test_nullary_call(self):
+        assert parse_xpath("last()").args == []
+
+    def test_filter_expression(self):
+        expr = parse_xpath("(//a)[1]")
+        assert isinstance(expr, FilterExpr)
+        assert len(expr.predicates) == 1
+
+    def test_filter_with_path_continuation(self):
+        expr = parse_xpath("$v/a/b")
+        assert isinstance(expr, PathExpr)
+        assert isinstance(expr.source, VariableRef)
+        assert len(expr.path.steps) == 2
+
+    def test_filter_with_double_slash(self):
+        expr = parse_xpath("$v//a")
+        assert isinstance(expr, PathExpr)
+        assert expr.path.steps[0].axis == Axis.DESCENDANT_OR_SELF
+
+    def test_function_result_as_path_source(self):
+        expr = parse_xpath("id('x')/b")
+        assert isinstance(expr, PathExpr)
+        assert isinstance(expr.source, FunctionCall)
+
+
+class TestPredicates:
+    def test_multiple_predicates(self):
+        step = parse_xpath("a[1][2]").steps[0]
+        assert len(step.predicates) == 2
+
+    def test_nested_predicates(self):
+        step = parse_xpath("a[b[c]]").steps[0]
+        inner = step.predicates[0].expr
+        assert isinstance(inner, LocationPath)
+        assert inner.steps[0].predicates
+
+    def test_predicate_with_full_expression(self):
+        step = parse_xpath("a[@x = 'v' and position() != last()]").steps[0]
+        assert step.predicates[0].expr.op == "and"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "", "a[", "a]", "a[]", "(", ")", "a/", "//", "a b", "1 +",
+            "f(", "f(1,", "@", "child::", "$", "processing-instruction(x)",
+            "a[1]]",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(text)
+
+    def test_error_offset(self):
+        with pytest.raises(XPathSyntaxError) as info:
+            parse_xpath("a[1")
+        assert info.value.position >= 2
+
+
+class TestUnparseRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "/a/b/c",
+            "//a[@x='1']",
+            "count(//a) + 2",
+            "a | b | c",
+            "$v/a[position() = last()]",
+            "(//a)[2]/@id",
+            "id('k')/self::node()",
+            "a[b = 'x' and c > 1]",
+            "-a/b",
+            "processing-instruction('p')",
+        ],
+    )
+    def test_reparse_unparse_fixpoint(self, text):
+        once = parse_xpath(text).unparse()
+        twice = parse_xpath(once).unparse()
+        assert once == twice
