@@ -1,0 +1,64 @@
+"""Compile-amortization: cold one-shot calls vs. the XPathEngine cache.
+
+Every ``evaluate()`` call pays the full six-phase compiler; a session's
+plan cache pays it once.  This benchmark times ``REPEATS`` evaluations
+of the same query both ways and records the session's cache-hit and
+operator-count columns, so BENCH_*.json shows the whole-query-reuse win
+(the SXSI observation the session layer exists for).
+"""
+
+import pytest
+
+from repro.api import evaluate
+from repro.engine.session import XPathEngine
+
+REPEATS = 50
+
+QUERIES = [
+    "/xdoc/*/@id",
+    "count(//*)",
+    "/child::xdoc/descendant::*/ancestor::*/@id",
+]
+
+SIZE = (250, 6, 4)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_cold_evaluate(benchmark, document_cache, query):
+    document = document_cache(SIZE)
+
+    def cold():
+        for _ in range(REPEATS):
+            evaluate(query, document.root)
+
+    benchmark.pedantic(cold, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["mode"] = "cold"
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["repeats"] = REPEATS
+    benchmark.extra_info["cache_hits"] = 0
+    benchmark.extra_info["cache_misses"] = REPEATS
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_session_evaluate(benchmark, document_cache, query):
+    document = document_cache(SIZE)
+    engine = XPathEngine()
+
+    def warm():
+        for _ in range(REPEATS):
+            engine.evaluate(query, document.root)
+
+    benchmark.pedantic(warm, rounds=1, iterations=1, warmup_rounds=0)
+    stats = engine.stats()
+    benchmark.extra_info["mode"] = "session"
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["repeats"] = REPEATS
+    benchmark.extra_info["cache_hits"] = stats.cache.hits
+    benchmark.extra_info["cache_misses"] = stats.cache.misses
+    benchmark.extra_info["operator_next_calls"] = sum(
+        o.next_calls for o in stats.operators
+    )
+    benchmark.extra_info["operator_tuples"] = sum(
+        o.tuples_out for o in stats.operators
+    )
+    assert stats.cache.hits >= REPEATS - 1

@@ -3,6 +3,9 @@
 Documents are generated once per session and cached; every benchmark
 compiles its query once and measures execution only (matching the paper,
 whose times "do not include the time to parse/load the document").
+
+``--quick`` caps document sizes for CI smoke runs: sizes above
+:data:`QUICK_MAX_ELEMENTS` are skipped and the DBLP document shrinks.
 """
 
 import pytest
@@ -19,15 +22,44 @@ SMALL_SIZES = [(125, 6, 4), (250, 6, 4), (500, 6, 4)]
 
 DBLP_PUBLICATIONS = 1000
 
+#: Largest element count exercised under ``--quick``.
+QUICK_MAX_ELEMENTS = 250
+
+QUICK_DBLP_PUBLICATIONS = 100
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: skip large document sizes (CI)",
+    )
+
 
 @pytest.fixture(scope="session")
-def dblp_document():
-    return cached_dblp(DBLP_PUBLICATIONS)
+def quick_mode(request):
+    return request.config.getoption("--quick")
 
 
 @pytest.fixture(scope="session")
-def document_cache():
-    return cached_document
+def dblp_document(quick_mode):
+    publications = (
+        QUICK_DBLP_PUBLICATIONS if quick_mode else DBLP_PUBLICATIONS
+    )
+    return cached_dblp(publications)
+
+
+@pytest.fixture(scope="session")
+def document_cache(quick_mode):
+    def get(size):
+        if quick_mode and size[0] > QUICK_MAX_ELEMENTS:
+            pytest.skip(
+                f"--quick caps documents at {QUICK_MAX_ELEMENTS} elements"
+            )
+        return cached_document(size)
+
+    return get
 
 
 def run_benchmark(benchmark, runner, context_node):
@@ -36,4 +68,8 @@ def run_benchmark(benchmark, runner, context_node):
         runner, args=(context_node,), rounds=1, iterations=1,
         warmup_rounds=0,
     )
+    # Plan-cache and operator-count columns ride along in the JSON so
+    # BENCH_*.json tracks compile amortization next to the timings.
+    for key, value in runner.stats_columns().items():
+        benchmark.extra_info[key] = value
     return result

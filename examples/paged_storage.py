@@ -34,7 +34,7 @@ def main() -> None:
     with open_store(path, buffer_pages=8) as stored:
         for query in QUERIES:
             mem = evaluate(query, document)
-            disk = evaluate(query, stored.root)
+            disk = evaluate(query, stored)
             same = (
                 sorted(n.sort_key for n in mem)
                 == sorted(n.sort_key for n in disk)

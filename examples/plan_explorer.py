@@ -17,7 +17,7 @@ from repro.nvm.machine import NVMSubscript
 def show(title: str, query: str, options=None) -> None:
     print("=" * 72)
     print(f"{title}\n  {query}\n")
-    compiled = compile_xpath(query, options)
+    compiled = compile_xpath(query, options=options)
     print(compiled.explain())
     print()
 

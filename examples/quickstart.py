@@ -3,7 +3,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import compile_xpath, evaluate, parse_document
+from repro import XPathEngine, compile_xpath, evaluate, parse_document
 
 CATALOG = """
 <catalog>
@@ -57,6 +57,21 @@ def main() -> None:
     result = query.evaluate(doc.root)
     print("Result:", result[0].string_value())
     print("Runtime counters:", dict(query.stats))
+
+    # Serving many queries: an XPathEngine session caches compiled
+    # plans and collects compile/execution statistics.
+    engine = XPathEngine()
+    for _ in range(3):
+        engine.evaluate("count(//book)", doc)
+    prices = engine.evaluate_many(
+        ["sum(//price)", "count(//price)"], doc)
+    snapshot = engine.stats()
+    print("\nSession: sum/count of prices =", prices)
+    print("Plan cache: %d hits, %d misses"
+          % (snapshot.cache.hits, snapshot.cache.misses))
+    print("Compile phases:",
+          {k: round(v, 6)
+           for k, v in snapshot.compile_phase_seconds.items()})
 
 
 if __name__ == "__main__":

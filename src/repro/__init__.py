@@ -13,34 +13,60 @@ Quick start::
 
     doc = parse_document("<a><b>x</b><b>y</b></a>")
     evaluate("/a/b[2]/text()", doc)
+
+Serving repeated queries, use a session — compiled plans are cached and
+every layer is instrumented::
+
+    from repro import XPathEngine
+
+    engine = XPathEngine()
+    engine.evaluate("count(//b)", doc)
+    engine.evaluate("count(//b)", doc)   # plan-cache hit
+    engine.stats().cache.hits            # 1
 """
 
 from repro.api import (
+    ENGINE_REGISTRY,
     ENGINES,
+    EngineStats,
+    XPathEngine,
     compile_xpath,
+    engine_names,
     evaluate,
+    get_engine_factory,
     open_store,
     parse_document,
+    register_engine,
+    resolve_context_node,
     store_document,
+    unregister_engine,
 )
 from repro.compiler import TranslationOptions, XPathCompiler
 from repro.dom import Document, DocumentBuilder, Node, NodeKind, serialize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ENGINES",
+    "ENGINE_REGISTRY",
     "Document",
     "DocumentBuilder",
+    "EngineStats",
     "Node",
     "NodeKind",
     "TranslationOptions",
     "XPathCompiler",
+    "XPathEngine",
     "compile_xpath",
+    "engine_names",
     "evaluate",
+    "get_engine_factory",
     "open_store",
     "parse_document",
+    "register_engine",
+    "resolve_context_node",
     "store_document",
     "serialize",
+    "unregister_engine",
     "__version__",
 ]

@@ -6,6 +6,12 @@ Examples::
     python -m repro --engine naive 'count(//book)' catalog.xml
     python -m repro --explain '/a/b[position() = last()]'
     python -m repro --store catalog.natix '//book' catalog.xml
+    python -m repro --explain-stats --repeat 10 '//book' catalog.xml
+
+Evaluation runs through an :class:`~repro.engine.session.XPathEngine`
+session; ``--explain-stats`` prints its full JSON stats snapshot (plan
+cache, per-phase compile timings, per-operator counters, buffer stats)
+after the query result.
 """
 
 from __future__ import annotations
@@ -15,9 +21,9 @@ import sys
 from typing import List, Optional
 
 from repro import (
-    ENGINES,
     TranslationOptions,
-    compile_xpath,
+    XPathEngine,
+    engine_names,
     evaluate,
     open_store,
     parse_document,
@@ -27,6 +33,12 @@ from repro.dom.node import Node, NodeKind
 from repro.dom.serializer import serialize
 from repro.errors import ReproError
 from repro.xpath.datamodel import number_to_string
+
+#: Engines the CLI runs through the session layer (plan cache + stats).
+_SESSION_ENGINES = {
+    "natix": TranslationOptions.improved,
+    "natix-canonical": TranslationOptions.canonical,
+}
 
 
 def _render_node(node: Node) -> str:
@@ -61,7 +73,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="XML file to query ('-' for stdin); omit with --explain",
     )
     parser.add_argument(
-        "--engine", choices=ENGINES, default="natix",
+        "--engine", choices=engine_names(), default="natix",
         help="evaluation engine (default: natix)",
     )
     parser.add_argument(
@@ -77,6 +89,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print runtime operator counters after evaluation",
     )
     parser.add_argument(
+        "--explain-stats", action="store_true",
+        help="print the engine session's JSON stats snapshot after "
+             "evaluation (plan cache, compile phases, operators, buffer)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="evaluate the query N times (exercises the plan cache)",
+    )
+    parser.add_argument(
         "--store", metavar="PATH",
         help="store the parsed document as a page file, then query it",
     )
@@ -86,8 +107,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         if arguments.explain:
-            compiled = compile_xpath(arguments.query, options)
-            print(compiled.explain())
+            engine = XPathEngine(options)
+            print(engine.explain(arguments.query))
+            compiled = engine.compile(arguments.query)
             if compiled.optimizer_report:
                 for note in compiled.optimizer_report.notes:
                     print(f"; optimizer: {note}")
@@ -105,34 +127,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         if arguments.store:
             store_document(document, arguments.store)
             with open_store(arguments.store) as stored:
-                result = _evaluate(arguments, stored.root, options)
-                _print_result(arguments, result)
-                if arguments.stats:
-                    print(f"; buffer: {stored.buffer.stats}",
-                          file=sys.stderr)
+                _run_query(arguments, stored)
             return 0
 
-        result = _evaluate(arguments, document.root, options)
-        _print_result(arguments, result)
+        _run_query(arguments, document)
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
 
-def _evaluate(arguments, context_node, options):
-    if arguments.engine == "natix":
-        compiled = compile_xpath(arguments.query, options)
-        result = compiled.evaluate(context_node)
-        if arguments.stats:
-            print(f"; stats: {dict(compiled.stats)}", file=sys.stderr)
-        return result
-    return evaluate(arguments.query, context_node, engine=arguments.engine)
+def _run_query(arguments, target) -> None:
+    """Evaluate (possibly repeatedly), print the result, then stats."""
+    name = arguments.engine
+    session: Optional[XPathEngine] = None
+    if name in _SESSION_ENGINES:
+        session = XPathEngine(
+            _SESSION_ENGINES[name](optimize=arguments.optimize)
+        )
+        for _ in range(max(1, arguments.repeat)):
+            result = session.evaluate(arguments.query, target)
+    else:
+        for _ in range(max(1, arguments.repeat)):
+            result = evaluate(arguments.query, target, engine=name)
 
-
-def _print_result(arguments, result) -> None:
     for line in _render_result(result):
         print(line)
+
+    if arguments.stats and session is not None:
+        compiled = session.compile(arguments.query)
+        print(f"; stats: {dict(compiled.stats)}", file=sys.stderr)
+    buffer = getattr(target, "buffer", None)
+    if arguments.stats and buffer is not None:
+        print(f"; buffer: {buffer.stats}", file=sys.stderr)
+    if arguments.explain_stats:
+        if session is None:
+            print(
+                f"; --explain-stats requires a session engine "
+                f"({sorted(_SESSION_ENGINES)}); {name!r} has no session "
+                "instrumentation",
+                file=sys.stderr,
+            )
+        else:
+            print(session.stats().to_json(indent=2), file=sys.stderr)
 
 
 if __name__ == "__main__":

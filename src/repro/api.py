@@ -1,6 +1,6 @@
 """The public convenience API.
 
-Most users need exactly three things::
+One-shot use needs exactly three things::
 
     from repro import parse_document, compile_xpath, evaluate
 
@@ -10,15 +10,30 @@ Most users need exactly three things::
     query = compile_xpath("/a/b[position() = last()]")
     nodes = query.evaluate(doc.root)
 
+Serving many queries, create a session instead — an
+:class:`~repro.engine.session.XPathEngine` caches compiled plans and
+instruments every layer::
+
+    from repro import XPathEngine
+
+    engine = XPathEngine()
+    engine.evaluate("count(/a/b)", doc)        # compiles and caches
+    engine.evaluate("count(/a/b)", doc)        # plan-cache hit
+    engine.evaluate_many(["/a/b", "//b"], doc) # batch, shared context
+    print(engine.stats().to_json(indent=2))
+
 ``evaluate`` accepts an engine name to pick an evaluation strategy:
 ``"natix"`` (the algebraic engine with the improved translation, the
 default), ``"natix-canonical"`` (section-3 translation only), ``"naive"``
-and ``"memo"`` (the baseline interpreters).
+and ``"memo"`` (the baseline interpreters).  Engines live in
+:data:`ENGINE_REGISTRY`; third-party strategies plug in through
+:func:`register_engine` without editing this module.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Union
+import warnings
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.baselines.memo import MemoInterpreter
 from repro.baselines.naive import NaiveInterpreter
@@ -27,11 +42,116 @@ from repro.compiler.pipeline import CompiledQuery, XPathCompiler
 from repro.dom.document import Document
 from repro.dom.node import Node
 from repro.dom.parser import parse as _parse_xml
+from repro.engine.session import (
+    EngineStats,
+    XPathEngine,
+    resolve_context_node,
+)
 from repro.xpath.context import make_context
 from repro.xpath.datamodel import XPathValue
 
-#: Engine names accepted by :func:`evaluate`.
-ENGINES = ("natix", "natix-canonical", "naive", "memo")
+#: A registered engine runner: evaluates one query against a context
+#: node.  Signature: ``run(query, node, variables, namespaces, options)``.
+EngineRunner = Callable[
+    [
+        str,
+        Node,
+        Optional[Mapping[str, XPathValue]],
+        Optional[Mapping[str, str]],
+        Optional[TranslationOptions],
+    ],
+    XPathValue,
+]
+
+#: A registered engine: a zero-argument factory producing a runner.
+EngineFactory = Callable[[], EngineRunner]
+
+#: Named engine factories.  Mutate through :func:`register_engine`.
+ENGINE_REGISTRY: Dict[str, EngineFactory] = {}
+
+
+def register_engine(
+    name: str, factory: EngineFactory, *, replace: bool = False
+) -> None:
+    """Register an evaluation engine under ``name``.
+
+    ``factory`` is a zero-argument callable returning a runner
+    ``run(query, node, variables, namespaces, options) -> XPathValue``.
+    Registering an existing name raises unless ``replace=True``.
+    """
+    if not replace and name in ENGINE_REGISTRY:
+        raise ValueError(f"engine {name!r} is already registered")
+    ENGINE_REGISTRY[name] = factory
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (missing names are ignored)."""
+    ENGINE_REGISTRY.pop(name, None)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """The currently registered engine names, sorted."""
+    return tuple(sorted(ENGINE_REGISTRY))
+
+
+def get_engine_factory(name: str) -> EngineFactory:
+    """Look up a registered engine factory by name."""
+    try:
+        return ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {engine_names()}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Built-in engines
+# ----------------------------------------------------------------------
+
+
+def _compiled_engine(default_options: Callable[[], TranslationOptions]):
+    def factory() -> EngineRunner:
+        def run(query, node, variables, namespaces, options):
+            opts = options if options is not None else default_options()
+            compiled = XPathCompiler(opts).compile(query)
+            return compiled.evaluate(node, variables, namespaces)
+
+        return run
+
+    return factory
+
+
+def _interpreter_engine(interpreter_class):
+    def factory() -> EngineRunner:
+        interpreter = interpreter_class()
+
+        def run(query, node, variables, namespaces, options):
+            # Interpreters have no translation phase; options are the
+            # algebraic compiler's knobs and do not apply.
+            return interpreter.evaluate(
+                query, make_context(node, variables, namespaces)
+            )
+
+        return run
+
+    return factory
+
+
+register_engine("natix", _compiled_engine(TranslationOptions.improved))
+register_engine(
+    "natix-canonical", _compiled_engine(TranslationOptions.canonical)
+)
+register_engine("naive", _interpreter_engine(NaiveInterpreter))
+register_engine("memo", _interpreter_engine(MemoInterpreter))
+
+#: Engine names accepted by :func:`evaluate`.  Snapshot of the built-in
+#: registry at import time; :func:`engine_names` is the live view.
+ENGINES = tuple(ENGINE_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Documents and stores
+# ----------------------------------------------------------------------
 
 
 def parse_document(text: str, **kwargs) -> Document:
@@ -47,40 +167,121 @@ def store_document(document: Document, path, **kwargs) -> None:
 
 
 def open_store(path, buffer_pages: int = 256):
-    """Open a stored document; queries run directly on the page buffer."""
+    """Open a stored document; queries run directly on the page buffer.
+
+    The returned :class:`~repro.storage.store.StoredDocument` is a valid
+    :func:`evaluate` target, interchangeable with an in-memory
+    :class:`Document`.
+    """
     from repro.storage import DocumentStore
 
     return DocumentStore.open(path, buffer_pages=buffer_pages)
 
 
+# ----------------------------------------------------------------------
+# One-shot compile and evaluate
+# ----------------------------------------------------------------------
+
+
+def _absorb_legacy_positionals(func_name, args, names, values):
+    """Map deprecated positional arguments onto keyword slots."""
+    if len(args) > len(names):
+        raise TypeError(
+            f"{func_name}() takes at most {len(names)} deprecated "
+            f"positional arguments ({len(args)} given)"
+        )
+    warnings.warn(
+        f"passing {'/'.join(names[:len(args)])} positionally to "
+        f"{func_name}() is deprecated; use keyword arguments",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if values[name] is not None:
+            raise TypeError(
+                f"{func_name}() got {name!r} both positionally and as a "
+                "keyword"
+            )
+        values[name] = value
+    return values
+
+
 def compile_xpath(
-    query: str, options: Optional[TranslationOptions] = None
+    query: str,
+    *args,
+    options: Optional[TranslationOptions] = None,
+    namespaces: Optional[Mapping[str, str]] = None,
 ) -> CompiledQuery:
-    """Compile an XPath 1.0 expression with the algebraic compiler."""
-    return XPathCompiler(options).compile(query)
+    """Compile an XPath 1.0 expression with the algebraic compiler.
 
-
-def _context_node(target: Union[Document, Node]) -> Node:
-    if isinstance(target, Document):
-        return target.root
-    return target
+    ``namespaces`` become the compiled query's default prefix bindings
+    (still overridable per ``evaluate`` call).  The legacy positional
+    ``options`` form is deprecated.
+    """
+    if args:
+        absorbed = _absorb_legacy_positionals(
+            "compile_xpath", args, ("options",), {"options": options}
+        )
+        options = absorbed["options"]
+    compiled = XPathCompiler(options).compile(query)
+    if namespaces:
+        compiled.default_namespaces = dict(namespaces)
+    return compiled
 
 
 def evaluate(
     query: str,
     target: Union[Document, Node],
+    *args,
     variables: Optional[Mapping[str, XPathValue]] = None,
     namespaces: Optional[Mapping[str, str]] = None,
-    engine: str = "natix",
+    engine: Optional[str] = None,
+    options: Optional[TranslationOptions] = None,
 ) -> XPathValue:
-    """One-shot evaluation of ``query`` against a document or node."""
-    node = _context_node(target)
-    if engine == "natix":
-        return compile_xpath(query).evaluate(node, variables, namespaces)
-    if engine == "natix-canonical":
-        compiled = compile_xpath(query, TranslationOptions.canonical())
-        return compiled.evaluate(node, variables, namespaces)
-    if engine in ("naive", "memo"):
-        interp = NaiveInterpreter() if engine == "naive" else MemoInterpreter()
-        return interp.evaluate(query, make_context(node, variables, namespaces))
-    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    """One-shot evaluation of ``query`` against a document or node.
+
+    All configuration is keyword-only: ``variables``, ``namespaces``,
+    ``engine`` (a :data:`ENGINE_REGISTRY` name) and ``options`` (a
+    :class:`TranslationOptions` for the algebraic engines).  The legacy
+    positional ``(variables, namespaces, engine)`` form is deprecated.
+    """
+    if args:
+        absorbed = _absorb_legacy_positionals(
+            "evaluate",
+            args,
+            ("variables", "namespaces", "engine"),
+            {
+                "variables": variables,
+                "namespaces": namespaces,
+                "engine": engine,
+            },
+        )
+        variables = absorbed["variables"]
+        namespaces = absorbed["namespaces"]
+        engine = absorbed["engine"]
+    node = resolve_context_node(target)
+    runner = get_engine_factory(engine or "natix")()
+    return runner(query, node, variables, namespaces, options)
+
+
+def _context_node(target: Union[Document, Node]) -> Node:
+    """Deprecated alias of :func:`resolve_context_node`."""
+    return resolve_context_node(target)
+
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_REGISTRY",
+    "EngineStats",
+    "XPathEngine",
+    "compile_xpath",
+    "engine_names",
+    "evaluate",
+    "get_engine_factory",
+    "open_store",
+    "parse_document",
+    "register_engine",
+    "resolve_context_node",
+    "store_document",
+    "unregister_engine",
+]

@@ -5,6 +5,9 @@ interpreters (Xalan-C, xsltproc).  Here:
 
 * ``natix``            — improved translation, NVM subscripts (the paper's engine),
 * ``natix-canonical``  — section-3 canonical translation (ablation),
+* ``natix-session``    — improved translation through an
+  :class:`~repro.engine.session.XPathEngine` plan cache (whole-query
+  reuse; measures the compile-amortization win),
 * ``naive``            — dedup-free main-memory interpreter (the
   xsltproc/Xalan stand-in; see DESIGN.md substitution notes),
 * ``memo``             — Gottlob-style memoizing interpreter.
@@ -12,7 +15,9 @@ interpreters (Xalan-C, xsltproc).  Here:
 Engines are callables ``engine(query) -> QueryRunner`` where the runner
 executes against a context node and returns the result-count (benchmarks
 count rather than materialize to keep allocation noise out of the
-measurement, like the paper's result-drain).
+measurement, like the paper's result-drain).  Runners additionally
+expose :meth:`QueryRunner.stats_columns` — plan-cache and per-operator
+counters recorded into the benchmark JSON next to the timings.
 """
 
 from __future__ import annotations
@@ -24,18 +29,40 @@ from repro.baselines.naive import NaiveInterpreter
 from repro.compiler.improved import TranslationOptions
 from repro.compiler.pipeline import XPathCompiler
 from repro.dom.node import Node
+from repro.engine.session import XPathEngine
 from repro.xpath.context import make_context
+
+StatsColumns = Dict[str, object]
 
 
 class QueryRunner:
     """A prepared query: compile once, run many times."""
 
-    def __init__(self, run: Callable[[Node], int], label: str):
+    def __init__(
+        self,
+        run: Callable[[Node], int],
+        label: str,
+        stats_columns: Optional[Callable[[], StatsColumns]] = None,
+    ):
         self._run = run
         self.label = label
+        self._stats_columns = stats_columns
 
     def __call__(self, context_node: Node) -> int:
         return self._run(context_node)
+
+    def stats_columns(self) -> StatsColumns:
+        """Cache-hit / operator-count columns for benchmark reports."""
+        return dict(self._stats_columns()) if self._stats_columns else {}
+
+
+def _operator_columns(compiled) -> StatsColumns:
+    operators = compiled.operator_stats()
+    return {
+        "operator_count": len(operators),
+        "operator_next_calls": sum(o.next_calls for o in operators),
+        "operator_tuples": sum(o.tuples_out for o in operators),
+    }
 
 
 def _compiled_engine(options: TranslationOptions, label: str):
@@ -48,7 +75,40 @@ def _compiled_engine(options: TranslationOptions, label: str):
             result = compiled.evaluate(context_node)
             return len(result) if isinstance(result, list) else 1
 
-        return QueryRunner(run, label)
+        def columns() -> StatsColumns:
+            # One ahead-of-time compile, no cache in the loop.
+            return {"cache_hits": 0, "cache_misses": 1,
+                    **_operator_columns(compiled)}
+
+        return QueryRunner(run, label, columns)
+
+    return prepare
+
+
+def _session_engine(options: TranslationOptions, label: str):
+    engine = XPathEngine(options)
+
+    def prepare(query: str) -> QueryRunner:
+        def run(context_node: Node) -> int:
+            return engine.count(query, context_node)
+
+        def columns() -> StatsColumns:
+            stats = engine.stats()
+            extra: StatsColumns = {
+                "cache_hits": stats.cache.hits,
+                "cache_misses": stats.cache.misses,
+                "cache_evictions": stats.cache.evictions,
+                "operator_count": len(stats.operators),
+                "operator_next_calls": sum(
+                    o.next_calls for o in stats.operators
+                ),
+                "operator_tuples": sum(
+                    o.tuples_out for o in stats.operators
+                ),
+            }
+            return extra
+
+        return QueryRunner(run, label, columns)
 
     return prepare
 
@@ -73,6 +133,9 @@ ENGINE_REGISTRY: Dict[str, Callable[[str], QueryRunner]] = {
     ),
     "natix-canonical": _compiled_engine(
         TranslationOptions.canonical(), "natix-canonical"
+    ),
+    "natix-session": _session_engine(
+        TranslationOptions.improved(), "natix-session"
     ),
     "naive": _interpreter_engine(NaiveInterpreter, "naive"),
     "memo": _interpreter_engine(MemoInterpreter, "memo"),

@@ -9,7 +9,7 @@ run can be read side by side with the paper.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.engines import make_engine
@@ -49,6 +49,9 @@ class SeriesPoint:
     elements: int
     seconds: Optional[float]  # None when capped ("curve stops")
     results: Optional[int]
+    #: Plan-cache / operator-count columns (see QueryRunner.stats_columns);
+    #: lands in BENCH_*.json so compile-amortization is trackable.
+    columns: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -98,7 +101,11 @@ def run_figure_sweep(
                 continue
             document = cached_document(size)
             seconds, count = time_once(runner, document.root)
-            points.append(SeriesPoint(elements, seconds, count))
+            points.append(
+                SeriesPoint(
+                    elements, seconds, count, runner.stats_columns()
+                )
+            )
         series[engine_name] = points
     return FigureResult(sweep.figure, sweep.query, series)
 
@@ -143,6 +150,53 @@ def run_fig10_table(table: Fig10Table) -> TableResult:
             times[engine_name] = seconds
         rows.append(TableRow(query, times, results))
     return TableResult(rows, table.engines)
+
+
+def run_cache_amortization(
+    query: str,
+    size: Tuple[int, int, int],
+    repeats: int = 100,
+) -> Dict[str, object]:
+    """Cold per-call compilation vs. one session's plan cache.
+
+    Evaluates ``query`` ``repeats`` times the one-shot way (full
+    compile every call) and through one :class:`XPathEngine`, and
+    returns both wall times plus the session's cache columns — the
+    compile-amortization row of BENCH_*.json.
+    """
+    from repro.api import evaluate
+    from repro.engine.session import XPathEngine
+
+    document = cached_document(size)
+    node = document.root
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        evaluate(query, node)
+    cold_seconds = time.perf_counter() - start
+
+    engine = XPathEngine()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        engine.evaluate(query, node)
+    session_seconds = time.perf_counter() - start
+
+    stats = engine.stats()
+    return {
+        "query": query,
+        "repeats": repeats,
+        "cold_seconds": cold_seconds,
+        "session_seconds": session_seconds,
+        "speedup": cold_seconds / session_seconds
+        if session_seconds
+        else float("inf"),
+        "cache_hits": stats.cache.hits,
+        "cache_misses": stats.cache.misses,
+        "operator_next_calls": sum(
+            o.next_calls for o in stats.operators
+        ),
+        "operator_tuples": sum(o.tuples_out for o in stats.operators),
+    }
 
 
 def run_ablation(ablation: Ablation) -> Dict[str, float]:

@@ -11,7 +11,8 @@ the logical plan (pretty-printable) and ``evaluate()``.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+import time
+from typing import Dict, Mapping, Optional
 
 from repro.algebra import operators as ops
 from repro.algebra import scalar as S
@@ -66,6 +67,12 @@ class CompiledQuery:
         self.options = options
         #: Set when TranslationOptions(optimize=True) ran the plan pass.
         self.optimizer_report = None
+        #: Seconds spent in each compiler phase (parse, semantic,
+        #: rewrite, normalize, translate, optimize, codegen).
+        self.phase_timings: Dict[str, float] = {}
+        #: Default prefix bindings (set by ``compile_xpath(namespaces=)``),
+        #: used when ``evaluate`` is called without explicit namespaces.
+        self.default_namespaces: Optional[Mapping[str, str]] = None
 
     # ------------------------------------------------------------------
 
@@ -109,7 +116,7 @@ class CompiledQuery:
         context = ExecutionContext(
             context_node=context_node,
             variables=dict(variables or {}),
-            namespaces=dict(namespaces or {}),
+            namespaces=dict(namespaces or self.default_namespaces or {}),
             position=position,
             size=size,
         )
@@ -121,12 +128,18 @@ class CompiledQuery:
                 result.sort(key=lambda node: node.sort_key)
         return result
 
+    def operator_stats(self):
+        """Per-operator ``next()``-call and tuple counters (preorder)."""
+        return self.physical.operator_stats()
+
     def count(self, context_node: Node, **kwargs) -> int:
         """Count result tuples without collecting them."""
         context = ExecutionContext(
             context_node=context_node,
             variables=dict(kwargs.get("variables") or {}),
-            namespaces=dict(kwargs.get("namespaces") or {}),
+            namespaces=dict(
+                kwargs.get("namespaces") or self.default_namespaces or {}
+            ),
         )
         return self.physical.execute_count(context)
 
@@ -142,15 +155,23 @@ class XPathCompiler:
         self.options = options or TranslationOptions()
 
     def compile(self, query: str) -> CompiledQuery:
+        timings: Dict[str, float] = {}
+
+        def timed(phase: str, run):
+            start = time.perf_counter()
+            result = run()
+            timings[phase] = time.perf_counter() - start
+            return result
+
         # Phases 1-4: parse, analyze, fold, normalize.
-        ast = parse_xpath(query)
-        analyze(ast)
-        ast = fold_constants(ast)
-        normalize(ast)
+        ast = timed("parse", lambda: parse_xpath(query))
+        timed("semantic", lambda: analyze(ast))
+        ast = timed("rewrite", lambda: fold_constants(ast))
+        timed("normalize", lambda: normalize(ast))
 
         # Phase 5: translation into the algebra.
         translator = Translator(self.options)
-        translation = translator.translate(ast)
+        translation = timed("translate", lambda: translator.translate(ast))
         optimizer_report = None
         if translation.kind == "scalar":
             # Wrap the top-level scalar in χ over □ so there is a single
@@ -169,16 +190,19 @@ class XPathCompiler:
             from repro.compiler.optimize import optimize_plan
 
             assert translation.plan is not None
+            start = time.perf_counter()
             translation.plan, optimizer_report = optimize_plan(
                 translation.plan
             )
+            timings["optimize"] = time.perf_counter() - start
 
         # Phase 6: code generation.
-        physical = self._generate(translation)
+        physical = timed("codegen", lambda: self._generate(translation))
         compiled = CompiledQuery(
             query, ast, translation, physical, self.options
         )
         compiled.optimizer_report = optimizer_report
+        compiled.phase_timings = timings
         return compiled
 
     # ------------------------------------------------------------------

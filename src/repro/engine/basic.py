@@ -18,7 +18,7 @@ class SelectIt(UnaryIterator):
         super().__init__(runtime, child)
         self.predicate = predicate
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         while self.child.next():
             if self.predicate.evaluate_bool(self.runtime):
                 self.runtime.stats["tuples:Select"] += 1
@@ -37,7 +37,7 @@ class MapIt(UnaryIterator):
         self.slot = slot
         self.expr = expr
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if not self.child.next():
             return False
         self.runtime.regs[self.slot] = self.expr.evaluate(self.runtime)
@@ -63,7 +63,7 @@ class MatMapIt(UnaryIterator):
         self.key_slots = tuple(key_slots)
         self._memo: Dict[tuple, object] = {}
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if not self.child.next():
             return False
         regs = self.runtime.regs
@@ -112,7 +112,7 @@ class PosMapIt(UnaryIterator):
         self._counter = 0
         self._fresh = True
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if not self.child.next():
             return False
         if self.context_slot is not None:
@@ -146,7 +146,7 @@ class ProjectDupIt(UnaryIterator):
         super().open()
         self._seen = set()
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         regs = self.runtime.regs
         while self.child.next():
             value = _hashable(regs[self.slot])
@@ -166,5 +166,5 @@ class PassThroughIt(UnaryIterator):
 
     __slots__ = ()
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         return self.child.next()

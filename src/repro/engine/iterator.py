@@ -7,6 +7,13 @@ reset.  ``next()`` advances to the next tuple, writing the operator's
 output attributes into the shared register file and returning ``True``,
 or returns ``False`` on exhaustion.
 
+``next()`` is a template method on the base class: it counts calls and
+produced tuples per operator instance, then delegates to the subclass
+hook ``_next()``.  The counters feed the observability layer
+(:meth:`~repro.engine.plan.PhysicalPlan.operator_stats` and
+``XPathEngine.stats()``) without any per-plan bookkeeping — walking the
+iterator tree reads them off the instances.
+
 :class:`RuntimeState` bundles everything iterators share: the register
 file, the execution context and the runtime counters used by the tests
 and the ablation benchmarks.
@@ -16,7 +23,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.engine.context import ExecutionContext
 
@@ -34,19 +41,48 @@ class RuntimeState:
 class Iterator:
     """Base class of all physical operators."""
 
-    __slots__ = ("runtime",)
+    __slots__ = ("runtime", "next_calls", "tuples_out")
 
     def __init__(self, runtime: RuntimeState):
         self.runtime = runtime
+        #: Lifetime instrumentation counters (never reset by open()).
+        self.next_calls = 0
+        self.tuples_out = 0
 
     def open(self) -> None:
         raise NotImplementedError
 
     def next(self) -> bool:
+        """Advance to the next tuple, counting calls and output tuples."""
+        self.next_calls += 1
+        if self._next():
+            self.tuples_out += 1
+            return True
+        return False
+
+    def _next(self) -> bool:
+        """Subclass hook: the actual advance logic."""
         raise NotImplementedError
 
     def close(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    @property
+    def op_name(self) -> str:
+        """Operator display name (class name without the It suffix)."""
+        name = type(self).__name__
+        return name[:-2] if name.endswith("It") else name
+
+    def children(self) -> Sequence["Iterator"]:
+        """Input iterators, for tree walks (stats, diagnostics)."""
+        return ()
+
+    def reset_counters(self) -> None:
+        """Zero this operator's instrumentation counters."""
+        self.next_calls = 0
+        self.tuples_out = 0
 
     # ------------------------------------------------------------------
 
@@ -75,6 +111,9 @@ class UnaryIterator(Iterator):
     def close(self) -> None:
         self.child.close()
 
+    def children(self) -> Sequence[Iterator]:
+        return (self.child,)
+
 
 class BinaryIterator(Iterator):
     """Base for operators with two inputs."""
@@ -89,3 +128,6 @@ class BinaryIterator(Iterator):
     def close(self) -> None:
         self.left.close()
         self.right.close()
+
+    def children(self) -> Sequence[Iterator]:
+        return (self.left, self.right)

@@ -27,7 +27,7 @@ class DJoinIt(BinaryIterator):
         self.left.open()
         self._have_left = False
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         while True:
             if not self._have_left:
                 if not self.left.next():
@@ -76,7 +76,7 @@ class CrossIt(BinaryIterator):
         self.right.close()
         self._loaded = True
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if not self._loaded:
             self._load_right()
         regs = self.runtime.regs
@@ -116,7 +116,7 @@ class SemiJoinIt(BinaryIterator):
     def open(self) -> None:
         self.left.open()
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         while self.left.next():
             witness = False
             self.right.open()
@@ -155,7 +155,7 @@ class ConcatIt(Iterator):
         if self.inputs:
             self.inputs[0].open()
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         while self._current < len(self.inputs):
             if self.inputs[self._current].next():
                 return True
@@ -169,3 +169,6 @@ class ConcatIt(Iterator):
         if self._current < len(self.inputs):
             self.inputs[self._current].close()
         self._current = len(self.inputs)
+
+    def children(self) -> Sequence[Iterator]:
+        return self.inputs

@@ -54,7 +54,7 @@ class SortIt(UnaryIterator):
         self._loaded = True
         self.runtime.stats["sort_materialized"] += len(self._tuples)
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if not self._loaded:
             self._load()
         if self._index >= len(self._tuples):
@@ -155,7 +155,7 @@ class TmpCsIt(UnaryIterator):
         self.runtime.stats["tmpcs_contexts"] += 1
         return True
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         regs = self.runtime.regs
         while True:
             if self._index < len(self._buffer):
@@ -189,7 +189,7 @@ class AggregateIt(UnaryIterator):
         # The child is opened by run_aggregate.
         self._done = False
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if self._done:
             return False
         value = run_aggregate(
@@ -242,7 +242,7 @@ class MemoXIt(UnaryIterator):
             self._recording = True
             self._record_key = key
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         regs = self.runtime.regs
         if self._recording:
             if self.child.next():
@@ -306,7 +306,7 @@ class BinaryGroupIt(BinaryIterator):
     def open(self) -> None:
         self.left.open()
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         regs = self.runtime.regs
         if not self.left.next():
             return False

@@ -10,7 +10,8 @@ documents or context nodes.
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator as PyIterator, List, Optional, Sequence
 
 from repro.dom.node import Node
 from repro.engine.context import ExecutionContext
@@ -18,6 +19,16 @@ from repro.engine.iterator import Iterator, RuntimeState
 from repro.engine.tuples import AttributeManager
 from repro.errors import ExecutionError
 from repro.xpath.datamodel import XPathValue
+
+
+@dataclass(frozen=True)
+class OperatorStats:
+    """Instrumentation snapshot of one physical operator."""
+
+    op_id: int
+    operator: str
+    next_calls: int
+    tuples_out: int
 
 
 class PhysicalPlan:
@@ -99,6 +110,35 @@ class PhysicalPlan:
 
     def reset_stats(self) -> None:
         self.runtime.stats.clear()
+        for iterator in self.iter_operators():
+            iterator.reset_counters()
+
+    # ------------------------------------------------------------------
+
+    def iter_operators(self) -> PyIterator[Iterator]:
+        """Preorder walk of the iterator tree (main pipeline only;
+        iterators nested inside subscripts are not visited)."""
+        stack = [self.root]
+        while stack:
+            iterator = stack.pop()
+            yield iterator
+            stack.extend(reversed(list(iterator.children())))
+
+    def operator_stats(self) -> "List[OperatorStats]":
+        """Per-operator instrumentation counters, in preorder.
+
+        Counters accumulate across executions of this plan; use
+        :meth:`reset_stats` to zero them.
+        """
+        return [
+            OperatorStats(
+                op_id=index,
+                operator=iterator.op_name,
+                next_calls=iterator.next_calls,
+                tuples_out=iterator.tuples_out,
+            )
+            for index, iterator in enumerate(self.iter_operators())
+        ]
 
 
 def _reset_memo(iterator: Iterator) -> None:

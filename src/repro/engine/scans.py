@@ -20,7 +20,7 @@ class SingletonScanIt(Iterator):
     def open(self) -> None:
         self._done = False
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if self._done:
             return False
         self._done = True
@@ -52,7 +52,7 @@ class VarScanIt(Iterator):
         self._values = value
         self._index = 0
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if self._index >= len(self._values):
             return False
         self.runtime.regs[self.slot] = self._values[self._index]
@@ -102,7 +102,7 @@ class MaterializedScanIt(Iterator):
     def open(self) -> None:
         self._index = 0
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         if self._index >= len(self.tuples):
             return False
         self.replayer.restore(self.runtime.regs, self.tuples[self._index])

@@ -1,0 +1,426 @@
+"""Long-lived query-engine sessions (the ``XPathEngine`` object).
+
+One-shot :func:`repro.api.evaluate` re-runs the full six-phase compiler
+on every call.  An :class:`XPathEngine` amortizes that cost across a
+workload the way production XPath engines do (whole-query reuse, see
+*XPath Whole Query Optimization*): it owns
+
+* an LRU **compiled-plan cache** keyed by
+  ``(query, TranslationOptions, namespace signature)`` with hit, miss
+  and eviction counters,
+* **batch evaluation** — :meth:`XPathEngine.evaluate_many` compiles
+  each distinct query once and shares one
+  :class:`~repro.engine.context.ExecutionContext` across the batch,
+* an **observability layer** — per-phase compile timings from the
+  pipeline, per-operator ``next()``-call/tuple counters read off the
+  iterator tree, the engine-level runtime counters, and the storage
+  buffer-manager statistics when the target is page-backed.
+
+:meth:`XPathEngine.stats` snapshots all of it as a JSON-serializable
+dataclass; ``python -m repro --explain-stats`` prints the same snapshot
+from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter, OrderedDict
+from dataclasses import asdict, dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.compiler.improved import TranslationOptions
+from repro.compiler.pipeline import CompiledQuery, XPathCompiler
+from repro.dom.document import Document
+from repro.dom.node import Node
+from repro.engine.context import ExecutionContext
+from repro.engine.plan import OperatorStats
+from repro.xpath.datamodel import XPathValue
+
+#: Default number of compiled plans an engine keeps.
+DEFAULT_CACHE_SIZE = 128
+
+#: Targets ``evaluate`` accepts: a node, or anything document-like.
+EvalTarget = Union[Document, Node, object]
+
+_NamespaceSig = Tuple[Tuple[str, str], ...]
+_PlanKey = Tuple[str, TranslationOptions, _NamespaceSig]
+
+
+def resolve_context_node(target: EvalTarget) -> Node:
+    """The context node for an evaluation target.
+
+    Accepts a :class:`~repro.dom.node.Node` directly, or any
+    document-like object exposing ``root`` (an in-memory
+    :class:`Document` or a page-backed
+    :class:`~repro.storage.store.StoredDocument`) — the two must be
+    interchangeable as ``evaluate`` targets.
+    """
+    if isinstance(target, Node):
+        return target
+    root = getattr(target, "root", None)
+    if isinstance(root, Node):
+        return root
+    raise TypeError(
+        f"cannot evaluate against {type(target).__name__!r}: expected a "
+        "Node or a document-like object with a 'root' node"
+    )
+
+
+def _namespace_signature(
+    namespaces: Optional[Mapping[str, str]]
+) -> _NamespaceSig:
+    if not namespaces:
+        return ()
+    return tuple(sorted(namespaces.items()))
+
+
+# ----------------------------------------------------------------------
+# Stats dataclasses (all JSON-serializable via asdict)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Plan-cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+
+@dataclass(frozen=True)
+class BufferSnapshot:
+    """Page-buffer counters of the most recent storage-backed target."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    cached_pages: int = 0
+    capacity: int = 0
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """One immutable snapshot of an :class:`XPathEngine`'s counters."""
+
+    cache: CacheStats
+    #: Number of actual compiler runs (cache misses).
+    compile_count: int
+    #: Accumulated seconds per compiler phase across all compiles.
+    compile_phase_seconds: Dict[str, float]
+    #: Per-phase seconds of the most recent compile only.
+    last_compile_phase_seconds: Dict[str, float]
+    #: Number of plan executions through this engine.
+    execution_count: int
+    #: Accumulated execution wall time (excludes compile time).
+    execution_seconds: float
+    #: Per-operator counters of the most recently executed plan.
+    operators: List[OperatorStats]
+    #: Engine-level runtime counters summed over all cached plans.
+    runtime_counters: Dict[str, int]
+    #: Buffer-manager counters when the last target was page-backed.
+    buffer: Optional[BufferSnapshot] = None
+
+    def to_dict(self) -> dict:
+        """A plain-dict rendering (safe for ``json.dumps``)."""
+        return asdict(self)
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The LRU plan cache
+# ----------------------------------------------------------------------
+
+
+class PlanCache:
+    """A bounded LRU cache of :class:`CompiledQuery` objects."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._plans: "OrderedDict[_PlanKey, CompiledQuery]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: _PlanKey) -> Optional[CompiledQuery]:
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(key)
+        else:
+            self.misses += 1
+        return plan
+
+    def put(self, key: _PlanKey, plan: CompiledQuery) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def plans(self) -> Iterable[CompiledQuery]:
+        return self._plans.values()
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._plans),
+            capacity=self.capacity,
+        )
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+# ----------------------------------------------------------------------
+# The engine session
+# ----------------------------------------------------------------------
+
+
+class XPathEngine:
+    """A long-lived XPath evaluation session with a plan cache.
+
+    ::
+
+        engine = XPathEngine()
+        doc = parse_document("<a><b/><b/></a>")
+        engine.evaluate("count(/a/b)", doc)      # compiles, caches
+        engine.evaluate("count(/a/b)", doc)      # cache hit
+        print(engine.stats().to_json(indent=2))
+
+    Thread safety: cache lookups and stat updates hold an internal
+    lock; plan *execution* does not (each compiled plan owns mutable
+    register state), so share an engine across threads only for
+    compilation, or give each thread its own engine.
+    """
+
+    def __init__(
+        self,
+        options: Optional[TranslationOptions] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
+        self.options = options or TranslationOptions()
+        self.cache = PlanCache(cache_size)
+        self._lock = threading.Lock()
+        self._compile_count = 0
+        self._phase_seconds: Counter = Counter()
+        self._last_phase_seconds: Dict[str, float] = {}
+        self._execution_count = 0
+        self._execution_seconds = 0.0
+        self._last_plan: Optional[CompiledQuery] = None
+        self._last_buffer: Optional[BufferSnapshot] = None
+
+    # -- compilation ---------------------------------------------------
+
+    def compile(
+        self,
+        query: str,
+        *,
+        options: Optional[TranslationOptions] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+    ) -> CompiledQuery:
+        """The compiled plan for ``query``, through the LRU cache.
+
+        Plans are keyed by ``(query, options, namespace signature)``:
+        the same query under different translation options or prefix
+        bindings is a different plan.
+        """
+        opts = options or self.options
+        key = (query, opts, _namespace_signature(namespaces))
+        with self._lock:
+            plan = self.cache.get(key)
+            if plan is not None:
+                return plan
+        # Compile outside the lock; a racing duplicate compile is
+        # harmless (last writer wins, both plans are equivalent).
+        compiled = XPathCompiler(opts).compile(query)
+        with self._lock:
+            self.cache.put(key, compiled)
+            self._compile_count += 1
+            self._phase_seconds.update(compiled.phase_timings)
+            self._last_phase_seconds = dict(compiled.phase_timings)
+        return compiled
+
+    def explain(
+        self,
+        query: str,
+        *,
+        options: Optional[TranslationOptions] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+    ) -> str:
+        """The logical plan of ``query`` as an indented tree."""
+        return self.compile(
+            query, options=options, namespaces=namespaces
+        ).explain()
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(
+        self,
+        query: str,
+        target: EvalTarget,
+        *,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        options: Optional[TranslationOptions] = None,
+        ordered: bool = False,
+    ) -> XPathValue:
+        """Evaluate ``query`` against ``target`` through the plan cache."""
+        plan = self.compile(query, options=options, namespaces=namespaces)
+        node = resolve_context_node(target)
+        start = time.perf_counter()
+        result = plan.evaluate(
+            node, variables, namespaces, ordered=ordered
+        )
+        self._record_execution(time.perf_counter() - start, plan, node)
+        return result
+
+    def evaluate_many(
+        self,
+        queries: Sequence[str],
+        target: EvalTarget,
+        *,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        options: Optional[TranslationOptions] = None,
+    ) -> List[XPathValue]:
+        """Evaluate a batch of queries against one target.
+
+        Each distinct query is compiled (or fetched) once and a single
+        :class:`ExecutionContext` is shared across the batch, so the
+        per-call setup cost is paid once instead of ``len(queries)``
+        times.  Results are returned in input order.
+        """
+        node = resolve_context_node(target)
+        plans = [
+            self.compile(query, options=options, namespaces=namespaces)
+            for query in queries
+        ]
+        context = ExecutionContext(
+            context_node=node,
+            variables=dict(variables or {}),
+            namespaces=dict(namespaces or {}),
+        )
+        results: List[XPathValue] = []
+        start = time.perf_counter()
+        for plan in plans:
+            results.append(plan.physical.execute(context))
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._execution_count += len(plans)
+            self._execution_seconds += elapsed
+            if plans:
+                self._last_plan = plans[-1]
+            self._last_buffer = _buffer_snapshot(node)
+        return results
+
+    def count(
+        self,
+        query: str,
+        target: EvalTarget,
+        *,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        options: Optional[TranslationOptions] = None,
+    ) -> int:
+        """Count result tuples without materializing them."""
+        plan = self.compile(query, options=options, namespaces=namespaces)
+        node = resolve_context_node(target)
+        start = time.perf_counter()
+        result = plan.count(
+            node, variables=variables, namespaces=namespaces
+        )
+        self._record_execution(time.perf_counter() - start, plan, node)
+        return result
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """A snapshot of every counter this engine maintains."""
+        with self._lock:
+            runtime_counters: Counter = Counter()
+            for plan in self.cache.plans():
+                runtime_counters.update(plan.physical.stats)
+            operators = (
+                self._last_plan.operator_stats() if self._last_plan else []
+            )
+            return EngineStats(
+                cache=self.cache.stats(),
+                compile_count=self._compile_count,
+                compile_phase_seconds=dict(self._phase_seconds),
+                last_compile_phase_seconds=dict(self._last_phase_seconds),
+                execution_count=self._execution_count,
+                execution_seconds=self._execution_seconds,
+                operators=operators,
+                runtime_counters=dict(runtime_counters),
+                buffer=self._last_buffer,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero every counter (cached plans stay cached)."""
+        with self._lock:
+            self.cache.reset_counters()
+            self._compile_count = 0
+            self._phase_seconds.clear()
+            self._last_phase_seconds = {}
+            self._execution_count = 0
+            self._execution_seconds = 0.0
+            self._last_buffer = None
+            for plan in self.cache.plans():
+                plan.physical.reset_stats()
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self.cache.clear()
+
+    # ------------------------------------------------------------------
+
+    def _record_execution(
+        self, elapsed: float, plan: CompiledQuery, node: Node
+    ) -> None:
+        with self._lock:
+            self._execution_count += 1
+            self._execution_seconds += elapsed
+            self._last_plan = plan
+            self._last_buffer = _buffer_snapshot(node)
+
+
+def _buffer_snapshot(node: Node) -> Optional[BufferSnapshot]:
+    """Buffer-manager counters when ``node`` is page-backed, else None."""
+    document = getattr(node, "document", None)
+    buffer = getattr(document, "buffer", None)
+    stats = getattr(buffer, "stats", None)
+    if stats is None:
+        return None
+    return BufferSnapshot(
+        hits=stats.hits,
+        misses=stats.misses,
+        evictions=stats.evictions,
+        cached_pages=buffer.cached_pages,
+        capacity=buffer.capacity,
+    )

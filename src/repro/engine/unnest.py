@@ -64,7 +64,7 @@ class UnnestMapIt(UnaryIterator):
             )
             self._test_context = context
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         regs = self.runtime.regs
         test = self._test
         stats = self.runtime.stats
@@ -117,7 +117,7 @@ class ExprUnnestMapIt(UnaryIterator):
         self._values = []
         self._index = 0
 
-    def next(self) -> bool:
+    def _next(self) -> bool:
         regs = self.runtime.regs
         while True:
             while self._index < len(self._values):

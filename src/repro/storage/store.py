@@ -158,7 +158,10 @@ class StoredDocument:
     Implements the pieces of the :class:`~repro.dom.document.Document`
     interface the evaluators use (``root``, ``get_element_by_id``,
     ``node_count``, ``iter_nodes``), backed by lazily decoded node
-    proxies and the page buffer.
+    proxies and the page buffer.  A ``StoredDocument`` is a first-class
+    evaluation target: ``evaluate(query, stored)`` behaves exactly like
+    ``evaluate(query, document)`` on the in-memory form (see
+    :func:`repro.api.resolve_context_node`).
     """
 
     def __init__(self, handle: io.BufferedIOBase, buffer_pages: int):
@@ -242,6 +245,18 @@ class StoredDocument:
     def clear_node_cache(self) -> None:
         """Drop decoded proxies (page buffer stays managed by capacity)."""
         self._cache.clear()
+
+    def buffer_stats(self) -> dict:
+        """Page-buffer counters as a plain dict (observability surface
+        read by ``XPathEngine.stats()`` for page-backed targets)."""
+        stats = self.buffer.stats
+        return {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "cached_pages": self.buffer.cached_pages,
+            "capacity": self.buffer.capacity,
+        }
 
     # ------------------------------------------------------------------
 

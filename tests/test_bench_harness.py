@@ -26,8 +26,20 @@ from repro.workloads.querygen import FIG10_QUERIES
 class TestEngineRegistry:
     def test_all_engines_present(self):
         assert set(ENGINE_REGISTRY) == {
-            "natix", "natix-opt", "natix-canonical", "naive", "memo",
+            "natix", "natix-opt", "natix-canonical", "natix-session",
+            "naive", "memo",
         }
+
+    def test_runners_expose_stats_columns(self):
+        document = cached_document((100, 4, 3))
+        runner = make_engine("natix-session")("/xdoc/*/@id")
+        runner(document.root)
+        runner(document.root)
+        columns = runner.stats_columns()
+        assert columns["cache_hits"] >= 1
+        assert columns["operator_next_calls"] > 0
+        # Interpreters have no plan, hence no columns.
+        assert make_engine("naive")("//*").stats_columns() == {}
 
     @pytest.mark.parametrize("name", sorted(ENGINE_REGISTRY))
     def test_engines_count_results(self, name):

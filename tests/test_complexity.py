@@ -30,7 +30,7 @@ class TestPushedDuplicateElimination:
         doc = generate_document(500, 5, 4)
         query = "/child::xdoc/descendant::*/ancestor::*/descendant::*"
         improved = compile_xpath(query)
-        canonical = compile_xpath(query, TranslationOptions.canonical())
+        canonical = compile_xpath(query, options=TranslationOptions.canonical())
 
         improved_result = improved.evaluate(doc.root)
         canonical_result = canonical.evaluate(doc.root)
@@ -61,7 +61,7 @@ class TestMemoX:
         doc = chain_document(width=3, depth=5)
         compiled = compile_xpath(
             "//b/ancestor::a[count(b) = 5]",
-            TranslationOptions(mat_expensive=False),
+            options=TranslationOptions(mat_expensive=False),
         )
         result = compiled.evaluate(doc.root)
         assert len(result) == 3
@@ -72,7 +72,7 @@ class TestMemoX:
         doc = chain_document(width=3, depth=4)
         compiled = compile_xpath(
             "//b/ancestor::a[count(b) = 4]",
-            TranslationOptions.canonical(),
+            options=TranslationOptions.canonical(),
         )
         compiled.evaluate(doc.root)
         assert compiled.stats.get("memox_hits", 0) == 0
@@ -81,7 +81,7 @@ class TestMemoX:
         doc = chain_document(width=4, depth=3)
         query = "//b/ancestor::a[b/following-sibling::b]/@id"
         with_memo = compile_xpath(query)
-        without = compile_xpath(query, TranslationOptions(memox=False))
+        without = compile_xpath(query, options=TranslationOptions(memox=False))
         assert normalize_result(with_memo.evaluate(doc.root)) == (
             normalize_result(without.evaluate(doc.root))
         )
@@ -115,7 +115,7 @@ class TestMatMap:
         # tuple and is computed exactly once.  mat_expensive is disabled
         # so the only χ^mat in the plan is the comparison bound.
         compiled = compile_xpath(
-            "count(//a[. < //b])", TranslationOptions(mat_expensive=False)
+            "count(//a[. < //b])", options=TranslationOptions(mat_expensive=False)
         )
         assert compiled.evaluate(doc.root) == 15.0
         assert compiled.stats["matmap_misses"] == 1
@@ -182,7 +182,7 @@ class TestInterpreterComplexityContrast:
         counts = []
         for rounds in (2, 4):
             query = "/xdoc/a" + "/b/parent::a" * rounds + "/b"
-            compiled = compile_xpath(query, TranslationOptions.canonical())
+            compiled = compile_xpath(query, options=TranslationOptions.canonical())
             compiled.evaluate(doc.root)
             counts.append(compiled.stats["tuples:UnnestMap"])
         # Without pushed dedup each parent/child round multiplies

@@ -137,7 +137,7 @@ def _check_agreement(doc, query):
     expected = normalize_result(_naive.evaluate(query, context))
     assert normalize_result(_memo.evaluate(query, context)) == expected
     for options in _ENGINE_OPTIONS:
-        compiled = compile_xpath(query, options)
+        compiled = compile_xpath(query, options=options)
         assert normalize_result(compiled.evaluate(doc.root)) == expected, (
             f"{options} disagrees on {query!r} over {serialize(doc)!r}"
         )
@@ -198,7 +198,7 @@ def test_count_matches_result_length(doc, query):
 @given(doc=documents(), query=queries())
 def test_optimizer_preserves_results(doc, query):
     plain = compile_xpath(query)
-    optimized = compile_xpath(query, TranslationOptions(optimize=True))
+    optimized = compile_xpath(query, options=TranslationOptions(optimize=True))
     assert normalize_result(plain.evaluate(doc.root)) == normalize_result(
         optimized.evaluate(doc.root)
     )

@@ -26,12 +26,12 @@ def count_ops(compiled, kind):
 class TestDedupPruning:
     def test_canonical_child_path_dedup_removed(self):
         options = TranslationOptions.canonical(optimize=True)
-        compiled = compile_xpath("/r/a/b", options)
+        compiled = compile_xpath("/r/a/b", options=options)
         assert count_ops(compiled, ops.ProjectDup) == 0
         assert compiled.optimizer_report.removed_dedups == 1
 
     def test_needed_dedups_kept(self):
-        compiled = compile_xpath("//b/ancestor::a", OPT)
+        compiled = compile_xpath("//b/ancestor::a", options=OPT)
         # Ancestor steps genuinely produce duplicates; their Π^D stays.
         assert count_ops(compiled, ops.ProjectDup) >= 1
 
@@ -39,7 +39,7 @@ class TestDedupPruning:
         for query in ("/r/a/b", "//b/ancestor::a/@id", "//a | //b",
                       "count(//b[. = 'w'])"):
             plain = compile_xpath(query)
-            optimized = compile_xpath(query, OPT)
+            optimized = compile_xpath(query, options=OPT)
             assert normalize_result(plain.evaluate(DOC.root)) == (
                 normalize_result(optimized.evaluate(DOC.root))
             )
@@ -52,18 +52,18 @@ class TestSortPruning:
     def test_filter_sort_on_ordered_pipeline_removed(self):
         # (/r/a/b) is provably in document order: the Sort the filter
         # expression introduces for its positional predicate is pruned.
-        compiled = compile_xpath("(/r/a/b)[2]", OPT)
+        compiled = compile_xpath("(/r/a/b)[2]", options=OPT)
         assert count_ops(compiled, ops.SortOp) == 0
         assert compiled.optimizer_report.removed_sorts == 1
 
     def test_sort_kept_on_unordered_input(self):
-        compiled = compile_xpath("(//b/ancestor::a)[1]", OPT)
+        compiled = compile_xpath("(//b/ancestor::a)[1]", options=OPT)
         assert count_ops(compiled, ops.SortOp) == 1
 
     def test_pruned_sort_results_unchanged(self):
         for query in ("(/r/a/b)[2]", "(/r/a/b)[last()]"):
             plain = compile_xpath(query)
-            optimized = compile_xpath(query, OPT)
+            optimized = compile_xpath(query, options=OPT)
             assert normalize_result(plain.evaluate(DOC.root)) == (
                 normalize_result(optimized.evaluate(DOC.root))
             )
@@ -106,7 +106,7 @@ class TestOrderInference:
 
 class TestDescendantMerging:
     def test_double_slash_merges_to_descendant_step(self):
-        compiled = compile_xpath("//b", OPT)
+        compiled = compile_xpath("//b", options=OPT)
         assert compiled.optimizer_report.merged_descendant_steps == 1
         assert count_ops(compiled, ops.UnnestMap) == 1
         step = next(
@@ -120,11 +120,11 @@ class TestDescendantMerging:
     def test_positional_predicate_blocks_merge(self):
         # //b[2] groups positions by the descendant-or-self context;
         # merging would change which b counts as "second".
-        compiled = compile_xpath("//b[2]", OPT)
+        compiled = compile_xpath("//b[2]", options=OPT)
         assert compiled.optimizer_report.merged_descendant_steps == 0
 
     def test_merge_from_multi_context_adds_dedup(self):
-        compiled = compile_xpath("//a//b", OPT)
+        compiled = compile_xpath("//a//b", options=OPT)
         assert compiled.optimizer_report.merged_descendant_steps == 2
         # The second merge starts from many a-contexts: a Π^D guards it.
         assert count_ops(compiled, ops.ProjectDup) >= 1
@@ -133,14 +133,14 @@ class TestDescendantMerging:
         for query in ("//b", "//a//b", "count(//b)", "//b/ancestor::a//b",
                       "//b[. = 'y']", "sum(//a//@id)"):
             plain = compile_xpath(query)
-            optimized = compile_xpath(query, OPT)
+            optimized = compile_xpath(query, options=OPT)
             assert normalize_result(plain.evaluate(DOC.root)) == (
                 normalize_result(optimized.evaluate(DOC.root))
             ), query
 
     def test_merge_reduces_axis_work(self):
         plain = compile_xpath("//b")
-        optimized = compile_xpath("//b", OPT)
+        optimized = compile_xpath("//b", options=OPT)
         plain.evaluate(DOC.root)
         optimized.evaluate(DOC.root)
         assert (

@@ -130,7 +130,7 @@ class TestOptionKnobs:
         doc = parse_document("<r><a>1</a><b>1</b><b>2</b></r>")
         spec = compile_xpath("//a != //b")
         paper = compile_xpath(
-            "//a != //b", TranslationOptions(paper_neq=True)
+            "//a != //b", options=TranslationOptions(paper_neq=True)
         )
         # W3C: exists (a, b) with different values -> (1, 2) -> true.
         assert spec.evaluate(doc.root) is True
@@ -140,7 +140,7 @@ class TestOptionKnobs:
     def test_paper_neq_agrees_on_disjoint_sets(self):
         doc = parse_document("<r><a>1</a><b>2</b></r>")
         for options in (None, TranslationOptions(paper_neq=True)):
-            compiled = compile_xpath("//a != //b", options)
+            compiled = compile_xpath("//a != //b", options=options)
             assert compiled.evaluate(doc.root) is True
 
     def test_interp_subscript_mode_agrees(self):
@@ -153,7 +153,7 @@ class TestOptionKnobs:
         for query in queries:
             nvm = compile_xpath(query)
             interp = compile_xpath(
-                query, TranslationOptions(subscript_mode="interp")
+                query, options=TranslationOptions(subscript_mode="interp")
             )
             assert normalize_result(nvm.evaluate(DOC.root)) == (
                 normalize_result(interp.evaluate(DOC.root))
@@ -161,7 +161,7 @@ class TestOptionKnobs:
 
     def test_interp_mode_uses_no_nvm(self):
         compiled = compile_xpath(
-            "//a[. = 'y']", TranslationOptions(subscript_mode="interp")
+            "//a[. = 'y']", options=TranslationOptions(subscript_mode="interp")
         )
         compiled.evaluate(DOC.root)
         assert compiled.stats.get("nvm_invocations", 0) == 0
