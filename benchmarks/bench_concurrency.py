@@ -1,0 +1,153 @@
+"""Concurrent serving throughput: closed-loop clients on one engine.
+
+The serving scenario the session layer targets: N clients hammering a
+single :class:`~repro.engine.session.XPathEngine` over the store-backed
+DBLP corpus with a warm plan cache.  Each client runs a closed loop
+(issue, wait for the answer, issue the next) in lockstep over the
+Fig. 10 workload, so concurrent clients ask for the same query at the
+same time — the shape of a result-page cache stampede.
+
+What scales here is *client-observed* throughput: the striped cache
+removes the compile lock from the hot path and the engine's singleflight
+layer coalesces identical in-flight evaluations, so one execution feeds
+every waiting client.  CPython's GIL means raw single-query latency does
+not improve with threads; queries/sec across clients does.
+
+Reported per run (``benchmark.extra_info``): queries/sec, p50/p95
+per-request latency (ms), and how many requests were answered by
+coalescing.  ``test_scaling_4_vs_1`` asserts the acceptance bar:
+>= 2x queries/sec at 4 clients vs. 1.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.session import XPathEngine
+from repro.storage import DocumentStore
+from repro.workloads.querygen import FIG10_QUERIES
+
+#: Lockstep passes over the thirteen Fig. 10 queries per client.
+PASSES = 3
+QUICK_PASSES = 1
+
+_CLIENT_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def dblp_store(tmp_path_factory, dblp_document):
+    path = tmp_path_factory.mktemp("concbench") / "dblp.natix"
+    DocumentStore.write(dblp_document, path)
+    with DocumentStore.open(path, buffer_pages=1024) as stored:
+        yield stored
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def closed_loop(engine, root, queries, clients, passes):
+    """Run ``clients`` lockstep closed-loop threads; return metrics.
+
+    Every client issues the same query at the same step (a shared
+    barrier gates each request), waits for its answer, then moves on —
+    closed-loop load, no open-loop queue building up.
+    """
+    barrier = threading.Barrier(clients)
+    latencies = [[] for _ in range(clients)]
+    errors = []
+
+    def client(slot):
+        try:
+            for _ in range(passes):
+                for query in queries:
+                    barrier.wait()
+                    started = time.perf_counter()
+                    engine.evaluate(query, root)
+                    latencies[slot].append(time.perf_counter() - started)
+        except BaseException as error:  # pragma: no cover - diagnostics
+            errors.append(error)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=client, args=(slot,), name=f"client-{slot}")
+        for slot in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise errors[0]
+
+    samples = [sample for per_client in latencies for sample in per_client]
+    return {
+        "clients": clients,
+        "requests": len(samples),
+        "wall_seconds": wall,
+        "qps": len(samples) / wall if wall else float("inf"),
+        "p50_ms": _percentile(samples, 0.50) * 1e3,
+        "p95_ms": _percentile(samples, 0.95) * 1e3,
+    }
+
+
+def _warm(engine, root, queries):
+    for query in queries:
+        engine.evaluate(query, root)
+
+
+@pytest.mark.parametrize("clients", _CLIENT_COUNTS)
+def test_closed_loop_throughput(benchmark, dblp_store, quick_mode, clients):
+    passes = QUICK_PASSES if quick_mode else PASSES
+    engine = XPathEngine()
+    _warm(engine, dblp_store.root, FIG10_QUERIES)
+    engine.reset_stats()
+
+    metrics = {}
+
+    def serve():
+        metrics.update(
+            closed_loop(
+                engine, dblp_store.root, FIG10_QUERIES, clients, passes
+            )
+        )
+
+    benchmark.pedantic(serve, rounds=1, iterations=1, warmup_rounds=0)
+    stats = engine.stats()
+    benchmark.extra_info.update(
+        experiment="concurrency-closed-loop",
+        coalesced_requests=stats.runtime_counters.get(
+            "coalesced_requests", 0
+        ),
+        cache_hits=stats.cache.hits,
+        cache_misses=stats.cache.misses,
+        cache_shards=stats.cache.shard_count,
+        **{key: round(value, 4) for key, value in metrics.items()},
+    )
+    assert metrics["requests"] == clients * passes * len(FIG10_QUERIES)
+    # Warm cache: no compiles during the measured loop.
+    assert stats.compile_count == 0
+
+
+def test_scaling_4_vs_1(dblp_store, quick_mode):
+    """Acceptance bar: >= 2x queries/sec at 4 clients vs. 1 client."""
+    passes = QUICK_PASSES if quick_mode else PASSES
+    engine = XPathEngine()
+    _warm(engine, dblp_store.root, FIG10_QUERIES)
+
+    baseline = closed_loop(
+        engine, dblp_store.root, FIG10_QUERIES, 1, passes
+    )
+    scaled = closed_loop(
+        engine, dblp_store.root, FIG10_QUERIES, 4, passes
+    )
+    speedup = scaled["qps"] / baseline["qps"]
+    assert speedup >= 2.0, (
+        f"4-client throughput only {speedup:.2f}x the 1-client baseline "
+        f"({scaled['qps']:.1f} vs {baseline['qps']:.1f} q/s)"
+    )

@@ -33,6 +33,7 @@ from repro.api import (
     compile_xpath,
     engine_names,
     evaluate,
+    evaluate_concurrent,
     get_engine_factory,
     open_store,
     parse_document,
@@ -60,6 +61,7 @@ __all__ = [
     "compile_xpath",
     "engine_names",
     "evaluate",
+    "evaluate_concurrent",
     "get_engine_factory",
     "open_store",
     "parse_document",

@@ -7,6 +7,7 @@ Examples::
     python -m repro --explain '/a/b[position() = last()]'
     python -m repro --store catalog.natix '//book' catalog.xml
     python -m repro --explain-stats --repeat 10 '//book' catalog.xml
+    python -m repro --repeat 64 --workers 4 '//book' catalog.xml
 
 Evaluation runs through an :class:`~repro.engine.session.XPathEngine`
 session; ``--explain-stats`` prints its full JSON stats snapshot (plan
@@ -98,10 +99,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="evaluate the query N times (exercises the plan cache)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run the --repeat evaluations through a thread pool of N "
+             "workers (session engines only)",
+    )
+    parser.add_argument(
         "--store", metavar="PATH",
         help="store the parsed document as a page file, then query it",
     )
     arguments = parser.parse_args(argv)
+
+    if arguments.workers < 1:
+        parser.error("--workers must be at least 1")
+    if arguments.workers > 1 and arguments.engine not in _SESSION_ENGINES:
+        parser.error(
+            f"--workers requires a session engine "
+            f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} has no "
+            "concurrent evaluation path"
+        )
 
     options = TranslationOptions(optimize=arguments.optimize)
 
@@ -145,8 +160,15 @@ def _run_query(arguments, target) -> None:
         session = XPathEngine(
             _SESSION_ENGINES[name](optimize=arguments.optimize)
         )
-        for _ in range(max(1, arguments.repeat)):
-            result = session.evaluate(arguments.query, target)
+        if arguments.workers > 1:
+            batch = [arguments.query] * max(1, arguments.repeat)
+            results = session.evaluate_concurrent(
+                batch, target, max_workers=arguments.workers
+            )
+            result = results[-1]
+        else:
+            for _ in range(max(1, arguments.repeat)):
+                result = session.evaluate(arguments.query, target)
     else:
         for _ in range(max(1, arguments.repeat)):
             result = evaluate(arguments.query, target, engine=name)

@@ -20,7 +20,15 @@ instruments every layer::
     engine.evaluate("count(/a/b)", doc)        # compiles and caches
     engine.evaluate("count(/a/b)", doc)        # plan-cache hit
     engine.evaluate_many(["/a/b", "//b"], doc) # batch, shared context
+    engine.evaluate_concurrent(               # thread-pool batch
+        ["/a/b", "//b", "count(//b)"], doc, max_workers=4
+    )
     print(engine.stats().to_json(indent=2))
+
+One engine may be shared across threads: the plan cache is
+lock-striped, each thread executes its own instance of a cached plan,
+and concurrent identical ``evaluate`` calls are coalesced into a single
+execution (see ``docs/concurrency.md``).
 
 ``evaluate`` accepts an engine name to pick an evaluation strategy:
 ``"natix"`` (the algebraic engine with the improved translation, the
@@ -33,7 +41,16 @@ and ``"memo"`` (the baseline interpreters).  Engines live in
 from __future__ import annotations
 
 import warnings
-from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.baselines.memo import MemoInterpreter
 from repro.baselines.naive import NaiveInterpreter
@@ -264,6 +281,33 @@ def evaluate(
     return runner(query, node, variables, namespaces, options)
 
 
+def evaluate_concurrent(
+    queries: Sequence[str],
+    target: Union[Document, Node],
+    *,
+    max_workers: Optional[int] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    namespaces: Optional[Mapping[str, str]] = None,
+    options: Optional[TranslationOptions] = None,
+) -> List[XPathValue]:
+    """One-shot concurrent evaluation of a query batch.
+
+    Convenience wrapper that spins up an ephemeral
+    :class:`XPathEngine` and fans the batch out over its thread pool
+    (see :meth:`XPathEngine.evaluate_concurrent`).  Serving workloads
+    should hold on to an engine instead, so the plan cache survives
+    between batches.
+    """
+    engine = XPathEngine(options)
+    return engine.evaluate_concurrent(
+        queries,
+        target,
+        max_workers=max_workers,
+        variables=variables,
+        namespaces=namespaces,
+    )
+
+
 def _context_node(target: Union[Document, Node]) -> Node:
     """Deprecated alias of :func:`resolve_context_node`."""
     return resolve_context_node(target)
@@ -277,6 +321,7 @@ __all__ = [
     "compile_xpath",
     "engine_names",
     "evaluate",
+    "evaluate_concurrent",
     "get_engine_factory",
     "open_store",
     "parse_document",

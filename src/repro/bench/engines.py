@@ -8,6 +8,9 @@ interpreters (Xalan-C, xsltproc).  Here:
 * ``natix-session``    — improved translation through an
   :class:`~repro.engine.session.XPathEngine` plan cache (whole-query
   reuse; measures the compile-amortization win),
+* ``natix-concurrent`` — the session engine's thread-pool path
+  (``evaluate_concurrent``); single-query batches here, the full
+  closed-loop scaling story lives in ``benchmarks/bench_concurrency.py``,
 * ``naive``            — dedup-free main-memory interpreter (the
   xsltproc/Xalan stand-in; see DESIGN.md substitution notes),
 * ``memo``             — Gottlob-style memoizing interpreter.
@@ -113,6 +116,36 @@ def _session_engine(options: TranslationOptions, label: str):
     return prepare
 
 
+def _concurrent_engine(options: TranslationOptions, label: str,
+                       workers: int = 4):
+    engine = XPathEngine(options)
+
+    def prepare(query: str) -> QueryRunner:
+        def run(context_node: Node) -> int:
+            results = engine.evaluate_concurrent(
+                [query], context_node, max_workers=workers
+            )
+            result = results[0]
+            return len(result) if isinstance(result, list) else 1
+
+        def columns() -> StatsColumns:
+            stats = engine.stats()
+            return {
+                "cache_hits": stats.cache.hits,
+                "cache_misses": stats.cache.misses,
+                "cache_evictions": stats.cache.evictions,
+                "cache_shards": stats.cache.shard_count,
+                "workers": workers,
+                "concurrent_batches": stats.runtime_counters.get(
+                    "concurrent_batches", 0
+                ),
+            }
+
+        return QueryRunner(run, label, columns)
+
+    return prepare
+
+
 def _interpreter_engine(factory, label: str):
     def prepare(query: str) -> QueryRunner:
         interpreter = factory()
@@ -136,6 +169,9 @@ ENGINE_REGISTRY: Dict[str, Callable[[str], QueryRunner]] = {
     ),
     "natix-session": _session_engine(
         TranslationOptions.improved(), "natix-session"
+    ),
+    "natix-concurrent": _concurrent_engine(
+        TranslationOptions.improved(), "natix-concurrent"
     ),
     "naive": _interpreter_engine(NaiveInterpreter, "naive"),
     "memo": _interpreter_engine(MemoInterpreter, "memo"),

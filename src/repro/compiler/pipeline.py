@@ -11,8 +11,10 @@ the logical plan (pretty-printable) and ``evaluate()``.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Mapping, Optional
+from collections import Counter
+from typing import Dict, List, Mapping, Optional
 
 from repro.algebra import operators as ops
 from repro.algebra import scalar as S
@@ -33,7 +35,7 @@ from repro.compiler.translate import (
 from repro.dom.node import Node
 from repro.engine.context import ExecutionContext
 from repro.engine.iterator import RuntimeState
-from repro.engine.plan import PhysicalPlan
+from repro.engine.plan import OperatorStats, PhysicalPlan
 from repro.engine.tuples import AttributeManager
 from repro.errors import CodegenError
 from repro.xpath.datamodel import XPathValue
@@ -50,7 +52,17 @@ _SCALAR_RESULT_ATTR = "result"
 
 
 class CompiledQuery:
-    """One compiled XPath query, ready for repeated execution."""
+    """One compiled XPath query, ready for repeated execution.
+
+    Thread model: the immutable artifacts (AST, translation result,
+    logical plan) are shared, but a :class:`PhysicalPlan` owns a mutable
+    register file and live iterator state, so plan *instances* are
+    thread-confined.  Each thread that executes this query gets its own
+    instance, re-generated from the shared translation on first use
+    (:attr:`thread_physical`); a cached ``CompiledQuery`` can therefore
+    be executed from any number of threads simultaneously without two of
+    them ever sharing a live iterator.
+    """
 
     def __init__(
         self,
@@ -63,8 +75,13 @@ class CompiledQuery:
         self.source = source
         self.ast = ast
         self.translation = translation
+        #: The primary plan instance (owned by the compiling thread).
         self.physical = physical
         self.options = options
+        self._instances_lock = threading.Lock()
+        self._instances: Dict[int, PhysicalPlan] = {
+            threading.get_ident(): physical
+        }
         #: Set when TranslationOptions(optimize=True) ran the plan pass.
         self.optimizer_report = None
         #: Seconds spent in each compiler phase (parse, semantic,
@@ -75,6 +92,28 @@ class CompiledQuery:
         self.default_namespaces: Optional[Mapping[str, str]] = None
 
     # ------------------------------------------------------------------
+
+    @property
+    def thread_physical(self) -> PhysicalPlan:
+        """The calling thread's private plan instance.
+
+        The compiling thread gets the primary instance; any other thread
+        re-generates an equivalent instance from the shared translation
+        on first use and reuses it afterwards (codegen only reads the
+        translation, so concurrent first touches are safe).
+        """
+        ident = threading.get_ident()
+        instance = self._instances.get(ident)
+        if instance is None:
+            instance = generate_physical(self.translation, self.options)
+            with self._instances_lock:
+                instance = self._instances.setdefault(ident, instance)
+        return instance
+
+    def instances(self) -> List[PhysicalPlan]:
+        """Every plan instance materialized so far (all threads)."""
+        with self._instances_lock:
+            return list(self._instances.values())
 
     @property
     def logical_plan(self) -> ops.Operator:
@@ -120,17 +159,35 @@ class CompiledQuery:
             position=position,
             size=size,
         )
-        result = self.physical.execute(context)
+        physical = self.thread_physical
+        result = physical.execute(context)
         if ordered and isinstance(result, list):
             if self.emits_document_order:
-                self.physical.stats["order_sort_avoided"] += 1
+                physical.stats["order_sort_avoided"] += 1
             else:
                 result.sort(key=lambda node: node.sort_key)
         return result
 
-    def operator_stats(self):
-        """Per-operator ``next()``-call and tuple counters (preorder)."""
-        return self.physical.operator_stats()
+    def operator_stats(self) -> List[OperatorStats]:
+        """Per-operator ``next()``-call and tuple counters (preorder).
+
+        Counters are summed over every thread's plan instance — all
+        instances are generated from the same translation, so their
+        preorder operator walks line up one-to-one.
+        """
+        instances = self.instances()
+        merged = instances[0].operator_stats()
+        for instance in instances[1:]:
+            merged = [
+                OperatorStats(
+                    op_id=base.op_id,
+                    operator=base.operator,
+                    next_calls=base.next_calls + extra.next_calls,
+                    tuples_out=base.tuples_out + extra.tuples_out,
+                )
+                for base, extra in zip(merged, instance.operator_stats())
+            ]
+        return merged
 
     def count(self, context_node: Node, **kwargs) -> int:
         """Count result tuples without collecting them."""
@@ -141,11 +198,23 @@ class CompiledQuery:
                 kwargs.get("namespaces") or self.default_namespaces or {}
             ),
         )
-        return self.physical.execute_count(context)
+        return self.thread_physical.execute_count(context)
+
+    def reset_stats(self) -> None:
+        """Zero runtime counters on every thread's plan instance."""
+        for instance in self.instances():
+            instance.reset_stats()
 
     @property
-    def stats(self):
-        return self.physical.stats
+    def stats(self) -> Counter:
+        """Runtime counters summed over every thread's plan instance."""
+        instances = self.instances()
+        if len(instances) == 1:
+            return instances[0].stats
+        merged: Counter = Counter()
+        for instance in instances:
+            merged.update(instance.stats)
+        return merged
 
 
 class XPathCompiler:
@@ -208,31 +277,45 @@ class XPathCompiler:
     # ------------------------------------------------------------------
 
     def _generate(self, translation: TranslationResult) -> PhysicalPlan:
-        plan = translation.plan
-        assert plan is not None and translation.result_attr is not None
+        return generate_physical(translation, self.options)
 
-        free = free_variables(plan)
-        unknown = free - _ALLOWED_FREE
-        if unknown:
-            raise CodegenError(
-                f"plan has unexpected free attributes: {sorted(unknown)}"
-            )
 
-        manager = AttributeManager()
-        runtime = RuntimeState(regs=[], context=None)  # type: ignore[arg-type]
-        generator = CodeGenerator(runtime, manager, self.options)
-        root = generator.build(plan)
-        result_slot = manager.slot(translation.result_attr)
+def generate_physical(
+    translation: TranslationResult, options: TranslationOptions
+) -> PhysicalPlan:
+    """Generate a fresh physical plan instance from a translation.
 
-        runtime.regs = manager.make_registers()
-        return PhysicalPlan(
-            root=root,
-            runtime=runtime,
-            manager=manager,
-            result_slot=result_slot,
-            kind=translation.kind,
-            context_slot=manager.lookup(TOP_CONTEXT_ATTR),
-            position_slot=manager.lookup(TOP_POSITION_ATTR),
-            size_slot=manager.lookup(TOP_SIZE_ATTR),
-            resettable=generator.resettable,
+    Pure function of its (read-only) inputs: each call builds a new
+    register file, runtime state and iterator tree, so repeated calls
+    yield independent, thread-confined instances of the same plan —
+    this is how :attr:`CompiledQuery.thread_physical` re-instantiates
+    cached plans for new threads.
+    """
+    plan = translation.plan
+    assert plan is not None and translation.result_attr is not None
+
+    free = free_variables(plan)
+    unknown = free - _ALLOWED_FREE
+    if unknown:
+        raise CodegenError(
+            f"plan has unexpected free attributes: {sorted(unknown)}"
         )
+
+    manager = AttributeManager()
+    runtime = RuntimeState(regs=[], context=None)  # type: ignore[arg-type]
+    generator = CodeGenerator(runtime, manager, options)
+    root = generator.build(plan)
+    result_slot = manager.slot(translation.result_attr)
+
+    runtime.regs = manager.make_registers()
+    return PhysicalPlan(
+        root=root,
+        runtime=runtime,
+        manager=manager,
+        result_slot=result_slot,
+        kind=translation.kind,
+        context_slot=manager.lookup(TOP_CONTEXT_ATTR),
+        position_slot=manager.lookup(TOP_POSITION_ATTR),
+        size_slot=manager.lookup(TOP_SIZE_ATTR),
+        resettable=generator.resettable,
+    )

@@ -1,0 +1,209 @@
+"""The lock-striped compiled-plan cache.
+
+PR 1's :class:`PlanCache` guarded one ``OrderedDict`` with the engine's
+single mutex, so every lookup from every thread serialized on the same
+lock.  :class:`StripedPlanCache` shards the key space over N independent
+LRU segments, each with its own latch and its own hit/miss/eviction
+counters — concurrent readers of *different* queries never touch the
+same lock, and the counters can be read per shard (the stress tests
+assert ``hits + misses == lookups`` shard by shard) or aggregated into
+the engine's :meth:`~repro.engine.session.XPathEngine.stats` snapshot.
+
+Capacity is distributed over the shards (shard ``i`` holds
+``ceil``/``floor`` of ``capacity / shards``); the shard count is clamped
+to the capacity so a tiny cache degenerates to fewer shards rather than
+to zero-capacity segments.  LRU order is therefore *per shard*: with
+more than one shard the global eviction order is approximate, which is
+the standard striping trade-off.  Construct with ``shards=1`` when exact
+global LRU semantics are required (some session tests do).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Tuple, TypeVar
+
+#: Default number of compiled plans a cache keeps.
+DEFAULT_CACHE_SIZE = 128
+
+#: Default number of independent lock-striped segments.
+DEFAULT_SHARDS = 8
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Counters of one cache shard."""
+
+    shard: int
+    hits: int
+    misses: int
+    evictions: int
+    lookups: int
+    size: int
+    capacity: int
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregated plan-cache counters (sum over all shards)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+    lookups: int = 0
+    shard_count: int = 1
+    shards: Tuple[ShardStats, ...] = ()
+
+
+class CacheShard:
+    """One latch-protected LRU segment of the striped cache."""
+
+    __slots__ = (
+        "capacity", "_lock", "_entries",
+        "hits", "misses", "evictions", "lookups",
+    )
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        with self._lock:
+            self.lookups += 1
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            else:
+                self.misses += 1
+            return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def values(self) -> List[object]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.hits = self.misses = self.evictions = self.lookups = 0
+
+    def stats(self, index: int) -> ShardStats:
+        with self._lock:
+            return ShardStats(
+                shard=index,
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                lookups=self.lookups,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+
+class StripedPlanCache:
+    """A bounded LRU cache sharded over independently locked segments."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_SIZE,
+        shards: int = DEFAULT_SHARDS,
+    ):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        if shards < 1:
+            raise ValueError("plan cache needs at least one shard")
+        shards = min(shards, capacity)
+        base, extra = divmod(capacity, shards)
+        self.capacity = capacity
+        self._shards: Tuple[CacheShard, ...] = tuple(
+            CacheShard(base + (1 if index < extra else 0))
+            for index in range(shards)
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _shard(self, key: Hashable) -> CacheShard:
+        return self._shards[hash(key) % len(self._shards)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        return self._shard(key).get(key)
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._shard(key).put(key, value)
+
+    def plans(self) -> Iterable[object]:
+        for shard in self._shards:
+            yield from shard.values()
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    def reset_counters(self) -> None:
+        for shard in self._shards:
+            shard.reset_counters()
+
+    # -- aggregated counters (back-compat with the flat PlanCache) -----
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(shard.evictions for shard in self._shards)
+
+    @property
+    def lookups(self) -> int:
+        return sum(shard.lookups for shard in self._shards)
+
+    def stats(self) -> CacheStats:
+        per_shard = tuple(
+            shard.stats(index) for index, shard in enumerate(self._shards)
+        )
+        return CacheStats(
+            hits=sum(s.hits for s in per_shard),
+            misses=sum(s.misses for s in per_shard),
+            evictions=sum(s.evictions for s in per_shard),
+            size=sum(s.size for s in per_shard),
+            capacity=self.capacity,
+            lookups=sum(s.lookups for s in per_shard),
+            shard_count=len(per_shard),
+            shards=per_shard,
+        )

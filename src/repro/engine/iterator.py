@@ -17,6 +17,16 @@ iterator tree reads them off the instances.
 :class:`RuntimeState` bundles everything iterators share: the register
 file, the execution context and the runtime counters used by the tests
 and the ablation benchmarks.
+
+Thread confinement: a ``RuntimeState`` and the iterator tree wired to it
+form one *plan instance*, and an instance is only ever driven by one
+thread at a time — registers, memo tables and the instrumentation
+counters are all unguarded by design.  Cross-thread sharing happens one
+level up: :class:`~repro.compiler.pipeline.CompiledQuery` hands every
+thread its own instance (``thread_physical``) generated from the shared,
+immutable translation, and merges the per-instance counters when stats
+are read.  Nothing in this module takes a lock, keeping the hot
+``next()`` path free of synchronization.
 """
 
 from __future__ import annotations

@@ -5,20 +5,31 @@ on every call.  An :class:`XPathEngine` amortizes that cost across a
 workload the way production XPath engines do (whole-query reuse, see
 *XPath Whole Query Optimization*): it owns
 
-* an LRU **compiled-plan cache** keyed by
-  ``(query, TranslationOptions, namespace signature)`` with hit, miss
-  and eviction counters,
+* a lock-striped LRU **compiled-plan cache**
+  (:class:`~repro.engine.cache.StripedPlanCache`) keyed by
+  ``(query, TranslationOptions, namespace signature)`` with per-shard
+  hit, miss, eviction and lookup counters,
 * **batch evaluation** — :meth:`XPathEngine.evaluate_many` compiles
   each distinct query once and shares one
   :class:`~repro.engine.context.ExecutionContext` across the batch,
+* **concurrent evaluation** — :meth:`XPathEngine.evaluate_concurrent`
+  fans a batch out over a ``ThreadPoolExecutor``; compiled plans are
+  shared across threads but every thread executes its own plan
+  *instance* (:attr:`~repro.compiler.pipeline.CompiledQuery.thread_physical`),
+  so iterator state is never shared,
+* **identical-request coalescing** — concurrent :meth:`evaluate` calls
+  for the same ``(query, target)`` are collapsed into one execution
+  whose result every caller shares (the singleflight pattern; safe
+  because evaluation is a deterministic pure read),
 * an **observability layer** — per-phase compile timings from the
-  pipeline, per-operator ``next()``-call/tuple counters read off the
-  iterator tree, the engine-level runtime counters, and the storage
-  buffer-manager statistics when the target is page-backed.
+  pipeline, per-operator ``next()``-call/tuple counters summed over all
+  thread instances of each plan, the engine-level runtime counters, and
+  the storage buffer-manager statistics when the target is page-backed.
 
 :meth:`XPathEngine.stats` snapshots all of it as a JSON-serializable
 dataclass; ``python -m repro --explain-stats`` prints the same snapshot
-from the command line.
+from the command line.  See ``docs/concurrency.md`` for the full
+threading model.
 """
 
 from __future__ import annotations
@@ -26,11 +37,12 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import Counter, OrderedDict
-from dataclasses import asdict, dataclass, field
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
 from typing import (
     Dict,
-    Iterable,
+    Hashable,
     List,
     Mapping,
     Optional,
@@ -43,18 +55,28 @@ from repro.compiler.improved import TranslationOptions
 from repro.compiler.pipeline import CompiledQuery, XPathCompiler
 from repro.dom.document import Document
 from repro.dom.node import Node
+from repro.engine.cache import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_SHARDS,
+    CacheStats,
+    ShardStats,
+    StripedPlanCache,
+)
 from repro.engine.context import ExecutionContext
 from repro.engine.plan import OperatorStats
 from repro.xpath.datamodel import XPathValue
 
-#: Default number of compiled plans an engine keeps.
-DEFAULT_CACHE_SIZE = 128
+#: Default thread-pool width of :meth:`XPathEngine.evaluate_concurrent`.
+DEFAULT_MAX_WORKERS = 4
 
 #: Targets ``evaluate`` accepts: a node, or anything document-like.
 EvalTarget = Union[Document, Node, object]
 
 _NamespaceSig = Tuple[Tuple[str, str], ...]
 _PlanKey = Tuple[str, TranslationOptions, _NamespaceSig]
+
+#: Backwards-compatible name: the plan cache is the striped one now.
+PlanCache = StripedPlanCache
 
 
 def resolve_context_node(target: EvalTarget) -> Node:
@@ -88,17 +110,6 @@ def _namespace_signature(
 # ----------------------------------------------------------------------
 # Stats dataclasses (all JSON-serializable via asdict)
 # ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Plan-cache counters."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    size: int = 0
-    capacity: int = 0
 
 
 @dataclass(frozen=True)
@@ -143,58 +154,67 @@ class EngineStats:
 
 
 # ----------------------------------------------------------------------
-# The LRU plan cache
+# Identical-request coalescing (singleflight)
 # ----------------------------------------------------------------------
 
 
-class PlanCache:
-    """A bounded LRU cache of :class:`CompiledQuery` objects."""
+class _InflightCall:
+    """One in-flight evaluation other callers can wait on."""
 
-    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE):
-        if capacity < 1:
-            raise ValueError("plan cache capacity must be at least 1")
-        self.capacity = capacity
-        self._plans: "OrderedDict[_PlanKey, CompiledQuery]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+    __slots__ = ("event", "result", "error")
 
-    def __len__(self) -> int:
-        return len(self._plans)
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: Optional[XPathValue] = None
+        self.error: Optional[BaseException] = None
 
-    def get(self, key: _PlanKey) -> Optional[CompiledQuery]:
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
-        else:
-            self.misses += 1
-        return plan
 
-    def put(self, key: _PlanKey, plan: CompiledQuery) -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.evictions += 1
+class Singleflight:
+    """Collapse concurrent duplicate calls into one execution.
 
-    def plans(self) -> Iterable[CompiledQuery]:
-        return self._plans.values()
+    The first caller for a key becomes the *leader* and computes; callers
+    arriving while the call is in flight wait and share the leader's
+    result (or exception).  Nothing is cached past completion, so the
+    pattern is correct for any deterministic read — it only ever merges
+    work that is running *right now* against the same immutable target.
+    """
 
-    def clear(self) -> None:
-        self._plans.clear()
+    __slots__ = ("_lock", "_calls")
 
-    def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            size=len(self._plans),
-            capacity=self.capacity,
-        )
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._calls: Dict[Hashable, _InflightCall] = {}
 
-    def reset_counters(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+    def do(self, key: Hashable, supplier) -> Tuple[XPathValue, bool]:
+        """Run ``supplier`` (or join a running one); returns
+        ``(result, led)`` where ``led`` tells whether this caller did
+        the work itself."""
+        with self._lock:
+            call = self._calls.get(key)
+            leader = call is None
+            if leader:
+                call = _InflightCall()
+                self._calls[key] = call
+        if not leader:
+            call.event.wait()
+            if call.error is not None:
+                raise call.error
+            return call.result, False
+        # Admission yield: duplicates that arrived with us are runnable
+        # but gated on the GIL — give them one scheduling slot to
+        # register as followers before we start computing, otherwise a
+        # short query can finish before they ever got the lock.
+        time.sleep(0)
+        try:
+            call.result = supplier()
+        except BaseException as error:
+            call.error = error
+            raise
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.event.set()
+        return call.result, True
 
 
 # ----------------------------------------------------------------------
@@ -211,27 +231,38 @@ class XPathEngine:
         doc = parse_document("<a><b/><b/></a>")
         engine.evaluate("count(/a/b)", doc)      # compiles, caches
         engine.evaluate("count(/a/b)", doc)      # cache hit
+        engine.evaluate_concurrent(["/a/b", "//b"], doc, max_workers=2)
         print(engine.stats().to_json(indent=2))
 
-    Thread safety: cache lookups and stat updates hold an internal
-    lock; plan *execution* does not (each compiled plan owns mutable
-    register state), so share an engine across threads only for
-    compilation, or give each thread its own engine.
+    Thread safety: one engine may be shared freely across threads.  The
+    plan cache is lock-striped, stat updates hold a narrow engine lock,
+    and every executing thread gets a private instance of each compiled
+    plan, so iterator and register state is thread-confined.  Concurrent
+    ``evaluate`` calls for the same query and target are coalesced into
+    a single execution unless ``coalesce=False``.
     """
 
     def __init__(
         self,
         options: Optional[TranslationOptions] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_shards: int = DEFAULT_SHARDS,
+        *,
+        coalesce: bool = True,
+        max_workers: int = DEFAULT_MAX_WORKERS,
     ):
         self.options = options or TranslationOptions()
-        self.cache = PlanCache(cache_size)
-        self._lock = threading.Lock()
+        self.cache = StripedPlanCache(cache_size, cache_shards)
+        self.coalesce = coalesce
+        self.max_workers = max_workers
+        self._singleflight = Singleflight()
+        self._lock = threading.Lock()  # engine-level counters only
         self._compile_count = 0
         self._phase_seconds: Counter = Counter()
         self._last_phase_seconds: Dict[str, float] = {}
         self._execution_count = 0
         self._execution_seconds = 0.0
+        self._engine_counters: Counter = Counter()
         self._last_plan: Optional[CompiledQuery] = None
         self._last_buffer: Optional[BufferSnapshot] = None
 
@@ -244,23 +275,22 @@ class XPathEngine:
         options: Optional[TranslationOptions] = None,
         namespaces: Optional[Mapping[str, str]] = None,
     ) -> CompiledQuery:
-        """The compiled plan for ``query``, through the LRU cache.
+        """The compiled plan for ``query``, through the striped cache.
 
         Plans are keyed by ``(query, options, namespace signature)``:
         the same query under different translation options or prefix
-        bindings is a different plan.
+        bindings is a different plan.  Only the key's shard is latched;
+        compilation runs outside any lock (a racing duplicate compile is
+        harmless — last writer wins, both plans are equivalent).
         """
         opts = options or self.options
         key = (query, opts, _namespace_signature(namespaces))
-        with self._lock:
-            plan = self.cache.get(key)
-            if plan is not None:
-                return plan
-        # Compile outside the lock; a racing duplicate compile is
-        # harmless (last writer wins, both plans are equivalent).
+        plan = self.cache.get(key)
+        if plan is not None:
+            return plan
         compiled = XPathCompiler(opts).compile(query)
+        self.cache.put(key, compiled)
         with self._lock:
-            self.cache.put(key, compiled)
             self._compile_count += 1
             self._phase_seconds.update(compiled.phase_timings)
             self._last_phase_seconds = dict(compiled.phase_timings)
@@ -290,14 +320,31 @@ class XPathEngine:
         options: Optional[TranslationOptions] = None,
         ordered: bool = False,
     ) -> XPathValue:
-        """Evaluate ``query`` against ``target`` through the plan cache."""
+        """Evaluate ``query`` against ``target`` through the plan cache.
+
+        When ``coalesce`` is enabled (the default) and an identical call
+        — same query, options, namespaces, target node and ordering, no
+        variables — is already in flight on another thread, this call
+        waits for that execution and shares its result instead of
+        re-evaluating (node-set results are shallow-copied per caller).
+        """
         plan = self.compile(query, options=options, namespaces=namespaces)
         node = resolve_context_node(target)
-        start = time.perf_counter()
-        result = plan.evaluate(
-            node, variables, namespaces, ordered=ordered
+        key = self._coalesce_key(
+            query, node, variables, namespaces, options, ordered
         )
-        self._record_execution(time.perf_counter() - start, plan, node)
+        if key is None:
+            return self._execute(plan, node, variables, namespaces, ordered)
+
+        result, led = self._singleflight.do(
+            key,
+            lambda: self._execute(plan, node, variables, namespaces, ordered),
+        )
+        if not led:
+            with self._lock:
+                self._engine_counters["coalesced_requests"] += 1
+            if isinstance(result, list):
+                return list(result)
         return result
 
     def evaluate_many(
@@ -309,7 +356,7 @@ class XPathEngine:
         namespaces: Optional[Mapping[str, str]] = None,
         options: Optional[TranslationOptions] = None,
     ) -> List[XPathValue]:
-        """Evaluate a batch of queries against one target.
+        """Evaluate a batch of queries against one target, sequentially.
 
         Each distinct query is compiled (or fetched) once and a single
         :class:`ExecutionContext` is shared across the batch, so the
@@ -329,7 +376,7 @@ class XPathEngine:
         results: List[XPathValue] = []
         start = time.perf_counter()
         for plan in plans:
-            results.append(plan.physical.execute(context))
+            results.append(plan.thread_physical.execute(context))
         elapsed = time.perf_counter() - start
         with self._lock:
             self._execution_count += len(plans)
@@ -338,6 +385,63 @@ class XPathEngine:
                 self._last_plan = plans[-1]
             self._last_buffer = _buffer_snapshot(node)
         return results
+
+    def evaluate_concurrent(
+        self,
+        queries: Sequence[str],
+        target: EvalTarget,
+        *,
+        max_workers: Optional[int] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        options: Optional[TranslationOptions] = None,
+        ordered: bool = False,
+    ) -> List[XPathValue]:
+        """Evaluate a batch of queries through a thread pool.
+
+        Compiled plans are shared between workers, but each worker
+        thread executes its own plan instance with its own execution
+        context, so no iterator or register state ever crosses threads.
+        Duplicate queries in the batch are executed once and their
+        result is copied into every matching slot (same answer by
+        determinism).  Results are returned in input order; exceptions
+        from any worker propagate to the caller.
+        """
+        node = resolve_context_node(target)
+        if not queries:
+            return []
+        distinct = list(dict.fromkeys(queries))
+        plans = {
+            query: self.compile(
+                query, options=options, namespaces=namespaces
+            )
+            for query in distinct
+        }
+        workers = max(
+            1, min(max_workers or self.max_workers, len(distinct))
+        )
+
+        def run_one(query: str) -> XPathValue:
+            return self._execute(
+                plans[query], node, variables, namespaces, ordered
+            )
+
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-xpath"
+        ) as pool:
+            futures = {
+                query: pool.submit(run_one, query) for query in distinct
+            }
+            by_query = {
+                query: future.result() for query, future in futures.items()
+            }
+        with self._lock:
+            self._engine_counters["concurrent_batches"] += 1
+            self._engine_counters["concurrent_executions"] += len(distinct)
+        return [
+            list(result) if isinstance(result, list) else result
+            for result in (by_query[query] for query in queries)
+        ]
 
     def count(
         self,
@@ -362,10 +466,11 @@ class XPathEngine:
 
     def stats(self) -> EngineStats:
         """A snapshot of every counter this engine maintains."""
+        runtime_counters: Counter = Counter()
+        for plan in self.cache.plans():
+            runtime_counters.update(plan.stats)
         with self._lock:
-            runtime_counters: Counter = Counter()
-            for plan in self.cache.plans():
-                runtime_counters.update(plan.physical.stats)
+            runtime_counters.update(self._engine_counters)
             operators = (
                 self._last_plan.operator_stats() if self._last_plan else []
             )
@@ -384,21 +489,60 @@ class XPathEngine:
     def reset_stats(self) -> None:
         """Zero every counter (cached plans stay cached)."""
         with self._lock:
-            self.cache.reset_counters()
             self._compile_count = 0
             self._phase_seconds.clear()
             self._last_phase_seconds = {}
             self._execution_count = 0
             self._execution_seconds = 0.0
+            self._engine_counters.clear()
             self._last_buffer = None
-            for plan in self.cache.plans():
-                plan.physical.reset_stats()
+        self.cache.reset_counters()
+        for plan in self.cache.plans():
+            plan.reset_stats()
 
     def clear_cache(self) -> None:
-        with self._lock:
-            self.cache.clear()
+        self.cache.clear()
 
     # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        plan: CompiledQuery,
+        node: Node,
+        variables: Optional[Mapping[str, XPathValue]],
+        namespaces: Optional[Mapping[str, str]],
+        ordered: bool,
+    ) -> XPathValue:
+        start = time.perf_counter()
+        result = plan.evaluate(node, variables, namespaces, ordered=ordered)
+        self._record_execution(time.perf_counter() - start, plan, node)
+        return result
+
+    def _coalesce_key(
+        self,
+        query: str,
+        node: Node,
+        variables: Optional[Mapping[str, XPathValue]],
+        namespaces: Optional[Mapping[str, str]],
+        options: Optional[TranslationOptions],
+        ordered: bool,
+    ) -> Optional[Hashable]:
+        """The singleflight key, or None when coalescing is off.
+
+        Calls with variables are never coalesced (variable values may be
+        unhashable node-sets).  The target enters by identity — the
+        leader keeps the node alive for the duration of the flight, so
+        the id cannot be recycled mid-call.
+        """
+        if not self.coalesce or variables:
+            return None
+        return (
+            query,
+            options or self.options,
+            _namespace_signature(namespaces),
+            id(node),
+            ordered,
+        )
 
     def _record_execution(
         self, elapsed: float, plan: CompiledQuery, node: Node

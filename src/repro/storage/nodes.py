@@ -54,10 +54,16 @@ class StoredNode(Node):
     @property
     def children(self) -> Sequence[Node]:
         if not self._children_loaded:
-            self._children = [
+            # Build the full list before publishing, and set the flag
+            # last: racing readers either see the finished list or
+            # rebuild it from the same singleton proxies (the store's
+            # node cache guarantees one proxy per id), so concurrent
+            # materialization is idempotent.
+            children = [
                 self._store_doc.node(child_id, parent=self)
                 for child_id in self._child_ids
             ]
+            self._children = children
             self._children_loaded = True
         return self._children
 

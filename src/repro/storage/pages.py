@@ -8,11 +8,22 @@ statistics the storage benchmarks and the scalability tests observe.
 Records are addressed by absolute byte offset and length; a record may
 span pages (long text nodes), in which case the buffer manager fetches
 the covered page range.
+
+Both classes are safe for concurrent readers.  :class:`PageFile` reads
+through ``os.pread`` when the handle is a real file (positionless, so
+no seek/read race; the read also releases the GIL), falling back to a
+lock around seek+read otherwise.  :class:`BufferManager` latches its
+LRU table so hit/miss/eviction accounting stays atomic — every
+``get_page`` call counts exactly one hit or one miss — while the actual
+page fetch on a miss runs *outside* the latch so a slow read never
+blocks hits on other pages.
 """
 
 from __future__ import annotations
 
+import io
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import BinaryIO, Optional
@@ -35,6 +46,14 @@ class PageFile:
         self.data_start = data_start
         self.data_length = data_length
         self.page_size = page_size
+        self._seek_lock = threading.Lock()
+        try:
+            self._fileno: Optional[int] = handle.fileno()
+        except (OSError, ValueError, AttributeError,
+                io.UnsupportedOperation):
+            # In-memory handles (BytesIO) have no descriptor; reads fall
+            # back to lock-guarded seek+read.
+            self._fileno = None
 
     @property
     def page_count(self) -> int:
@@ -43,8 +62,12 @@ class PageFile:
     def read_page(self, page_no: int) -> bytes:
         if page_no < 0 or page_no >= self.page_count:
             raise StorageError(f"page {page_no} out of range")
-        self._handle.seek(self.data_start + page_no * self.page_size)
-        return self._handle.read(self.page_size)
+        offset = self.data_start + page_no * self.page_size
+        if self._fileno is not None:
+            return os.pread(self._fileno, self.page_size, offset)
+        with self._seek_lock:
+            self._handle.seek(offset)
+            return self._handle.read(self.page_size)
 
 
 @dataclass
@@ -71,6 +94,7 @@ class BufferManager:
         self._file = page_file
         self._capacity = capacity
         self._pages: OrderedDict[int, bytes] = OrderedDict()
+        self._latch = threading.Lock()
         self.stats = BufferStats()
 
     @property
@@ -82,18 +106,28 @@ class BufferManager:
         return len(self._pages)
 
     def get_page(self, page_no: int) -> bytes:
-        cached = self._pages.get(page_no)
-        if cached is not None:
-            self.stats.hits += 1
-            self._pages.move_to_end(page_no)
-            return cached
-        self.stats.misses += 1
+        with self._latch:
+            cached = self._pages.get(page_no)
+            if cached is not None:
+                self.stats.hits += 1
+                self._pages.move_to_end(page_no)
+                return cached
+            self.stats.misses += 1
+        # Fetch outside the latch: pread is thread-safe and releases the
+        # GIL, so other readers keep hitting the table meanwhile.  Two
+        # racing misses on the same page both count (both really read);
+        # the insert below is idempotent, so only one image survives.
         image = self._file.read_page(page_no)
-        self._pages[page_no] = image
-        if len(self._pages) > self._capacity:
-            self._pages.popitem(last=False)
-            self.stats.evictions += 1
-        return image
+        with self._latch:
+            existing = self._pages.get(page_no)
+            if existing is not None:
+                self._pages.move_to_end(page_no)
+                return existing
+            self._pages[page_no] = image
+            if len(self._pages) > self._capacity:
+                self._pages.popitem(last=False)
+                self.stats.evictions += 1
+            return image
 
     def read_record(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at data-region ``offset`` (may span pages)."""
@@ -119,4 +153,5 @@ class BufferManager:
         return b"".join(parts)
 
     def clear(self) -> None:
-        self._pages.clear()
+        with self._latch:
+            self._pages.clear()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import io
 import os
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.dom.document import Document
@@ -196,6 +197,8 @@ class StoredDocument:
         page_file = PageFile(handle, data_start, data_len, self.page_size)
         self.buffer = BufferManager(page_file, buffer_pages)
         self._cache: Dict[int, StoredNode] = {}
+        # Reentrant: decoding a node may recursively decode its parent.
+        self._cache_lock = threading.RLock()
         self.uri: Optional[str] = getattr(handle, "name", None)
 
     # ------------------------------------------------------------------
@@ -229,22 +232,34 @@ class StoredDocument:
 
     def node(self, node_id: int,
              parent: Optional[Node] = None) -> StoredNode:
-        """The proxy for ``node_id`` (decoded and cached on first use)."""
+        """The proxy for ``node_id`` (decoded and cached on first use).
+
+        Proxies are singletons per node id — concurrent readers decode
+        under the cache lock so two threads can never hold distinct
+        proxies for the same stored node (identity matters to duplicate
+        elimination and to the lazily linked parent/child structure).
+        The lock-free fast path serves already-decoded nodes.
+        """
         cached = self._cache.get(node_id)
         if cached is not None:
             return cached
         if node_id < 0 or node_id >= self._node_count:
             raise StorageError(f"node id {node_id} out of range")
-        record = self.buffer.read_record(
-            self._offsets[node_id], self._lengths[node_id]
-        )
-        node = self._decode_node(node_id, record, parent)
-        self._cache[node_id] = node
-        return node
+        with self._cache_lock:
+            cached = self._cache.get(node_id)
+            if cached is not None:
+                return cached
+            record = self.buffer.read_record(
+                self._offsets[node_id], self._lengths[node_id]
+            )
+            node = self._decode_node(node_id, record, parent)
+            self._cache[node_id] = node
+            return node
 
     def clear_node_cache(self) -> None:
         """Drop decoded proxies (page buffer stays managed by capacity)."""
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def buffer_stats(self) -> dict:
         """Page-buffer counters as a plain dict (observability surface

@@ -27,7 +27,7 @@ class TestEngineRegistry:
     def test_all_engines_present(self):
         assert set(ENGINE_REGISTRY) == {
             "natix", "natix-opt", "natix-canonical", "natix-session",
-            "naive", "memo",
+            "natix-concurrent", "naive", "memo",
         }
 
     def test_runners_expose_stats_columns(self):

@@ -1,0 +1,139 @@
+"""Differential oracle: every backend must return the same answers.
+
+Four evaluation routes are cross-checked over three corpora:
+
+1. the algebraic engine, sequentially (``XPathEngine.evaluate``),
+2. the naive main-memory interpreter (independent semantics oracle),
+3. the algebraic engine over the *stored* document (page file +
+   buffer manager + record decoding), and
+4. the algebraic engine through ``evaluate_concurrent`` (thread pool,
+   shared plan cache, singleflight coalescing).
+
+A single divergence anywhere is a bug in translation, storage, or the
+concurrent plumbing; the assertions report every divergent query at
+once.  Node results from different backends live in different
+``Document`` objects, so comparison uses a document-independent
+canonical form — stored node ids are preorder ranks, hence ``sort_key``
+lines up across the in-memory and stored trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import XPathEngine, parse_document
+from repro.baselines import NaiveInterpreter
+from repro.storage import DocumentStore
+from repro.workloads import generate_dblp, generate_document
+from repro.workloads.querygen import (
+    FIG5_QUERIES,
+    FIG10_QUERIES,
+    sample_axis_paths,
+)
+from repro.xpath.context import make_context
+
+from .conftest import SAMPLE_XML
+
+#: Hand-picked conformance-style queries for the SAMPLE_XML document:
+#: predicates, positions, unions, functions, non-element node kinds.
+SAMPLE_QUERIES = (
+    "//b",
+    "//b/text()",
+    "count(//b)",
+    "/xdoc/a[@x = 'p']/b[2]",
+    "/xdoc/a[last()]/d//b",
+    "//*[@id = '7']",
+    "//b | //c",
+    "//a[b = 'z']/@id",
+    "string(//e)",
+    "sum(//e)",
+    "normalize-space(//e)",
+    "//e/comment()",
+    "//e/processing-instruction()",
+    "boolean(//missing)",
+    "//b[. = //c]",
+    "/xdoc/a/preceding-sibling::*/descendant::b/@id",
+)
+
+CORPORA = {
+    "dblp": (lambda: generate_dblp(120), FIG10_QUERIES),
+    "generated": (
+        lambda: generate_document(120, 4, 3),
+        tuple(FIG5_QUERIES) + tuple(sample_axis_paths(limit=20)),
+    ),
+    "sample": (lambda: parse_document(SAMPLE_XML), SAMPLE_QUERIES),
+}
+
+
+def canonical(value):
+    """Document-independent canonical form of an XPath value.
+
+    Node-sets become sorted ``(sort_key, kind, name, string_value)``
+    tuples — stable across the in-memory and stored builds of the same
+    document.  NaN becomes ``"NaN"`` (NaN != NaN breaks comparison).
+    """
+    if isinstance(value, list):
+        return tuple(
+            sorted(
+                (node.sort_key, node.kind.value, node.name,
+                 node.string_value())
+                for node in value
+            )
+        )
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    return value
+
+
+@pytest.fixture(scope="module", params=sorted(CORPORA), ids=sorted(CORPORA))
+def corpus(request, tmp_path_factory):
+    """(queries, in-memory root, stored root) for one corpus."""
+    build, queries = CORPORA[request.param]
+    document = build()
+    path = tmp_path_factory.mktemp("oracle") / f"{request.param}.natix"
+    DocumentStore.write(document, path)
+    with DocumentStore.open(path) as stored:
+        yield queries, document.root, stored.root
+
+
+def test_four_way_oracle(corpus):
+    queries, memory_root, stored_root = corpus
+    sequential_engine = XPathEngine()
+    stored_engine = XPathEngine()
+    naive = NaiveInterpreter()
+
+    # Route 4 first: one batch through the thread pool, results by slot.
+    concurrent = sequential_engine.evaluate_concurrent(
+        list(queries), memory_root, max_workers=4
+    )
+
+    divergences = []
+    for slot, query in enumerate(queries):
+        routes = {
+            "sequential": sequential_engine.evaluate(query, memory_root),
+            "naive": naive.evaluate(query, make_context(memory_root)),
+            "stored": stored_engine.evaluate(query, stored_root),
+            "concurrent": concurrent[slot],
+        }
+        forms = {name: canonical(value) for name, value in routes.items()}
+        baseline = forms["naive"]
+        for name, form in forms.items():
+            if form != baseline:
+                divergences.append((query, name, form, baseline))
+
+    assert not divergences, (
+        f"{len(divergences)} divergence(s):\n"
+        + "\n".join(
+            f"  {name} disagrees on {query!r}:\n"
+            f"    naive: {baseline!r}\n    {name}: {form!r}"
+            for query, name, form, baseline in divergences
+        )
+    )
+
+
+def test_oracle_covers_node_and_scalar_results(corpus):
+    """The corpus is a real oracle: both node-sets and scalars appear."""
+    queries, memory_root, _ = corpus
+    engine = XPathEngine()
+    results = [engine.evaluate(query, memory_root) for query in queries]
+    assert any(isinstance(result, list) and result for result in results)

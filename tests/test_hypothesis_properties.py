@@ -13,6 +13,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import (
     TranslationOptions,
+    XPathEngine,
     compile_xpath,
     parse_document,
     serialize,
@@ -243,6 +244,60 @@ def test_storage_round_trip_preserves_queries(doc, query, tmp_path_factory):
         assert sorted(n.sort_key for n in mem) == sorted(
             n.sort_key for n in disk
         )
+
+
+# ----------------------------------------------------------------------
+# Concurrent serving
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    doc=documents(),
+    batch=st.lists(queries(), min_size=1, max_size=8),
+    workers=st.integers(1, 4),
+)
+def test_concurrent_batch_matches_sequential(doc, batch, workers):
+    """evaluate_concurrent is a permutation-free evaluate_many."""
+    engine = XPathEngine()
+    sequential = engine.evaluate_many(batch, doc.root)
+    concurrent = engine.evaluate_concurrent(
+        batch, doc.root, max_workers=workers
+    )
+    assert len(concurrent) == len(batch)
+    for slot in range(len(batch)):
+        assert normalize_result(concurrent[slot]) == normalize_result(
+            sequential[slot]
+        ), batch[slot]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    doc=documents(),
+    batches=st.lists(
+        st.lists(queries(), min_size=1, max_size=5), min_size=1, max_size=3
+    ),
+    clear_after=st.integers(0, 2),
+    shards=st.integers(1, 8),
+)
+def test_cache_stats_stay_consistent(doc, batches, clear_after, shards):
+    """Counter invariants hold across batches and cache clears."""
+    engine = XPathEngine(cache_size=6, cache_shards=shards)
+    for index, batch in enumerate(batches):
+        engine.evaluate_concurrent(batch, doc.root)
+        if index == clear_after:
+            engine.clear_cache()
+    cache = engine.stats().cache
+    assert cache.hits + cache.misses == cache.lookups
+    assert cache.size <= cache.capacity
+    assert cache.hits == sum(s.hits for s in cache.shards)
+    assert cache.misses == sum(s.misses for s in cache.shards)
+    assert cache.evictions == sum(s.evictions for s in cache.shards)
+    assert cache.size == sum(s.size for s in cache.shards)
+    for shard in cache.shards:
+        assert shard.hits + shard.misses == shard.lookups
+        assert shard.size <= shard.capacity
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro import (
     unregister_engine,
 )
 from repro.api import engine_names, get_engine_factory
+from repro.engine.cache import StripedPlanCache
 from repro.engine.session import PlanCache, resolve_context_node
 
 DOC = parse_document(
@@ -59,7 +60,9 @@ class TestPlanCache:
         assert engine.stats().cache.misses == 2
 
     def test_eviction_at_capacity(self):
-        engine = XPathEngine(cache_size=2)
+        # Exact global LRU semantics need a single shard (with striping
+        # the eviction order is per shard, i.e. approximate).
+        engine = XPathEngine(cache_size=2, cache_shards=1)
         engine.evaluate("//a", DOC)
         engine.evaluate("//b", DOC)
         engine.evaluate("count(//a)", DOC)  # evicts "//a"
@@ -70,7 +73,7 @@ class TestPlanCache:
         assert engine.stats().cache.misses == 4
 
     def test_lru_order_refreshes_on_hit(self):
-        engine = XPathEngine(cache_size=2)
+        engine = XPathEngine(cache_size=2, cache_shards=1)
         engine.evaluate("//a", DOC)
         engine.evaluate("//b", DOC)
         engine.evaluate("//a", DOC)          # refresh "//a"
@@ -102,12 +105,49 @@ class TestPlanCache:
     def test_cache_capacity_validation(self):
         with pytest.raises(ValueError):
             PlanCache(0)
+        with pytest.raises(ValueError):
+            PlanCache(8, shards=0)
 
     def test_clear_cache(self):
         engine = XPathEngine()
         engine.evaluate("//a", DOC)
         engine.clear_cache()
         assert engine.stats().cache.size == 0
+
+
+class TestStripedCache:
+    def test_shard_count_clamped_to_capacity(self):
+        assert StripedPlanCache(3, shards=8).shard_count == 3
+        assert StripedPlanCache(128, shards=8).shard_count == 8
+
+    def test_capacity_distributed_over_shards(self):
+        stats = StripedPlanCache(10, shards=4).stats()
+        assert sorted(s.capacity for s in stats.shards) == [2, 2, 3, 3]
+        assert stats.capacity == 10
+
+    def test_shard_counters_aggregate(self):
+        engine = XPathEngine(cache_size=16, cache_shards=4)
+        for query in ("//a", "//b", "count(//a)", "count(//b)"):
+            engine.evaluate(query, DOC)
+            engine.evaluate(query, DOC)
+        cache = engine.stats().cache
+        assert cache.shard_count == 4
+        assert sum(s.hits for s in cache.shards) == cache.hits == 4
+        assert sum(s.misses for s in cache.shards) == cache.misses == 4
+        assert sum(s.lookups for s in cache.shards) == cache.lookups == 8
+        assert sum(s.size for s in cache.shards) == cache.size == 4
+        # Per-shard accounting is itself consistent.
+        for shard in cache.shards:
+            assert shard.hits + shard.misses == shard.lookups
+
+    def test_reset_counters_covers_all_shards(self):
+        engine = XPathEngine(cache_size=16, cache_shards=4)
+        for query in ("//a", "//b", "count(//a)"):
+            engine.evaluate(query, DOC)
+        engine.reset_stats()
+        cache = engine.stats().cache
+        assert cache.lookups == 0 and cache.hits == 0
+        assert cache.size == 3  # contents survive a stats reset
 
 
 class TestCompileAmortization:
