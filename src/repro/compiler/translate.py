@@ -519,13 +519,21 @@ class Translator:
         nodes_expr, other_expr = (left, right) if left_ns else (right, left)
         other_type = other_expr.static_type
 
-        if op in ("=", "!=") and other_type == XPathType.BOOLEAN:
-            # boolean(ns) cmp bool — no existential scan needed.
-            return S.SCmp(
-                op,
-                self.operand_scalar(nodes_expr, XPathType.BOOLEAN, env),
-                self.scalar(other_expr, env),
+        if other_type == XPathType.BOOLEAN:
+            # ns cmp bool: the node-set is converted with boolean() for
+            # *every* operator (spec 3.4), so no existential scan —
+            # relational operators then compare the two booleans as
+            # numbers, which makes operand order significant.
+            nodes_scalar = self.operand_scalar(
+                nodes_expr, XPathType.BOOLEAN, env
             )
+            other_scalar = self.scalar(other_expr, env)
+            left_ir, right_ir = (
+                (nodes_scalar, other_scalar)
+                if left_ns
+                else (other_scalar, nodes_scalar)
+            )
+            return S.SCmp(op, left_ir, right_ir)
 
         plan, attr = self.seq_plan_memo(nodes_expr, env)
         node_sv = S.SStringValue(S.SAttr(attr))

@@ -1,0 +1,192 @@
+"""Production coverage of a fuzz run.
+
+A fuzz campaign is only as good as the grammar it actually exercised.
+:class:`CoverageTracker` records, per run:
+
+* which of the 13 axes and 6 node-test productions appeared,
+* which of the 27 core library functions were called,
+* which operators (including ``|``, unary minus, filter/path/union
+  expression forms) were used,
+* how deep predicates nested,
+* which *algebra* operators the improved translation emitted for the
+  generated queries (via :func:`repro.algebra.visitor.walk_plan`).
+
+The rendered report lists what was covered and — more importantly —
+what was **not**, so a weak seed or a bad weight table is visible
+instead of silently shipping an easy campaign.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set
+
+from repro.algebra import operators as algebra_ops
+from repro.algebra.visitor import walk_plan
+from repro.xpath.axes import Axis, NodeTestKind
+from repro.xpath.functions import all_function_names
+from repro.xpath.xast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    PathExpr,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+
+#: Every binary operator of the grammar.
+ALL_OPERATORS = (
+    "or", "and", "=", "!=", "<", "<=", ">", ">=",
+    "+", "-", "*", "div", "mod", "|", "unary-minus",
+)
+
+#: Logical algebra operator class names we expect translations to use.
+ALL_ALGEBRA_OPERATORS = tuple(
+    sorted(
+        cls.__name__
+        for cls in vars(algebra_ops).values()
+        if isinstance(cls, type)
+        and issubclass(cls, algebra_ops.Operator)
+        and cls not in (
+            algebra_ops.Operator,
+            algebra_ops.UnaryOperator,
+            algebra_ops.BinaryOperator,
+        )
+    )
+)
+
+
+class CoverageTracker:
+    """Accumulates grammar and algebra coverage across a campaign."""
+
+    def __init__(self):
+        self.axes: Counter = Counter()
+        self.node_tests: Counter = Counter()
+        self.functions: Counter = Counter()
+        self.operators: Counter = Counter()
+        self.expr_forms: Counter = Counter()
+        self.algebra_operators: Counter = Counter()
+        self.max_predicate_depth = 0
+        self.queries = 0
+        self.variables_used = 0
+
+    # ------------------------------------------------------------------
+
+    def record_query(self, expr: Expr) -> None:
+        self.queries += 1
+        self._walk(expr, predicate_depth=0)
+
+    def record_plan(self, plan) -> None:
+        for operator in walk_plan(plan):
+            self.algebra_operators[type(operator).__name__] += 1
+
+    def _walk(self, expr: Expr, predicate_depth: int) -> None:
+        self.expr_forms[type(expr).__name__] += 1
+        if isinstance(expr, LocationPath):
+            for step in expr.steps:
+                self.axes[step.axis.value] += 1
+                self.node_tests[step.test_kind.value] += 1
+                for predicate in step.predicates:
+                    depth = predicate_depth + 1
+                    self.max_predicate_depth = max(
+                        self.max_predicate_depth, depth
+                    )
+                    self._walk(predicate.expr, depth)
+        elif isinstance(expr, FilterExpr):
+            self._walk(expr.primary, predicate_depth)
+            for predicate in expr.predicates:
+                depth = predicate_depth + 1
+                self.max_predicate_depth = max(
+                    self.max_predicate_depth, depth
+                )
+                self._walk(predicate.expr, depth)
+        elif isinstance(expr, PathExpr):
+            self._walk(expr.source, predicate_depth)
+            self._walk(expr.path, predicate_depth)
+        elif isinstance(expr, UnionExpr):
+            self.operators["|"] += 1
+            for operand in expr.operands:
+                self._walk(operand, predicate_depth)
+        elif isinstance(expr, FunctionCall):
+            self.functions[expr.name] += 1
+            for arg in expr.args:
+                self._walk(arg, predicate_depth)
+        elif isinstance(expr, BinaryOp):
+            self.operators[expr.op] += 1
+            self._walk(expr.left, predicate_depth)
+            self._walk(expr.right, predicate_depth)
+        elif isinstance(expr, UnaryMinus):
+            self.operators["unary-minus"] += 1
+            self._walk(expr.operand, predicate_depth)
+        elif isinstance(expr, VariableRef):
+            self.variables_used += 1
+
+    # ------------------------------------------------------------------
+
+    def missing(self) -> Dict[str, List[str]]:
+        """Grammar productions the campaign never exercised."""
+        return {
+            "axes": sorted(
+                axis.value for axis in Axis
+                if axis.value not in self.axes
+            ),
+            "node_tests": sorted(
+                kind.value for kind in NodeTestKind
+                if kind.value not in self.node_tests
+            ),
+            "functions": sorted(
+                name for name in all_function_names()
+                if name not in self.functions
+            ),
+            "operators": sorted(
+                op for op in ALL_OPERATORS if op not in self.operators
+            ),
+            "algebra_operators": sorted(
+                name for name in ALL_ALGEBRA_OPERATORS
+                if name not in self.algebra_operators
+            ),
+        }
+
+    def report(self) -> Dict[str, object]:
+        missing = self.missing()
+        return {
+            "queries": self.queries,
+            "axes": dict(sorted(self.axes.items())),
+            "node_tests": dict(sorted(self.node_tests.items())),
+            "functions": dict(sorted(self.functions.items())),
+            "operators": dict(sorted(self.operators.items())),
+            "expr_forms": dict(sorted(self.expr_forms.items())),
+            "algebra_operators": dict(
+                sorted(self.algebra_operators.items())
+            ),
+            "max_predicate_depth": self.max_predicate_depth,
+            "variables_used": self.variables_used,
+            "missing": missing,
+        }
+
+    def render(self) -> str:
+        """Human-readable coverage summary."""
+        missing = self.missing()
+        lines = [
+            f"coverage over {self.queries} generated queries:",
+            f"  axes             {len(self.axes)}/{len(Axis)}",
+            f"  node tests       {len(self.node_tests)}/"
+            f"{len(NodeTestKind)}",
+            f"  core functions   {len(self.functions)}/"
+            f"{len(all_function_names())}",
+            f"  operators        {len(self.operators)}/"
+            f"{len(ALL_OPERATORS)}",
+            f"  algebra ops      {len(self.algebra_operators)}/"
+            f"{len(ALL_ALGEBRA_OPERATORS)}",
+            f"  max predicate nesting depth: "
+            f"{self.max_predicate_depth}",
+            f"  variable references: {self.variables_used}",
+        ]
+        for category, names in missing.items():
+            if names:
+                lines.append(f"  NOT exercised ({category}): "
+                             + ", ".join(names))
+        return "\n".join(lines)

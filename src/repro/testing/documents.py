@@ -1,0 +1,236 @@
+"""Random XML document generation for fuzzing.
+
+Documents are generated as lightweight *specs* — nested
+:class:`ElementSpec` / :class:`TextSpec` / :class:`CommentSpec` /
+:class:`PISpec` records — and materialized into real
+:class:`~repro.dom.document.Document` trees through the
+:class:`~repro.dom.builder.DocumentBuilder`.  Keeping the spec around
+(instead of only the built tree) is what makes the delta-debugging
+document shrinker cheap: every reduction edits the spec and rebuilds.
+
+Generated documents exercise the whole data model: nested elements with
+configurable depth and fanout, mixed content, comments, processing
+instructions, consecutively numbered ``id`` attributes (so ``id()``
+lookups resolve), ``xml:lang`` attributes (so ``lang()`` matches), and
+namespace declarations with prefixed element names.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.dom.builder import DocumentBuilder
+from repro.dom.document import Document
+from repro.dom.node import Node, NodeKind
+from repro.dom.serializer import serialize
+
+
+@dataclass
+class TextSpec:
+    data: str
+
+
+@dataclass
+class CommentSpec:
+    data: str
+
+
+@dataclass
+class PISpec:
+    target: str
+    data: str = ""
+
+
+@dataclass
+class ElementSpec:
+    name: str
+    attributes: List[Tuple[str, str]] = field(default_factory=list)
+    children: List["ChildSpec"] = field(default_factory=list)
+
+    def copy(self) -> "ElementSpec":
+        return copy_spec(self)
+
+
+ChildSpec = Union[ElementSpec, TextSpec, CommentSpec, PISpec]
+
+
+def copy_spec(spec: ChildSpec) -> ChildSpec:
+    """Deep copy of a spec subtree (cheaper than ``copy.deepcopy``)."""
+    if isinstance(spec, ElementSpec):
+        return ElementSpec(
+            spec.name,
+            list(spec.attributes),
+            [copy_spec(child) for child in spec.children],
+        )
+    if isinstance(spec, TextSpec):
+        return TextSpec(spec.data)
+    if isinstance(spec, CommentSpec):
+        return CommentSpec(spec.data)
+    return PISpec(spec.target, spec.data)
+
+
+def build_document(root: ElementSpec) -> Document:
+    """Materialize a spec into a :class:`Document`."""
+    builder = DocumentBuilder()
+    _emit(builder, root)
+    return builder.finish()
+
+
+def _emit(builder: DocumentBuilder, spec: ChildSpec) -> None:
+    if isinstance(spec, ElementSpec):
+        builder.start_element(spec.name, list(spec.attributes))
+        for child in spec.children:
+            _emit(builder, child)
+        builder.end_element(spec.name)
+    elif isinstance(spec, TextSpec):
+        builder.text(spec.data)
+    elif isinstance(spec, CommentSpec):
+        builder.comment(spec.data)
+    else:
+        builder.processing_instruction(spec.target, spec.data)
+
+
+def spec_to_xml(root: ElementSpec) -> str:
+    """Serialize a spec to XML text (via the real serializer)."""
+    return serialize(build_document(root))
+
+
+def spec_from_document(document: Document) -> ElementSpec:
+    """Recover a spec from a document tree (for shrinking corpus XML)."""
+    element = next(
+        child
+        for child in document.root.children
+        if child.kind == NodeKind.ELEMENT
+    )
+    return _spec_from_node(element)
+
+
+def _spec_from_node(node: Node) -> ElementSpec:
+    attributes: List[Tuple[str, str]] = []
+    for prefix, uri in node.namespace_declarations.items():
+        attributes.append(
+            ("xmlns" if not prefix else f"xmlns:{prefix}", uri)
+        )
+    for attr in node.attributes:
+        attributes.append((attr.name, attr.value or ""))
+    children: List[ChildSpec] = []
+    for child in node.children:
+        if child.kind == NodeKind.ELEMENT:
+            children.append(_spec_from_node(child))
+        elif child.kind == NodeKind.TEXT:
+            children.append(TextSpec(child.value or ""))
+        elif child.kind == NodeKind.COMMENT:
+            children.append(CommentSpec(child.value or ""))
+        elif child.kind == NodeKind.PROCESSING_INSTRUCTION:
+            children.append(PISpec(child.name or "pi", child.value or ""))
+    return ElementSpec(node.name or "xdoc", attributes, children)
+
+
+@dataclass
+class DocumentConfig:
+    """Shape knobs for the random document generator."""
+
+    max_depth: int = 4
+    max_children: int = 4
+    max_elements: int = 60
+    #: Element name pool (matches the grammar generator's name tests).
+    element_names: Sequence[str] = ("a", "b", "c", "item", "sub", "leaf")
+    #: Extra attribute names (``id`` is always added, numbered).
+    attribute_names: Sequence[str] = ("x", "ref")
+    #: Attribute/text value pool (overlaps the query string pool).
+    value_pool: Sequence[str] = ("x", "y", "z", "1", "7", "10", "a b")
+    pi_targets: Sequence[str] = ("target", "other")
+    text_probability: float = 0.45
+    comment_probability: float = 0.08
+    pi_probability: float = 0.06
+    attribute_probability: float = 0.4
+    #: Probability the document declares a namespace and uses prefixed
+    #: element names (prefix ``p``, URI ``urn:repro:fuzz``).
+    namespace_probability: float = 0.25
+    prefixed_element_probability: float = 0.15
+    #: Probability that some element carries ``xml:lang="en"``.
+    lang_probability: float = 0.2
+    namespace_prefix: str = "p"
+    namespace_uri: str = "urn:repro:fuzz"
+
+
+class DocumentGenerator:
+    """Seeded random document source (spec + built document)."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        config: Optional[DocumentConfig] = None,
+    ):
+        self.rng = rng
+        self.config = config or DocumentConfig()
+
+    def generate_spec(self) -> ElementSpec:
+        cfg = self.config
+        self._next_id = 0
+        self._remaining = max(1, cfg.max_elements)
+        self._namespaced = self.rng.random() < cfg.namespace_probability
+        root = self._element("xdoc", depth=0)
+        if self._namespaced:
+            root.attributes.insert(
+                0,
+                (f"xmlns:{cfg.namespace_prefix}", cfg.namespace_uri),
+            )
+        return root
+
+    def generate(self) -> Document:
+        return build_document(self.generate_spec())
+
+    # ------------------------------------------------------------------
+
+    def _element(self, name: str, depth: int) -> ElementSpec:
+        cfg = self.config
+        self._remaining -= 1
+        attributes: List[Tuple[str, str]] = [
+            ("id", str(self._next_id))
+        ]
+        self._next_id += 1
+        if self.rng.random() < cfg.attribute_probability:
+            attributes.append(
+                (
+                    self.rng.choice(tuple(cfg.attribute_names)),
+                    self.rng.choice(tuple(cfg.value_pool)),
+                )
+            )
+        if self.rng.random() < cfg.lang_probability * (0.3 if depth else 1):
+            attributes.append(("xml:lang", "en"))
+        element = ElementSpec(name, attributes)
+        if depth >= cfg.max_depth:
+            if self.rng.random() < cfg.text_probability:
+                element.children.append(self._text())
+            return element
+        n_children = self.rng.randint(0, cfg.max_children)
+        for _ in range(n_children):
+            roll = self.rng.random()
+            if roll < cfg.comment_probability:
+                element.children.append(CommentSpec("note"))
+            elif roll < cfg.comment_probability + cfg.pi_probability:
+                element.children.append(
+                    PISpec(self.rng.choice(tuple(cfg.pi_targets)), "data")
+                )
+            elif roll < 0.55 and self._remaining > 0:
+                element.children.append(
+                    self._element(self._element_name(), depth + 1)
+                )
+            elif self.rng.random() < cfg.text_probability:
+                element.children.append(self._text())
+        return element
+
+    def _element_name(self) -> str:
+        cfg = self.config
+        name = self.rng.choice(tuple(cfg.element_names))
+        if self._namespaced and (
+            self.rng.random() < cfg.prefixed_element_probability
+        ):
+            return f"{cfg.namespace_prefix}:{name}"
+        return name
+
+    def _text(self) -> TextSpec:
+        return TextSpec(self.rng.choice(tuple(self.config.value_pool)))

@@ -1,0 +1,282 @@
+"""Campaign orchestration: generate, execute, compare, shrink, record.
+
+One :func:`run_campaign` call is fully determined by ``(seed, n)`` plus
+the configuration objects: documents and queries are derived from a
+single :class:`random.Random` stream, so any finding is reproducible
+from the campaign banner alone.
+
+The campaign loop works document-by-document: generate a random
+document, stand up a :class:`~repro.testing.oracle.DifferentialRunner`
+(which writes the page file for the stored route once), generate a batch
+of queries, run the batch through all five routes, and compare.  On a
+divergence the delta-debugging shrinker minimizes the ``(query,
+document)`` pair, and the minimized reproducer can be appended to the
+regression corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.dom.serializer import serialize
+from repro.errors import ReproError
+from repro.xpath.parser import parse_xpath
+
+from repro.testing.corpus import CorpusEntry, append_entry
+from repro.testing.coverage import CoverageTracker
+from repro.testing.documents import (
+    DocumentConfig,
+    DocumentGenerator,
+    ElementSpec,
+    build_document,
+)
+from repro.testing.grammar import GrammarConfig, QueryGenerator
+from repro.testing.oracle import (
+    BASELINE_ROUTE,
+    DifferentialRunner,
+    Divergence,
+    ROUTE_NAMES,
+)
+from repro.testing.shrink import ast_size, shrink_repro, spec_size
+
+
+@dataclass
+class Finding:
+    """One divergence, with enough context to reproduce and to shrink."""
+
+    divergence: Divergence
+    document_xml: str
+    shrunk_query: Optional[str] = None
+    shrunk_document_xml: Optional[str] = None
+
+    def corpus_entry(self, seed: int, n: int, index: int) -> CorpusEntry:
+        from repro.testing.grammar import (
+            DEFAULT_NAMESPACES,
+            DEFAULT_VARIABLES,
+        )
+
+        return CorpusEntry(
+            name=f"fuzz-seed{seed}-{index}",
+            query=self.shrunk_query or self.divergence.query,
+            document={
+                "kind": "xml",
+                "xml": self.shrunk_document_xml or self.document_xml,
+            },
+            variables=dict(DEFAULT_VARIABLES),
+            namespaces=dict(DEFAULT_NAMESPACES),
+            source=f"fuzz --seed {seed} --n {n}",
+            notes=(
+                f"route {self.divergence.route}: "
+                f"{self.divergence.outcome.describe()} vs "
+                f"{BASELINE_ROUTE} "
+                f"{self.divergence.baseline.describe()}"
+            ),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Everything a fuzz run learned."""
+
+    seed: int
+    n: int
+    queries_run: int = 0
+    documents: int = 0
+    generation_rejects: int = 0
+    value_outcomes: int = 0
+    error_outcomes: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    coverage: CoverageTracker = field(default_factory=CoverageTracker)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz campaign seed={self.seed} n={self.n}: "
+            f"{self.queries_run} queries over {self.documents} documents "
+            f"across {len(ROUTE_NAMES)} routes",
+            f"  value outcomes: {self.value_outcomes}, "
+            f"error outcomes: {self.error_outcomes}, "
+            f"generator rejects: {self.generation_rejects}",
+            f"  divergences: {len(self.findings)}",
+        ]
+        return "\n".join(lines)
+
+
+def run_campaign(
+    seed: int = 0,
+    n: int = 500,
+    *,
+    shrink: bool = False,
+    queries_per_doc: int = 25,
+    grammar_config: Optional[GrammarConfig] = None,
+    document_config: Optional[DocumentConfig] = None,
+    corpus_path: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    max_findings: int = 25,
+) -> CampaignReport:
+    """Run one deterministic differential fuzz campaign.
+
+    ``n`` queries are spread over ``ceil(n / queries_per_doc)`` random
+    documents.  With ``shrink=True`` every finding is minimized; with
+    ``corpus_path`` set, minimized reproducers are appended there.
+    ``max_findings`` caps the findings list so a systematic divergence
+    does not turn the report into a firehose (the cap is noted by the
+    CLI when hit).
+    """
+    grammar_config = grammar_config or GrammarConfig()
+    document_config = document_config or DocumentConfig()
+    rng = random.Random(seed)
+    report = CampaignReport(seed=seed, n=n)
+    say = progress or (lambda message: None)
+
+    remaining = n
+    while remaining > 0 and len(report.findings) < max_findings:
+        batch_size = min(queries_per_doc, remaining)
+        doc_rng = random.Random(rng.getrandbits(64))
+        query_rng = random.Random(rng.getrandbits(64))
+        spec = DocumentGenerator(doc_rng, document_config).generate_spec()
+        document = build_document(spec)
+        report.documents += 1
+
+        generator = QueryGenerator(query_rng, grammar_config)
+        queries: List[str] = []
+        asts = []
+        attempts = 0
+        while len(queries) < batch_size and attempts < batch_size * 4:
+            attempts += 1
+            ast = generator.query_ast()
+            query = ast.unparse()
+            try:
+                parse_xpath(query)
+            except ReproError:
+                report.generation_rejects += 1
+                continue
+            queries.append(query)
+            asts.append(ast)
+        for ast in asts:
+            report.coverage.record_query(ast)
+
+        with DifferentialRunner(
+            document,
+            variables=grammar_config.variables,
+            namespaces=grammar_config.namespaces,
+        ) as runner:
+            _record_plan_coverage(runner, queries, report.coverage)
+            divergences = runner.check_batch(queries)
+            report.queries_run += len(queries)
+
+        value_like, error_like = _tally_baseline(
+            document, grammar_config, queries
+        )
+        report.value_outcomes += value_like
+        report.error_outcomes += error_like
+
+        for divergence in divergences:
+            if len(report.findings) >= max_findings:
+                break
+            say(f"divergence: {divergence.describe()}")
+            finding = Finding(
+                divergence=divergence,
+                document_xml=serialize(document),
+            )
+            if shrink:
+                _shrink_finding(
+                    finding, divergence, spec, grammar_config, say
+                )
+            report.findings.append(finding)
+            if corpus_path is not None:
+                entry = finding.corpus_entry(
+                    seed, n, len(report.findings)
+                )
+                if append_entry(Path(corpus_path), entry):
+                    say(f"corpus: appended {entry.name} to {corpus_path}")
+
+        remaining -= batch_size
+
+    return report
+
+
+def _tally_baseline(document, grammar_config, queries) -> tuple:
+    """Count value vs error outcomes on the baseline interpreter only."""
+    from repro.baselines.naive import NaiveInterpreter
+    from repro.xpath.context import make_context
+
+    naive = NaiveInterpreter()
+    values = errors = 0
+    for query in queries:
+        try:
+            naive.evaluate(
+                query,
+                make_context(
+                    document.root,
+                    grammar_config.variables,
+                    grammar_config.namespaces,
+                ),
+            )
+            values += 1
+        except ReproError:
+            errors += 1
+        except Exception:  # noqa: BLE001 - crashes counted as findings
+            errors += 1
+    return values, errors
+
+
+def _record_plan_coverage(
+    runner: DifferentialRunner, queries: List[str], tracker: CoverageTracker
+) -> None:
+    """Record which algebra operators the improved translation used."""
+    for query in queries:
+        try:
+            compiled = runner._engine.compile(query)
+        except ReproError:
+            continue
+        except Exception:  # noqa: BLE001 - compile crash shows up in run
+            continue
+        try:
+            tracker.record_plan(compiled.logical_plan)
+        except Exception:  # noqa: BLE001 - coverage must never kill a run
+            continue
+
+
+def _shrink_finding(
+    finding: Finding,
+    divergence: Divergence,
+    spec: ElementSpec,
+    grammar_config: GrammarConfig,
+    say: Callable[[str], None],
+) -> None:
+    try:
+        query_ast = parse_xpath(divergence.query)
+    except ReproError:
+        return
+
+    def still_diverges(candidate_ast, candidate_spec) -> bool:
+        try:
+            candidate_query = candidate_ast.unparse()
+            parse_xpath(candidate_query)
+            candidate_doc = build_document(candidate_spec)
+        except Exception:  # noqa: BLE001 - invalid candidate
+            return False
+        with DifferentialRunner(
+            candidate_doc,
+            variables=grammar_config.variables,
+            namespaces=grammar_config.namespaces,
+        ) as runner:
+            return bool(runner.check(candidate_query))
+
+    shrunk_query, shrunk_spec = shrink_repro(
+        query_ast, spec, still_diverges
+    )
+    finding.shrunk_query = shrunk_query.unparse()
+    finding.shrunk_document_xml = serialize(build_document(shrunk_spec))
+    say(
+        f"shrunk to {ast_size(shrunk_query)} AST nodes / "
+        f"{spec_size(shrunk_spec)} document nodes: "
+        f"{finding.shrunk_query!r}"
+    )

@@ -1,0 +1,480 @@
+"""Grammar-directed XPath 1.0 query generation.
+
+:class:`QueryGenerator` walks the XPath 1.0 grammar exactly as the
+parser in :mod:`repro.xpath.parser` accepts it — all thirteen axes,
+every node-test production, the full core function library, nested
+predicates, variables, unions, path/filter expressions and the whole
+operator table — and emits random, *well-typed* queries.  Generation is
+type-directed: every recursion asks for an expression of a static type
+(:class:`~repro.xpath.datamodel.XPathType`) so the result always passes
+semantic analysis (function arities and node-set-only argument positions
+are respected).  The output is an AST built from :mod:`repro.xpath.xast`
+nodes; ``unparse()`` turns it into surface syntax that round-trips
+through the parser.
+
+Everything is driven by one :class:`random.Random` seeded by the caller,
+so a campaign is reproducible from ``(seed, n)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.xpath.axes import Axis, NodeTestKind
+from repro.xpath.datamodel import XPathType, XPathValue
+from repro.xpath.xast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+    PathExpr,
+    Predicate,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+
+#: Default variable environment paired with the generated queries.  The
+#: differential runner binds these on every route, so ``$``-references
+#: never trip :class:`~repro.errors.UnboundVariableError`.
+DEFAULT_VARIABLES: Mapping[str, XPathValue] = {
+    "num": 2.0,
+    "str": "x",
+    "flag": True,
+}
+
+#: Expression-context namespace bindings for prefixed node tests.  The
+#: document generator declares the same URI, so ``p:name`` tests can
+#: actually match.
+DEFAULT_NAMESPACES: Mapping[str, str] = {"p": "urn:repro:fuzz"}
+
+
+@dataclass
+class GrammarConfig:
+    """Weights and pools steering the query generator.
+
+    The default pools line up with :class:`.documents.DocumentConfig`
+    so that name tests, equality predicates and ``id()`` lookups have a
+    realistic chance of matching something.
+    """
+
+    #: Maximum expression recursion depth (predicates included).
+    max_depth: int = 4
+    #: Maximum number of steps in one location path.
+    max_steps: int = 4
+    #: Maximum predicates attached to one step or filter expression.
+    max_predicates: int = 2
+    #: Element names used by NAME node tests.
+    element_names: Sequence[str] = ("a", "b", "c", "item", "sub", "leaf")
+    #: Attribute names used on the attribute axis.
+    attribute_names: Sequence[str] = ("id", "x", "ref")
+    #: Processing-instruction targets for ``processing-instruction('t')``.
+    pi_targets: Sequence[str] = ("target", "other")
+    #: String literals (overlaps the document generator's text pool).
+    string_pool: Sequence[str] = ("x", "y", "z", "1", "7", "", "a b")
+    #: Variables the runner will bind (name -> value).
+    variables: Mapping[str, XPathValue] = field(
+        default_factory=lambda: dict(DEFAULT_VARIABLES)
+    )
+    #: Expression-context namespace prefixes (prefix -> URI).
+    namespaces: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_NAMESPACES)
+    )
+    #: Probability that a name test is prefixed (``p:name`` / ``p:*``).
+    prefixed_test_probability: float = 0.06
+    #: Relative axis weights (unlisted axes get weight 0).
+    axis_weights: Mapping[Axis, float] = field(
+        default_factory=lambda: {
+            Axis.CHILD: 8.0,
+            Axis.DESCENDANT: 3.0,
+            Axis.DESCENDANT_OR_SELF: 2.0,
+            Axis.SELF: 1.0,
+            Axis.PARENT: 1.5,
+            Axis.ANCESTOR: 1.5,
+            Axis.ANCESTOR_OR_SELF: 1.0,
+            Axis.FOLLOWING_SIBLING: 1.5,
+            Axis.PRECEDING_SIBLING: 1.5,
+            Axis.FOLLOWING: 1.0,
+            Axis.PRECEDING: 1.0,
+            Axis.ATTRIBUTE: 2.5,
+            Axis.NAMESPACE: 0.4,
+        }
+    )
+
+
+#: Core functions by return type, with generator-friendly argument
+#: recipes.  Each entry: (name, tuple of argument type requests), where
+#: an argument request is an :class:`XPathType` or ``None`` for "omit
+#: this optional argument sometimes".  The table covers all 27 library
+#: functions; arity variation is handled in ``_call``.
+_NUMBER_FUNCTIONS: Tuple[Tuple[str, Tuple[object, ...]], ...] = (
+    ("last", ()),
+    ("position", ()),
+    ("count", (XPathType.NODE_SET,)),
+    ("string-length", (XPathType.STRING,)),
+    ("string-length", ()),
+    ("sum", (XPathType.NODE_SET,)),
+    ("floor", (XPathType.NUMBER,)),
+    ("ceiling", (XPathType.NUMBER,)),
+    ("round", (XPathType.NUMBER,)),
+    ("number", (XPathType.ANY,)),
+    ("number", ()),
+)
+
+_STRING_FUNCTIONS: Tuple[Tuple[str, Tuple[object, ...]], ...] = (
+    ("string", (XPathType.ANY,)),
+    ("string", ()),
+    ("concat", (XPathType.STRING, XPathType.STRING)),
+    ("concat", (XPathType.STRING, XPathType.STRING, XPathType.STRING)),
+    ("substring-before", (XPathType.STRING, XPathType.STRING)),
+    ("substring-after", (XPathType.STRING, XPathType.STRING)),
+    ("substring", (XPathType.STRING, XPathType.NUMBER)),
+    ("substring", (XPathType.STRING, XPathType.NUMBER, XPathType.NUMBER)),
+    ("normalize-space", (XPathType.STRING,)),
+    ("normalize-space", ()),
+    ("translate", (XPathType.STRING, XPathType.STRING, XPathType.STRING)),
+    ("name", (XPathType.NODE_SET,)),
+    ("name", ()),
+    ("local-name", (XPathType.NODE_SET,)),
+    ("local-name", ()),
+    ("namespace-uri", (XPathType.NODE_SET,)),
+    ("namespace-uri", ()),
+)
+
+_BOOLEAN_FUNCTIONS: Tuple[Tuple[str, Tuple[object, ...]], ...] = (
+    ("boolean", (XPathType.ANY,)),
+    ("not", (XPathType.ANY,)),
+    ("true", ()),
+    ("false", ()),
+    ("starts-with", (XPathType.STRING, XPathType.STRING)),
+    ("contains", (XPathType.STRING, XPathType.STRING)),
+    ("lang", (XPathType.STRING,)),
+)
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_ARITHMETIC_OPS = ("+", "-", "*", "div", "mod")
+
+
+class QueryGenerator:
+    """Seeded, weighted, type-directed XPath query source."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        config: Optional[GrammarConfig] = None,
+    ):
+        self.rng = rng
+        self.config = config or GrammarConfig()
+        self._axes = tuple(self.config.axis_weights)
+        self._axis_weights = tuple(
+            self.config.axis_weights[a] for a in self._axes
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def query_ast(self) -> Expr:
+        """One random top-level expression AST."""
+        want = self.rng.choices(
+            (
+                XPathType.NODE_SET,
+                XPathType.NUMBER,
+                XPathType.STRING,
+                XPathType.BOOLEAN,
+            ),
+            weights=(6.0, 2.0, 1.5, 1.5),
+        )[0]
+        return self._expr(want, depth=0)
+
+    def query(self) -> str:
+        """One random query in surface syntax."""
+        return self.query_ast().unparse()
+
+    def queries(self, n: int) -> List[str]:
+        """``n`` random queries."""
+        return [self.query() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # Type-directed expression generation
+    # ------------------------------------------------------------------
+
+    def _expr(self, want: XPathType, depth: int) -> Expr:
+        if want == XPathType.ANY:
+            want = self.rng.choices(
+                (
+                    XPathType.NODE_SET,
+                    XPathType.NUMBER,
+                    XPathType.STRING,
+                    XPathType.BOOLEAN,
+                ),
+                weights=(4.0, 2.5, 2.0, 1.5),
+            )[0]
+        if want == XPathType.NODE_SET:
+            return self._node_set(depth)
+        if want == XPathType.NUMBER:
+            return self._number(depth)
+        if want == XPathType.STRING:
+            return self._string(depth)
+        return self._boolean(depth)
+
+    # -- node-sets ------------------------------------------------------
+
+    def _node_set(self, depth: int) -> Expr:
+        if depth >= self.config.max_depth:
+            return self._location_path(depth, max_steps=1)
+        roll = self.rng.random()
+        if roll < 0.58:
+            return self._location_path(depth)
+        if roll < 0.72:
+            return self._filter_expr(depth)
+        if roll < 0.84:
+            return self._path_expr(depth)
+        if roll < 0.94:
+            return self._union(depth)
+        return self._call("id", (XPathType.ANY,), depth)
+
+    def _location_path(
+        self, depth: int, max_steps: Optional[int] = None
+    ) -> LocationPath:
+        limit = max_steps or self.config.max_steps
+        n_steps = self.rng.randint(1, limit)
+        absolute = self.rng.random() < 0.7
+        steps = [self._step(depth) for _ in range(n_steps)]
+        if not absolute and not steps:
+            steps = [self._step(depth)]
+        return LocationPath(absolute, steps)
+
+    def _filter_expr(self, depth: int) -> FilterExpr:
+        primary = self._location_path(depth + 1)
+        predicates = self._predicates(depth + 1, minimum=1)
+        return FilterExpr(primary, predicates)
+
+    def _path_expr(self, depth: int) -> PathExpr:
+        # The source must unparse atomically; FilterExpr parenthesizes
+        # its primary, and id() is a function call, so both are safe to
+        # put in front of '/'.
+        if self.rng.random() < 0.5:
+            source: Expr = self._filter_expr(depth + 1)
+        else:
+            source = self._call("id", (XPathType.ANY,), depth + 1)
+        steps = [
+            self._step(depth + 1)
+            for _ in range(self.rng.randint(1, 2))
+        ]
+        return PathExpr(source, LocationPath(False, steps))
+
+    def _union(self, depth: int) -> UnionExpr:
+        operands: List[Expr] = []
+        for _ in range(self.rng.randint(2, 3)):
+            if self.rng.random() < 0.85:
+                operands.append(self._location_path(depth + 1))
+            else:
+                operands.append(self._filter_expr(depth + 1))
+        return UnionExpr(operands)
+
+    # -- steps and node tests ------------------------------------------
+
+    def _step(self, depth: int) -> Step:
+        axis = self.rng.choices(self._axes, weights=self._axis_weights)[0]
+        test_kind, test_name = self._node_test(axis)
+        predicates = (
+            self._predicates(depth + 1)
+            if depth < self.config.max_depth
+            else []
+        )
+        return Step(axis, test_kind, test_name, predicates)
+
+    def _node_test(
+        self, axis: Axis
+    ) -> Tuple[NodeTestKind, Optional[str]]:
+        cfg = self.config
+        if axis == Axis.ATTRIBUTE:
+            roll = self.rng.random()
+            if roll < 0.6:
+                return NodeTestKind.NAME, self.rng.choice(
+                    cfg.attribute_names
+                )
+            if roll < 0.9:
+                return NodeTestKind.ANY_NAME, None
+            return NodeTestKind.NODE, None
+        if axis == Axis.NAMESPACE:
+            return (
+                (NodeTestKind.ANY_NAME, None)
+                if self.rng.random() < 0.7
+                else (NodeTestKind.NODE, None)
+            )
+        roll = self.rng.random()
+        if roll < 0.52:
+            name = self.rng.choice(cfg.element_names)
+            if cfg.namespaces and (
+                self.rng.random() < cfg.prefixed_test_probability
+            ):
+                prefix = self.rng.choice(sorted(cfg.namespaces))
+                return NodeTestKind.NAME, f"{prefix}:{name}"
+            return NodeTestKind.NAME, name
+        if roll < 0.72:
+            if cfg.namespaces and (
+                self.rng.random() < cfg.prefixed_test_probability
+            ):
+                prefix = self.rng.choice(sorted(cfg.namespaces))
+                return NodeTestKind.ANY_NAME, prefix
+            return NodeTestKind.ANY_NAME, None
+        if roll < 0.84:
+            return NodeTestKind.NODE, None
+        if roll < 0.92:
+            return NodeTestKind.TEXT, None
+        if roll < 0.96:
+            return NodeTestKind.COMMENT, None
+        if self.rng.random() < 0.5:
+            return NodeTestKind.PI, None
+        return NodeTestKind.PI, self.rng.choice(cfg.pi_targets)
+
+    def _predicates(
+        self, depth: int, minimum: int = 0
+    ) -> List[Predicate]:
+        count = self.rng.choices(
+            (0, 1, 2), weights=(5.0, 3.5, 1.0)
+        )[0]
+        count = max(count, minimum)
+        count = min(count, self.config.max_predicates)
+        return [self._predicate(depth) for _ in range(count)]
+
+    def _predicate(self, depth: int) -> Predicate:
+        roll = self.rng.random()
+        if roll < 0.3:
+            # Positional: a bare number or a position()/last() formula.
+            return Predicate(self._positional(depth))
+        if roll < 0.55:
+            return Predicate(self._boolean(depth + 1))
+        return Predicate(self._expr(XPathType.ANY, depth + 1))
+
+    def _positional(self, depth: int) -> Expr:
+        roll = self.rng.random()
+        if roll < 0.4:
+            return Number(float(self.rng.randint(1, 4)))
+        position = FunctionCall("position", [])
+        last = FunctionCall("last", [])
+        if roll < 0.6:
+            op = self.rng.choice(("=", "<", "<=", ">", ">=", "!="))
+            return BinaryOp(op, position, Number(float(self.rng.randint(1, 3))))
+        if roll < 0.75:
+            return BinaryOp("=", position, last)
+        if roll < 0.9:
+            return BinaryOp(
+                "-", last, Number(float(self.rng.randint(0, 2)))
+            )
+        return BinaryOp(
+            "=",
+            BinaryOp("mod", position, Number(2.0)),
+            Number(float(self.rng.randint(0, 1))),
+        )
+
+    # -- scalars --------------------------------------------------------
+
+    def _number(self, depth: int) -> Expr:
+        if depth >= self.config.max_depth:
+            return self._number_leaf()
+        roll = self.rng.random()
+        if roll < 0.25:
+            return self._number_leaf()
+        if roll < 0.6:
+            name, args = self.rng.choice(_NUMBER_FUNCTIONS)
+            return self._call(name, args, depth)
+        if roll < 0.9:
+            op = self.rng.choice(_ARITHMETIC_OPS)
+            return BinaryOp(
+                op,
+                self._number(depth + 1),
+                self._number(depth + 1),
+            )
+        return UnaryMinus(self._number(depth + 1))
+
+    def _number_leaf(self) -> Expr:
+        variables = self._variables_of(float)
+        if variables and self.rng.random() < 0.2:
+            return VariableRef(self.rng.choice(variables))
+        if self.rng.random() < 0.15:
+            return Number(self.rng.choice((0.5, 2.5, 10.0, 100.0)))
+        return Number(float(self.rng.randint(0, 9)))
+
+    def _string(self, depth: int) -> Expr:
+        if depth >= self.config.max_depth:
+            return self._string_leaf()
+        roll = self.rng.random()
+        if roll < 0.35:
+            return self._string_leaf()
+        name, args = self.rng.choice(_STRING_FUNCTIONS)
+        return self._call(name, args, depth)
+
+    def _string_leaf(self) -> Expr:
+        variables = self._variables_of(str)
+        if variables and self.rng.random() < 0.2:
+            return VariableRef(self.rng.choice(variables))
+        return Literal(self.rng.choice(tuple(self.config.string_pool)))
+
+    def _boolean(self, depth: int) -> Expr:
+        if depth >= self.config.max_depth:
+            return FunctionCall(
+                "true" if self.rng.random() < 0.5 else "false", []
+            )
+        roll = self.rng.random()
+        if roll < 0.45:
+            op = self.rng.choice(_COMPARISON_OPS)
+            left_type = self.rng.choice(
+                (
+                    XPathType.NODE_SET,
+                    XPathType.NUMBER,
+                    XPathType.STRING,
+                    XPathType.BOOLEAN,
+                )
+            )
+            right_type = self.rng.choice(
+                (
+                    XPathType.NODE_SET,
+                    XPathType.NUMBER,
+                    XPathType.STRING,
+                )
+            )
+            return BinaryOp(
+                op,
+                self._expr(left_type, depth + 1),
+                self._expr(right_type, depth + 1),
+            )
+        if roll < 0.6:
+            op = "and" if self.rng.random() < 0.5 else "or"
+            return BinaryOp(
+                op,
+                self._boolean(depth + 1),
+                self._boolean(depth + 1),
+            )
+        variables = self._variables_of(bool)
+        if variables and roll < 0.65:
+            return VariableRef(self.rng.choice(variables))
+        name, args = self.rng.choice(_BOOLEAN_FUNCTIONS)
+        return self._call(name, args, depth)
+
+    # -- shared helpers -------------------------------------------------
+
+    def _call(
+        self, name: str, arg_types: Tuple[object, ...], depth: int
+    ) -> FunctionCall:
+        args = [
+            self._expr(arg_type, depth + 1)  # type: ignore[arg-type]
+            for arg_type in arg_types
+        ]
+        return FunctionCall(name, args)
+
+    def _variables_of(self, kind: type) -> List[str]:
+        return [
+            name
+            for name, value in self.config.variables.items()
+            if isinstance(value, kind)
+            and not (kind is float and isinstance(value, bool))
+        ]

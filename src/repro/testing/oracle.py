@@ -1,0 +1,353 @@
+"""The differential oracle: five execution routes, one answer.
+
+Every query is executed through five independent paths:
+
+``naive``
+    the main-memory :class:`~repro.baselines.naive.NaiveInterpreter`
+    (independent spec-oracle semantics, no algebra involved),
+``canonical``
+    the section-3 canonical algebraic translation,
+``improved``
+    the section-4/5 improved translation through an
+    :class:`~repro.engine.session.XPathEngine` (plan cache included),
+``stored``
+    the improved translation over the *stored* document — page file,
+    buffer manager, record decoding — via
+    :class:`~repro.storage.DocumentStore`,
+``concurrent``
+    the improved translation through
+    :meth:`XPathEngine.evaluate_concurrent` (thread pool, shared plans,
+    singleflight coalescing).
+
+Results are compared in a document-independent canonical form: node-sets
+become document-order tuples of ``(sort_key, kind, name, string_value)``
+(stored node ids are preorder ranks, so sort keys line up across the
+in-memory and stored builds), scalars are compared by type and value
+with NaN normalized.  Errors are part of the contract too: a
+:class:`~repro.errors.ReproError` of the same type on every route is
+agreement; a non-``ReproError`` exception anywhere is always reported
+(``crash``), because no input may take the engine down with a raw
+``IndexError``/``AttributeError``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.naive import NaiveInterpreter
+from repro.compiler.improved import TranslationOptions
+from repro.compiler.pipeline import XPathCompiler
+from repro.dom.document import Document
+from repro.engine.session import XPathEngine
+from repro.errors import ReproError
+from repro.storage import DocumentStore
+from repro.xpath.context import make_context
+from repro.xpath.datamodel import XPathValue
+
+#: All route names, in reporting order.  ``naive`` is the baseline.
+ROUTE_NAMES: Tuple[str, ...] = (
+    "naive",
+    "canonical",
+    "improved",
+    "stored",
+    "concurrent",
+)
+
+BASELINE_ROUTE = "naive"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Canonical result of one route: a value, an error, or a crash."""
+
+    kind: str  #: ``"value"`` | ``"error"`` | ``"crash"``
+    payload: object  #: canonical value, or the exception type name
+    detail: str = field(default="", compare=False)
+
+    def describe(self) -> str:
+        if self.kind == "value":
+            return repr(self.payload)
+        return f"<{self.kind}: {self.payload}: {self.detail}>"
+
+
+def canonical_value(value: XPathValue) -> object:
+    """Document-independent canonical form of an XPath value.
+
+    Node-sets keep duplicates (a backend returning duplicate nodes is a
+    bug) and are normalized to document order — XPath 1.0 node-sets are
+    unordered, and the engines make no ordering promise unless asked
+    with ``ordered=True``, so document order is the only stable
+    cross-backend sequence.
+    """
+    if isinstance(value, list):
+        return (
+            "node-set",
+            tuple(
+                sorted(
+                    (
+                        tuple(node.sort_key),
+                        node.kind.value,
+                        node.name or "",
+                        node.string_value(),
+                    )
+                    for node in value
+                )
+            ),
+        )
+    if isinstance(value, bool):
+        return ("boolean", value)
+    if isinstance(value, float):
+        if value != value:
+            return ("number", "NaN")
+        return ("number", value)
+    return ("string", value)
+
+
+def outcome_of(run: Callable[[], XPathValue]) -> Outcome:
+    """Run one route and fold its result/exception into an Outcome."""
+    try:
+        return Outcome("value", canonical_value(run()))
+    except ReproError as error:
+        return Outcome("error", type(error).__name__, str(error))
+    except Exception as error:  # noqa: BLE001 - crashes are findings
+        return Outcome("crash", type(error).__name__, str(error))
+
+
+@dataclass
+class Divergence:
+    """One route disagreeing with the baseline on one query."""
+
+    query: str
+    route: str
+    outcome: Outcome
+    baseline: Outcome
+
+    def describe(self) -> str:
+        return (
+            f"{self.route} disagrees on {self.query!r}:\n"
+            f"  {BASELINE_ROUTE:>10}: {self.baseline.describe()}\n"
+            f"  {self.route:>10}: {self.outcome.describe()}"
+        )
+
+
+class DifferentialRunner:
+    """Executes queries on one document across all five routes.
+
+    The stored route writes the document to a page file once (in a
+    private temporary directory unless ``store_dir`` is given) and keeps
+    it open for the runner's lifetime — use as a context manager or call
+    :meth:`close`.
+
+    ``extra_routes`` maps extra route names to callables
+    ``run(query, context_node) -> XPathValue`` evaluated against the
+    in-memory document; the shrinker tests use this to inject synthetic
+    divergences.
+    """
+
+    def __init__(
+        self,
+        document: Document,
+        *,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        routes: Sequence[str] = ROUTE_NAMES,
+        extra_routes: Optional[
+            Mapping[str, Callable[[str, object], XPathValue]]
+        ] = None,
+        store_dir: Optional[Path] = None,
+        buffer_pages: int = 64,
+    ):
+        self.document = document
+        self.variables = dict(variables or {})
+        self.namespaces = dict(namespaces or {})
+        self.routes = tuple(routes)
+        self.extra_routes = dict(extra_routes or {})
+        self._naive = NaiveInterpreter()
+        self._canonical = XPathCompiler(TranslationOptions.canonical())
+        self._engine = XPathEngine(TranslationOptions.improved())
+        self._stored_engine = XPathEngine(TranslationOptions.improved())
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        self._stored = None
+        if "stored" in self.routes:
+            if store_dir is None:
+                self._tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-fuzz-"
+                )
+                store_dir = Path(self._tmp.name)
+            store_path = Path(store_dir) / "fuzz.natix"
+            DocumentStore.write(document, store_path)
+            self._stored = DocumentStore.open(
+                store_path, buffer_pages=buffer_pages
+            )
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._stored is not None:
+            self._stored.close()
+            self._stored = None
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __enter__(self) -> "DifferentialRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Single-route executions
+    # ------------------------------------------------------------------
+
+    def _run_naive(self, query: str) -> XPathValue:
+        context = make_context(
+            self.document.root, self.variables, self.namespaces
+        )
+        return self._naive.evaluate(query, context)
+
+    def _run_canonical(self, query: str) -> XPathValue:
+        compiled = self._canonical.compile(query)
+        return compiled.evaluate(
+            self.document.root, self.variables, self.namespaces
+        )
+
+    def _run_improved(self, query: str) -> XPathValue:
+        return self._engine.evaluate(
+            query,
+            self.document.root,
+            variables=self.variables,
+            namespaces=self.namespaces,
+        )
+
+    def _run_stored(self, query: str) -> XPathValue:
+        assert self._stored is not None
+        return self._stored_engine.evaluate(
+            query,
+            self._stored.root,
+            variables=self.variables,
+            namespaces=self.namespaces,
+        )
+
+    def _run_concurrent_single(self, query: str) -> XPathValue:
+        return self._engine.evaluate_concurrent(
+            [query],
+            self.document.root,
+            max_workers=2,
+            variables=self.variables,
+            namespaces=self.namespaces,
+        )[0]
+
+    def _route_runner(self, route: str) -> Callable[[str], XPathValue]:
+        if route in self.extra_routes:
+            run = self.extra_routes[route]
+            return lambda query: run(query, self.document.root)
+        return {
+            "naive": self._run_naive,
+            "canonical": self._run_canonical,
+            "improved": self._run_improved,
+            "stored": self._run_stored,
+            "concurrent": self._run_concurrent_single,
+        }[route]
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def outcomes(self, query: str) -> Dict[str, Outcome]:
+        """Outcome of every configured route for one query."""
+        results: Dict[str, Outcome] = {}
+        for route in self.routes:
+            runner = self._route_runner(route)
+            results[route] = outcome_of(lambda: runner(query))
+        for route in self.extra_routes:
+            if route not in results:
+                runner = self._route_runner(route)
+                results[route] = outcome_of(lambda: runner(query))
+        return results
+
+    def check(self, query: str) -> List[Divergence]:
+        """Divergences (vs the baseline route) for one query."""
+        return self._compare(query, self.outcomes(query))
+
+    def check_batch(
+        self, queries: Sequence[str]
+    ) -> List[Divergence]:
+        """Check a batch; the concurrent route runs as one real batch.
+
+        Queries whose baseline outcome is an error are checked
+        one-by-one on the concurrent route (a thread-pool batch
+        propagates the first exception, losing per-query attribution).
+        """
+        divergences: List[Divergence] = []
+        per_query: List[Dict[str, Outcome]] = []
+        for query in queries:
+            outcomes = {}
+            for route in self.routes:
+                if route == "concurrent":
+                    continue
+                runner = self._route_runner(route)
+                outcomes[route] = outcome_of(lambda: runner(query))
+            for route in self.extra_routes:
+                runner = self._route_runner(route)
+                outcomes[route] = outcome_of(lambda: runner(query))
+            per_query.append(outcomes)
+
+        if "concurrent" in self.routes:
+            clean = [
+                (slot, query)
+                for slot, query in enumerate(queries)
+                if per_query[slot]
+                .get(BASELINE_ROUTE, Outcome("value", None))
+                .kind
+                == "value"
+            ]
+            batch_results: Dict[int, Outcome] = {}
+            if clean:
+                try:
+                    values = self._engine.evaluate_concurrent(
+                        [query for _, query in clean],
+                        self.document.root,
+                        max_workers=4,
+                        variables=self.variables,
+                        namespaces=self.namespaces,
+                    )
+                except Exception:  # noqa: BLE001 - fall back per query
+                    values = None
+                if values is not None:
+                    for (slot, _), value in zip(clean, values):
+                        batch_results[slot] = Outcome(
+                            "value", canonical_value(value)
+                        )
+            for slot, query in enumerate(queries):
+                if slot in batch_results:
+                    per_query[slot]["concurrent"] = batch_results[slot]
+                else:
+                    per_query[slot]["concurrent"] = outcome_of(
+                        lambda: self._run_concurrent_single(query)
+                    )
+
+        for query, outcomes in zip(queries, per_query):
+            divergences.extend(self._compare(query, outcomes))
+        return divergences
+
+    def _compare(
+        self, query: str, outcomes: Mapping[str, Outcome]
+    ) -> List[Divergence]:
+        baseline = outcomes[BASELINE_ROUTE]
+        divergences = []
+        for route, outcome in outcomes.items():
+            if route == BASELINE_ROUTE:
+                if outcome.kind == "crash":
+                    divergences.append(
+                        Divergence(query, route, outcome, outcome)
+                    )
+                continue
+            if outcome != baseline or outcome.kind == "crash":
+                divergences.append(
+                    Divergence(query, route, outcome, baseline)
+                )
+        return divergences

@@ -1,0 +1,392 @@
+"""Delta-debugging shrinker for fuzz findings.
+
+Given a diverging ``(query AST, document spec)`` pair and a predicate
+"does this still diverge?", the shrinker greedily applies local
+reductions until no smaller reproducer survives:
+
+* **query reductions** — hoist a subexpression over its parent, drop a
+  location step, drop a predicate, drop a union operand, replace a
+  function call by one of its arguments, simplify literals;
+* **document reductions** — delete a subtree, hoist an element's
+  children over it, drop attributes, drop comments/PIs, blank text.
+
+Both loops are first-improvement hill climbing: try candidates in
+shrinking-size order, restart on the first one that still diverges.
+That is the classic ddmin shape specialized to trees, and in practice
+collapses fuzz-sized reproducers to a handful of nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.xpath.xast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Number,
+    PathExpr,
+    Predicate,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+
+from repro.testing.documents import (
+    ChildSpec,
+    CommentSpec,
+    ElementSpec,
+    PISpec,
+    TextSpec,
+    copy_spec,
+)
+
+# ----------------------------------------------------------------------
+# AST size and copying
+# ----------------------------------------------------------------------
+
+
+def ast_size(expr: Expr) -> int:
+    """Number of AST nodes: expressions, steps and predicates."""
+    if isinstance(expr, LocationPath):
+        total = 1
+        for step in expr.steps:
+            total += 1
+            for predicate in step.predicates:
+                total += 1 + ast_size(predicate.expr)
+        return total
+    if isinstance(expr, FilterExpr):
+        total = 1 + ast_size(expr.primary)
+        for predicate in expr.predicates:
+            total += 1 + ast_size(predicate.expr)
+        return total
+    if isinstance(expr, PathExpr):
+        return 1 + ast_size(expr.source) + ast_size(expr.path)
+    if isinstance(expr, UnionExpr):
+        return 1 + sum(ast_size(op) for op in expr.operands)
+    if isinstance(expr, FunctionCall):
+        return 1 + sum(ast_size(arg) for arg in expr.args)
+    if isinstance(expr, BinaryOp):
+        return 1 + ast_size(expr.left) + ast_size(expr.right)
+    if isinstance(expr, UnaryMinus):
+        return 1 + ast_size(expr.operand)
+    return 1
+
+
+def copy_ast(expr: Expr) -> Expr:
+    """Structural copy (annotations from semantic analysis dropped)."""
+    if isinstance(expr, Number):
+        return Number(expr.value)
+    if isinstance(expr, Literal):
+        return Literal(expr.value)
+    if isinstance(expr, VariableRef):
+        return VariableRef(expr.name)
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name, [copy_ast(a) for a in expr.args])
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, copy_ast(expr.left), copy_ast(expr.right))
+    if isinstance(expr, UnaryMinus):
+        return UnaryMinus(copy_ast(expr.operand))
+    if isinstance(expr, LocationPath):
+        return LocationPath(
+            expr.absolute, [_copy_step(s) for s in expr.steps]
+        )
+    if isinstance(expr, FilterExpr):
+        return FilterExpr(
+            copy_ast(expr.primary),
+            [Predicate(copy_ast(p.expr)) for p in expr.predicates],
+        )
+    if isinstance(expr, PathExpr):
+        path = copy_ast(expr.path)
+        assert isinstance(path, LocationPath)
+        return PathExpr(copy_ast(expr.source), path)
+    if isinstance(expr, UnionExpr):
+        return UnionExpr([copy_ast(op) for op in expr.operands])
+    raise TypeError(f"unknown AST node {type(expr).__name__}")
+
+
+def _copy_step(step: Step) -> Step:
+    return Step(
+        step.axis,
+        step.test_kind,
+        step.test_name,
+        [Predicate(copy_ast(p.expr)) for p in step.predicates],
+    )
+
+
+# ----------------------------------------------------------------------
+# Query reductions
+# ----------------------------------------------------------------------
+
+
+def query_reductions(expr: Expr) -> Iterator[Expr]:
+    """Candidate replacements for ``expr`` itself (strictly smaller)."""
+    if isinstance(expr, LocationPath):
+        for index in range(len(expr.steps)):
+            if len(expr.steps) > 1:
+                steps = [
+                    _copy_step(s)
+                    for j, s in enumerate(expr.steps)
+                    if j != index
+                ]
+                yield LocationPath(expr.absolute, steps)
+            step = expr.steps[index]
+            for p_index in range(len(step.predicates)):
+                steps = [_copy_step(s) for s in expr.steps]
+                del steps[index].predicates[p_index]
+                yield LocationPath(expr.absolute, steps)
+    elif isinstance(expr, FilterExpr):
+        yield copy_ast(expr.primary)
+        for index in range(len(expr.predicates)):
+            predicates = [
+                Predicate(copy_ast(p.expr))
+                for j, p in enumerate(expr.predicates)
+                if j != index
+            ]
+            if predicates:
+                yield FilterExpr(copy_ast(expr.primary), predicates)
+    elif isinstance(expr, PathExpr):
+        yield copy_ast(expr.source)
+        yield LocationPath(True, [_copy_step(s) for s in expr.path.steps])
+    elif isinstance(expr, UnionExpr):
+        for operand in expr.operands:
+            yield copy_ast(operand)
+        if len(expr.operands) > 2:
+            for index in range(len(expr.operands)):
+                yield UnionExpr(
+                    [
+                        copy_ast(op)
+                        for j, op in enumerate(expr.operands)
+                        if j != index
+                    ]
+                )
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield copy_ast(arg)
+        if expr.args:
+            # Try dropping trailing (often optional) arguments.
+            yield FunctionCall(
+                expr.name, [copy_ast(a) for a in expr.args[:-1]]
+            )
+    elif isinstance(expr, BinaryOp):
+        yield copy_ast(expr.left)
+        yield copy_ast(expr.right)
+    elif isinstance(expr, UnaryMinus):
+        yield copy_ast(expr.operand)
+    elif isinstance(expr, Number):
+        if expr.value not in (0.0, 1.0):
+            yield Number(1.0)
+            yield Number(0.0)
+    elif isinstance(expr, Literal):
+        if expr.value:
+            yield Literal("")
+
+
+def query_candidates(expr: Expr) -> Iterator[Expr]:
+    """All one-reduction variants of ``expr`` (at any position)."""
+    yield from query_reductions(expr)
+    yield from _rebuilt_with_child_variants(expr)
+
+
+def _rebuilt_with_child_variants(expr: Expr) -> Iterator[Expr]:
+    """Variants where exactly one sub-position was reduced in place."""
+    if isinstance(expr, FunctionCall):
+        for index, arg in enumerate(expr.args):
+            for variant in query_candidates(arg):
+                args = [copy_ast(a) for a in expr.args]
+                args[index] = variant
+                yield FunctionCall(expr.name, args)
+    elif isinstance(expr, BinaryOp):
+        for variant in query_candidates(expr.left):
+            yield BinaryOp(expr.op, variant, copy_ast(expr.right))
+        for variant in query_candidates(expr.right):
+            yield BinaryOp(expr.op, copy_ast(expr.left), variant)
+    elif isinstance(expr, UnaryMinus):
+        for variant in query_candidates(expr.operand):
+            yield UnaryMinus(variant)
+    elif isinstance(expr, LocationPath):
+        for s_index, step in enumerate(expr.steps):
+            for p_index, predicate in enumerate(step.predicates):
+                for variant in query_candidates(predicate.expr):
+                    steps = [_copy_step(s) for s in expr.steps]
+                    steps[s_index].predicates[p_index] = Predicate(variant)
+                    yield LocationPath(expr.absolute, steps)
+    elif isinstance(expr, FilterExpr):
+        for variant in query_candidates(expr.primary):
+            yield FilterExpr(
+                variant,
+                [Predicate(copy_ast(p.expr)) for p in expr.predicates],
+            )
+        for index, predicate in enumerate(expr.predicates):
+            for variant in query_candidates(predicate.expr):
+                predicates = [
+                    Predicate(copy_ast(p.expr)) for p in expr.predicates
+                ]
+                predicates[index] = Predicate(variant)
+                yield FilterExpr(copy_ast(expr.primary), predicates)
+    elif isinstance(expr, PathExpr):
+        for variant in query_candidates(expr.source):
+            yield PathExpr(variant, copy_ast(expr.path))  # type: ignore[arg-type]
+        for variant in query_candidates(expr.path):
+            if isinstance(variant, LocationPath):
+                yield PathExpr(copy_ast(expr.source), variant)
+    elif isinstance(expr, UnionExpr):
+        for index, operand in enumerate(expr.operands):
+            for variant in query_candidates(operand):
+                operands = [copy_ast(op) for op in expr.operands]
+                operands[index] = variant
+                yield UnionExpr(operands)
+
+
+def shrink_query(
+    expr: Expr,
+    still_diverges: Callable[[Expr], bool],
+    max_rounds: int = 200,
+) -> Expr:
+    """Greedy first-improvement minimization of a diverging query AST."""
+    current = copy_ast(expr)
+    for _ in range(max_rounds):
+        current_size = ast_size(current)
+        improved = False
+        for candidate in query_candidates(current):
+            if ast_size(candidate) >= current_size:
+                continue
+            try:
+                if still_diverges(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:  # noqa: BLE001 - invalid candidate
+                continue
+        if not improved:
+            return current
+    return current
+
+
+# ----------------------------------------------------------------------
+# Document reductions
+# ----------------------------------------------------------------------
+
+
+def spec_size(spec: ChildSpec) -> int:
+    """Nodes in a document spec (elements, attrs, text, comments, PIs)."""
+    if isinstance(spec, ElementSpec):
+        return (
+            1
+            + len(spec.attributes)
+            + sum(spec_size(child) for child in spec.children)
+        )
+    return 1
+
+
+def document_candidates(root: ElementSpec) -> Iterator[ElementSpec]:
+    """One-reduction variants of a document spec.
+
+    The document element itself is never deleted (a document must keep
+    one), but its content, attributes and every subtree are fair game.
+    """
+    # Drop one attribute anywhere.
+    for path, element in _elements(root):
+        for index in range(len(element.attributes)):
+            variant = copy_spec(root)
+            target = _at(variant, path)
+            del target.attributes[index]
+            yield variant
+    # Drop one child anywhere.
+    for path, element in _elements(root):
+        for index in range(len(element.children)):
+            variant = copy_spec(root)
+            target = _at(variant, path)
+            del target.children[index]
+            yield variant
+    # Hoist an element's children over it.
+    for path, element in _elements(root):
+        for index, child in enumerate(element.children):
+            if isinstance(child, ElementSpec) and child.children:
+                variant = copy_spec(root)
+                target = _at(variant, path)
+                hoisted = target.children[index]
+                assert isinstance(hoisted, ElementSpec)
+                target.children[index : index + 1] = hoisted.children
+                yield variant
+    # Blank one text node.
+    for path, element in _elements(root):
+        for index, child in enumerate(element.children):
+            if isinstance(child, TextSpec) and len(child.data) > 1:
+                variant = copy_spec(root)
+                target = _at(variant, path)
+                text = target.children[index]
+                assert isinstance(text, TextSpec)
+                text.data = text.data[0]
+                yield variant
+
+
+def _elements(
+    root: ElementSpec, path: Tuple[int, ...] = ()
+) -> Iterator[Tuple[Tuple[int, ...], ElementSpec]]:
+    yield path, root
+    for index, child in enumerate(root.children):
+        if isinstance(child, ElementSpec):
+            yield from _elements(child, path + (index,))
+
+
+def _at(root: ElementSpec, path: Tuple[int, ...]) -> ElementSpec:
+    element = root
+    for index in path:
+        child = element.children[index]
+        assert isinstance(child, ElementSpec)
+        element = child
+    return element
+
+
+def shrink_document(
+    root: ElementSpec,
+    still_diverges: Callable[[ElementSpec], bool],
+    max_rounds: int = 200,
+) -> ElementSpec:
+    """Greedy first-improvement minimization of a diverging document."""
+    current = copy_spec(root)
+    assert isinstance(current, ElementSpec)
+    for _ in range(max_rounds):
+        current_size = spec_size(current)
+        improved = False
+        for candidate in document_candidates(current):
+            if spec_size(candidate) >= current_size:
+                continue
+            try:
+                if still_diverges(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:  # noqa: BLE001 - invalid candidate
+                continue
+        if not improved:
+            return current
+    return current
+
+
+def shrink_repro(
+    expr: Expr,
+    root: ElementSpec,
+    still_diverges: Callable[[Expr, ElementSpec], bool],
+    max_passes: int = 8,
+) -> Tuple[Expr, ElementSpec]:
+    """Alternate query and document shrinking until a joint fixpoint."""
+    query = copy_ast(expr)
+    document = copy_spec(root)
+    assert isinstance(document, ElementSpec)
+    for _ in range(max_passes):
+        before = (ast_size(query), spec_size(document))
+        query = shrink_query(
+            query, lambda candidate: still_diverges(candidate, document)
+        )
+        document = shrink_document(
+            document, lambda candidate: still_diverges(query, candidate)
+        )
+        if (ast_size(query), spec_size(document)) == before:
+            break
+    return query, document

@@ -27,6 +27,8 @@ from repro.errors import ReproError
 from repro.storage import DocumentStore
 from repro.workloads import generate_document
 
+pytestmark = pytest.mark.slow
+
 THREADS = 8
 
 DOC = parse_document(

@@ -1,0 +1,95 @@
+"""Replay the checked-in regression corpus through the five-way oracle.
+
+Every entry under ``tests/corpus/*.json`` — the paper's benchmark
+queries, the end-to-end query lists, and every minimized fuzz finding —
+is executed through all five routes (naive, canonical, improved, stored,
+concurrent) and must agree.  Runners are cached per document so the
+stored route's page file is written once per distinct corpus document,
+not once per entry.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import parse_document
+from repro.testing.corpus import document_cache_key, load_corpus
+from repro.testing.oracle import DifferentialRunner
+
+from .conftest import assert_engines_agree
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = [
+    pytest.param(entry, id=f"{path.stem}:{entry.name}")
+    for path, entry in load_corpus(CORPUS_DIR)
+]
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 150, (
+        "the corpus must hold the paper figures, the end-to-end query "
+        "lists, and the fuzz regressions; seed it before trimming"
+    )
+
+
+@pytest.fixture(scope="module")
+def runner_cache():
+    runners = {}
+    yield runners
+    for runner in runners.values():
+        runner.close()
+
+
+@pytest.mark.parametrize("entry", ENTRIES)
+def test_corpus_entry(entry, runner_cache):
+    key = (
+        document_cache_key(entry.document),
+        tuple(sorted(entry.variables.items())),
+        tuple(sorted(entry.namespaces.items())),
+    )
+    runner = runner_cache.get(key)
+    if runner is None:
+        runner = DifferentialRunner(
+            entry.build_document(),
+            variables=entry.variables,
+            namespaces=entry.namespaces,
+        )
+        runner_cache[key] = runner
+    divergences = runner.check(entry.query)
+    assert not divergences, "\n".join(
+        divergence.describe() for divergence in divergences
+    )
+
+
+class TestNodeSetVsBooleanComparisons:
+    """Targeted tests for the first fuzz-found bug (translate.py).
+
+    XPath 1.0 section 3.4: when one operand is a node-set and the other a
+    boolean, the node-set is converted with ``boolean()`` for *every*
+    comparison operator — the algebraic translation used to special-case
+    only ``=``/``!=`` and run an (incorrect) existential numeric scan for
+    the relational operators.
+    """
+
+    DOC = parse_document("<r><c>1</c><c>x</c></r>")
+
+    @pytest.mark.parametrize(
+        "query, expected",
+        [
+            # boolean(//c) is true; boolean(//nosuch) is false.
+            ("true() >= //c", True),    # 1 >= 1
+            ("true() > //c", False),    # 1 > 1
+            ("true() >= //nosuch", True),   # 1 >= 0
+            ("true() > //nosuch", True),    # 1 > 0
+            ("false() >= //nosuch", True),  # 0 >= 0
+            ("false() < //c", True),        # 0 < 1
+            ("//c >= false()", True),       # 1 >= 0
+            ("//c < true()", False),        # 1 < 1
+            ("//nosuch <= false()", True),  # 0 <= 0
+            ("//nosuch < true()", True),    # 0 < 1
+        ],
+    )
+    def test_spec_value(self, engines, query, expected):
+        result = assert_engines_agree(engines, query, self.DOC.root)
+        assert result is expected

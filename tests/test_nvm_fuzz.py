@@ -20,6 +20,10 @@ from repro.nvm import assemble, compile_scalar, disassemble
 from repro.nvm.machine import NVMSubscript
 from repro.xpath.datamodel import XPathType
 
+import pytest
+
+pytestmark = [pytest.mark.hypothesis, pytest.mark.fuzz]
+
 DOC = parse_document('<r id="r1"><a id="a1">7</a><b id="b1">text</b></r>')
 
 #: Tuple attributes available to generated expressions (slot layout).

@@ -1,0 +1,163 @@
+"""Unit tests for the delta-debugging shrinker.
+
+The central guarantee (an ISSUE acceptance criterion): given an injected
+synthetic divergence, the shrinker minimizes the reproducer to a
+handful of AST nodes — small enough to read at a glance.
+"""
+
+import pytest
+
+from repro.dom.parser import parse as parse_xml
+from repro.dom.serializer import serialize
+from repro.xpath.parser import parse_xpath
+
+from repro.testing.documents import ElementSpec, TextSpec, build_document
+from repro.testing.oracle import DifferentialRunner
+from repro.testing.shrink import (
+    ast_size,
+    copy_ast,
+    query_candidates,
+    shrink_document,
+    shrink_query,
+    shrink_repro,
+    spec_size,
+)
+
+
+class TestAstSize:
+    @pytest.mark.parametrize(
+        "query, size",
+        [
+            ("last()", 1),
+            ("1", 1),
+            ("$num", 1),
+            # // desugars to descendant-or-self::node()/..., so //a
+            # is a LocationPath with two steps.
+            ("//a", 3),
+            ("/a/b", 3),           # LocationPath + two steps
+            ("//a[1]", 5),         # path + 2 steps + predicate + number
+            ("//a | //b", 7),      # union + two 3-node paths
+            ("count(//a) + 1", 6),  # binop + call + 3-node path + number
+        ],
+    )
+    def test_counts(self, query, size):
+        assert ast_size(parse_xpath(query)) == size
+
+    def test_copy_is_equal_and_independent(self):
+        expr = parse_xpath("//a[b = 1]/c | substring('xy', $num)")
+        clone = copy_ast(expr)
+        assert clone.unparse() == expr.unparse()
+        assert clone is not expr
+
+    def test_candidates_are_strictly_smaller_or_equal_forms(self):
+        expr = parse_xpath("//a[b][2] | count(//c[1]) + 1")
+        base = ast_size(expr)
+        candidates = list(query_candidates(expr))
+        assert candidates, "a reducible query must offer candidates"
+        for candidate in candidates:
+            assert ast_size(candidate) <= base
+            # Every candidate must round-trip through the parser.
+            parse_xpath(candidate.unparse())
+
+
+def _always_empty(query, context_node):
+    """A deliberately broken route: every query returns no nodes."""
+    return []
+
+
+class TestShrinkQuery:
+    def test_injected_divergence_minimizes_to_three_nodes(self):
+        """ISSUE acceptance criterion: synthetic divergence → ≤3 nodes."""
+        document = parse_xml(
+            "<r><a><b>x</b><b>y</b></a><item><sub>z</sub></item></r>"
+        )
+        with DifferentialRunner(
+            document,
+            routes=("naive",),
+            extra_routes={"broken": _always_empty},
+        ) as runner:
+
+            def still_diverges(candidate):
+                query = candidate.unparse()
+                parse_xpath(query)
+                return bool(runner.check(query))
+
+            start = parse_xpath(
+                "//a[b = 'x']/b | //item[position() = 1]/sub"
+            )
+            assert still_diverges(start)
+            shrunk = shrink_query(start, still_diverges)
+            assert ast_size(shrunk) <= 3
+            # The minimized query must still be a valid reproducer.
+            assert still_diverges(shrunk)
+
+    def test_no_divergence_returns_input_shape(self):
+        expr = parse_xpath("//a[1]")
+        shrunk = shrink_query(expr, lambda candidate: False)
+        assert shrunk.unparse() == expr.unparse()
+
+
+class TestShrinkDocument:
+    def _spec(self):
+        return ElementSpec(
+            "r",
+            [("id", "0"), ("x", "p")],
+            [
+                ElementSpec("junk", [], [TextSpec("noise")]),
+                ElementSpec(
+                    "wrap",
+                    [("id", "1")],
+                    [ElementSpec("needle", [], [TextSpec("hit")])],
+                ),
+                ElementSpec("junk", [], []),
+            ],
+        )
+
+    def test_minimizes_to_root_plus_needle(self):
+        def still_diverges(candidate):
+            document = build_document(candidate)
+            with DifferentialRunner(
+                document,
+                routes=("naive",),
+                extra_routes={"broken": _always_empty},
+            ) as runner:
+                return bool(runner.check("//needle"))
+
+        spec = self._spec()
+        assert still_diverges(spec)
+        shrunk = shrink_document(spec, still_diverges)
+        assert spec_size(shrunk) <= 2
+        xml = serialize(build_document(shrunk))
+        assert "needle" in xml
+        assert "junk" not in xml
+
+
+class TestShrinkRepro:
+    def test_joint_minimization(self):
+        spec = ElementSpec(
+            "r",
+            [],
+            [
+                ElementSpec("a", [("id", "1")], [TextSpec("x")]),
+                ElementSpec("b", [], [ElementSpec("c", [], [])]),
+            ],
+        )
+
+        def still_diverges(candidate_ast, candidate_spec):
+            query = candidate_ast.unparse()
+            parse_xpath(query)
+            document = build_document(candidate_spec)
+            with DifferentialRunner(
+                document,
+                routes=("naive",),
+                extra_routes={"broken": _always_empty},
+            ) as runner:
+                return bool(runner.check(query))
+
+        start = parse_xpath("//a[@id = '1'] | //b/c")
+        shrunk_query_ast, shrunk_spec = shrink_repro(
+            start, spec, still_diverges
+        )
+        assert ast_size(shrunk_query_ast) <= 3
+        assert spec_size(shrunk_spec) <= 2
+        assert still_diverges(shrunk_query_ast, shrunk_spec)
