@@ -1,0 +1,176 @@
+"""Index speedup benchmark: posting-list scans vs. full navigation.
+
+Stores one generated document (>= 1 MiB of pages at the default size)
+and times selective ``//name`` queries twice through the session layer:
+once with ``index="off"`` (plain descendant navigation over the page
+buffer) and once with ``index="auto"`` (the optimizer rewrites the step
+onto :class:`~repro.algebra.operators.IndexDescendantScan`).  Every
+repetition reopens the store, so both legs pay cold page I/O and record
+decoding; page misses are reported per kind (data vs. index) to show
+the indexed leg touching a fraction of the data pages.
+
+Run standalone (CI uploads the JSON as ``BENCH_indexes.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_indexes.py --json BENCH_indexes.json
+    PYTHONPATH=src python benchmarks/bench_indexes.py --quick
+
+The full-size run enforces the acceptance floor (``--min-speedup``,
+default 3x) on its most selective query and exits non-zero below it;
+``--quick`` shrinks the document for smoke runs and only reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro import TranslationOptions, XPathEngine
+from repro.storage import DocumentStore
+from repro.workloads import generate_document
+
+#: (query, enforce-floor) — the first query is the selective showcase
+#: ("item" sits two levels below the root: few matches, huge scan).
+QUERIES = (
+    ("//item", True),
+    ("//entry", False),
+    ("count(//item)", False),
+)
+
+FULL_SHAPE = (40000, 6, 6)
+QUICK_SHAPE = (4000, 6, 5)
+
+
+def _evaluate_cold(engine: XPathEngine, query: str, store_path: Path,
+                   buffer_pages: int) -> dict:
+    """One cold repetition: reopen, evaluate, snapshot I/O, close."""
+    with DocumentStore.open(store_path, buffer_pages=buffer_pages) as stored:
+        started = time.perf_counter()
+        result = engine.evaluate(query, stored)
+        elapsed = time.perf_counter() - started
+        by_kind = stored.buffer_stats()["by_kind"]
+        return {
+            "seconds": elapsed,
+            "result_size": len(result) if isinstance(result, list) else result,
+            "data_page_misses": by_kind["data"]["misses"],
+            "index_page_misses": by_kind.get("index", {}).get("misses", 0),
+        }
+
+
+def _run_leg(engine: XPathEngine, query: str, store_path: Path,
+             buffer_pages: int, repeat: int) -> dict:
+    # Warm the plan cache first so repetitions time execution, not
+    # compilation (matching the paper's timing methodology).
+    with DocumentStore.open(store_path, buffer_pages=buffer_pages) as stored:
+        engine.compile(query, target=stored)
+    reps = [
+        _evaluate_cold(engine, query, store_path, buffer_pages)
+        for _ in range(repeat)
+    ]
+    sizes = {rep["result_size"] for rep in reps}
+    assert len(sizes) == 1, f"unstable result for {query!r}: {sizes}"
+    return {
+        "median_seconds": statistics.median(r["seconds"] for r in reps),
+        "min_seconds": min(r["seconds"] for r in reps),
+        "result_size": reps[0]["result_size"],
+        "data_page_misses": reps[0]["data_page_misses"],
+        "index_page_misses": reps[0]["index_page_misses"],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="structural-index speedup benchmark"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small document, no speedup floor (CI smoke)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the full report as JSON")
+    parser.add_argument("--repeat", type=int, default=5, metavar="R",
+                        help="cold repetitions per leg (default: 5)")
+    parser.add_argument("--buffer-pages", type=int, default=4096)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required speedup on the showcase query "
+                             "(full mode only; default: 3.0)")
+    arguments = parser.parse_args(argv)
+
+    shape = QUICK_SHAPE if arguments.quick else FULL_SHAPE
+    document = generate_document(*shape)
+    engine_off = XPathEngine(TranslationOptions.improved(), index="off")
+    engine_on = XPathEngine(TranslationOptions.improved(), index="auto")
+
+    report = {
+        "benchmark": "indexes",
+        "mode": "quick" if arguments.quick else "full",
+        "repeat": arguments.repeat,
+        "document": {
+            "max_elements": shape[0], "fanout": shape[1], "depth": shape[2],
+        },
+        "queries": [],
+        "min_speedup_required": (
+            None if arguments.quick else arguments.min_speedup
+        ),
+    }
+
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="repro-benchidx-") as tmp:
+        store_path = Path(tmp) / "bench.natix"
+        DocumentStore.write(document, store_path)
+        file_bytes = store_path.stat().st_size
+        report["document"]["file_bytes"] = file_bytes
+        print(f"document: {shape[0]} elements -> {file_bytes} bytes stored")
+        if not arguments.quick and file_bytes < 1 << 20:
+            print("error: full-mode store is below 1 MiB", file=sys.stderr)
+            return 2
+
+        for query, enforce in QUERIES:
+            off = _run_leg(engine_off, query, store_path,
+                           arguments.buffer_pages, arguments.repeat)
+            on = _run_leg(engine_on, query, store_path,
+                          arguments.buffer_pages, arguments.repeat)
+            assert off["result_size"] == on["result_size"], (
+                f"index leg diverged on {query!r}: "
+                f"{on['result_size']} vs {off['result_size']}"
+            )
+            speedup = off["median_seconds"] / max(on["median_seconds"], 1e-9)
+            entry = {
+                "query": query,
+                "result_size": off["result_size"],
+                "off": off,
+                "indexed": on,
+                "speedup": round(speedup, 2),
+            }
+            report["queries"].append(entry)
+            print(
+                f"{query:>16}: off {off['median_seconds']*1e3:8.1f} ms "
+                f"({off['data_page_misses']} data-page reads)  "
+                f"indexed {on['median_seconds']*1e3:8.1f} ms "
+                f"({on['data_page_misses']} data + "
+                f"{on['index_page_misses']} index page reads)  "
+                f"speedup {speedup:.1f}x"
+            )
+            if (enforce and not arguments.quick
+                    and speedup < arguments.min_speedup):
+                ok = False
+                print(
+                    f"FAIL: {query!r} speedup {speedup:.2f}x is below the "
+                    f"{arguments.min_speedup}x floor",
+                    file=sys.stderr,
+                )
+
+    report["ok"] = ok
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {arguments.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.api import (
     ENGINES,
     EngineStats,
     XPathEngine,
+    build_indexes,
     compile_xpath,
     engine_names,
     evaluate,
@@ -58,6 +59,7 @@ __all__ = [
     "TranslationOptions",
     "XPathCompiler",
     "XPathEngine",
+    "build_indexes",
     "compile_xpath",
     "engine_names",
     "evaluate",

@@ -107,6 +107,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--store", metavar="PATH",
         help="store the parsed document as a page file, then query it",
     )
+    parser.add_argument(
+        "--indexes", action=argparse.BooleanOptionalAction, default=True,
+        help="build structural indexes when storing with --store, and "
+             "route eligible steps onto them (session engines; default "
+             "on, --no-indexes disables both)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.workers < 1:
@@ -140,7 +146,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         document = parse_document(text)
 
         if arguments.store:
-            store_document(document, arguments.store)
+            store_document(
+                document, arguments.store, indexes=arguments.indexes
+            )
             with open_store(arguments.store) as stored:
                 _run_query(arguments, stored)
             return 0
@@ -158,7 +166,8 @@ def _run_query(arguments, target) -> None:
     session: Optional[XPathEngine] = None
     if name in _SESSION_ENGINES:
         session = XPathEngine(
-            _SESSION_ENGINES[name](optimize=arguments.optimize)
+            _SESSION_ENGINES[name](optimize=arguments.optimize),
+            index="auto" if arguments.indexes else "off",
         )
         if arguments.workers > 1:
             batch = [arguments.query] * max(1, arguments.repeat)
@@ -177,7 +186,7 @@ def _run_query(arguments, target) -> None:
         print(line)
 
     if arguments.stats and session is not None:
-        compiled = session.compile(arguments.query)
+        compiled = session.compile(arguments.query, target=target)
         print(f"; stats: {dict(compiled.stats)}", file=sys.stderr)
     buffer = getattr(target, "buffer", None)
     if arguments.stats and buffer is not None:

@@ -306,6 +306,64 @@ class UnnestMap(UnaryOperator):
         return f"Υ[{self.out_attr}:{self.in_attr}/{self.step_display()}]"
 
 
+class IndexNameScan(UnnestMap):
+    """Υ[out : in/child::name] routed through the element name index.
+
+    Logically identical to the child-axis unnest-map it replaces — same
+    attributes, same per-context document order, same duplicates — which
+    is why it subclasses :class:`UnnestMap`: every property inference
+    (order, duplicate-freeness, free variables) applies unchanged.  The
+    physical operator probes the posting list of ``name`` restricted to
+    the context's subtree interval and keeps the ids whose parent is the
+    context node, falling back to plain axis navigation per tuple when
+    the context's document carries no fresh indexes.
+
+    ``est_count`` is the path-synopsis cardinality the optimizer saw
+    when it chose the index route (kept for EXPLAIN output).
+    """
+
+    __slots__ = ("est_count",)
+    symbol = "IdxName"
+
+    def __init__(self, child: Operator, in_attr: str, out_attr: str,
+                 name: str, est_count: Optional[int] = None):
+        super().__init__(child, in_attr, out_attr, Axis.CHILD,
+                         NodeTestKind.NAME, name)
+        self.est_count = est_count
+
+    def label(self) -> str:
+        return (
+            f"IdxName[{self.out_attr}:{self.in_attr}/child::"
+            f"{self.test_name}]"
+        )
+
+
+class IndexDescendantScan(UnnestMap):
+    """Υ[out : in/descendant::name] answered from the name index.
+
+    The posting list of ``name`` is sliced to the context node's
+    (pre, post) interval with two binary searches — no subtree walk, no
+    data-page reads for non-matching nodes.  Ascending node ids are
+    document order, so the output keeps exactly the order and duplicate
+    behaviour of the descendant-axis unnest-map it replaces.
+    """
+
+    __slots__ = ("est_count",)
+    symbol = "IdxDesc"
+
+    def __init__(self, child: Operator, in_attr: str, out_attr: str,
+                 name: str, est_count: Optional[int] = None):
+        super().__init__(child, in_attr, out_attr, Axis.DESCENDANT,
+                         NodeTestKind.NAME, name)
+        self.est_count = est_count
+
+    def label(self) -> str:
+        return (
+            f"IdxDesc[{self.out_attr}:{self.in_attr}/descendant::"
+            f"{self.test_name}]"
+        )
+
+
 class Unnest(UnaryOperator):
     """μ_g — unnests a sequence-valued attribute (paper Fig. 1).
 

@@ -177,10 +177,26 @@ def parse_document(text: str, **kwargs) -> Document:
 
 
 def store_document(document: Document, path, **kwargs) -> None:
-    """Persist a document to a Natix-style page file."""
+    """Persist a document to a Natix-style page file.
+
+    Structural indexes (:mod:`repro.index`) are built and appended by
+    default; pass ``indexes=False`` for a bare store.
+    """
     from repro.storage import DocumentStore
 
     DocumentStore.write(document, path, **kwargs)
+
+
+def build_indexes(path, buffer_pages: int = 256) -> None:
+    """Build (or rebuild) the structural indexes of a stored document.
+
+    Use this to retrofit indexes onto a store written with
+    ``indexes=False`` (or by an older version); the data pages are not
+    rewritten.  Re-open the store afterwards to pick the indexes up.
+    """
+    from repro.storage import DocumentStore
+
+    DocumentStore.build_indexes(path, buffer_pages=buffer_pages)
 
 
 def open_store(path, buffer_pages: int = 256):
@@ -318,6 +334,7 @@ __all__ = [
     "ENGINE_REGISTRY",
     "EngineStats",
     "XPathEngine",
+    "build_indexes",
     "compile_xpath",
     "engine_names",
     "evaluate",

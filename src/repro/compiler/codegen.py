@@ -23,7 +23,7 @@ from repro.algebra import operators as ops
 from repro.algebra import scalar as S
 from repro.algebra.properties import attributes, free_variables
 from repro.compiler.improved import TranslationOptions
-from repro.engine import basic, joins, materialize, scans, unnest
+from repro.engine import basic, index_scans, joins, materialize, scans, unnest
 from repro.engine.iterator import Iterator, RuntimeState
 from repro.engine.scans import SnapshotReplay
 from repro.engine.subscripts import InterpSubscript, NestedPlan, Subscript
@@ -165,6 +165,22 @@ class CodeGenerator:
             plan.axis,
             plan.test_kind,
             plan.test_name,
+        )
+
+    def _build_IndexNameScan(self, plan: ops.IndexNameScan) -> Iterator:
+        child = self.build(plan.child)
+        return index_scans.IndexNameScanIt(
+            self.runtime, child, self._slot(plan.in_attr),
+            self._slot(plan.out_attr), plan.test_name,
+        )
+
+    def _build_IndexDescendantScan(
+        self, plan: ops.IndexDescendantScan
+    ) -> Iterator:
+        child = self.build(plan.child)
+        return index_scans.IndexDescendantScanIt(
+            self.runtime, child, self._slot(plan.in_attr),
+            self._slot(plan.out_attr), plan.test_name,
         )
 
     def _build_ExprUnnestMap(self, plan: ops.ExprUnnestMap) -> Iterator:

@@ -17,6 +17,25 @@ elimination and sorting" [13]:
   that nothing else reads the intermediate step's attribute — a
   positional predicate grouping on it would change meaning.
 
+When the evaluation target is a stored document with fresh structural
+indexes (:mod:`repro.index`), a third rewrite family routes name steps
+onto the index scans:
+
+* ``Υ[descendant::n]`` (including the merged ``//n`` shape above)
+  becomes :class:`~repro.algebra.operators.IndexDescendantScan`,
+* ``Υ[child::n]`` becomes
+  :class:`~repro.algebra.operators.IndexNameScan`,
+
+but only for plain (unprefixed) name tests, and only when the path
+synopsis says the index prunes: a descendant rewrite is declined when
+more than :data:`DESCENDANT_SELECTIVITY_LIMIT` of all elements carry
+the name (the posting list would enumerate most of the subtree anyway,
+plus a parent-chain decode per candidate), a child rewrite only
+happens below :data:`CHILD_SELECTIVITY_LIMIT` (the interval slice
+over-approximates the child set by the whole subtree).  Declined
+rewrites are counted in ``OptimizerReport.index_skips`` — the
+``index_mode="force"`` engine option bypasses the selectivity gate.
+
 The pass is enabled with ``TranslationOptions(optimize=True)`` and runs
 between translation and code generation; it rewrites the plan in place
 (including plans nested in subscripts).
@@ -25,7 +44,7 @@ between translation and code generation; it rewrites the plan in place
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.algebra import operators as ops
 from repro.algebra import scalar as S
@@ -36,6 +55,13 @@ from repro.algebra.properties import (
 )
 from repro.xpath.axes import Axis, NodeTestKind
 
+#: Decline a descendant-index rewrite when the name covers more than
+#: this fraction of all elements (the index would not prune).
+DESCENDANT_SELECTIVITY_LIMIT = 0.5
+#: A child-index rewrite probes the *subtree* and filters by parent, so
+#: it only pays off for rare names.
+CHILD_SELECTIVITY_LIMIT = 0.1
+
 
 @dataclass
 class OptimizerReport:
@@ -45,6 +71,10 @@ class OptimizerReport:
     removed_sorts: int = 0
     removed_selections: int = 0
     merged_descendant_steps: int = 0
+    #: Steps routed onto index scans / rewrites declined by the
+    #: selectivity gate.
+    index_scans: int = 0
+    index_skips: int = 0
     notes: List[str] = field(default_factory=list)
 
     @property
@@ -52,11 +82,24 @@ class OptimizerReport:
         return (
             self.removed_dedups + self.removed_sorts
             + self.removed_selections + self.merged_descendant_steps
+            + self.index_scans
         )
 
 
-def optimize_plan(plan: ops.Operator) -> tuple[ops.Operator, OptimizerReport]:
-    """Apply the property-driven rewrites; returns (new root, report)."""
+def optimize_plan(
+    plan: ops.Operator,
+    index_info=None,
+    index_mode: str = "auto",
+) -> tuple[ops.Operator, OptimizerReport]:
+    """Apply the property-driven rewrites; returns (new root, report).
+
+    ``index_info`` is the evaluation target's
+    :class:`~repro.index.runtime.DocumentIndexes` (or ``None`` when the
+    target carries no fresh indexes); with it, the index-routing family
+    runs after the ``//t`` merge — so a merged ``Υ[descendant::t]`` is
+    itself eligible — and before property pruning.  ``index_mode``
+    ``"force"`` bypasses the synopsis selectivity gate.
+    """
     from repro.algebra.visitor import transform_bottom_up
 
     report = OptimizerReport()
@@ -64,6 +107,11 @@ def optimize_plan(plan: ops.Operator) -> tuple[ops.Operator, OptimizerReport]:
     plan = transform_bottom_up(
         plan, lambda node: _merge_one(node, reads, report)
     )
+    if index_info is not None:
+        plan = transform_bottom_up(
+            plan,
+            lambda node: _index_one(node, index_info, index_mode, report),
+        )
     return transform_bottom_up(
         plan, lambda node: _prune_one(node, report)
     ), report
@@ -153,6 +201,56 @@ def _merge_one(
         # descendant:: from a single context node is duplicate-free.
         return merged
     return ops.ProjectDup(merged, plan.out_attr)
+
+
+# ----------------------------------------------------------------------
+# Index routing
+# ----------------------------------------------------------------------
+
+def _index_one(
+    plan: ops.Operator, index_info, index_mode: str,
+    report: OptimizerReport,
+) -> ops.Operator:
+    """Route one eligible name step onto an index scan."""
+    if isinstance(plan, (ops.IndexNameScan, ops.IndexDescendantScan)):
+        return plan
+    if not isinstance(plan, ops.UnnestMap):
+        return plan
+    if plan.axis not in (Axis.CHILD, Axis.DESCENDANT):
+        return plan
+    name = plan.test_name
+    if (plan.test_kind != NodeTestKind.NAME or not name or ":" in name):
+        # Only plain-name tests: the posting list keys the stored QName,
+        # which is a superset of a plain test's matches but not of a
+        # prefix-resolved one.
+        return plan
+
+    synopsis = index_info.synopsis
+    count = synopsis.element_count(name)
+    total = synopsis.total_elements
+    limit = (
+        CHILD_SELECTIVITY_LIMIT
+        if plan.axis == Axis.CHILD
+        else DESCENDANT_SELECTIVITY_LIMIT
+    )
+    if index_mode != "force" and total and count > limit * total:
+        report.index_skips += 1
+        report.notes.append(
+            f"declined index route for {plan.label()} "
+            f"({count}/{total} elements)"
+        )
+        return plan
+
+    cls = (
+        ops.IndexNameScan
+        if plan.axis == Axis.CHILD
+        else ops.IndexDescendantScan
+    )
+    routed = cls(plan.child, plan.in_attr, plan.out_attr, name,
+                 est_count=count)
+    report.index_scans += 1
+    report.notes.append(f"routed {plan.label()} onto {routed.label()}")
+    return routed
 
 
 def _prune_one(plan: ops.Operator, report: OptimizerReport) -> ops.Operator:

@@ -218,10 +218,22 @@ class CompiledQuery:
 
 
 class XPathCompiler:
-    """Compiles XPath 1.0 strings into executable NQE plans."""
+    """Compiles XPath 1.0 strings into executable NQE plans.
 
-    def __init__(self, options: Optional[TranslationOptions] = None):
+    ``index_info``/``index_mode`` parameterize the optimizer's
+    index-routing family for one evaluation target: ``index_info`` is
+    the target's :class:`~repro.index.runtime.DocumentIndexes` (or
+    ``None``), ``index_mode`` one of ``"auto"``/``"force"``.  They are
+    *per-target* compile inputs, not translation options — the session
+    layer keys its plan cache on the target's index signature so plans
+    routed for one indexed store are never replayed against another.
+    """
+
+    def __init__(self, options: Optional[TranslationOptions] = None,
+                 index_info=None, index_mode: str = "auto"):
         self.options = options or TranslationOptions()
+        self.index_info = index_info
+        self.index_mode = index_mode
 
     def compile(self, query: str) -> CompiledQuery:
         timings: Dict[str, float] = {}
@@ -254,14 +266,18 @@ class XPathCompiler:
             )
             translation.result_attr = _SCALAR_RESULT_ATTR
 
-        # Phase 5b (optional): property-driven plan optimization.
-        if self.options.optimize:
+        # Phase 5b (optional): property-driven plan optimization.  An
+        # indexed target enables the pass even without optimize=True —
+        # index routing is what makes the target's indexes reachable.
+        if self.options.optimize or self.index_info is not None:
             from repro.compiler.optimize import optimize_plan
 
             assert translation.plan is not None
             start = time.perf_counter()
             translation.plan, optimizer_report = optimize_plan(
-                translation.plan
+                translation.plan,
+                index_info=self.index_info,
+                index_mode=self.index_mode,
             )
             timings["optimize"] = time.perf_counter() - start
 

@@ -73,7 +73,10 @@ DEFAULT_MAX_WORKERS = 4
 EvalTarget = Union[Document, Node, object]
 
 _NamespaceSig = Tuple[Tuple[str, str], ...]
-_PlanKey = Tuple[str, TranslationOptions, _NamespaceSig]
+_PlanKey = Tuple[str, TranslationOptions, _NamespaceSig, Optional[str]]
+
+#: Valid values of the engine's ``index`` option.
+INDEX_MODES = ("auto", "off", "force")
 
 #: Backwards-compatible name: the plan cache is the striped one now.
 PlanCache = StripedPlanCache
@@ -114,13 +117,20 @@ def _namespace_signature(
 
 @dataclass(frozen=True)
 class BufferSnapshot:
-    """Page-buffer counters of the most recent storage-backed target."""
+    """Page-buffer counters of the most recent storage-backed target.
+
+    The top-level counters describe the data-page buffer; ``by_kind``
+    (when the target exposes it) breaks I/O out per page kind — data
+    pages vs. the index region's pages — so the stats can attribute
+    page reads saved by index routing.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     cached_pages: int = 0
     capacity: int = 0
+    by_kind: Optional[Dict[str, Dict[str, int]]] = None
 
 
 @dataclass(frozen=True)
@@ -250,8 +260,23 @@ class XPathEngine:
         *,
         coalesce: bool = True,
         max_workers: int = DEFAULT_MAX_WORKERS,
+        index: Union[str, bool] = "auto",
     ):
         self.options = options or TranslationOptions()
+        if index is True:
+            index = "auto"
+        elif index is False:
+            index = "off"
+        if index not in INDEX_MODES:
+            raise ValueError(
+                f"index must be one of {INDEX_MODES} (or a bool), "
+                f"got {index!r}"
+            )
+        #: "auto" — route name steps onto the target's structural
+        #: indexes when the path synopsis says they prune; "force" —
+        #: route every eligible step regardless of selectivity; "off" —
+        #: never consult indexes.
+        self.index_mode: str = index
         self.cache = StripedPlanCache(cache_size, cache_shards)
         self.coalesce = coalesce
         self.max_workers = max_workers
@@ -268,32 +293,69 @@ class XPathEngine:
 
     # -- compilation ---------------------------------------------------
 
+    def _target_indexes(self, target: Optional[EvalTarget]):
+        """The target's fresh :class:`DocumentIndexes`, or ``None``.
+
+        ``None`` when indexing is off, the target is not page-backed,
+        or its indexes are missing/stale (the store only publishes
+        ``.indexes`` after the structural fingerprint matched).
+        """
+        if target is None or self.index_mode == "off":
+            return None
+        document = target
+        if isinstance(target, Node):
+            document = getattr(target, "document", None)
+        elif getattr(target, "root", None) is None:
+            return None
+        return getattr(document, "indexes", None)
+
     def compile(
         self,
         query: str,
         *,
         options: Optional[TranslationOptions] = None,
         namespaces: Optional[Mapping[str, str]] = None,
+        target: Optional[EvalTarget] = None,
     ) -> CompiledQuery:
         """The compiled plan for ``query``, through the striped cache.
 
-        Plans are keyed by ``(query, options, namespace signature)``:
-        the same query under different translation options or prefix
-        bindings is a different plan.  Only the key's shard is latched;
+        Plans are keyed by ``(query, options, namespace signature,
+        index signature)``: the same query under different translation
+        options or prefix bindings is a different plan, and a plan
+        routed onto one store's indexes (``target`` page-backed with
+        fresh indexes, engine ``index`` mode not ``"off"``) is keyed by
+        that store's structural fingerprint — so it is shared across
+        targets with identical structure and never replayed against a
+        structurally different one.  Only the key's shard is latched;
         compilation runs outside any lock (a racing duplicate compile is
         harmless — last writer wins, both plans are equivalent).
         """
         opts = options or self.options
-        key = (query, opts, _namespace_signature(namespaces))
+        indexes = self._target_indexes(target)
+        index_sig = indexes.signature if indexes is not None else None
+        key = (query, opts, _namespace_signature(namespaces), index_sig)
         plan = self.cache.get(key)
         if plan is not None:
             return plan
-        compiled = XPathCompiler(opts).compile(query)
+        compiled = XPathCompiler(
+            opts, index_info=indexes, index_mode=self.index_mode
+        ).compile(query)
         self.cache.put(key, compiled)
         with self._lock:
             self._compile_count += 1
             self._phase_seconds.update(compiled.phase_timings)
             self._last_phase_seconds = dict(compiled.phase_timings)
+            report = compiled.optimizer_report
+            if report is not None:
+                self._engine_counters["plans_index_routed"] += (
+                    1 if report.index_scans else 0
+                )
+                self._engine_counters["rewrite_index_scans"] += (
+                    report.index_scans
+                )
+                self._engine_counters["rewrite_index_skips"] += (
+                    report.index_skips
+                )
         return compiled
 
     def explain(
@@ -302,10 +364,15 @@ class XPathEngine:
         *,
         options: Optional[TranslationOptions] = None,
         namespaces: Optional[Mapping[str, str]] = None,
+        target: Optional[EvalTarget] = None,
     ) -> str:
-        """The logical plan of ``query`` as an indented tree."""
+        """The logical plan of ``query`` as an indented tree.
+
+        Pass ``target`` to see the plan as it would compile for that
+        evaluation target (index routing included).
+        """
         return self.compile(
-            query, options=options, namespaces=namespaces
+            query, options=options, namespaces=namespaces, target=target
         ).explain()
 
     # -- evaluation ----------------------------------------------------
@@ -328,7 +395,9 @@ class XPathEngine:
         waits for that execution and shares its result instead of
         re-evaluating (node-set results are shallow-copied per caller).
         """
-        plan = self.compile(query, options=options, namespaces=namespaces)
+        plan = self.compile(
+            query, options=options, namespaces=namespaces, target=target
+        )
         node = resolve_context_node(target)
         key = self._coalesce_key(
             query, node, variables, namespaces, options, ordered
@@ -365,7 +434,10 @@ class XPathEngine:
         """
         node = resolve_context_node(target)
         plans = [
-            self.compile(query, options=options, namespaces=namespaces)
+            self.compile(
+                query, options=options, namespaces=namespaces,
+                target=target,
+            )
             for query in queries
         ]
         context = ExecutionContext(
@@ -413,7 +485,8 @@ class XPathEngine:
         distinct = list(dict.fromkeys(queries))
         plans = {
             query: self.compile(
-                query, options=options, namespaces=namespaces
+                query, options=options, namespaces=namespaces,
+                target=target,
             )
             for query in distinct
         }
@@ -453,7 +526,9 @@ class XPathEngine:
         options: Optional[TranslationOptions] = None,
     ) -> int:
         """Count result tuples without materializing them."""
-        plan = self.compile(query, options=options, namespaces=namespaces)
+        plan = self.compile(
+            query, options=options, namespaces=namespaces, target=target
+        )
         node = resolve_context_node(target)
         start = time.perf_counter()
         result = plan.count(
@@ -561,10 +636,15 @@ def _buffer_snapshot(node: Node) -> Optional[BufferSnapshot]:
     stats = getattr(buffer, "stats", None)
     if stats is None:
         return None
+    by_kind = None
+    stats_fn = getattr(document, "buffer_stats", None)
+    if stats_fn is not None:
+        by_kind = stats_fn().get("by_kind")
     return BufferSnapshot(
         hits=stats.hits,
         misses=stats.misses,
         evictions=stats.evictions,
         cached_pages=buffer.cached_pages,
         capacity=buffer.capacity,
+        by_kind=by_kind,
     )

@@ -1,0 +1,50 @@
+"""Persistent structural indexes for stored documents.
+
+The paper's evaluation feeds location steps "directly from the
+persistent representation in the Natix page buffer" (section 5.2.2); a
+scan is still a scan, though.  This package adds the structural indexes
+native XML stores build their headline numbers on:
+
+* **name index** — QName → document-ordered posting list of element ids
+  (and attribute name → owner-element ids),
+* **path synopsis** — DataGuide-style tree of distinct root-to-node
+  label paths with cardinalities, used by the optimizer to estimate
+  selectivity before routing a step onto an index,
+* **rank (interval) index** — per-node subtree extents equivalent to
+  (pre, post) ranks, giving O(1) ancestor/descendant containment tests
+  and turning "descendants of *c* named *n*" into a binary search over
+  a posting list.
+
+Indexes are serialized into the store's page file as an appended
+index region (catalog record + page-aligned payload, see
+:mod:`repro.index.persist`) and read back lazily through a dedicated
+``kind="index"`` :class:`~repro.storage.pages.BufferManager`, so index
+I/O is attributed separately from data-page I/O.  A structural
+fingerprint in the catalog invalidates stale indexes: a re-stored
+document whose structure no longer matches falls back to scans instead
+of answering from a stale index.
+"""
+
+from repro.index.build import IndexData, build_index_data
+from repro.index.persist import (
+    INDEX_FOOTER_MAGIC,
+    append_index_blob,
+    read_index_catalog,
+    serialize_index_blob,
+    structural_fingerprint,
+)
+from repro.index.runtime import DocumentIndexes
+from repro.index.synopsis import PathSynopsis, SynopsisEntry
+
+__all__ = [
+    "DocumentIndexes",
+    "IndexData",
+    "INDEX_FOOTER_MAGIC",
+    "PathSynopsis",
+    "SynopsisEntry",
+    "append_index_blob",
+    "build_index_data",
+    "read_index_catalog",
+    "serialize_index_blob",
+    "structural_fingerprint",
+]

@@ -1,0 +1,130 @@
+"""Building the structural indexes from a document.
+
+The builder walks a document once in pre-order (node ids *are*
+pre-order ranks, see :mod:`repro.storage.store`) and produces the three
+structures the subsystem persists:
+
+* posting lists — element name → ascending element ids, attribute
+  name → ascending owner-element ids,
+* subtree extents — ``extent[i]`` is the id of the last node in the
+  subtree rooted at node ``i``; the pair ``(i, extent[i])`` is the
+  node's (pre, post)-style interval, so *d* is a descendant of *a* iff
+  ``a < d <= extent[a]``,
+* the path synopsis (:class:`~repro.index.synopsis.PathSynopsis`).
+
+The walk works on both in-memory documents and already-stored ones
+(``build_index_data(stored)`` decodes every node once), which is what
+lets :func:`repro.api.build_indexes` retrofit indexes onto an existing
+page file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dom.node import NodeKind
+from repro.index.synopsis import (
+    KIND_ATTRIBUTE,
+    KIND_ELEMENT,
+    PathSynopsis,
+    SynopsisEntry,
+)
+
+
+@dataclass
+class IndexData:
+    """The in-memory form of a document's structural indexes."""
+
+    #: element QName -> ascending ids of elements with that name
+    element_postings: Dict[str, List[int]] = field(default_factory=dict)
+    #: attribute QName -> ascending ids of the *owner* elements
+    attribute_postings: Dict[str, List[int]] = field(default_factory=dict)
+    #: extent[i] = id of the last node in node i's subtree
+    extents: List[int] = field(default_factory=list)
+    synopsis: PathSynopsis = field(
+        default_factory=lambda: PathSynopsis(())
+    )
+
+    @property
+    def node_count(self) -> int:
+        return len(self.extents)
+
+    def is_descendant(self, candidate: int, ancestor: int) -> bool:
+        """O(1) containment via the (pre, post) interval."""
+        return ancestor < candidate <= self.extents[ancestor]
+
+
+def build_index_data(document) -> IndexData:
+    """Build all structural indexes with one pre-order walk.
+
+    ``document`` is anything document-like with ``iter_nodes()``
+    (an in-memory :class:`~repro.dom.document.Document` or a
+    :class:`~repro.storage.store.StoredDocument`); node ids are taken
+    from the nodes' sort keys, which equal pre-order ranks on both
+    representations.
+    """
+    data = IndexData()
+    parents: List[int] = []
+    extents = data.extents
+
+    # Synopsis accumulation: (parent_entry, kind, name) -> entry index.
+    entry_ids: Dict[Tuple[int, int, str], int] = {}
+    entry_counts: List[int] = []
+    entry_meta: List[Tuple[int, int, str]] = []
+    #: node id -> its synopsis entry (for parent lookups); the document
+    #: root maps to -1.
+    node_entry: Dict[int, int] = {}
+
+    def synopsis_note(parent_entry: int, kind: int, name: str) -> int:
+        key = (parent_entry, kind, name)
+        entry = entry_ids.get(key)
+        if entry is None:
+            entry = len(entry_counts)
+            entry_ids[key] = entry
+            entry_counts.append(0)
+            entry_meta.append(key)
+        entry_counts[entry] += 1
+        return entry
+
+    for node in document.iter_nodes():
+        node_id = node.sort_key[0]
+        if node_id != len(extents):
+            raise ValueError(
+                f"non-preorder node id {node_id} at position {len(extents)}"
+            )
+        extents.append(node_id)
+        parent = node.parent
+        parents.append(parent.sort_key[0] if parent is not None else -1)
+
+        if node.kind == NodeKind.ELEMENT:
+            parent_entry = node_entry.get(parents[-1], -1)
+            entry = synopsis_note(
+                parent_entry, KIND_ELEMENT, node.name or ""
+            )
+            node_entry[node_id] = entry
+            data.element_postings.setdefault(node.name or "", []).append(
+                node_id
+            )
+            for attribute in node.attributes:
+                synopsis_note(
+                    entry, KIND_ATTRIBUTE, attribute.name or ""
+                )
+                data.attribute_postings.setdefault(
+                    attribute.name or "", []
+                ).append(node_id)
+
+    # Extents: in reverse pre-order every node's extent is final before
+    # its parent's is read, so one backward sweep suffices.
+    for node_id in range(len(extents) - 1, 0, -1):
+        parent = parents[node_id]
+        if parent >= 0 and extents[node_id] > extents[parent]:
+            extents[parent] = extents[node_id]
+
+    data.synopsis = PathSynopsis(
+        SynopsisEntry(
+            parent=meta[0], kind=meta[1], name=meta[2], count=count
+        )
+        for meta, count in zip(entry_meta, entry_counts)
+    )
+    return data

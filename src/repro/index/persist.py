@@ -1,0 +1,285 @@
+"""Serializing indexes into the store's page file.
+
+The index region is *appended* to a stored document's page file, so
+index builds never rewrite data pages and a v1 file without indexes
+stays byte-identical and readable::
+
+    [store header | names | id map | dir | data pages]   <- unchanged
+    [index catalog record | posting pages | extent pages]
+    [u64 region length | b"NATXIDX1"]                    <- footer
+
+The footer is fixed-size and sits at EOF, so opening a store costs one
+seek: no footer magic → no indexes.  The region itself is addressed
+like a second page file (``PageFile(handle, region_start, ...)``) and
+read through a dedicated ``kind="index"`` buffer manager — *index
+pages* are a new page kind next to the existing data pages, and the
+buffer statistics attribute I/O to each kind separately.
+
+The **index catalog record** at the head of the region is decoded
+eagerly at open time.  It holds the structural fingerprint the
+freshness check compares (md5 over the store's name table, node
+directory, node count and data length — any structural change to the
+document changes it), the full path synopsis, a directory of posting
+lists (offset/length into the region) and the location of the
+fixed-width extent array.  Posting lists and extents are *not* loaded
+eagerly; they are fetched through the index buffer manager on first
+use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import StorageError
+from repro.index.build import IndexData
+from repro.index.synopsis import PathSynopsis, SynopsisEntry
+from repro.storage.encoding import (
+    decode_string,
+    decode_varint,
+    encode_id_list,
+    encode_string,
+    encode_varint,
+)
+
+#: Magic at the head of the index catalog record.
+INDEX_CATALOG_MAGIC = b"NIDX1"
+#: Magic trailing the whole file when an index region is present.
+INDEX_FOOTER_MAGIC = b"NATXIDX1"
+#: Fixed footer: u64 big-endian region length + the magic.
+FOOTER_SIZE = 8 + len(INDEX_FOOTER_MAGIC)
+
+#: Fixed width of one extent entry (u32 big-endian pre-order id).
+EXTENT_WIDTH = 4
+
+_KIND_ELEMENT_POSTING = 0
+_KIND_ATTRIBUTE_POSTING = 1
+
+
+def structural_fingerprint(
+    names_blob: bytes, dir_blob: bytes, node_count: int, data_len: int
+) -> bytes:
+    """16-byte fingerprint of a store's structure.
+
+    Computed from sections the store reader decodes eagerly anyway, so
+    the freshness check at open time costs no extra I/O.  Any change to
+    the tree shape, the record layout or the name table changes the
+    node directory or the name blob, hence the digest; text-only edits
+    that somehow preserved every record length would keep it — which is
+    exactly right, because the *structural* indexes do not depend on
+    text content.
+    """
+    digest = hashlib.md5()
+    digest.update(names_blob)
+    digest.update(dir_blob)
+    head = bytearray()
+    encode_varint(node_count, head)
+    encode_varint(data_len, head)
+    digest.update(bytes(head))
+    return digest.digest()
+
+
+@dataclass(frozen=True)
+class PostingRef:
+    """Location of one posting list inside the index region."""
+
+    offset: int
+    length: int
+    count: int
+
+
+@dataclass
+class IndexCatalog:
+    """The decoded index catalog record."""
+
+    fingerprint: bytes
+    synopsis: PathSynopsis
+    element_refs: Dict[str, PostingRef]
+    attribute_refs: Dict[str, PostingRef]
+    extent_offset: int
+    node_count: int
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def serialize_index_blob(data: IndexData, fingerprint: bytes) -> bytes:
+    """The complete index region: catalog record + payload bytes."""
+    payload = bytearray()
+    element_refs: Dict[str, PostingRef] = {}
+    attribute_refs: Dict[str, PostingRef] = {}
+    for refs, postings in (
+        (element_refs, data.element_postings),
+        (attribute_refs, data.attribute_postings),
+    ):
+        for name in sorted(postings):
+            ids = postings[name]
+            start = len(payload)
+            encode_id_list(ids, payload)
+            refs[name] = PostingRef(start, len(payload) - start, len(ids))
+    extent_offset = len(payload)
+    payload.extend(
+        struct.pack(f">{len(data.extents)}I", *data.extents)
+        if data.extents
+        else b""
+    )
+
+    catalog = bytearray()
+    if len(fingerprint) != 16:
+        raise StorageError("fingerprint must be 16 bytes")
+    catalog.extend(fingerprint)
+    encode_varint(data.node_count, catalog)
+
+    synopsis = data.synopsis
+    encode_varint(len(synopsis.entries), catalog)
+    for entry in synopsis.entries:
+        encode_varint(entry.parent + 1, catalog)  # biased, -1 -> 0
+        encode_varint(entry.kind, catalog)
+        encode_string(entry.name, catalog)
+        encode_varint(entry.count, catalog)
+
+    for kind, refs in (
+        (_KIND_ELEMENT_POSTING, element_refs),
+        (_KIND_ATTRIBUTE_POSTING, attribute_refs),
+    ):
+        encode_varint(len(refs), catalog)
+        for name in sorted(refs):
+            ref = refs[name]
+            encode_varint(kind, catalog)
+            encode_string(name, catalog)
+            encode_varint(ref.offset, catalog)
+            encode_varint(ref.length, catalog)
+            encode_varint(ref.count, catalog)
+
+    encode_varint(extent_offset, catalog)
+
+    # The catalog carries an explicit length so a reader can pull
+    # exactly the record head with two fixed reads; payload offsets are
+    # relative to the payload start, which follows the catalog directly.
+    head = (
+        INDEX_CATALOG_MAGIC
+        + struct.pack(">I", len(catalog))
+        + bytes(catalog)
+    )
+    return head + bytes(payload)
+
+
+def footer_for(blob: bytes) -> bytes:
+    return struct.pack(">Q", len(blob)) + INDEX_FOOTER_MAGIC
+
+
+def append_index_blob(handle, store_end: int, blob: bytes) -> None:
+    """Write ``blob`` + footer at ``store_end``, truncating any older
+    index region first (index rebuilds are idempotent appends)."""
+    handle.seek(store_end)
+    handle.truncate(store_end)
+    handle.write(blob)
+    handle.write(footer_for(blob))
+
+
+# ----------------------------------------------------------------------
+# Deserialization
+# ----------------------------------------------------------------------
+
+
+def find_index_region(handle, file_end: int) -> Tuple[int, int]:
+    """Locate the index region; returns (region_start, region_length).
+
+    Raises :class:`StorageError` when no (valid) footer is present.
+    """
+    if file_end < FOOTER_SIZE:
+        raise StorageError("no index footer")
+    handle.seek(file_end - FOOTER_SIZE)
+    footer = handle.read(FOOTER_SIZE)
+    if footer[8:] != INDEX_FOOTER_MAGIC:
+        raise StorageError("no index footer")
+    (length,) = struct.unpack(">Q", footer[:8])
+    start = file_end - FOOTER_SIZE - length
+    if length <= 0 or start < 0:
+        raise StorageError("corrupt index footer")
+    return start, length
+
+
+#: Fixed head of the catalog record: magic + u32 catalog-body length.
+CATALOG_HEAD_SIZE = len(INDEX_CATALOG_MAGIC) + 4
+
+
+def read_index_catalog(region_head: bytes) -> Tuple[IndexCatalog, int]:
+    """Decode the catalog record from the head of the index region.
+
+    ``region_head`` must cover at least the catalog record (passing the
+    whole region is fine).  Returns ``(catalog, payload_start)`` where
+    ``payload_start`` is the region-relative offset the posting/extent
+    refs are based at.
+    """
+    if region_head[: len(INDEX_CATALOG_MAGIC)] != INDEX_CATALOG_MAGIC:
+        raise StorageError("bad index catalog magic")
+    (body_len,) = struct.unpack(
+        ">I", region_head[len(INDEX_CATALOG_MAGIC) : CATALOG_HEAD_SIZE]
+    )
+    payload_start = CATALOG_HEAD_SIZE + body_len
+    if len(region_head) < payload_start:
+        raise StorageError("truncated index catalog")
+    body = region_head[CATALOG_HEAD_SIZE:payload_start]
+
+    fingerprint = body[:16]
+    if len(fingerprint) != 16:
+        raise StorageError("truncated index catalog")
+    at = 16
+    node_count, at = decode_varint(body, at)
+
+    entry_count, at = decode_varint(body, at)
+    entries = []
+    for _ in range(entry_count):
+        parent, at = decode_varint(body, at)
+        kind, at = decode_varint(body, at)
+        name, at = decode_string(body, at)
+        count, at = decode_varint(body, at)
+        entries.append(
+            SynopsisEntry(
+                parent=parent - 1, kind=kind, name=name, count=count
+            )
+        )
+
+    element_refs: Dict[str, PostingRef] = {}
+    attribute_refs: Dict[str, PostingRef] = {}
+    for refs in (element_refs, attribute_refs):
+        ref_count, at = decode_varint(body, at)
+        for _ in range(ref_count):
+            _kind, at = decode_varint(body, at)
+            name, at = decode_string(body, at)
+            offset, at = decode_varint(body, at)
+            length, at = decode_varint(body, at)
+            count, at = decode_varint(body, at)
+            refs[name] = PostingRef(offset, length, count)
+
+    extent_offset, at = decode_varint(body, at)
+    return (
+        IndexCatalog(
+            fingerprint=fingerprint,
+            synopsis=PathSynopsis(entries),
+            element_refs=element_refs,
+            attribute_refs=attribute_refs,
+            extent_offset=extent_offset,
+            node_count=node_count,
+        ),
+        payload_start,
+    )
+
+
+def load_index_catalog(handle, region_start: int) -> Tuple[IndexCatalog, int]:
+    """Read and decode the catalog with two fixed reads on ``handle``.
+
+    Returns ``(catalog, payload_start)`` like :func:`read_index_catalog`.
+    """
+    handle.seek(region_start)
+    head = handle.read(CATALOG_HEAD_SIZE)
+    if head[: len(INDEX_CATALOG_MAGIC)] != INDEX_CATALOG_MAGIC:
+        raise StorageError("bad index catalog magic")
+    (body_len,) = struct.unpack(">I", head[len(INDEX_CATALOG_MAGIC) :])
+    body = handle.read(body_len)
+    return read_index_catalog(head + body)

@@ -1,0 +1,185 @@
+"""Runtime access to a stored document's persistent indexes.
+
+:class:`DocumentIndexes` is the object the engine and the optimizer
+see.  It owns a dedicated ``kind="index"`` buffer manager over the
+index region of the page file, decodes the catalog record eagerly and
+everything else lazily:
+
+* posting lists are fetched and decoded on first use per name and then
+  cached (they are immutable for the life of the open store),
+* subtree extents are read as fixed-width 4-byte records straight out
+  of the page buffer — one record per containment probe, no decode of
+  the node itself.
+
+The :meth:`signature` (the structural fingerprint, hex) keys compiled
+plans in the session plan cache: two targets with the same signature
+can share an index-routed plan, and a target whose store bytes changed
+gets a different signature and therefore different plans.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import BinaryIO, Dict, List, Tuple
+
+from repro.index.persist import (
+    EXTENT_WIDTH,
+    IndexCatalog,
+    find_index_region,
+    read_index_catalog,
+)
+from repro.index.synopsis import PathSynopsis
+from repro.storage.encoding import decode_id_list
+from repro.storage.pages import BufferManager, PageFile
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+class DocumentIndexes:
+    """Lazily materialized view over a store's on-disk index region."""
+
+    def __init__(self, buffer: BufferManager, catalog: IndexCatalog,
+                 payload_start: int):
+        self.buffer = buffer
+        self.catalog = catalog
+        self._payload_start = payload_start
+        self._element_cache: Dict[str, Tuple[int, ...]] = {}
+        self._attribute_cache: Dict[str, Tuple[int, ...]] = {}
+        self._extent_cache: Dict[int, int] = {}
+
+    @classmethod
+    def load(cls, handle: BinaryIO, file_end: int, page_size: int,
+             buffer_pages: int) -> "DocumentIndexes":
+        """Open the index region of a page file.
+
+        Raises :class:`~repro.errors.StorageError` when the file carries
+        no index footer — the caller treats that as "no indexes", not as
+        corruption.  The catalog record is read through the index buffer
+        manager so even catalog I/O shows up in the index-page counters.
+        """
+        region_start, region_length = find_index_region(handle, file_end)
+        page_file = PageFile(handle, region_start, region_length, page_size)
+        buffer = BufferManager(page_file, buffer_pages, kind="index")
+        head = buffer.read_record(0, min(region_length, page_size))
+        try:
+            catalog, payload_start = read_index_catalog(head)
+        except Exception:
+            # Catalog larger than one page: pull the whole region head.
+            catalog, payload_start = read_index_catalog(
+                buffer.read_record(0, region_length)
+            )
+        return cls(buffer, catalog, payload_start)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def signature(self) -> str:
+        """Hex structural fingerprint; part of plan-cache keys."""
+        return self.catalog.fingerprint.hex()
+
+    @property
+    def synopsis(self) -> PathSynopsis:
+        return self.catalog.synopsis
+
+    @property
+    def node_count(self) -> int:
+        return self.catalog.node_count
+
+    def has_element_index(self, name: str) -> bool:
+        return name in self.catalog.element_refs
+
+    def element_count(self, name: str) -> int:
+        """Exact posting-list length, straight from the catalog."""
+        ref = self.catalog.element_refs.get(name)
+        return ref.count if ref is not None else 0
+
+    def attribute_count(self, name: str) -> int:
+        ref = self.catalog.attribute_refs.get(name)
+        return ref.count if ref is not None else 0
+
+    # ------------------------------------------------------------------
+
+    def element_ids(self, name: str) -> Tuple[int, ...]:
+        """All ids of elements named ``name``, ascending."""
+        cached = self._element_cache.get(name)
+        if cached is None:
+            cached = self._decode_posting(
+                self.catalog.element_refs.get(name)
+            )
+            self._element_cache[name] = cached
+        return cached
+
+    def attribute_owner_ids(self, name: str) -> Tuple[int, ...]:
+        """Ids of elements carrying an attribute named ``name``."""
+        cached = self._attribute_cache.get(name)
+        if cached is None:
+            cached = self._decode_posting(
+                self.catalog.attribute_refs.get(name)
+            )
+            self._attribute_cache[name] = cached
+        return cached
+
+    def _decode_posting(self, ref) -> Tuple[int, ...]:
+        if ref is None or ref.length == 0:
+            return _EMPTY
+        record = self.buffer.read_record(
+            self._payload_start + ref.offset, ref.length
+        )
+        ids, _ = decode_id_list(record, 0)
+        return tuple(ids)
+
+    # ------------------------------------------------------------------
+
+    def extent(self, node_id: int) -> int:
+        """Id of the last node in ``node_id``'s subtree.
+
+        One fixed-width record read through the page buffer; cached per
+        node so repeated probes on the same context are free.
+        """
+        cached = self._extent_cache.get(node_id)
+        if cached is not None:
+            return cached
+        record = self.buffer.read_record(
+            self._payload_start
+            + self.catalog.extent_offset
+            + node_id * EXTENT_WIDTH,
+            EXTENT_WIDTH,
+        )
+        (value,) = struct.unpack(">I", record)
+        self._extent_cache[node_id] = value
+        return value
+
+    def is_descendant(self, candidate: int, ancestor: int) -> bool:
+        """(pre, post)-interval containment in O(1)."""
+        return ancestor < candidate <= self.extent(ancestor)
+
+    def element_ids_in_subtree(self, name: str, context_id: int,
+                               include_self: bool = False) -> List[int]:
+        """Ids of ``name`` elements inside ``context_id``'s subtree.
+
+        A binary-search slice of the posting list over the context's
+        (pre, post) interval — this is the probe behind
+        ``IndexDescendantScan``.  Results are ascending node ids, i.e.
+        document order, so downstream order/duplicate properties hold
+        without sorting.
+        """
+        posting = self.element_ids(name)
+        if not posting:
+            return []
+        low = context_id if include_self else context_id + 1
+        start = bisect_left(posting, low)
+        end = bisect_right(posting, self.extent(context_id))
+        return list(posting[start:end])
+
+    # ------------------------------------------------------------------
+
+    def buffer_stats(self) -> dict:
+        stats = self.buffer.stats
+        return {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "cached_pages": self.buffer.cached_pages,
+            "capacity": self.buffer.capacity,
+        }

@@ -1,0 +1,107 @@
+"""The path synopsis: a DataGuide over stored documents.
+
+One :class:`SynopsisEntry` exists per distinct root-to-node *label
+path* (e.g. ``/xdoc/section/item``), with the number of document nodes
+sharing that path.  The synopsis is tiny (bounded by the document's
+structural variety, not its size), lives in the index catalog record
+and is loaded eagerly when a store is opened — it is the piece of the
+index subsystem the *compiler* reads: the index-aware rewrite asks it
+how many elements carry a name before routing a step onto the name
+index, and declines the rewrite when the answer says the index would
+not prune (see ``docs/indexes.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: Synopsis entry kinds.
+KIND_ELEMENT = 0
+KIND_ATTRIBUTE = 1
+
+
+@dataclass(frozen=True)
+class SynopsisEntry:
+    """One distinct label path.
+
+    ``parent`` is the index of the parent path's entry (``-1`` for the
+    document root), so the entries form the DataGuide tree.
+    """
+
+    parent: int
+    kind: int  #: :data:`KIND_ELEMENT` or :data:`KIND_ATTRIBUTE`
+    name: str
+    count: int
+
+
+class PathSynopsis:
+    """Cardinality lookups over the DataGuide entries."""
+
+    def __init__(self, entries: Sequence[SynopsisEntry]):
+        self.entries: Tuple[SynopsisEntry, ...] = tuple(entries)
+        self._element_counts: Dict[str, int] = {}
+        self._attribute_counts: Dict[str, int] = {}
+        total = 0
+        for entry in self.entries:
+            if entry.kind == KIND_ELEMENT:
+                total += entry.count
+                self._element_counts[entry.name] = (
+                    self._element_counts.get(entry.name, 0) + entry.count
+                )
+            else:
+                self._attribute_counts[entry.name] = (
+                    self._attribute_counts.get(entry.name, 0) + entry.count
+                )
+        self.total_elements = total
+
+    # ------------------------------------------------------------------
+
+    def element_count(self, name: str) -> int:
+        """How many elements in the document are named ``name``."""
+        return self._element_counts.get(name, 0)
+
+    def attribute_count(self, name: str) -> int:
+        """How many attributes in the document are named ``name``."""
+        return self._attribute_counts.get(name, 0)
+
+    def element_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._element_counts))
+
+    def selectivity(self, name: str) -> float:
+        """Fraction of elements named ``name`` (1.0 for an empty doc)."""
+        if self.total_elements == 0:
+            return 1.0
+        return self.element_count(name) / self.total_elements
+
+    def path_count(self, labels: Sequence[str]) -> int:
+        """Nodes reachable by the exact label path from the root.
+
+        ``labels`` name the steps below the document root (so
+        ``("xdoc", "section")`` counts ``/xdoc/section`` nodes); an
+        attribute step is spelled ``@name`` and may only come last.
+        """
+        if not labels:
+            return 0
+        frontier = {-1}
+        counts: Dict[int, int] = {}
+        for label in labels:
+            wanted_kind = KIND_ELEMENT
+            wanted_name = label
+            if label.startswith("@"):
+                wanted_kind = KIND_ATTRIBUTE
+                wanted_name = label[1:]
+            counts = {
+                index: entry.count
+                for index, entry in enumerate(self.entries)
+                if entry.parent in frontier
+                and entry.kind == wanted_kind
+                and entry.name == wanted_name
+            }
+            frontier = set(counts)
+            if not frontier:
+                return 0
+        return sum(counts.values())
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -85,14 +85,22 @@ class BufferStats:
 
 
 class BufferManager:
-    """A bounded LRU cache of page images."""
+    """A bounded LRU cache of page images.
+
+    ``kind`` labels the page kind this buffer serves (``"data"`` for
+    node records, ``"index"`` for the index region of the same file) so
+    ``stats()`` surfaces can attribute I/O per kind instead of lumping
+    everything into one counter set.
+    """
 
     def __init__(self, page_file: PageFile,
-                 capacity: int = DEFAULT_BUFFER_PAGES):
+                 capacity: int = DEFAULT_BUFFER_PAGES,
+                 kind: str = "data"):
         if capacity < 1:
             raise StorageError("buffer capacity must be at least one page")
         self._file = page_file
         self._capacity = capacity
+        self.kind = kind
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self._latch = threading.Lock()
         self.stats = BufferStats()

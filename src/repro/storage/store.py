@@ -51,12 +51,31 @@ class DocumentStore:
 
     @staticmethod
     def write(document: Document, path: Union[str, os.PathLike],
-              page_size: int = PAGE_SIZE) -> None:
-        """Persist ``document`` to ``path``."""
+              page_size: int = PAGE_SIZE, indexes: bool = True) -> None:
+        """Persist ``document`` to ``path``.
+
+        By default the structural indexes (:mod:`repro.index`) are built
+        and appended as an index region; pass ``indexes=False`` for a
+        bare v1 store (the on-disk bytes up to the index footer are
+        byte-identical either way).
+        """
         writer = _Writer(document, page_size)
         blob = writer.serialize()
         with open(path, "wb") as handle:
             handle.write(blob)
+            if indexes:
+                # Local import: repro.index builds on this module.
+                from repro.index.build import build_index_data
+                from repro.index.persist import (
+                    append_index_blob,
+                    serialize_index_blob,
+                )
+
+                data = build_index_data(document)
+                index_blob = serialize_index_blob(
+                    data, writer.fingerprint()
+                )
+                append_index_blob(handle, len(blob), index_blob)
 
     @staticmethod
     def open(path: Union[str, os.PathLike],
@@ -69,6 +88,28 @@ class DocumentStore:
             handle.close()
             raise
 
+    @staticmethod
+    def build_indexes(path: Union[str, os.PathLike],
+                      buffer_pages: int = DEFAULT_BUFFER_PAGES) -> None:
+        """Retrofit (or rebuild) indexes onto an existing store file.
+
+        Walks the stored document once through the page buffer, then
+        appends a fresh index region — replacing any previous one — in
+        place.  The data pages are never rewritten.
+        """
+        from repro.index.build import build_index_data
+        from repro.index.persist import (
+            append_index_blob,
+            serialize_index_blob,
+        )
+
+        with DocumentStore.open(path, buffer_pages) as stored:
+            data = build_index_data(stored)
+            blob = serialize_index_blob(data, stored.fingerprint)
+            store_end = stored.store_end
+        with open(path, "r+b") as handle:
+            append_index_blob(handle, store_end, blob)
+
 
 class _Writer:
     """Serializes one document into the store format."""
@@ -78,6 +119,7 @@ class _Writer:
         self.page_size = page_size
         self.names: List[str] = []
         self._name_index: Dict[str, int] = {}
+        self._fingerprint: Optional[bytes] = None
 
     def _name_id(self, name: Optional[str]) -> int:
         """Biased name index (0 = no name)."""
@@ -128,9 +170,20 @@ class _Writer:
         encode_varint(len(id_blob), header)
         encode_varint(len(dir_blob), header)
         encode_varint(len(data), header)
+        from repro.index.persist import structural_fingerprint
+
+        self._fingerprint = structural_fingerprint(
+            bytes(names_blob), bytes(dir_blob), len(offsets), len(data)
+        )
         return bytes(header) + bytes(names_blob) + bytes(id_blob) + bytes(
             dir_blob
         ) + bytes(data)
+
+    def fingerprint(self) -> bytes:
+        """The structural fingerprint of the blob ``serialize`` built."""
+        if self._fingerprint is None:
+            raise StorageError("serialize() has not run yet")
+        return self._fingerprint
 
     def _encode_node(self, node: Node, out: bytearray) -> None:
         encode_varint(int(node.kind), out)
@@ -201,6 +254,45 @@ class StoredDocument:
         self._cache_lock = threading.RLock()
         self.uri: Optional[str] = getattr(handle, "name", None)
 
+        #: Where the v1 store bytes end; any index region starts here.
+        self.store_end = data_start + data_len
+        # The fingerprint hashes sections this constructor already read,
+        # so the index freshness check below costs no extra I/O.
+        from repro.index.persist import structural_fingerprint
+
+        self.fingerprint = structural_fingerprint(
+            names_blob, dir_blob, self._node_count, data_len
+        )
+        #: "fresh" (indexes loaded from the catalog), "stale" (an index
+        #: region exists but its fingerprint does not match this store's
+        #: structure — evaluation falls back to scans), or "none".
+        self.index_status = "none"
+        self.indexes: Optional["DocumentIndexes"] = None
+        self._load_indexes(buffer_pages)
+
+    def _load_indexes(self, buffer_pages: int) -> None:
+        try:
+            file_end = os.fstat(self._handle.fileno()).st_size
+        except (OSError, ValueError, io.UnsupportedOperation):
+            self._handle.seek(0, os.SEEK_END)
+            file_end = self._handle.tell()
+        if file_end <= self.store_end:
+            return
+        from repro.index.runtime import DocumentIndexes
+
+        try:
+            indexes = DocumentIndexes.load(
+                self._handle, file_end, self.page_size, buffer_pages
+            )
+        except StorageError:
+            return
+        if (indexes.catalog.fingerprint != self.fingerprint
+                or indexes.node_count != self._node_count):
+            self.index_status = "stale"
+            return
+        self.indexes = indexes
+        self.index_status = "fresh"
+
     # ------------------------------------------------------------------
 
     def close(self) -> None:
@@ -263,15 +355,25 @@ class StoredDocument:
 
     def buffer_stats(self) -> dict:
         """Page-buffer counters as a plain dict (observability surface
-        read by ``XPathEngine.stats()`` for page-backed targets)."""
+        read by ``XPathEngine.stats()`` for page-backed targets).
+
+        The top-level counters describe the *data* page buffer, as they
+        always have; ``by_kind`` breaks I/O out per page kind so index
+        savings are attributable (index reads never hide data reads).
+        """
         stats = self.buffer.stats
-        return {
+        report = {
             "hits": stats.hits,
             "misses": stats.misses,
             "evictions": stats.evictions,
             "cached_pages": self.buffer.cached_pages,
             "capacity": self.buffer.capacity,
         }
+        by_kind = {self.buffer.kind: dict(report)}
+        if self.indexes is not None:
+            by_kind[self.indexes.buffer.kind] = self.indexes.buffer_stats()
+        report["by_kind"] = by_kind
+        return report
 
     # ------------------------------------------------------------------
 

@@ -30,14 +30,14 @@ from typing import List, Optional
 from repro.testing.corpus import DEFAULT_CORPUS_DIR, load_corpus
 from repro.testing.fuzzer import run_campaign
 from repro.testing.grammar import GrammarConfig, QueryGenerator
-from repro.testing.oracle import DifferentialRunner
+from repro.testing.oracle import ROUTE_NAMES, DifferentialRunner
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.testing",
         description=(
-            "Grammar-directed XPath fuzzer with a five-way "
+            "Grammar-directed XPath fuzzer with a six-way "
             "differential oracle"
         ),
     )
@@ -65,6 +65,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-report", action="store_true",
         help="skip the grammar/algebra coverage report",
     )
+    fuzz.add_argument(
+        "--routes", metavar="NAMES",
+        help="comma-separated subset of oracle routes to run "
+             f"(default: all of {', '.join(ROUTE_NAMES)}; the naive "
+             "baseline is always included)",
+    )
 
     replay = commands.add_parser(
         "replay", help="replay the regression corpus through the oracle"
@@ -91,6 +97,13 @@ def _cmd_fuzz(arguments) -> int:
     corpus_path = (
         Path(arguments.save_corpus) if arguments.save_corpus else None
     )
+    routes = None
+    if arguments.routes:
+        routes = [
+            name.strip()
+            for name in arguments.routes.split(",")
+            if name.strip()
+        ]
     report = run_campaign(
         seed=arguments.seed,
         n=arguments.n,
@@ -98,6 +111,7 @@ def _cmd_fuzz(arguments) -> int:
         queries_per_doc=arguments.queries_per_doc,
         corpus_path=corpus_path,
         progress=lambda message: print(message, file=sys.stderr),
+        routes=routes,
     )
     print(report.summary())
     if not arguments.no_report:

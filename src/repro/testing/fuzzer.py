@@ -7,8 +7,9 @@ from the campaign banner alone.
 
 The campaign loop works document-by-document: generate a random
 document, stand up a :class:`~repro.testing.oracle.DifferentialRunner`
-(which writes the page file for the stored route once), generate a batch
-of queries, run the batch through all five routes, and compare.  On a
+(which writes the page file for the stored/indexed routes once),
+generate a batch of queries, run the batch through all six routes
+(``routes`` narrows the set), and compare.  On a
 divergence the delta-debugging shrinker minimizes the ``(query,
 document)`` pair, and the minimized reproducer can be appended to the
 regression corpus.
@@ -19,7 +20,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dom.serializer import serialize
 from repro.errors import ReproError
@@ -83,6 +84,7 @@ class CampaignReport:
 
     seed: int
     n: int
+    routes: Tuple[str, ...] = ROUTE_NAMES
     queries_run: int = 0
     documents: int = 0
     generation_rejects: int = 0
@@ -99,7 +101,8 @@ class CampaignReport:
         lines = [
             f"fuzz campaign seed={self.seed} n={self.n}: "
             f"{self.queries_run} queries over {self.documents} documents "
-            f"across {len(ROUTE_NAMES)} routes",
+            f"across {len(self.routes)} routes "
+            f"({', '.join(self.routes)})",
             f"  value outcomes: {self.value_outcomes}, "
             f"error outcomes: {self.error_outcomes}, "
             f"generator rejects: {self.generation_rejects}",
@@ -119,6 +122,7 @@ def run_campaign(
     corpus_path: Optional[Path] = None,
     progress: Optional[Callable[[str], None]] = None,
     max_findings: int = 25,
+    routes: Optional[Sequence[str]] = None,
 ) -> CampaignReport:
     """Run one deterministic differential fuzz campaign.
 
@@ -127,12 +131,15 @@ def run_campaign(
     ``corpus_path`` set, minimized reproducers are appended there.
     ``max_findings`` caps the findings list so a systematic divergence
     does not turn the report into a firehose (the cap is noted by the
-    CLI when hit).
+    CLI when hit).  ``routes`` selects a subset of
+    :data:`~repro.testing.oracle.ROUTE_NAMES` (the baseline is always
+    included); the default runs all six.
     """
     grammar_config = grammar_config or GrammarConfig()
     document_config = document_config or DocumentConfig()
+    route_names = _resolve_routes(routes)
     rng = random.Random(seed)
-    report = CampaignReport(seed=seed, n=n)
+    report = CampaignReport(seed=seed, n=n, routes=route_names)
     say = progress or (lambda message: None)
 
     remaining = n
@@ -166,6 +173,7 @@ def run_campaign(
             document,
             variables=grammar_config.variables,
             namespaces=grammar_config.namespaces,
+            routes=route_names,
         ) as runner:
             _record_plan_coverage(runner, queries, report.coverage)
             divergences = runner.check_batch(queries)
@@ -200,6 +208,21 @@ def run_campaign(
         remaining -= batch_size
 
     return report
+
+
+def _resolve_routes(routes: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """Validate a route subset, keeping reporting order and baseline."""
+    if routes is None:
+        return ROUTE_NAMES
+    requested = set(routes)
+    unknown = requested - set(ROUTE_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown route(s) {sorted(unknown)}; "
+            f"expected a subset of {list(ROUTE_NAMES)}"
+        )
+    requested.add(BASELINE_ROUTE)
+    return tuple(name for name in ROUTE_NAMES if name in requested)
 
 
 def _tally_baseline(document, grammar_config, queries) -> tuple:

@@ -1,6 +1,6 @@
-"""The differential oracle: five execution routes, one answer.
+"""The differential oracle: six execution routes, one answer.
 
-Every query is executed through five independent paths:
+Every query is executed through six independent paths:
 
 ``naive``
     the main-memory :class:`~repro.baselines.naive.NaiveInterpreter`
@@ -13,7 +13,13 @@ Every query is executed through five independent paths:
 ``stored``
     the improved translation over the *stored* document — page file,
     buffer manager, record decoding — via
-    :class:`~repro.storage.DocumentStore`,
+    :class:`~repro.storage.DocumentStore` with index routing pinned
+    off,
+``indexed``
+    the same stored document through an engine with ``index="force"``:
+    every eligible name step is rewritten onto the structural indexes
+    (:mod:`repro.index`) regardless of selectivity, so the posting-list
+    route is differentially checked against plain navigation,
 ``concurrent``
     the improved translation through
     :meth:`XPathEngine.evaluate_concurrent` (thread pool, shared plans,
@@ -53,8 +59,12 @@ ROUTE_NAMES: Tuple[str, ...] = (
     "canonical",
     "improved",
     "stored",
+    "indexed",
     "concurrent",
 )
+
+#: Routes that need the document written to a page file.
+_STORE_ROUTES = ("stored", "indexed")
 
 BASELINE_ROUTE = "naive"
 
@@ -134,12 +144,15 @@ class Divergence:
 
 
 class DifferentialRunner:
-    """Executes queries on one document across all five routes.
+    """Executes queries on one document across all six routes.
 
-    The stored route writes the document to a page file once (in a
-    private temporary directory unless ``store_dir`` is given) and keeps
-    it open for the runner's lifetime — use as a context manager or call
-    :meth:`close`.
+    The stored and indexed routes share one page file (indexes are
+    built at write time), written once in a private temporary directory
+    unless ``store_dir`` is given, and kept open for the runner's
+    lifetime — use as a context manager or call :meth:`close`.  The
+    stored route pins ``index="off"`` and the indexed route pins
+    ``index="force"``, so the two legs exercise disjoint physical
+    plans over identical pages.
 
     ``extra_routes`` maps extra route names to callables
     ``run(query, context_node) -> XPathValue`` evaluated against the
@@ -168,10 +181,15 @@ class DifferentialRunner:
         self._naive = NaiveInterpreter()
         self._canonical = XPathCompiler(TranslationOptions.canonical())
         self._engine = XPathEngine(TranslationOptions.improved())
-        self._stored_engine = XPathEngine(TranslationOptions.improved())
+        self._stored_engine = XPathEngine(
+            TranslationOptions.improved(), index="off"
+        )
+        self._indexed_engine = XPathEngine(
+            TranslationOptions.improved(), index="force"
+        )
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         self._stored = None
-        if "stored" in self.routes:
+        if any(route in self.routes for route in _STORE_ROUTES):
             if store_dir is None:
                 self._tmp = tempfile.TemporaryDirectory(
                     prefix="repro-fuzz-"
@@ -232,6 +250,15 @@ class DifferentialRunner:
             namespaces=self.namespaces,
         )
 
+    def _run_indexed(self, query: str) -> XPathValue:
+        assert self._stored is not None
+        return self._indexed_engine.evaluate(
+            query,
+            self._stored.root,
+            variables=self.variables,
+            namespaces=self.namespaces,
+        )
+
     def _run_concurrent_single(self, query: str) -> XPathValue:
         return self._engine.evaluate_concurrent(
             [query],
@@ -250,6 +277,7 @@ class DifferentialRunner:
             "canonical": self._run_canonical,
             "improved": self._run_improved,
             "stored": self._run_stored,
+            "indexed": self._run_indexed,
             "concurrent": self._run_concurrent_single,
         }[route]
 

@@ -1,9 +1,9 @@
-"""Replay the checked-in regression corpus through the five-way oracle.
+"""Replay the checked-in regression corpus through the six-way oracle.
 
 Every entry under ``tests/corpus/*.json`` — the paper's benchmark
 queries, the end-to-end query lists, and every minimized fuzz finding —
-is executed through all five routes (naive, canonical, improved, stored,
-concurrent) and must agree.  Runners are cached per document so the
+is executed through all six routes (naive, canonical, improved, stored,
+indexed, concurrent) and must agree.  Runners are cached per document so the
 stored route's page file is written once per distinct corpus document,
 not once per entry.
 """

@@ -1,0 +1,276 @@
+"""Structural index subsystem: persistence, staleness, plan rewriting.
+
+Covers the index lifecycle end to end: build at ``store_document`` time,
+reload from the on-page catalog (never rebuilt at open), retrofit via
+``build_indexes``, staleness detection by structural fingerprint with
+silent fallback to navigation, the optimizer's selectivity gating, and
+the engine counters that make all of it observable.
+"""
+
+import shutil
+
+import pytest
+
+from repro import (
+    TranslationOptions,
+    XPathEngine,
+    build_indexes,
+    evaluate,
+    parse_document,
+)
+from repro.index import INDEX_FOOTER_MAGIC, structural_fingerprint
+from repro.storage import DocumentStore
+from repro.testing.oracle import (
+    ROUTE_NAMES,
+    DifferentialRunner,
+    canonical_value,
+)
+from repro.workloads import generate_document
+
+DOC_XML = (
+    "<xdoc>"
+    "<section><item id='1'>a</item><item id='2'>b</item>"
+    "<entry>c</entry></section>"
+    "<section><item id='3'>d</item><note>n</note></section>"
+    "</xdoc>"
+)
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "doc.natix"
+
+
+def _write(path, xml=DOC_XML, **kwargs):
+    DocumentStore.write(parse_document(xml), path, **kwargs)
+    return path
+
+
+class TestPersistence:
+    def test_write_appends_index_trailer(self, store_path):
+        _write(store_path, indexes=False)
+        bare = store_path.stat().st_size
+        _write(store_path, indexes=True)
+        assert store_path.stat().st_size > bare
+        assert store_path.read_bytes().endswith(INDEX_FOOTER_MAGIC)
+
+    def test_open_loads_fresh_indexes_from_catalog(
+        self, store_path, monkeypatch
+    ):
+        _write(store_path)
+        # Opening must *load* the catalog, never rebuild: poison the
+        # builder and the open still has to succeed with fresh indexes.
+        import repro.index.build as build_module
+
+        def explode(document):
+            raise AssertionError("open() must not rebuild indexes")
+
+        monkeypatch.setattr(build_module, "build_index_data", explode)
+        with DocumentStore.open(store_path) as stored:
+            assert stored.index_status == "fresh"
+            assert stored.indexes is not None
+            assert stored.indexes.signature == stored.fingerprint.hex()
+
+    def test_indexes_survive_close_and_reopen(self, store_path):
+        _write(store_path)
+        with DocumentStore.open(store_path) as stored:
+            first = stored.indexes.element_ids("item")
+        with DocumentStore.open(store_path) as stored:
+            assert stored.index_status == "fresh"
+            assert stored.indexes.element_ids("item") == first
+            assert len(first) == 3
+
+    def test_bare_store_has_no_indexes(self, store_path):
+        _write(store_path, indexes=False)
+        with DocumentStore.open(store_path) as stored:
+            assert stored.index_status == "none"
+            assert stored.indexes is None
+
+    def test_build_indexes_retrofits_bare_store(self, store_path):
+        _write(store_path, indexes=False)
+        build_indexes(store_path)
+        with DocumentStore.open(store_path) as stored:
+            assert stored.index_status == "fresh"
+            assert stored.indexes.element_ids("entry")
+            result = evaluate("//item", stored)
+            assert len(result) == 3
+
+    def test_rebuild_replaces_existing_trailer(self, store_path):
+        _write(store_path)
+        size = store_path.stat().st_size
+        build_indexes(store_path)
+        assert store_path.stat().st_size == size  # replaced, not stacked
+
+    def test_synopsis_matches_document(self, store_path):
+        _write(store_path)
+        document = parse_document(DOC_XML)
+        with DocumentStore.open(store_path) as stored:
+            synopsis = stored.indexes.synopsis
+            assert synopsis.element_count("item") == 3
+            assert synopsis.element_count("section") == 2
+            assert synopsis.element_count("missing") == 0
+            assert synopsis.total_elements == len(evaluate("//*", document))
+
+
+class TestStaleness:
+    def _spliced_store(self, tmp_path):
+        """Doc B's pages wearing doc A's index trailer (fingerprint
+        mismatch — what a foreign or out-of-date trailer looks like)."""
+        path_a = _write(tmp_path / "a.natix")
+        path_b = _write(
+            tmp_path / "b.natix",
+            xml="<xdoc><other><item>z</item></other></xdoc>",
+            indexes=False,
+        )
+        with DocumentStore.open(path_a) as stored_a:
+            trailer = path_a.read_bytes()[stored_a.store_end:]
+        with open(path_b, "ab") as handle:
+            handle.write(trailer)
+        return path_b
+
+    def test_fingerprint_mismatch_marks_stale(self, tmp_path):
+        path = self._spliced_store(tmp_path)
+        with DocumentStore.open(path) as stored:
+            assert stored.index_status == "stale"
+            assert stored.indexes is None
+
+    def test_stale_store_still_answers_correctly(self, tmp_path):
+        path = self._spliced_store(tmp_path)
+        document = parse_document("<xdoc><other><item>z</item></other></xdoc>")
+        engine = XPathEngine(index="auto")
+        with DocumentStore.open(path) as stored:
+            for query in ("//item", "count(//*)", "string(//item)"):
+                assert canonical_value(
+                    engine.evaluate(query, stored)
+                ) == canonical_value(evaluate(query, document))
+
+    def test_truncated_trailer_is_ignored(self, store_path, tmp_path):
+        _write(store_path)
+        clipped = tmp_path / "clipped.natix"
+        shutil.copyfile(store_path, clipped)
+        with open(clipped, "r+b") as handle:
+            handle.seek(0, 2)
+            handle.truncate(handle.tell() - 4)  # chop the footer magic
+        with DocumentStore.open(clipped) as stored:
+            assert stored.index_status == "none"
+            assert len(evaluate("//item", stored)) == 3
+
+    def test_fingerprint_is_structural(self):
+        args = (b"names", b"dir", 7, 42)
+        assert structural_fingerprint(*args) == structural_fingerprint(*args)
+        assert structural_fingerprint(b"other", b"dir", 7, 42) != (
+            structural_fingerprint(*args)
+        )
+
+
+class TestPlanRewriting:
+    @pytest.fixture
+    def generated_store(self, tmp_path):
+        # fanout 6 / depth 4: 6 sections, 36 items, 216 entries, 1296
+        # leaves — "item" is selective, "leaf" is most of the document.
+        path = tmp_path / "gen.natix"
+        DocumentStore.write(generate_document(2000, 6, 4), path)
+        with DocumentStore.open(path) as stored:
+            yield stored
+
+    def test_selective_step_is_rewritten(self, generated_store):
+        engine = XPathEngine(index="auto")
+        compiled = engine.compile("//item", target=generated_store)
+        report = compiled.optimizer_report
+        assert report.index_scans >= 1
+        assert "IdxDesc" in engine.explain(
+            "//item", target=generated_store
+        )
+
+    def test_unselective_step_is_declined(self, generated_store):
+        engine = XPathEngine(index="auto")
+        compiled = engine.compile("//leaf", target=generated_store)
+        report = compiled.optimizer_report
+        assert report.index_scans == 0
+        assert report.index_skips >= 1
+
+    def test_force_mode_overrides_selectivity_gate(self, generated_store):
+        engine = XPathEngine(index="force")
+        compiled = engine.compile("//leaf", target=generated_store)
+        assert compiled.optimizer_report.index_scans >= 1
+        result = engine.evaluate("//leaf", generated_store)
+        assert len(result) == len(
+            XPathEngine(index="off").evaluate("//leaf", generated_store)
+        )
+
+    def test_off_mode_never_rewrites(self, generated_store):
+        engine = XPathEngine(index="off")
+        compiled = engine.compile("//item", target=generated_store)
+        assert compiled.optimizer_report is None or (
+            compiled.optimizer_report.index_scans == 0
+        )
+
+    def test_prefixed_name_test_is_never_rewritten(self, tmp_path):
+        xml = (
+            "<xdoc xmlns:p='urn:x'>"
+            "<p:item>ns</p:item><item>plain</item></xdoc>"
+        )
+        path = _write(tmp_path / "ns.natix", xml=xml)
+        engine = XPathEngine(index="force")
+        with DocumentStore.open(path) as stored:
+            compiled = engine.compile(
+                "//p:item", target=stored, namespaces={"p": "urn:x"}
+            )
+            assert compiled.optimizer_report.index_scans == 0
+            # The plain-name rewrite must still exclude the namespaced
+            # element even though the posting list contains its QName.
+            plain = engine.evaluate("//item", stored)
+            assert [node.string_value() for node in plain] == ["plain"]
+
+    def test_counters_and_by_kind_stats(self, generated_store):
+        engine = XPathEngine(index="auto")
+        result = engine.evaluate("//item", generated_store)
+        assert len(result) == 36
+        counters = engine.stats().runtime_counters
+        assert counters["plans_index_routed"] >= 1
+        assert counters["rewrite_index_scans"] >= 1
+        assert counters["index_hits"] >= 1
+        assert counters["index_candidates"] >= len(result)
+        by_kind = engine.stats().buffer.by_kind
+        assert set(by_kind) == {"data", "index"}
+        assert by_kind["index"]["misses"] >= 1
+
+    def test_session_compiles_per_target_signature(self, generated_store):
+        # One engine, one query, two targets: the in-memory target gets
+        # its own (index-free) plan under a different cache key.
+        engine = XPathEngine(index="auto")
+        stored_result = engine.evaluate("//item", generated_store)
+        memory_result = engine.evaluate(
+            "//item", generate_document(2000, 6, 4)
+        )
+        assert len(stored_result) == len(memory_result) == 36
+        assert engine.cache.stats().size == 2
+
+    def test_indexed_plan_falls_back_on_plain_target(self, generated_store):
+        # Running the *indexed* plan against a document without indexes
+        # must silently navigate, not fail: this is the adaptive
+        # fallback that makes compiled index plans target-safe.
+        engine = XPathEngine(index="force")
+        compiled = engine.compile("//item", target=generated_store)
+        assert compiled.optimizer_report.index_scans >= 1
+        result = compiled.evaluate(generate_document(2000, 6, 4).root)
+        assert len(result) == 36
+        assert compiled.stats["index_skips"] >= 1
+
+
+class TestOracleRoute:
+    def test_indexed_is_a_default_route(self):
+        assert "indexed" in ROUTE_NAMES
+
+    def test_six_routes_agree_on_sample(self):
+        document = parse_document(DOC_XML)
+        queries = (
+            "//item",
+            "/xdoc/section/item[@id='2']",
+            "count(//section)",
+            "string(//note)",
+            "//section[item]/entry",
+        )
+        with DifferentialRunner(document) as runner:
+            for query in queries:
+                assert runner.check(query) == []
