@@ -28,7 +28,9 @@ every layer is instrumented::
 from repro.api import (
     ENGINE_REGISTRY,
     ENGINES,
+    CancelToken,
     EngineStats,
+    ResourceGovernor,
     XPathEngine,
     build_indexes,
     compile_xpath,
@@ -45,17 +47,29 @@ from repro.api import (
 )
 from repro.compiler import TranslationOptions, XPathCompiler
 from repro.dom import Document, DocumentBuilder, Node, NodeKind, serialize
+from repro.errors import (
+    QueryBudgetError,
+    QueryCancelledError,
+    QueryGovernanceError,
+    QueryTimeoutError,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ENGINES",
     "ENGINE_REGISTRY",
+    "CancelToken",
     "Document",
     "DocumentBuilder",
     "EngineStats",
     "Node",
     "NodeKind",
+    "QueryBudgetError",
+    "QueryCancelledError",
+    "QueryGovernanceError",
+    "QueryTimeoutError",
+    "ResourceGovernor",
     "TranslationOptions",
     "XPathCompiler",
     "XPathEngine",

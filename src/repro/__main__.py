@@ -104,6 +104,16 @@ def main(argv: Optional[List[str]] = None) -> int:
              "workers (session engines only)",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="abort the evaluation with a QueryTimeoutError after this "
+             "many seconds (algebraic engines only)",
+    )
+    parser.add_argument(
+        "--max-tuples", type=int, default=None, metavar="N",
+        help="abort with a QueryBudgetError once the iterator tree has "
+             "produced N tuples (algebraic engines only)",
+    )
+    parser.add_argument(
         "--store", metavar="PATH",
         help="store the parsed document as a page file, then query it",
     )
@@ -123,6 +133,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} has no "
             "concurrent evaluation path"
         )
+    governed = (
+        arguments.timeout is not None or arguments.max_tuples is not None
+    )
+    if governed and arguments.engine not in _SESSION_ENGINES:
+        parser.error(
+            f"--timeout/--max-tuples require an algebraic engine "
+            f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} has no "
+            "governance checkpoints"
+        )
+    if arguments.timeout is not None and arguments.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if arguments.max_tuples is not None and arguments.max_tuples <= 0:
+        parser.error("--max-tuples must be positive")
 
     options = TranslationOptions(optimize=arguments.optimize)
 
@@ -168,6 +191,8 @@ def _run_query(arguments, target) -> None:
         session = XPathEngine(
             _SESSION_ENGINES[name](optimize=arguments.optimize),
             index="auto" if arguments.indexes else "off",
+            default_timeout=arguments.timeout,
+            default_max_tuples=arguments.max_tuples,
         )
         if arguments.workers > 1:
             batch = [arguments.query] * max(1, arguments.repeat)

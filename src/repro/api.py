@@ -59,6 +59,7 @@ from repro.compiler.pipeline import CompiledQuery, XPathCompiler
 from repro.dom.document import Document
 from repro.dom.node import Node
 from repro.dom.parser import parse as _parse_xml
+from repro.engine.governor import CancelToken, ResourceGovernor
 from repro.engine.session import (
     EngineStats,
     XPathEngine,
@@ -270,6 +271,10 @@ def evaluate(
     namespaces: Optional[Mapping[str, str]] = None,
     engine: Optional[str] = None,
     options: Optional[TranslationOptions] = None,
+    timeout: Optional[float] = None,
+    max_tuples: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> XPathValue:
     """One-shot evaluation of ``query`` against a document or node.
 
@@ -277,6 +282,13 @@ def evaluate(
     ``engine`` (a :data:`ENGINE_REGISTRY` name) and ``options`` (a
     :class:`TranslationOptions` for the algebraic engines).  The legacy
     positional ``(variables, namespaces, engine)`` form is deprecated.
+
+    ``timeout`` (seconds), ``max_tuples``, ``max_bytes`` and ``cancel``
+    bound the evaluation with a typed governance error instead of a
+    partial result (see ``docs/limits.md``).  Governance runs inside
+    the algebraic iterator engine, so it is only available with the
+    ``"natix"``/``"natix-canonical"`` engines (the baseline
+    interpreters have no cooperative checkpoints).
     """
     if args:
         absorbed = _absorb_legacy_positionals(
@@ -293,6 +305,28 @@ def evaluate(
         namespaces = absorbed["namespaces"]
         engine = absorbed["engine"]
     node = resolve_context_node(target)
+    if (timeout is not None or max_tuples is not None
+            or max_bytes is not None or cancel is not None):
+        name = engine or "natix"
+        if name not in ("natix", "natix-canonical"):
+            raise ValueError(
+                "timeout/max_tuples/max_bytes/cancel require an algebraic "
+                f"engine ('natix' or 'natix-canonical'), got {name!r}"
+            )
+        if options is None:
+            options = (
+                TranslationOptions.canonical()
+                if name == "natix-canonical"
+                else TranslationOptions.improved()
+            )
+        compiled = XPathCompiler(options).compile(query)
+        governor = ResourceGovernor(
+            timeout=timeout, max_tuples=max_tuples, max_bytes=max_bytes,
+            cancel=cancel,
+        )
+        return compiled.evaluate(
+            node, variables, namespaces, governor=governor
+        )
     runner = get_engine_factory(engine or "natix")()
     return runner(query, node, variables, namespaces, options)
 
@@ -305,6 +339,11 @@ def evaluate_concurrent(
     variables: Optional[Mapping[str, XPathValue]] = None,
     namespaces: Optional[Mapping[str, str]] = None,
     options: Optional[TranslationOptions] = None,
+    timeout: Optional[float] = None,
+    max_tuples: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    cancel: Optional[CancelToken] = None,
+    return_exceptions: bool = False,
 ) -> List[XPathValue]:
     """One-shot concurrent evaluation of a query batch.
 
@@ -312,7 +351,8 @@ def evaluate_concurrent(
     :class:`XPathEngine` and fans the batch out over its thread pool
     (see :meth:`XPathEngine.evaluate_concurrent`).  Serving workloads
     should hold on to an engine instead, so the plan cache survives
-    between batches.
+    between batches.  Governance limits apply per query, with the
+    deadline anchored at submission (queue wait counts).
     """
     engine = XPathEngine(options)
     return engine.evaluate_concurrent(
@@ -321,6 +361,11 @@ def evaluate_concurrent(
         max_workers=max_workers,
         variables=variables,
         namespaces=namespaces,
+        timeout=timeout,
+        max_tuples=max_tuples,
+        max_bytes=max_bytes,
+        cancel=cancel,
+        return_exceptions=return_exceptions,
     )
 
 
@@ -330,9 +375,11 @@ def _context_node(target: Union[Document, Node]) -> Node:
 
 
 __all__ = [
+    "CancelToken",
     "ENGINES",
     "ENGINE_REGISTRY",
     "EngineStats",
+    "ResourceGovernor",
     "XPathEngine",
     "build_indexes",
     "compile_xpath",

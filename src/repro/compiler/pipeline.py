@@ -143,6 +143,7 @@ class CompiledQuery:
         position: int = 1,
         size: int = 1,
         ordered: bool = False,
+        governor=None,
     ) -> XPathValue:
         """Evaluate against a context node.
 
@@ -151,6 +152,10 @@ class CompiledQuery:
         ``ordered=True`` for document-order results; when the order
         analysis proves the pipeline already emits document order the
         sort is skipped (the paper's section-7 "interesting orders").
+        A :class:`~repro.engine.governor.ResourceGovernor` passed as
+        ``governor`` bounds the execution (deadline, budgets, cancel)
+        and makes it raise a typed governance error instead of
+        returning a partial result.
         """
         context = ExecutionContext(
             context_node=context_node,
@@ -158,6 +163,7 @@ class CompiledQuery:
             namespaces=dict(namespaces or self.default_namespaces or {}),
             position=position,
             size=size,
+            governor=governor,
         )
         physical = self.thread_physical
         result = physical.execute(context)
@@ -197,6 +203,7 @@ class CompiledQuery:
             namespaces=dict(
                 kwargs.get("namespaces") or self.default_namespaces or {}
             ),
+            governor=kwargs.get("governor"),
         )
         return self.thread_physical.execute_count(context)
 

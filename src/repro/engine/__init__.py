@@ -13,7 +13,14 @@ matching the paper) or by a tree-walking reference evaluator
 """
 
 from repro.engine.context import ExecutionContext
+from repro.engine.governor import CancelToken, ResourceGovernor
 from repro.engine.plan import PhysicalPlan
 from repro.engine.tuples import AttributeManager
 
-__all__ = ["ExecutionContext", "PhysicalPlan", "AttributeManager"]
+__all__ = [
+    "CancelToken",
+    "ExecutionContext",
+    "PhysicalPlan",
+    "AttributeManager",
+    "ResourceGovernor",
+]

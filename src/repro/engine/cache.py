@@ -112,6 +112,17 @@ class CacheShard:
         with self._lock:
             self.hits = self.misses = self.evictions = self.lookups = 0
 
+    def counters(self) -> Tuple[int, int, int, int]:
+        """One consistent ``(hits, misses, evictions, lookups)`` read.
+
+        Taken under the shard latch, so the tuple can never witness a
+        half-applied ``get()`` (lookup bumped, hit/miss not yet) or a
+        half-raced ``reset_counters()`` — within the tuple,
+        ``hits + misses == lookups`` always holds.
+        """
+        with self._lock:
+            return (self.hits, self.misses, self.evictions, self.lookups)
+
     def stats(self, index: int) -> ShardStats:
         with self._lock:
             return ShardStats(
@@ -176,22 +187,43 @@ class StripedPlanCache:
             shard.reset_counters()
 
     # -- aggregated counters (back-compat with the flat PlanCache) -----
+    #
+    # Each property takes one consistent snapshot per shard, so a
+    # concurrent get()/reset_counters() can never be observed half-way.
+    # The four *separate* properties are still four separate moments in
+    # time — invariant checks (hits + misses == lookups) must go through
+    # counters() or stats(), which read every counter of a shard under
+    # that shard's latch in a single acquisition.
+
+    def counters(self) -> Tuple[int, int, int, int]:
+        """Aggregated ``(hits, misses, evictions, lookups)``, jointly
+        consistent: the sum of per-shard latched snapshots, so the
+        tuple satisfies ``hits + misses == lookups`` even while other
+        threads look plans up and reset counters concurrently."""
+        hits = misses = evictions = lookups = 0
+        for shard in self._shards:
+            h, m, e, l = shard.counters()
+            hits += h
+            misses += m
+            evictions += e
+            lookups += l
+        return (hits, misses, evictions, lookups)
 
     @property
     def hits(self) -> int:
-        return sum(shard.hits for shard in self._shards)
+        return self.counters()[0]
 
     @property
     def misses(self) -> int:
-        return sum(shard.misses for shard in self._shards)
+        return self.counters()[1]
 
     @property
     def evictions(self) -> int:
-        return sum(shard.evictions for shard in self._shards)
+        return self.counters()[2]
 
     @property
     def lookups(self) -> int:
-        return sum(shard.lookups for shard in self._shards)
+        return self.counters()[3]
 
     def stats(self) -> CacheStats:
         per_shard = tuple(

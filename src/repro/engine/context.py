@@ -10,11 +10,14 @@ top-level map.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.dom.node import Node
 from repro.errors import UnboundVariableError
 from repro.xpath.datamodel import XPathValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.governor import ResourceGovernor
 
 
 @dataclass
@@ -30,6 +33,8 @@ class ExecutionContext:
     #: Context position/size for a top-level ``position()``/``last()``.
     position: int = 1
     size: int = 1
+    #: Resource limits for this execution (``None`` = ungoverned).
+    governor: Optional["ResourceGovernor"] = None
 
     def variable(self, name: str) -> XPathValue:
         try:

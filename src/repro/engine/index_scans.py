@@ -66,6 +66,7 @@ class _IndexScanIt(UnnestMapIt):
     def _next(self) -> bool:
         regs = self.runtime.regs
         stats = self.runtime.stats
+        governor = self.runtime.governor
         tuples_key = f"tuples:{self.op_name}"
         while True:
             ids = self._ids
@@ -75,6 +76,8 @@ class _IndexScanIt(UnnestMapIt):
                     node_id = ids[self._ids_pos]
                     self._ids_pos += 1
                     stats["index_candidates"] += 1
+                    if governor is not None:
+                        governor.tick()
                     candidate = doc.node(node_id)
                     if self._emit(candidate):
                         regs[self.out_slot] = candidate
@@ -85,6 +88,8 @@ class _IndexScanIt(UnnestMapIt):
                 test = self._test
                 for candidate in self._generator:
                     stats["axis_nodes_visited"] += 1
+                    if governor is not None:
+                        governor.tick()
                     if test(candidate):
                         regs[self.out_slot] = candidate
                         stats[tuples_key] += 1

@@ -33,9 +33,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.engine.context import ExecutionContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.governor import ResourceGovernor
 
 
 @dataclass
@@ -46,6 +49,10 @@ class RuntimeState:
     context: ExecutionContext
     #: Counters: tuples produced per operator class, memo hits, etc.
     stats: Counter = field(default_factory=Counter)
+    #: The active resource governor, copied off the execution context by
+    #: ``PhysicalPlan._prepare`` so the ``next()`` hot path reads one
+    #: attribute instead of chasing ``context.governor``.
+    governor: Optional["ResourceGovernor"] = None
 
 
 class Iterator:
@@ -63,10 +70,25 @@ class Iterator:
         raise NotImplementedError
 
     def next(self) -> bool:
-        """Advance to the next tuple, counting calls and output tuples."""
+        """Advance to the next tuple, counting calls and output tuples.
+
+        This template method is also the governance checkpoint: every
+        ``next()`` on any operator ticks the active
+        :class:`~repro.engine.governor.ResourceGovernor`, which checks
+        the deadline/cancel token every N ticks and charges each
+        produced tuple against the tuple budget.  The interior loops of
+        the d-join, unnest-map and materialization operators all drive
+        their inputs through this method, so no ``while True`` in the
+        engine can spin without hitting a checkpoint.
+        """
         self.next_calls += 1
+        governor = self.runtime.governor
+        if governor is not None:
+            governor.tick()
         if self._next():
             self.tuples_out += 1
+            if governor is not None:
+                governor.add_tuples()
             return True
         return False
 

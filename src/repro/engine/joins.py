@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.engine.governor import snapshot_cost
 from repro.engine.iterator import BinaryIterator, Iterator, RuntimeState
 from repro.engine.scans import SnapshotReplay
 from repro.engine.subscripts import Subscript
@@ -70,9 +71,13 @@ class CrossIt(BinaryIterator):
 
     def _load_right(self) -> None:
         regs = self.runtime.regs
+        governor = self.runtime.governor
         self.right.open()
         while self.right.next():
-            self._tuples.append(self.replayer.save(regs))
+            snapshot = self.replayer.save(regs)
+            if governor is not None:
+                governor.add_bytes(snapshot_cost(snapshot))
+            self._tuples.append(snapshot)
         self.right.close()
         self._loaded = True
 

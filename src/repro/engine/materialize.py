@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.dom.node import Node
+from repro.engine.governor import snapshot_cost
 from repro.engine.iterator import (
     BinaryIterator,
     Iterator,
@@ -19,6 +20,13 @@ from repro.engine.iterator import (
 from repro.engine.scans import SnapshotReplay
 from repro.engine.subscripts import Subscript, run_aggregate, _as_number
 from repro.errors import ExecutionError
+
+
+def _charge_snapshot(runtime: RuntimeState, snapshot: tuple) -> None:
+    """Charge one buffered snapshot against the byte budget (if any)."""
+    governor = runtime.governor
+    if governor is not None:
+        governor.add_bytes(snapshot_cost(snapshot))
 
 
 class SortIt(UnaryIterator):
@@ -48,7 +56,9 @@ class SortIt(UnaryIterator):
             node = regs[self.slot]
             if not isinstance(node, Node):
                 raise ExecutionError("Sort requires a node-valued attribute")
-            keyed.append((node.sort_key, self.replayer.save(regs)))
+            snapshot = self.replayer.save(regs)
+            _charge_snapshot(self.runtime, snapshot)
+            keyed.append((node.sort_key, snapshot))
         keyed.sort(key=lambda pair: pair[0])
         self._tuples = [snapshot for _key, snapshot in keyed]
         self._loaded = True
@@ -131,7 +141,9 @@ class TmpCsIt(UnaryIterator):
             self._buffer.append(self._pending)
             self._pending = None
         elif not self._exhausted and self.child.next():
-            self._buffer.append(self.replayer.save(regs))
+            snapshot = self.replayer.save(regs)
+            _charge_snapshot(self.runtime, snapshot)
+            self._buffer.append(snapshot)
         else:
             self._exhausted = True
             return False
@@ -141,6 +153,7 @@ class TmpCsIt(UnaryIterator):
                 self._exhausted = True
                 break
             snapshot = self.replayer.save(regs)
+            _charge_snapshot(self.runtime, snapshot)
             if (
                 self.context_slot is not None
                 and self._context_of(snapshot) != group_context
@@ -246,7 +259,9 @@ class MemoXIt(UnaryIterator):
         regs = self.runtime.regs
         if self._recording:
             if self.child.next():
-                self._current.append(self.replayer.save(regs))
+                snapshot = self.replayer.save(regs)
+                _charge_snapshot(self.runtime, snapshot)
+                self._current.append(snapshot)
                 return True
             self._memo[self._record_key] = self._current
             self._recording = False

@@ -63,6 +63,12 @@ class PhysicalPlan:
     def _prepare(self, context: ExecutionContext) -> None:
         runtime = self.runtime
         runtime.context = context
+        runtime.governor = context.governor
+        # Admission check: a query whose deadline passed while it waited
+        # for a worker (or whose cancel token already tripped) aborts
+        # before touching a single page.
+        if context.governor is not None:
+            context.governor.check()
         for index in range(len(runtime.regs)):
             runtime.regs[index] = None
         if self.context_slot is not None:
@@ -85,8 +91,15 @@ class PhysicalPlan:
                     raise ExecutionError("scalar plan produced no tuple")
                 return regs[self.result_slot]  # type: ignore[return-value]
             results: List[Node] = []
+            governor = self.runtime.governor
             while self.root.next():
                 results.append(regs[self.result_slot])  # type: ignore[arg-type]
+                if governor is not None:
+                    # The result list is a materialization like any
+                    # other; a star-join producing millions of nodes
+                    # trips the byte budget here even though every
+                    # operator upstream pipelines.
+                    governor.add_bytes(16)
             return results
         finally:
             self.root.close()

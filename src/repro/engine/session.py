@@ -35,6 +35,7 @@ threading model.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import Counter
@@ -63,11 +64,45 @@ from repro.engine.cache import (
     StripedPlanCache,
 )
 from repro.engine.context import ExecutionContext
+from repro.engine.governor import CancelToken, ResourceGovernor
 from repro.engine.plan import OperatorStats
+from repro.errors import (
+    QueryBudgetError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
 from repro.xpath.datamodel import XPathValue
 
 #: Default thread-pool width of :meth:`XPathEngine.evaluate_concurrent`.
 DEFAULT_MAX_WORKERS = 4
+
+#: Environment variable supplying an engine-wide default timeout in
+#: seconds.  CI sets it to run whole suites under a global deadline; an
+#: explicit ``default_timeout``/per-call ``timeout`` wins over it.
+TIMEOUT_ENV_VAR = "REPRO_DEFAULT_TIMEOUT"
+
+#: Governance counters always present in ``stats().runtime_counters``
+#: (a dashboard must be able to read them before the first abort; the
+#: reconciliation invariant is timed_out + cancelled + budget_aborts +
+#: completed == submitted).
+GOVERNANCE_COUNTERS = (
+    "queries_submitted",
+    "queries_completed",
+    "queries_timed_out",
+    "queries_cancelled",
+    "budget_aborts",
+)
+
+
+def _env_default_timeout() -> Optional[float]:
+    raw = os.environ.get(TIMEOUT_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 #: Targets ``evaluate`` accepts: a node, or anything document-like.
 EvalTarget = Union[Document, Node, object]
@@ -261,6 +296,9 @@ class XPathEngine:
         coalesce: bool = True,
         max_workers: int = DEFAULT_MAX_WORKERS,
         index: Union[str, bool] = "auto",
+        default_timeout: Optional[float] = None,
+        default_max_tuples: Optional[int] = None,
+        default_max_bytes: Optional[int] = None,
     ):
         self.options = options or TranslationOptions()
         if index is True:
@@ -280,6 +318,17 @@ class XPathEngine:
         self.cache = StripedPlanCache(cache_size, cache_shards)
         self.coalesce = coalesce
         self.max_workers = max_workers
+        #: Engine-wide governance defaults, applied to every evaluation
+        #: that does not override them per call.  ``default_timeout``
+        #: falls back to the :data:`TIMEOUT_ENV_VAR` environment
+        #: variable so whole deployments (or CI jobs) can impose a
+        #: global deadline without touching call sites.
+        self.default_timeout = (
+            default_timeout if default_timeout is not None
+            else _env_default_timeout()
+        )
+        self.default_max_tuples = default_max_tuples
+        self.default_max_bytes = default_max_bytes
         self._singleflight = Singleflight()
         self._lock = threading.Lock()  # engine-level counters only
         self._compile_count = 0
@@ -287,7 +336,9 @@ class XPathEngine:
         self._last_phase_seconds: Dict[str, float] = {}
         self._execution_count = 0
         self._execution_seconds = 0.0
-        self._engine_counters: Counter = Counter()
+        self._engine_counters: Counter = Counter(
+            {name: 0 for name in GOVERNANCE_COUNTERS}
+        )
         self._last_plan: Optional[CompiledQuery] = None
         self._last_buffer: Optional[BufferSnapshot] = None
 
@@ -377,6 +428,35 @@ class XPathEngine:
 
     # -- evaluation ----------------------------------------------------
 
+    def make_governor(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
+    ) -> Optional[ResourceGovernor]:
+        """A governor combining per-call limits with engine defaults.
+
+        ``None`` when neither the call nor the engine imposes any limit
+        (the ungoverned fast path).  The deadline is anchored *now*, so
+        governors built at submission time also bound queue wait.
+        """
+        timeout = timeout if timeout is not None else self.default_timeout
+        max_tuples = (
+            max_tuples if max_tuples is not None else self.default_max_tuples
+        )
+        max_bytes = (
+            max_bytes if max_bytes is not None else self.default_max_bytes
+        )
+        if (timeout is None and max_tuples is None and max_bytes is None
+                and cancel is None):
+            return None
+        return ResourceGovernor(
+            timeout=timeout, max_tuples=max_tuples, max_bytes=max_bytes,
+            cancel=cancel,
+        )
+
     def evaluate(
         self,
         query: str,
@@ -386,28 +466,56 @@ class XPathEngine:
         namespaces: Optional[Mapping[str, str]] = None,
         options: Optional[TranslationOptions] = None,
         ordered: bool = False,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> XPathValue:
         """Evaluate ``query`` against ``target`` through the plan cache.
 
+        ``timeout`` (seconds), ``max_tuples``, ``max_bytes`` and
+        ``cancel`` bound the evaluation; unset limits fall back to the
+        engine's ``default_*`` settings.  A tripped limit raises
+        :class:`~repro.errors.QueryTimeoutError` /
+        :class:`~repro.errors.QueryBudgetError` /
+        :class:`~repro.errors.QueryCancelledError` — never a partial
+        result — and leaves the plan cache untouched (the compiled plan
+        stays cached and is reusable).
+
         When ``coalesce`` is enabled (the default) and an identical call
-        — same query, options, namespaces, target node and ordering, no
-        variables — is already in flight on another thread, this call
-        waits for that execution and shares its result instead of
-        re-evaluating (node-set results are shallow-copied per caller).
+        — same query, options, namespaces, target node, ordering and
+        governance limits, no variables — is already in flight on
+        another thread, this call waits for that execution and shares
+        its result instead of re-evaluating (node-set results are
+        shallow-copied per caller).  Coalesced followers share the
+        leader's deadline, including a governance error if it trips.
         """
         plan = self.compile(
             query, options=options, namespaces=namespaces, target=target
         )
         node = resolve_context_node(target)
         key = self._coalesce_key(
-            query, node, variables, namespaces, options, ordered
+            query, node, variables, namespaces, options, ordered,
+            timeout, max_tuples, max_bytes, cancel,
         )
         if key is None:
-            return self._execute(plan, node, variables, namespaces, ordered)
+            return self._execute(
+                plan, node, variables, namespaces, ordered,
+                governor=self.make_governor(
+                    timeout=timeout, max_tuples=max_tuples,
+                    max_bytes=max_bytes, cancel=cancel,
+                ),
+            )
 
         result, led = self._singleflight.do(
             key,
-            lambda: self._execute(plan, node, variables, namespaces, ordered),
+            lambda: self._execute(
+                plan, node, variables, namespaces, ordered,
+                governor=self.make_governor(
+                    timeout=timeout, max_tuples=max_tuples,
+                    max_bytes=max_bytes, cancel=cancel,
+                ),
+            ),
         )
         if not led:
             with self._lock:
@@ -424,13 +532,20 @@ class XPathEngine:
         variables: Optional[Mapping[str, XPathValue]] = None,
         namespaces: Optional[Mapping[str, str]] = None,
         options: Optional[TranslationOptions] = None,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> List[XPathValue]:
         """Evaluate a batch of queries against one target, sequentially.
 
         Each distinct query is compiled (or fetched) once and a single
         :class:`ExecutionContext` is shared across the batch, so the
         per-call setup cost is paid once instead of ``len(queries)``
-        times.  Results are returned in input order.
+        times.  Results are returned in input order.  The governance
+        limits bound the batch *as a whole* — one shared governor, so
+        ``timeout`` is a deadline for all of it and the budgets are
+        cumulative across the queries.
         """
         node = resolve_context_node(target)
         plans = [
@@ -444,6 +559,10 @@ class XPathEngine:
             context_node=node,
             variables=dict(variables or {}),
             namespaces=dict(namespaces or {}),
+            governor=self.make_governor(
+                timeout=timeout, max_tuples=max_tuples,
+                max_bytes=max_bytes, cancel=cancel,
+            ),
         )
         results: List[XPathValue] = []
         start = time.perf_counter()
@@ -468,6 +587,11 @@ class XPathEngine:
         namespaces: Optional[Mapping[str, str]] = None,
         options: Optional[TranslationOptions] = None,
         ordered: bool = False,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
+        return_exceptions: bool = False,
     ) -> List[XPathValue]:
         """Evaluate a batch of queries through a thread pool.
 
@@ -477,7 +601,19 @@ class XPathEngine:
         Duplicate queries in the batch are executed once and their
         result is copied into every matching slot (same answer by
         determinism).  Results are returned in input order; exceptions
-        from any worker propagate to the caller.
+        from any worker propagate to the caller — unless
+        ``return_exceptions=True``, which places each query's exception
+        in its result slot instead, so one timed-out query does not
+        discard its siblings' answers.
+
+        Governance is *per query* with admission control: each query's
+        governor is built at submission time, so its ``timeout``
+        deadline covers time spent queued behind other work.  A query
+        that reaches a worker with its deadline already expired aborts
+        before opening its iterators.  A governed abort only ever fails
+        its own future — the worker thread is released back to the pool,
+        and neither the plan cache nor other queries in the batch are
+        affected (budgets are per query, not shared).
         """
         node = resolve_context_node(target)
         if not queries:
@@ -494,9 +630,20 @@ class XPathEngine:
             1, min(max_workers or self.max_workers, len(distinct))
         )
 
+        # Submission-time admission control: one governor per distinct
+        # query, anchored *now* — queue wait counts against the deadline.
+        governors = {
+            query: self.make_governor(
+                timeout=timeout, max_tuples=max_tuples,
+                max_bytes=max_bytes, cancel=cancel,
+            )
+            for query in distinct
+        }
+
         def run_one(query: str) -> XPathValue:
             return self._execute(
-                plans[query], node, variables, namespaces, ordered
+                plans[query], node, variables, namespaces, ordered,
+                governor=governors[query],
             )
 
         with ThreadPoolExecutor(
@@ -505,12 +652,20 @@ class XPathEngine:
             futures = {
                 query: pool.submit(run_one, query) for query in distinct
             }
-            by_query = {
-                query: future.result() for query, future in futures.items()
-            }
+            by_query = {}
+            first_error: Optional[BaseException] = None
+            for query, future in futures.items():
+                try:
+                    by_query[query] = future.result()
+                except BaseException as error:
+                    if not return_exceptions and first_error is None:
+                        first_error = error
+                    by_query[query] = error
         with self._lock:
             self._engine_counters["concurrent_batches"] += 1
             self._engine_counters["concurrent_executions"] += len(distinct)
+        if first_error is not None:
+            raise first_error
         return [
             list(result) if isinstance(result, list) else result
             for result in (by_query[query] for query in queries)
@@ -524,6 +679,10 @@ class XPathEngine:
         variables: Optional[Mapping[str, XPathValue]] = None,
         namespaces: Optional[Mapping[str, str]] = None,
         options: Optional[TranslationOptions] = None,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> int:
         """Count result tuples without materializing them."""
         plan = self.compile(
@@ -532,7 +691,11 @@ class XPathEngine:
         node = resolve_context_node(target)
         start = time.perf_counter()
         result = plan.count(
-            node, variables=variables, namespaces=namespaces
+            node, variables=variables, namespaces=namespaces,
+            governor=self.make_governor(
+                timeout=timeout, max_tuples=max_tuples,
+                max_bytes=max_bytes, cancel=cancel,
+            ),
         )
         self._record_execution(time.perf_counter() - start, plan, node)
         return result
@@ -570,6 +733,9 @@ class XPathEngine:
             self._execution_count = 0
             self._execution_seconds = 0.0
             self._engine_counters.clear()
+            self._engine_counters.update(
+                {name: 0 for name in GOVERNANCE_COUNTERS}
+            )
             self._last_buffer = None
         self.cache.reset_counters()
         for plan in self.cache.plans():
@@ -587,9 +753,44 @@ class XPathEngine:
         variables: Optional[Mapping[str, XPathValue]],
         namespaces: Optional[Mapping[str, str]],
         ordered: bool,
+        governor: Optional[ResourceGovernor] = None,
     ) -> XPathValue:
+        """One governed plan execution, with outcome accounting.
+
+        Every execution increments ``queries_submitted``; exactly one of
+        ``queries_completed`` / ``queries_timed_out`` /
+        ``queries_cancelled`` / ``budget_aborts`` follows, so the four
+        always sum back to ``queries_submitted``.  "Completed" means the
+        run ended without a governance abort — a query raising an
+        ordinary evaluation error still *completed* its resource-governed
+        run.
+        """
+        with self._lock:
+            self._engine_counters["queries_submitted"] += 1
         start = time.perf_counter()
-        result = plan.evaluate(node, variables, namespaces, ordered=ordered)
+        try:
+            result = plan.evaluate(
+                node, variables, namespaces, ordered=ordered,
+                governor=governor,
+            )
+        except QueryTimeoutError:
+            with self._lock:
+                self._engine_counters["queries_timed_out"] += 1
+            raise
+        except QueryCancelledError:
+            with self._lock:
+                self._engine_counters["queries_cancelled"] += 1
+            raise
+        except QueryBudgetError:
+            with self._lock:
+                self._engine_counters["budget_aborts"] += 1
+            raise
+        except BaseException:
+            with self._lock:
+                self._engine_counters["queries_completed"] += 1
+            raise
+        with self._lock:
+            self._engine_counters["queries_completed"] += 1
         self._record_execution(time.perf_counter() - start, plan, node)
         return result
 
@@ -601,13 +802,21 @@ class XPathEngine:
         namespaces: Optional[Mapping[str, str]],
         options: Optional[TranslationOptions],
         ordered: bool,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> Optional[Hashable]:
         """The singleflight key, or None when coalescing is off.
 
         Calls with variables are never coalesced (variable values may be
         unhashable node-sets).  The target enters by identity — the
         leader keeps the node alive for the duration of the flight, so
-        the id cannot be recycled mid-call.
+        the id cannot be recycled mid-call.  The governance limits are
+        part of the key: two calls with different deadlines or budgets
+        must never share a flight (a tightly-limited leader would fail
+        loosely-limited followers), and a distinct cancel token keys a
+        distinct flight for the same reason.
         """
         if not self.coalesce or variables:
             return None
@@ -617,6 +826,10 @@ class XPathEngine:
             _namespace_signature(namespaces),
             id(node),
             ordered,
+            timeout,
+            max_tuples,
+            max_bytes,
+            id(cancel) if cancel is not None else None,
         )
 
     def _record_execution(

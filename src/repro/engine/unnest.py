@@ -68,10 +68,17 @@ class UnnestMapIt(UnaryIterator):
         regs = self.runtime.regs
         test = self._test
         stats = self.runtime.stats
+        governor = self.runtime.governor
         while True:
             if self._generator is not None:
                 for candidate in self._generator:
                     stats["axis_nodes_visited"] += 1
+                    if governor is not None:
+                        # One next() can walk an entire subtree before a
+                        # single candidate passes the test; tick per
+                        # visited node so the deadline still fires
+                        # promptly inside this loop.
+                        governor.tick()
                     if test(candidate):
                         regs[self.out_slot] = candidate
                         stats["tuples:UnnestMap"] += 1

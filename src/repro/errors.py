@@ -30,6 +30,17 @@ class StorageError(ReproError):
     """Raised by the paged document store on corrupt or invalid data."""
 
 
+class IndexRegionMissing(StorageError):
+    """The store file carries no index footer at all.
+
+    Distinct from a *corrupt* index region (plain
+    :class:`StorageError`): a missing region means the store was written
+    without indexes, a corrupt one means indexes exist but cannot be
+    trusted — the open path maps them to ``index_status`` ``"none"``
+    vs. ``"stale"``.
+    """
+
+
 class XPathError(ReproError):
     """Base class for all errors concerning an XPath expression."""
 
@@ -85,3 +96,56 @@ class UnboundVariableError(ExecutionError):
     def __init__(self, name: str):
         super().__init__(f"unbound variable ${name}")
         self.name = name
+
+
+class QueryGovernanceError(ExecutionError):
+    """Base class of the resource-governance aborts.
+
+    Raised cooperatively from inside the iterator engine when a query
+    exceeds one of its :class:`~repro.engine.governor.ResourceGovernor`
+    limits.  Governance aborts are all-or-nothing: the evaluation raises
+    instead of returning, so a caller never sees a silently truncated
+    result.
+    """
+
+
+class QueryTimeoutError(QueryGovernanceError):
+    """Raised when a query runs past its deadline.
+
+    ``timeout`` is the requested limit in seconds; ``elapsed`` the
+    monotonic time actually spent when the abort fired.
+    """
+
+    def __init__(self, timeout: float, elapsed: float):
+        super().__init__(
+            f"query exceeded its {timeout:.3f}s timeout "
+            f"(ran {elapsed:.3f}s)"
+        )
+        self.timeout = timeout
+        self.elapsed = elapsed
+
+
+class QueryBudgetError(QueryGovernanceError):
+    """Raised when a query exceeds a tuple or materialization budget.
+
+    ``resource`` is ``"tuples"`` or ``"bytes"``; ``limit`` the budget
+    and ``used`` the consumption that tripped it.
+    """
+
+    def __init__(self, resource: str, limit: int, used: int):
+        super().__init__(
+            f"query exceeded its {resource} budget ({used} > {limit})"
+        )
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+
+class QueryCancelledError(QueryGovernanceError):
+    """Raised when a query's external cancel token was triggered."""
+
+    def __init__(self, reason: str = ""):
+        super().__init__(
+            f"query cancelled{f': {reason}' if reason else ''}"
+        )
+        self.reason = reason

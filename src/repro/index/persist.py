@@ -33,7 +33,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.errors import StorageError
+from repro.errors import IndexRegionMissing, StorageError
 from repro.index.build import IndexData
 from repro.index.synopsis import PathSynopsis, SynopsisEntry
 from repro.storage.encoding import (
@@ -189,14 +189,16 @@ def append_index_blob(handle, store_end: int, blob: bytes) -> None:
 def find_index_region(handle, file_end: int) -> Tuple[int, int]:
     """Locate the index region; returns (region_start, region_length).
 
-    Raises :class:`StorageError` when no (valid) footer is present.
+    Raises :class:`IndexRegionMissing` when the file carries no footer
+    magic at all, plain :class:`StorageError` when a footer is present
+    but its length field is invalid.
     """
     if file_end < FOOTER_SIZE:
-        raise StorageError("no index footer")
+        raise IndexRegionMissing("no index footer")
     handle.seek(file_end - FOOTER_SIZE)
     footer = handle.read(FOOTER_SIZE)
     if footer[8:] != INDEX_FOOTER_MAGIC:
-        raise StorageError("no index footer")
+        raise IndexRegionMissing("no index footer")
     (length,) = struct.unpack(">Q", footer[:8])
     start = file_end - FOOTER_SIZE - length
     if length <= 0 or start < 0:

@@ -23,6 +23,7 @@ import struct
 from bisect import bisect_left, bisect_right
 from typing import BinaryIO, Dict, List, Tuple
 
+from repro.errors import StorageError
 from repro.index.persist import (
     EXTENT_WIDTH,
     IndexCatalog,
@@ -53,22 +54,37 @@ class DocumentIndexes:
              buffer_pages: int) -> "DocumentIndexes":
         """Open the index region of a page file.
 
-        Raises :class:`~repro.errors.StorageError` when the file carries
-        no index footer — the caller treats that as "no indexes", not as
-        corruption.  The catalog record is read through the index buffer
-        manager so even catalog I/O shows up in the index-page counters.
+        Raises :class:`~repro.errors.IndexRegionMissing` when the file
+        carries no index footer — the caller treats that as "no
+        indexes", not as corruption — and plain
+        :class:`~repro.errors.StorageError` when a region exists but
+        cannot be decoded (truncated trailer, garbage catalog bytes):
+        whatever low-level exception the decoders hit is wrapped, so
+        callers never see a raw ``struct.error`` escape an open.  The
+        catalog record is read through the index buffer manager so even
+        catalog I/O shows up in the index-page counters.
         """
         region_start, region_length = find_index_region(handle, file_end)
         page_file = PageFile(handle, region_start, region_length, page_size)
         buffer = BufferManager(page_file, buffer_pages, kind="index")
         head = buffer.read_record(0, min(region_length, page_size))
         try:
-            catalog, payload_start = read_index_catalog(head)
-        except Exception:
-            # Catalog larger than one page: pull the whole region head.
-            catalog, payload_start = read_index_catalog(
-                buffer.read_record(0, region_length)
-            )
+            try:
+                catalog, payload_start = read_index_catalog(head)
+            except Exception:
+                # Catalog larger than one page: pull the whole region.
+                catalog, payload_start = read_index_catalog(
+                    buffer.read_record(0, region_length)
+                )
+        except StorageError:
+            raise
+        except Exception as error:
+            # decode_varint/decode_string/struct.unpack on garbage bytes
+            # raise IndexError/UnicodeDecodeError/struct.error — a
+            # corrupt region, not a programming error.
+            raise StorageError(
+                f"corrupt index region: {error!r}"
+            ) from error
         return cls(buffer, catalog, payload_start)
 
     # ------------------------------------------------------------------

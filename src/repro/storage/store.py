@@ -23,7 +23,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.dom.document import Document
 from repro.dom.node import Node, NodeKind
-from repro.errors import StorageError
+from repro.errors import IndexRegionMissing, StorageError
 from repro.storage.encoding import (
     decode_id_list,
     decode_string,
@@ -220,6 +220,18 @@ class StoredDocument:
 
     def __init__(self, handle: io.BufferedIOBase, buffer_pages: int):
         self._handle = handle
+        try:
+            self._init(handle, buffer_pages)
+        except BaseException:
+            # The constructor owns the handle from the first line on:
+            # a failure anywhere in here (bad magic, truncated header,
+            # index-trailer validation) must not leak the open file —
+            # callers constructing a StoredDocument directly have no
+            # object to close yet.
+            handle.close()
+            raise
+
+    def _init(self, handle: io.BufferedIOBase, buffer_pages: int) -> None:
         header = handle.read(5)
         if header[:4] != _MAGIC:
             raise StorageError("not a document store file")
@@ -284,7 +296,16 @@ class StoredDocument:
             indexes = DocumentIndexes.load(
                 self._handle, file_end, self.page_size, buffer_pages
             )
+        except IndexRegionMissing:
+            # Trailing bytes but no footer magic: not an index region.
+            return
         except StorageError:
+            # A footer exists but the region cannot be decoded (corrupt
+            # trailer, garbage catalog).  The data pages are untouched
+            # by index corruption, so the open *succeeds* and
+            # evaluation falls back to scans — exactly like a stale
+            # region.
+            self.index_status = "stale"
             return
         if (indexes.catalog.fingerprint != self.fingerprint
                 or indexes.node_count != self._node_count):

@@ -71,6 +71,21 @@ def main(argv: Optional[List[str]] = None) -> int:
              f"(default: all of {', '.join(ROUTE_NAMES)}; the naive "
              "baseline is always included)",
     )
+    fuzz.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="govern the algebraic routes with a per-query deadline; "
+             "a governed route must match the ungoverned baseline or "
+             "raise exactly a governance error",
+    )
+    fuzz.add_argument(
+        "--max-tuples", type=int, metavar="N",
+        help="govern the algebraic routes with a per-query tuple budget",
+    )
+    fuzz.add_argument(
+        "--max-bytes", type=int, metavar="N",
+        help="govern the algebraic routes with a per-query "
+             "materialization-byte budget",
+    )
 
     replay = commands.add_parser(
         "replay", help="replay the regression corpus through the oracle"
@@ -104,6 +119,13 @@ def _cmd_fuzz(arguments) -> int:
             for name in arguments.routes.split(",")
             if name.strip()
         ]
+    governance = {}
+    if arguments.timeout is not None:
+        governance["timeout"] = arguments.timeout
+    if arguments.max_tuples is not None:
+        governance["max_tuples"] = arguments.max_tuples
+    if arguments.max_bytes is not None:
+        governance["max_bytes"] = arguments.max_bytes
     report = run_campaign(
         seed=arguments.seed,
         n=arguments.n,
@@ -112,6 +134,7 @@ def _cmd_fuzz(arguments) -> int:
         corpus_path=corpus_path,
         progress=lambda message: print(message, file=sys.stderr),
         routes=routes,
+        governance=governance or None,
     )
     print(report.summary())
     if not arguments.no_report:

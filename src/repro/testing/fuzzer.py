@@ -20,7 +20,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
+)
 
 from repro.dom.serializer import serialize
 from repro.errors import ReproError
@@ -90,6 +92,7 @@ class CampaignReport:
     generation_rejects: int = 0
     value_outcomes: int = 0
     error_outcomes: int = 0
+    governance: Optional[Dict[str, object]] = None
     findings: List[Finding] = field(default_factory=list)
     coverage: CoverageTracker = field(default_factory=CoverageTracker)
 
@@ -98,11 +101,18 @@ class CampaignReport:
         return not self.findings
 
     def summary(self) -> str:
+        governed = ""
+        if self.governance:
+            knobs = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(self.governance.items())
+            )
+            governed = f" [governed: {knobs}]"
         lines = [
             f"fuzz campaign seed={self.seed} n={self.n}: "
             f"{self.queries_run} queries over {self.documents} documents "
             f"across {len(self.routes)} routes "
-            f"({', '.join(self.routes)})",
+            f"({', '.join(self.routes)}){governed}",
             f"  value outcomes: {self.value_outcomes}, "
             f"error outcomes: {self.error_outcomes}, "
             f"generator rejects: {self.generation_rejects}",
@@ -123,6 +133,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     max_findings: int = 25,
     routes: Optional[Sequence[str]] = None,
+    governance: Optional[Mapping[str, object]] = None,
 ) -> CampaignReport:
     """Run one deterministic differential fuzz campaign.
 
@@ -133,13 +144,21 @@ def run_campaign(
     does not turn the report into a firehose (the cap is noted by the
     CLI when hit).  ``routes`` selects a subset of
     :data:`~repro.testing.oracle.ROUTE_NAMES` (the baseline is always
-    included); the default runs all six.
+    included); the default runs all six.  ``governance`` (``timeout`` /
+    ``max_tuples`` / ``max_bytes``) runs the algebraic routes under a
+    :class:`~repro.engine.governor.ResourceGovernor`: a governed route
+    must agree with the ungoverned baseline or abort with exactly a
+    governance error — see
+    :class:`~repro.testing.oracle.DifferentialRunner`.
     """
     grammar_config = grammar_config or GrammarConfig()
     document_config = document_config or DocumentConfig()
     route_names = _resolve_routes(routes)
     rng = random.Random(seed)
-    report = CampaignReport(seed=seed, n=n, routes=route_names)
+    report = CampaignReport(
+        seed=seed, n=n, routes=route_names,
+        governance=dict(governance) if governance else None,
+    )
     say = progress or (lambda message: None)
 
     remaining = n
@@ -174,6 +193,7 @@ def run_campaign(
             variables=grammar_config.variables,
             namespaces=grammar_config.namespaces,
             routes=route_names,
+            governance=governance,
         ) as runner:
             _record_plan_coverage(runner, queries, report.coverage)
             divergences = runner.check_batch(queries)
@@ -195,7 +215,8 @@ def run_campaign(
             )
             if shrink:
                 _shrink_finding(
-                    finding, divergence, spec, grammar_config, say
+                    finding, divergence, spec, grammar_config, say,
+                    governance=governance,
                 )
             report.findings.append(finding)
             if corpus_path is not None:
@@ -273,6 +294,7 @@ def _shrink_finding(
     spec: ElementSpec,
     grammar_config: GrammarConfig,
     say: Callable[[str], None],
+    governance: Optional[Mapping[str, object]] = None,
 ) -> None:
     try:
         query_ast = parse_xpath(divergence.query)
@@ -290,6 +312,7 @@ def _shrink_finding(
             candidate_doc,
             variables=grammar_config.variables,
             namespaces=grammar_config.namespaces,
+            governance=governance,
         ) as runner:
             return bool(runner.check(candidate_query))
 

@@ -47,6 +47,7 @@ from repro.baselines.naive import NaiveInterpreter
 from repro.compiler.improved import TranslationOptions
 from repro.compiler.pipeline import XPathCompiler
 from repro.dom.document import Document
+from repro.engine.governor import ResourceGovernor
 from repro.engine.session import XPathEngine
 from repro.errors import ReproError
 from repro.storage import DocumentStore
@@ -67,6 +68,13 @@ ROUTE_NAMES: Tuple[str, ...] = (
 _STORE_ROUTES = ("stored", "indexed")
 
 BASELINE_ROUTE = "naive"
+
+#: Exception type names a *governed* route may legitimately raise while
+#: the ungoverned baseline succeeds: aborting on a limit is correct
+#: behaviour, any other disagreement is still a divergence.
+GOVERNANCE_ERROR_NAMES = frozenset(
+    {"QueryTimeoutError", "QueryBudgetError", "QueryCancelledError"}
+)
 
 
 @dataclass(frozen=True)
@@ -158,6 +166,16 @@ class DifferentialRunner:
     ``run(query, context_node) -> XPathValue`` evaluated against the
     in-memory document; the shrinker tests use this to inject synthetic
     divergences.
+
+    ``governance`` (a mapping with any of ``timeout``, ``max_tuples``,
+    ``max_bytes``) runs every *algebraic* route under a fresh
+    :class:`~repro.engine.governor.ResourceGovernor` per query while the
+    naive baseline stays ungoverned.  The comparison contract then
+    becomes: a governed route must either agree with the baseline
+    exactly, or abort with exactly a governance error
+    (:data:`GOVERNANCE_ERROR_NAMES`) — any other exception, and any
+    wrong *value*, is still a divergence.  This is the fuzzing mode that
+    proves the governor never changes answers, only truncates work.
     """
 
     def __init__(
@@ -172,12 +190,22 @@ class DifferentialRunner:
         ] = None,
         store_dir: Optional[Path] = None,
         buffer_pages: int = 64,
+        governance: Optional[Mapping[str, object]] = None,
     ):
         self.document = document
         self.variables = dict(variables or {})
         self.namespaces = dict(namespaces or {})
         self.routes = tuple(routes)
         self.extra_routes = dict(extra_routes or {})
+        self.governance = dict(governance) if governance else None
+        if self.governance:
+            unknown = set(self.governance) - {
+                "timeout", "max_tuples", "max_bytes",
+            }
+            if unknown:
+                raise ValueError(
+                    f"unknown governance key(s) {sorted(unknown)}"
+                )
         self._naive = NaiveInterpreter()
         self._canonical = XPathCompiler(TranslationOptions.canonical())
         self._engine = XPathEngine(TranslationOptions.improved())
@@ -221,6 +249,20 @@ class DifferentialRunner:
     # Single-route executions
     # ------------------------------------------------------------------
 
+    def _engine_governance(self) -> Dict[str, object]:
+        """Governance kwargs for the engine-session routes."""
+        return dict(self.governance) if self.governance else {}
+
+    def _fresh_governor(self) -> Optional[ResourceGovernor]:
+        """A per-query governor for the compiled (non-session) route."""
+        if not self.governance:
+            return None
+        return ResourceGovernor(
+            timeout=self.governance.get("timeout"),
+            max_tuples=self.governance.get("max_tuples"),
+            max_bytes=self.governance.get("max_bytes"),
+        )
+
     def _run_naive(self, query: str) -> XPathValue:
         context = make_context(
             self.document.root, self.variables, self.namespaces
@@ -230,7 +272,8 @@ class DifferentialRunner:
     def _run_canonical(self, query: str) -> XPathValue:
         compiled = self._canonical.compile(query)
         return compiled.evaluate(
-            self.document.root, self.variables, self.namespaces
+            self.document.root, self.variables, self.namespaces,
+            governor=self._fresh_governor(),
         )
 
     def _run_improved(self, query: str) -> XPathValue:
@@ -239,6 +282,7 @@ class DifferentialRunner:
             self.document.root,
             variables=self.variables,
             namespaces=self.namespaces,
+            **self._engine_governance(),
         )
 
     def _run_stored(self, query: str) -> XPathValue:
@@ -248,6 +292,7 @@ class DifferentialRunner:
             self._stored.root,
             variables=self.variables,
             namespaces=self.namespaces,
+            **self._engine_governance(),
         )
 
     def _run_indexed(self, query: str) -> XPathValue:
@@ -257,6 +302,7 @@ class DifferentialRunner:
             self._stored.root,
             variables=self.variables,
             namespaces=self.namespaces,
+            **self._engine_governance(),
         )
 
     def _run_concurrent_single(self, query: str) -> XPathValue:
@@ -266,6 +312,7 @@ class DifferentialRunner:
             max_workers=2,
             variables=self.variables,
             namespaces=self.namespaces,
+            **self._engine_governance(),
         )[0]
 
     def _route_runner(self, route: str) -> Callable[[str], XPathValue]:
@@ -342,6 +389,7 @@ class DifferentialRunner:
                         max_workers=4,
                         variables=self.variables,
                         namespaces=self.namespaces,
+                        **self._engine_governance(),
                     )
                 except Exception:  # noqa: BLE001 - fall back per query
                     values = None
@@ -373,6 +421,14 @@ class DifferentialRunner:
                     divergences.append(
                         Divergence(query, route, outcome, outcome)
                     )
+                continue
+            if (
+                self.governance
+                and outcome.kind == "error"
+                and outcome.payload in GOVERNANCE_ERROR_NAMES
+            ):
+                # Under governance a limit abort is a legal outcome on
+                # any governed route; the baseline is never governed.
                 continue
             if outcome != baseline or outcome.kind == "crash":
                 divergences.append(

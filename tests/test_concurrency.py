@@ -18,6 +18,7 @@ The contracts exercised here:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -85,6 +86,72 @@ class TestStripedCacheStress:
             assert shard.size <= shard.capacity
         assert cache.evictions > 0
         assert cache.size <= 4
+
+    def test_counters_consistent_under_interleaved_resets(self):
+        """hits + misses == lookups while 8 threads hammer the cache and
+        a ninth resets the counters.
+
+        The regression: the aggregate counter properties read shard
+        fields without the shard latch, so a checker could observe a
+        lookup that had been counted whose hit/miss had not — or a
+        reset applied to one counter but not yet the others.  Every
+        snapshot (``counters()``, ``stats()``, per shard) must be
+        internally consistent at any interleaving.
+        """
+        from repro.engine.cache import StripedPlanCache
+
+        cache = StripedPlanCache(capacity=16, shards=8)
+        stop = threading.Event()
+        violations = []
+
+        def hammer(slot):
+            keys = [f"q{slot}-{i}" for i in range(24)]
+            while not stop.is_set():
+                for key in keys:
+                    if cache.get(key) is None:
+                        cache.put(key, object())
+                    # Cross-shard traffic: read a neighbour's keys too.
+                    cache.get(f"q{(slot + 1) % THREADS}-{slot}")
+
+        def resetter():
+            while not stop.is_set():
+                cache.reset_counters()
+
+        def checker():
+            while not stop.is_set():
+                hits, misses, _, lookups = cache.counters()
+                if hits + misses != lookups:
+                    violations.append(("counters", hits, misses, lookups))
+                snapshot = cache.stats()
+                if snapshot.hits + snapshot.misses != snapshot.lookups:
+                    violations.append(
+                        ("stats", snapshot.hits, snapshot.misses,
+                         snapshot.lookups)
+                    )
+                for shard in snapshot.shards:
+                    if shard.hits + shard.misses != shard.lookups:
+                        violations.append(
+                            ("shard", shard.shard, shard.hits,
+                             shard.misses, shard.lookups)
+                        )
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(THREADS)
+        ] + [
+            threading.Thread(target=resetter),
+            threading.Thread(target=checker),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.8)
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        assert not violations, violations[:5]
+        final = cache.counters()
+        assert final[0] + final[1] == final[3]
 
     def test_interleaved_clear_cache(self):
         engine = XPathEngine(cache_size=8, coalesce=False)

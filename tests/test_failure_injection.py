@@ -42,9 +42,11 @@ class TestCorruptStores:
     def test_truncated_file(self, tmp_path):
         blob = self._stored_bytes()
         with pytest.raises(StorageError):
-            stored = self._open_blob(blob[: len(blob) // 3], tmp_path)
-            # Header may survive truncation; force record reads.
-            list(stored.iter_nodes())
+            # Header may survive truncation; force record reads.  The
+            # context manager keeps the handle from leaking when the
+            # open itself survives and only the reads fail.
+            with self._open_blob(blob[: len(blob) // 3], tmp_path) as stored:
+                list(stored.iter_nodes())
 
     def test_wrong_magic(self, tmp_path):
         blob = self._stored_bytes()
@@ -64,16 +66,118 @@ class TestCorruptStores:
         for index in range(len(blob) - 12, len(blob)):
             blob[index] ^= 0xFF
         try:
-            stored = self._open_blob(bytes(blob), tmp_path)
-            list(stored.iter_nodes())
+            with self._open_blob(bytes(blob), tmp_path) as stored:
+                list(stored.iter_nodes())
         except (StorageError, ValueError):
             pass  # both are controlled decode failures
 
     def test_out_of_range_node_id(self, tmp_path):
         blob = self._stored_bytes()
-        stored = self._open_blob(blob, tmp_path)
+        with self._open_blob(blob, tmp_path) as stored:
+            with pytest.raises(StorageError):
+                stored.node(10**6)
+
+
+class TestCorruptIndexTrailer:
+    """A corrupt index region must degrade the open, never fail it.
+
+    The data pages are untouched by index corruption: the store opens,
+    reports ``index_status == "stale"`` and answers queries through
+    axis-navigation fallback.  And whatever does fail mid-``open()``
+    must close the file handle — the regression here was a handle
+    leaked when trailer validation raised inside the constructor.
+    """
+
+    def _indexed_store(self, tmp_path):
+        document = parse_document("<a><b>x</b><b>y</b></a>")
+        path = tmp_path / "indexed.natix"
+        DocumentStore.write(document, path)
+        return path
+
+    def test_garbage_index_region_falls_back(self, tmp_path):
+        path = self._indexed_store(tmp_path)
+        blob = bytearray(path.read_bytes())
+        # Corrupt the catalog bytes just past the footer-relative region
+        # start, keeping the NATXIDX1 footer itself intact.
+        with DocumentStore.open(path) as stored:
+            store_end = stored.store_end
+        for index in range(store_end, min(store_end + 24, len(blob) - 16)):
+            blob[index] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with DocumentStore.open(path) as stored:
+            assert stored.index_status == "stale"
+            assert stored.indexes is None
+            assert evaluate("count(//b)", stored) == 2.0
+
+    def test_garbage_catalog_body_falls_back(self, tmp_path):
+        # Keep the catalog magic and length intact but shred the body:
+        # the decoders hit raw IndexError/UnicodeDecodeError on garbage
+        # varints, which the load path must wrap — the open still
+        # degrades to "stale" instead of crashing.
+        path = self._indexed_store(tmp_path)
+        blob = bytearray(path.read_bytes())
+        with DocumentStore.open(path) as stored:
+            store_end = stored.store_end
+        body_start = store_end + 9  # past b"NIDX1" + u32 body length
+        for index in range(
+            body_start, min(body_start + 64, len(blob) - 16)
+        ):
+            blob[index] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with DocumentStore.open(path) as stored:
+            assert stored.index_status == "stale"
+            assert evaluate("count(//b)", stored) == 2.0
+
+    def test_corrupt_footer_length_falls_back(self, tmp_path):
+        path = self._indexed_store(tmp_path)
+        blob = bytearray(path.read_bytes())
+        # An absurd region length makes region_start negative.
+        blob[-16:-8] = (2**48).to_bytes(8, "big")
+        path.write_bytes(bytes(blob))
+        with DocumentStore.open(path) as stored:
+            assert stored.index_status == "stale"
+            assert evaluate("count(//b)", stored) == 2.0
+
+    def test_missing_footer_is_not_stale(self, tmp_path):
+        path = self._indexed_store(tmp_path)
+        blob = path.read_bytes()
+        with DocumentStore.open(path) as stored:
+            store_end = stored.store_end
+        # Strip the whole index region: plain v1 store, no footer.
+        path.write_bytes(blob[:store_end])
+        with DocumentStore.open(path) as stored:
+            assert stored.index_status == "none"
+            assert stored.indexes is None
+
+    def test_failed_open_closes_handle(self, tmp_path):
+        from repro.storage.store import StoredDocument
+
+        path = tmp_path / "junk.natix"
+        path.write_bytes(b"JUNKJUNKJUNKJUNK")
+        handle = open(path, "rb")
         with pytest.raises(StorageError):
-            stored.node(10**6)
+            StoredDocument(handle, buffer_pages=4)
+        assert handle.closed
+
+    def test_failed_open_with_corrupt_trailer_closes_handle(
+        self, tmp_path, monkeypatch
+    ):
+        # Force the very last constructor step to blow up with an
+        # arbitrary exception: the handle must still be closed.
+        from repro.storage import store as store_module
+
+        path = self._indexed_store(tmp_path)
+        monkeypatch.setattr(
+            store_module.StoredDocument,
+            "_load_indexes",
+            lambda self, buffer_pages: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            ),
+        )
+        handle = open(path, "rb")
+        with pytest.raises(RuntimeError):
+            store_module.StoredDocument(handle, buffer_pages=4)
+        assert handle.closed
 
 
 class TestInvalidNVM:

@@ -244,3 +244,149 @@ class TestImplicitConversions:
     def test_boolean_args_converted(self):
         assert call("not", ["nonempty"]) is False
         assert call("not", [0.0]) is True
+
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestNumberEdgeCasesSection44:
+    """Spec §4.4 corner cases: NaN/±Infinity through substring(),
+    the sign of round()'s zeros, and lang() sublanguage casing.
+
+    Each table runs the function twice — directly through the library
+    and end-to-end through the compiled engine — because the engine
+    path exercises the literal-folding and comparison machinery that
+    has historically disagreed with the library on IEEE specials.
+    """
+
+    # (start, length-or-None, expected) per spec §4.2's substring rules:
+    # round() the positions, then keep characters whose position p
+    # satisfies  p >= round(start)  and  p < round(start) + round(len).
+    # NaN comparisons are false, so any NaN operand selects nothing.
+    SUBSTRING_TABLE = [
+        ("0 div 0", None, ""),            # NaN start
+        ("0 div 0", "3", ""),             # NaN start, finite length
+        ("2", "0 div 0", ""),             # NaN length
+        ("-1 div 0", None, "12345"),      # -Inf start, no length
+        ("1 div 0", "3", ""),             # +Inf start
+        ("-1 div 0", "1 div 0", ""),      # -Inf + Inf = NaN bound
+        ("-42", "1 div 0", "12345"),      # finite start, +Inf length
+        ("2", "1 div 0", "2345"),
+        ("1.5", "2.6", "234"),            # the spec's rounding example
+        ("0", "3", "12"),                 # round(0)+round(3) = 3 excl.
+        ("-1 div 0", "5", ""),            # -Inf + 5 still < 1
+    ]
+
+    @pytest.mark.parametrize("start, length, expected", SUBSTRING_TABLE)
+    def test_substring_specials_direct(self, start, length, expected):
+        def num(expr):
+            if expr == "0 div 0":
+                return NAN
+            if expr == "1 div 0":
+                return INF
+            if expr == "-1 div 0":
+                return -INF
+            return float(expr)
+
+        args = ["12345", num(start)]
+        if length is not None:
+            args.append(num(length))
+        assert call("substring", args) == expected
+
+    @pytest.mark.parametrize("start, length, expected", SUBSTRING_TABLE)
+    def test_substring_specials_compiled(self, start, length, expected):
+        from repro import evaluate
+
+        doc = parse_document("<a/>")
+        arguments = f"'12345', {start}"
+        if length is not None:
+            arguments += f", {length}"
+        query = f"substring({arguments})"
+        for engine in ("natix", "naive"):
+            assert evaluate(query, doc, engine=engine) == expected, (
+                query, engine,
+            )
+
+    # (operand, expected, sign-is-negative) — §4.4: round(-0.5) is
+    # negative zero, as is round of anything in (-0.5, -0.0].
+    ROUND_TABLE = [
+        (-0.5, 0.0, True),
+        (-0.2, 0.0, True),
+        (-0.0, 0.0, True),
+        (0.0, 0.0, False),
+        (0.2, 0.0, False),
+        (0.5, 1.0, False),
+        (-0.51, -1.0, True),
+    ]
+
+    @pytest.mark.parametrize("operand, expected, negative", ROUND_TABLE)
+    def test_round_zero_sign_direct(self, operand, expected, negative):
+        result = call("round", [operand])
+        assert result == expected
+        assert (math.copysign(1.0, result) < 0) is negative, result
+
+    def test_round_negative_zero_observable_in_engine(self):
+        # 1 div -0.0 is -Infinity; the only way XPath can observe the
+        # sign of round()'s zero.
+        from repro import evaluate
+
+        doc = parse_document("<a/>")
+        for engine in ("natix", "naive"):
+            assert evaluate(
+                "1 div round(-0.5)", doc, engine=engine
+            ) == -INF, engine
+            assert evaluate(
+                "1 div round(0.4)", doc, engine=engine
+            ) == INF, engine
+
+    def test_round_specials_direct(self):
+        assert math.isnan(call("round", [NAN]))
+        assert call("round", [INF]) == INF
+        assert call("round", [-INF]) == -INF
+
+    # (document language, tested language, expected) — §4.3: compare
+    # case-insensitively; a suffix starting at a '-' is ignored, but
+    # the tested language must not be *longer* than the attribute.
+    LANG_TABLE = [
+        ("en-GB", "en", True),
+        ("en-GB", "EN", True),
+        ("en-GB", "en-gb", True),
+        ("en-GB", "EN-GB", True),
+        ("en-GB", "en-us", False),
+        ("en-GB", "en-GB-oed", False),
+        ("EN", "en", True),
+        ("en", "en-gb", False),      # tested longer than attribute
+        ("fr", "en", False),
+        ("en-GB", "", False),
+        ("en-GB", "gb", False),      # sublang alone never matches
+    ]
+
+    @pytest.mark.parametrize("doclang, wanted, expected", LANG_TABLE)
+    def test_lang_sublanguage_casing_direct(self, doclang, wanted,
+                                            expected):
+        document = parse_document(f'<w xml:lang="{doclang}">hi</w>')
+        node = document.root.children[0]
+        assert call("lang", [wanted], document, node) is expected
+
+    @pytest.mark.parametrize("doclang, wanted, expected", LANG_TABLE)
+    def test_lang_sublanguage_casing_compiled(self, doclang, wanted,
+                                              expected):
+        from repro import evaluate
+
+        document = parse_document(f'<r><w xml:lang="{doclang}"/></r>')
+        query = f"count(//w[lang('{wanted}')])"
+        for engine in ("natix", "naive"):
+            assert evaluate(query, document, engine=engine) == (
+                1.0 if expected else 0.0
+            ), (doclang, wanted, engine)
+
+    def test_lang_inherited_from_ancestor(self):
+        from repro import evaluate
+
+        document = parse_document(
+            '<r xml:lang="en-GB"><w>hi</w><x xml:lang="de"><y/></x></r>'
+        )
+        assert evaluate("count(//w[lang('en')])", document) == 1.0
+        assert evaluate("count(//y[lang('en')])", document) == 0.0
+        assert evaluate("count(//y[lang('DE')])", document) == 1.0

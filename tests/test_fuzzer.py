@@ -232,3 +232,84 @@ class TestDifferentialRunnerOutcomes:
                         ),
                         ReproError,
                     )
+
+
+class TestGovernedOracle:
+    """Governed routes must match the ungoverned baseline or abort with
+    exactly a governance error — the contract behind
+    ``fuzz --timeout/--max-tuples/--max-bytes``."""
+
+    DOC_XML = "<r>" + "<a><b/><b/></a>" * 30 + "</r>"
+
+    def test_generous_limits_change_nothing(self):
+        document = parse_xml(self.DOC_XML)
+        queries = ["count(//b)", "//a[1]/b", "string(//a)"]
+        with DifferentialRunner(document) as plain, DifferentialRunner(
+            document,
+            governance={
+                "timeout": 30.0,
+                "max_tuples": 10**7,
+                "max_bytes": 10**9,
+            },
+        ) as governed:
+            for query in queries:
+                assert plain.outcomes(query) == governed.outcomes(query)
+                assert not governed.check(query)
+
+    def test_budget_abort_is_not_a_divergence(self):
+        document = parse_xml(self.DOC_XML)
+        with DifferentialRunner(
+            document, governance={"max_tuples": 5}
+        ) as runner:
+            outcomes = runner.outcomes("count(//b)")
+            # The ungoverned baseline answers; governed routes abort.
+            assert outcomes["naive"].kind == "value"
+            for route in ("canonical", "improved", "stored",
+                          "indexed", "concurrent"):
+                outcome = outcomes[route]
+                assert (outcome.kind, outcome.payload) == (
+                    "error", "QueryBudgetError",
+                ), (route, outcome)
+            assert not runner.check("count(//b)")
+
+    def test_wrong_value_still_diverges_under_governance(self):
+        document = parse_xml("<r><a>1</a></r>")
+        with DifferentialRunner(
+            document,
+            routes=("naive", "improved"),
+            extra_routes={"broken": lambda query, node: []},
+            governance={"timeout": 30.0},
+        ) as runner:
+            assert [d.route for d in runner.check("//a")] == ["broken"]
+
+    def test_governed_batch_matches_single(self):
+        document = parse_xml(self.DOC_XML)
+        queries = ["count(//b)", "//a[1]/b", "$nope"]
+        with DifferentialRunner(
+            document, governance={"max_tuples": 5}
+        ) as runner:
+            assert runner.check_batch(queries) == []
+
+    def test_unknown_governance_key_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialRunner(
+                parse_xml("<r/>"), governance={"max_seconds": 1}
+            )
+
+    def test_governed_campaign_smoke(self):
+        report = run_campaign(
+            seed=3, n=20, queries_per_doc=10,
+            governance={"timeout": 30.0, "max_tuples": 10**7},
+        )
+        assert report.ok, [f.divergence.describe() for f in report.findings]
+        assert "governed" in report.summary()
+
+    def test_cli_governed_fuzz(self, capsys):
+        code = cli.main([
+            "fuzz", "--seed", "1", "--n", "10", "--no-report",
+            "--timeout", "30", "--max-tuples", "10000000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "no divergences" in out
+        assert "governed" in out

@@ -1,0 +1,437 @@
+"""Resource governance: deadlines, budgets, cooperative cancellation.
+
+The contracts exercised here:
+
+* the :class:`~repro.engine.governor.ResourceGovernor` primitives —
+  amortized ticking, budget charging, cancel tokens, validation;
+* a pathologically expensive query (super-linear in the document, far
+  beyond 10s ungoverned by extrapolation) aborts with
+  :class:`QueryTimeoutError` within **2x the requested timeout**, from
+  both ``evaluate`` and ``evaluate_concurrent``;
+* governance aborts are clean: the worker is released, the plan cache
+  and singleflight are not poisoned, and the same query re-runs fine
+  with generous limits;
+* the engine's outcome counters reconcile exactly:
+  ``timed_out + cancelled + budget_aborts + completed == submitted``;
+* admission control: a governor built at submission whose deadline
+  expires while queued aborts before the plan even opens.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    CancelToken,
+    ResourceGovernor,
+    XPathEngine,
+    compile_xpath,
+    evaluate,
+    evaluate_concurrent,
+    parse_document,
+)
+from repro.engine import session as session_module
+from repro.errors import (
+    QueryBudgetError,
+    QueryCancelledError,
+    QueryGovernanceError,
+    QueryTimeoutError,
+    ReproError,
+)
+
+#: A document the pathological query below is super-linear in: big
+#: enough that short timeouts and small budgets always fire mid-run
+#: (ungoverned: hundreds of milliseconds), small enough that cheap
+#: queries (``count(//c)`` = 800) stay instant.
+BIG = parse_document(
+    "<a>" + "<b><c/><c/></b>" * 400 + "</a>"
+)
+
+#: The acceptance-criteria document: the pathological query over this
+#: 3000-b tree measures >10 s ungoverned (11.3 s at 2000 b on the CI
+#: baseline, and the cost is super-linear in b), so the <2x-timeout
+#: assertions below are meaningful — only a governed abort can return
+#: within the tolerance.
+HUGE = parse_document(
+    "<a>" + "<b><c/><c/></b>" * 3000 + "</a>"
+)
+
+#: Every b crossed with every c, each pair re-counting the whole
+#: document — O(n^3)-ish.
+PATHOLOGICAL = (
+    "//b[count(preceding::c) >= 0]"
+    "/c[count(//b[count(.//c) >= 0]) > 0]"
+    "[count(//c[count(//b) > 0]) > 0]"
+)
+
+SMALL = parse_document("<a><b><c/><c/></b><b><c/></b></a>")
+
+
+# ----------------------------------------------------------------------
+# Governor primitives
+# ----------------------------------------------------------------------
+
+
+class TestGovernorPrimitives:
+    def test_tick_amortizes_checks(self):
+        governor = ResourceGovernor(timeout=60.0, check_interval=4)
+        # Force the deadline into the past; the error must only fire on
+        # the Nth tick.
+        governor.deadline = governor.started - 1.0
+        governor.tick()
+        governor.tick()
+        governor.tick()
+        with pytest.raises(QueryTimeoutError):
+            governor.tick()
+
+    def test_timeout_error_carries_limit_and_elapsed(self):
+        governor = ResourceGovernor(timeout=0.001)
+        time.sleep(0.005)
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            governor.check()
+        assert excinfo.value.timeout == 0.001
+        assert excinfo.value.elapsed >= 0.001
+
+    def test_tuple_budget(self):
+        governor = ResourceGovernor(max_tuples=3)
+        governor.add_tuples()
+        governor.add_tuples(2)
+        with pytest.raises(QueryBudgetError) as excinfo:
+            governor.add_tuples()
+        assert excinfo.value.resource == "tuples"
+        assert excinfo.value.limit == 3
+        assert excinfo.value.used == 4
+
+    def test_byte_budget(self):
+        governor = ResourceGovernor(max_bytes=100)
+        governor.add_bytes(60)
+        with pytest.raises(QueryBudgetError) as excinfo:
+            governor.add_bytes(60)
+        assert excinfo.value.resource == "bytes"
+
+    def test_cancel_token_shared_between_governors(self):
+        token = CancelToken()
+        first = ResourceGovernor(cancel=token)
+        second = ResourceGovernor(cancel=token)
+        first.check()
+        token.cancel("shed load")
+        for governor in (first, second):
+            with pytest.raises(QueryCancelledError) as excinfo:
+                governor.check()
+            assert "shed load" in str(excinfo.value)
+
+    def test_governance_errors_share_a_base(self):
+        assert issubclass(QueryTimeoutError, QueryGovernanceError)
+        assert issubclass(QueryBudgetError, QueryGovernanceError)
+        assert issubclass(QueryCancelledError, QueryGovernanceError)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"max_tuples": 0},
+            {"max_bytes": -5},
+            {"check_interval": 0},
+        ],
+    )
+    def test_invalid_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResourceGovernor(**kwargs)
+
+    def test_remaining(self):
+        governor = ResourceGovernor(timeout=60.0)
+        assert 0 < governor.remaining <= 60.0
+        assert ResourceGovernor(max_tuples=1).remaining is None
+
+
+# ----------------------------------------------------------------------
+# evaluate(): the acceptance-criteria paths
+# ----------------------------------------------------------------------
+
+
+class TestEvaluateGovernance:
+    def test_timeout_fires_within_2x(self):
+        # Acceptance criterion: >10 s ungoverned, back in <2x the
+        # requested timeout when governed.
+        engine = XPathEngine()
+        requested = 0.25
+        start = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            engine.evaluate(PATHOLOGICAL, HUGE, timeout=requested)
+        elapsed = time.monotonic() - start
+        assert elapsed < 2 * requested
+
+    def test_timeout_fires_within_2x_over_a_store(self, tmp_path):
+        # The stored variant of the acceptance criterion: same
+        # >10s-ungoverned nested-predicate query, paged storage target
+        # of at least 1 MiB (text padding), governed return in <2x.
+        from repro.storage import DocumentStore
+
+        padded = parse_document(
+            "<a>"
+            + ("<b><c>" + "x" * 300 + "</c><c/></b>") * 3000
+            + "</a>"
+        )
+        path = tmp_path / "huge.natix"
+        DocumentStore.write(padded, path)
+        assert path.stat().st_size >= 1 << 20
+        engine = XPathEngine()
+        requested = 0.3
+        with DocumentStore.open(path, buffer_pages=256) as stored:
+            start = time.monotonic()
+            with pytest.raises(QueryTimeoutError):
+                engine.evaluate(
+                    PATHOLOGICAL, stored.root, timeout=requested
+                )
+            assert time.monotonic() - start < 2 * requested
+
+    def test_tuple_budget_aborts(self):
+        engine = XPathEngine()
+        with pytest.raises(QueryBudgetError) as excinfo:
+            engine.evaluate("//c", BIG, max_tuples=10)
+        assert excinfo.value.resource == "tuples"
+
+    def test_byte_budget_aborts_result_collection(self):
+        engine = XPathEngine()
+        with pytest.raises(QueryBudgetError) as excinfo:
+            engine.evaluate("//c", BIG, max_bytes=64)
+        assert excinfo.value.resource == "bytes"
+
+    def test_byte_budget_aborts_materialization(self):
+        # last() forces Tmp^cs materialization (the group must be
+        # buffered to know its size); each snapshot is charged against
+        # the byte budget.
+        engine = XPathEngine()
+        with pytest.raises(QueryBudgetError):
+            engine.evaluate(
+                "count(//b[position() = last()])", BIG, max_bytes=256
+            )
+
+    def test_cross_thread_cancel_mid_flight(self):
+        engine = XPathEngine()
+        token = CancelToken()
+        timer = threading.Timer(0.15, token.cancel, args=("shutdown",))
+        timer.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(QueryCancelledError):
+                engine.evaluate(PATHOLOGICAL, BIG, cancel=token)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - start < 2.0
+
+    def test_governed_result_matches_ungoverned(self):
+        engine = XPathEngine()
+        ungoverned = engine.evaluate("count(//c)", SMALL)
+        governed = engine.evaluate(
+            "count(//c)", SMALL, timeout=30.0, max_tuples=100_000,
+            max_bytes=100_000_000,
+        )
+        assert governed == ungoverned == 3.0
+
+    def test_timeout_does_not_poison_cache_or_singleflight(self):
+        engine = XPathEngine()
+        with pytest.raises(QueryTimeoutError):
+            engine.evaluate(PATHOLOGICAL, BIG, timeout=0.1)
+        # Same query text, generous limits, small target: the cached
+        # plan must be reusable and the singleflight key released.
+        assert engine.evaluate("count(//c)", BIG, timeout=30.0) == 800.0
+        assert engine.evaluate("count(//c)", BIG) == 800.0
+
+    def test_engine_default_limits_apply(self):
+        engine = XPathEngine(default_max_tuples=10)
+        with pytest.raises(QueryBudgetError):
+            engine.evaluate("//c", BIG)
+        # Per-call limits win over the default.
+        assert engine.evaluate("count(//b)", SMALL,
+                               max_tuples=1_000_000) == 2.0
+
+    def test_env_var_default_timeout(self, monkeypatch):
+        monkeypatch.setenv(session_module.TIMEOUT_ENV_VAR, "7.5")
+        assert XPathEngine().default_timeout == 7.5
+        monkeypatch.setenv(session_module.TIMEOUT_ENV_VAR, "not-a-number")
+        assert XPathEngine().default_timeout is None
+        monkeypatch.setenv(session_module.TIMEOUT_ENV_VAR, "-3")
+        assert XPathEngine().default_timeout is None
+        monkeypatch.delenv(session_module.TIMEOUT_ENV_VAR)
+        assert XPathEngine().default_timeout is None
+
+    def test_coalesce_key_separates_governance_specs(self):
+        engine = XPathEngine()
+        node = SMALL.root
+        base = engine._coalesce_key("//c", node, None, None, None, False)
+        timed = engine._coalesce_key(
+            "//c", node, None, None, None, False, 1.0
+        )
+        other = engine._coalesce_key(
+            "//c", node, None, None, None, False, 2.0
+        )
+        assert len({base, timed, other}) == 3
+
+
+class TestOneShotApiGovernance:
+    def test_evaluate_timeout(self):
+        start = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            evaluate(PATHOLOGICAL, BIG, timeout=0.2)
+        assert time.monotonic() - start < 0.4
+
+    def test_evaluate_budget(self):
+        with pytest.raises(QueryBudgetError):
+            evaluate("//c", BIG, max_tuples=5)
+
+    def test_interpreters_reject_governance(self):
+        with pytest.raises(ValueError):
+            evaluate("//c", SMALL, engine="naive", timeout=1.0)
+        with pytest.raises(ValueError):
+            evaluate("//c", SMALL, engine="memo", max_tuples=5)
+
+    def test_canonical_engine_governed(self):
+        with pytest.raises(QueryBudgetError):
+            evaluate("//c", BIG, engine="natix-canonical", max_tuples=5)
+
+    def test_evaluate_concurrent_passthrough(self):
+        results = evaluate_concurrent(
+            ["count(//c)", "count(//b)"], SMALL, timeout=30.0
+        )
+        assert results == [3.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# evaluate_concurrent(): admission control and worker release
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentGovernance:
+    def test_timeout_fires_within_2x_and_releases_worker(self):
+        # Acceptance criterion: the same >10s-ungoverned query through
+        # the thread pool, back in <2x the requested timeout.
+        engine = XPathEngine()
+        requested = 0.3
+        start = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            engine.evaluate_concurrent(
+                [PATHOLOGICAL], HUGE, timeout=requested, max_workers=2
+            )
+        assert time.monotonic() - start < 2 * requested
+        # The pool was shut down cleanly and the engine still serves:
+        # the cached pathological plan must not be poisoned either.
+        assert engine.evaluate_concurrent(
+            ["count(//c)", "count(//b)"], BIG
+        ) == [800.0, 400.0]
+
+    def test_return_exceptions_isolates_the_timeout(self):
+        engine = XPathEngine()
+        results = engine.evaluate_concurrent(
+            [PATHOLOGICAL, "count(//c)", "count(//b)"],
+            BIG,
+            max_workers=3,
+            return_exceptions=True,
+            max_tuples=10_000,
+        )
+        # The pathological query blows its tuple budget; its siblings
+        # run under the same per-query budget and fit comfortably.
+        assert isinstance(results[0], QueryBudgetError)
+        assert results[1] == 800.0
+        assert results[2] == 400.0
+
+    def test_admission_control_expired_deadline_skips_execution(self):
+        # A governor anchored at submission whose deadline passed while
+        # the query sat in the queue aborts in _prepare, before any
+        # iterator opens.
+        compiled = compile_xpath("count(//c)")
+        governor = ResourceGovernor(timeout=0.01)
+        time.sleep(0.03)
+        start = time.monotonic()
+        with pytest.raises(QueryTimeoutError):
+            compiled.evaluate(BIG.root, governor=governor)
+        assert time.monotonic() - start < 0.01
+
+    def test_pre_cancelled_batch_aborts_every_query(self):
+        engine = XPathEngine()
+        token = CancelToken()
+        token.cancel("drain")
+        results = engine.evaluate_concurrent(
+            ["count(//c)", "count(//b)"], BIG, cancel=token,
+            return_exceptions=True,
+        )
+        assert all(isinstance(r, QueryCancelledError) for r in results)
+
+    def test_counters_present_before_any_abort(self):
+        # Dashboards read the governance counters unconditionally; they
+        # must exist (as zeros) on a fresh engine and after reset.
+        engine = XPathEngine()
+        expected = {
+            "queries_submitted", "queries_completed",
+            "queries_timed_out", "queries_cancelled", "budget_aborts",
+        }
+        counters = engine.stats().runtime_counters
+        assert expected <= set(counters)
+        assert all(counters[name] == 0 for name in expected)
+        engine.evaluate("count(//c)", SMALL)
+        engine.reset_stats()
+        counters = engine.stats().runtime_counters
+        assert all(counters[name] == 0 for name in expected)
+
+    def test_counters_reconcile(self):
+        engine = XPathEngine(coalesce=False)
+        token = CancelToken()
+        token.cancel()
+        outcomes = {
+            "completed": lambda: engine.evaluate("count(//c)", SMALL),
+            "timed_out": lambda: engine.evaluate(
+                PATHOLOGICAL, BIG, timeout=0.05
+            ),
+            "budget": lambda: engine.evaluate("//c", BIG, max_tuples=3),
+            "cancelled": lambda: engine.evaluate(
+                "count(//c)", SMALL, cancel=token
+            ),
+            # A plain evaluation error still "completes" its governed
+            # run — it consumed resources and finished on its own.
+            "error": lambda: engine.evaluate("$missing", SMALL),
+        }
+        for run in outcomes.values():
+            try:
+                run()
+            except ReproError:
+                pass
+        counters = engine.stats().runtime_counters
+        assert counters["queries_submitted"] == 5
+        assert (
+            counters["queries_timed_out"]
+            + counters["queries_cancelled"]
+            + counters["budget_aborts"]
+            + counters["queries_completed"]
+            == counters["queries_submitted"]
+        )
+        assert counters["queries_timed_out"] == 1
+        assert counters["queries_cancelled"] == 1
+        assert counters["budget_aborts"] == 1
+        assert counters["queries_completed"] == 2
+
+
+# ----------------------------------------------------------------------
+# evaluate_many(): one shared governor per batch
+# ----------------------------------------------------------------------
+
+
+class TestBatchGovernance:
+    def test_budget_is_cumulative_across_the_batch(self):
+        engine = XPathEngine()
+        # Each query alone fits in the budget; together they do not.
+        with pytest.raises(QueryBudgetError):
+            engine.evaluate_many(
+                ["count(//b)", "count(//b)", "count(//b)"],
+                BIG,
+                max_tuples=1000,
+            )
+
+    def test_ungoverned_batch_unaffected(self):
+        engine = XPathEngine()
+        assert engine.evaluate_many(
+            ["count(//c)", "count(//b)"], SMALL
+        ) == [3.0, 2.0]
