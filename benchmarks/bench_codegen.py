@@ -1,0 +1,174 @@
+"""Codegen speedup benchmark: generated Python vs. the interpreted NQE.
+
+Replays the paper's benchmark queries (Figures 6-10, from
+``tests/corpus/paper_figures.json``) cache-hot through one compiled
+plan per query, timing the interpreted iterator backend against the
+generated-Python backend of the same plan.  Cache-hot is the codegen
+design point: compilation (translation + ``generate_python``) is paid
+once per cached plan, so steady-state serving cost is pure execution.
+Both legs evaluate the identical :class:`CompiledQuery`; results are
+asserted equal in canonical form before any timing is trusted.
+
+Run standalone (CI uploads the JSON as ``BENCH_codegen.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py --json BENCH_codegen.json
+    PYTHONPATH=src python benchmarks/bench_codegen.py --quick
+
+The full run enforces the acceptance floor (``--min-speedup``, default
+5x) on the showcase queries and exits non-zero below it; ``--quick``
+trims repetitions and only reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.compiler.improved import TranslationOptions
+from repro.compiler.pipeline import XPathCompiler
+from repro.testing.corpus import document_cache_key, load_corpus
+from repro.testing.oracle import canonical_value
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+#: Corpus entries whose speedup carries the acceptance floor: scan-heavy
+#: predicate queries where fused loops shed the most iterator overhead.
+SHOWCASE = frozenset({"fig10-q08", "fig10-q12"})
+
+
+def _time_leg(run, inner: int, repeat: int) -> dict:
+    """Median per-evaluation seconds over ``repeat`` timed loops."""
+    samples = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        for _ in range(inner):
+            run()
+        samples.append((time.perf_counter() - started) / inner)
+    return {
+        "median_seconds": statistics.median(samples),
+        "min_seconds": min(samples),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="plan-to-Python codegen speedup benchmark"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="few repetitions, no speedup floor (CI smoke)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the full report as JSON")
+    parser.add_argument("--repeat", type=int, default=7, metavar="R",
+                        help="timed loops per leg (default: 7)")
+    parser.add_argument("--inner", type=int, default=20, metavar="K",
+                        help="evaluations per timed loop (default: 20)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required speedup on the showcase queries "
+                             "(full mode only; default: 5.0)")
+    arguments = parser.parse_args(argv)
+    if arguments.quick:
+        arguments.repeat = min(arguments.repeat, 3)
+        arguments.inner = min(arguments.inner, 5)
+
+    entries = [
+        entry
+        for path, entry in load_corpus(CORPUS_DIR)
+        if path.stem == "paper_figures"
+    ]
+    if not entries:
+        print("error: no paper_figures corpus entries found", file=sys.stderr)
+        return 2
+
+    compiler = XPathCompiler(TranslationOptions.improved())
+    documents = {}
+    report = {
+        "benchmark": "codegen",
+        "mode": "quick" if arguments.quick else "full",
+        "repeat": arguments.repeat,
+        "inner": arguments.inner,
+        "queries": [],
+        "min_speedup_required": (
+            None if arguments.quick else arguments.min_speedup
+        ),
+    }
+
+    ok = True
+    for entry in entries:
+        key = document_cache_key(entry.document)
+        if key not in documents:
+            documents[key] = entry.build_document()
+        root = documents[key].root
+        variables, namespaces = entry.variables, entry.namespaces
+
+        compiled = compiler.compile(entry.query)
+        compiled.ensure_generated()
+        if compiled.codegen_state != "compiled":
+            ok = False
+            print(
+                f"FAIL: {entry.name} has no generated backend "
+                f"({compiled.codegen_detail})",
+                file=sys.stderr,
+            )
+            continue
+
+        def interpreted():
+            return compiled.evaluate(root, variables, namespaces)
+
+        def generated():
+            return compiled.evaluate(
+                root, variables, namespaces, codegen="force"
+            )
+
+        baseline = canonical_value(interpreted())
+        assert canonical_value(generated()) == baseline, (
+            f"codegen leg diverged on {entry.name}: {entry.query!r}"
+        )
+
+        off = _time_leg(interpreted, arguments.inner, arguments.repeat)
+        on = _time_leg(generated, arguments.inner, arguments.repeat)
+        speedup = off["median_seconds"] / max(on["median_seconds"], 1e-9)
+        enforced = entry.name in SHOWCASE and not arguments.quick
+        report["queries"].append({
+            "name": entry.name,
+            "query": entry.query,
+            "interpreted": off,
+            "compiled": on,
+            "speedup": round(speedup, 2),
+            "enforced": enforced,
+        })
+        print(
+            f"{entry.name:>22}: interpreted "
+            f"{off['median_seconds']*1e6:9.1f} us  compiled "
+            f"{on['median_seconds']*1e6:9.1f} us  "
+            f"speedup {speedup:5.1f}x{'  [floor]' if enforced else ''}"
+        )
+        if enforced and speedup < arguments.min_speedup:
+            ok = False
+            print(
+                f"FAIL: {entry.name} speedup {speedup:.2f}x is below the "
+                f"{arguments.min_speedup}x floor",
+                file=sys.stderr,
+            )
+
+    speedups = [q["speedup"] for q in report["queries"]]
+    if speedups:
+        report["median_speedup"] = round(statistics.median(speedups), 2)
+        print(f"median speedup over {len(speedups)} queries: "
+              f"{report['median_speedup']}x")
+
+    report["ok"] = ok
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {arguments.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

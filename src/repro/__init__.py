@@ -30,6 +30,7 @@ from repro.api import (
     ENGINES,
     CancelToken,
     EngineStats,
+    EvalOptions,
     ResourceGovernor,
     XPathEngine,
     build_indexes,
@@ -54,8 +55,10 @@ from repro.errors import (
     QueryTimeoutError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+#: The curated public surface: ``from repro import *`` and the docs
+#: cover exactly these names; everything else is internal.
 __all__ = [
     "ENGINES",
     "ENGINE_REGISTRY",
@@ -63,6 +66,7 @@ __all__ = [
     "Document",
     "DocumentBuilder",
     "EngineStats",
+    "EvalOptions",
     "Node",
     "NodeKind",
     "QueryBudgetError",

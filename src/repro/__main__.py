@@ -8,6 +8,7 @@ Examples::
     python -m repro --store catalog.natix '//book' catalog.xml
     python -m repro --explain-stats --repeat 10 '//book' catalog.xml
     python -m repro --repeat 64 --workers 4 '//book' catalog.xml
+    python -m repro --codegen force --repeat 100 '//book' catalog.xml
 
 Evaluation runs through an :class:`~repro.engine.session.XPathEngine`
 session; ``--explain-stats`` prints its full JSON stats snapshot (plan
@@ -22,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro import (
+    EvalOptions,
     TranslationOptions,
     XPathEngine,
     engine_names,
@@ -114,6 +116,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "produced N tuples (algebraic engines only)",
     )
     parser.add_argument(
+        "--codegen", choices=("auto", "off", "force"), default="off",
+        help="compile plans to generated Python: 'auto' falls back to "
+             "the interpreter on unsupported operators, 'force' fails "
+             "instead (session engines only; default: off)",
+    )
+    parser.add_argument(
         "--store", metavar="PATH",
         help="store the parsed document as a page file, then query it",
     )
@@ -141,6 +149,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"--timeout/--max-tuples require an algebraic engine "
             f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} has no "
             "governance checkpoints"
+        )
+    if (
+        arguments.codegen != "off"
+        and arguments.engine not in _SESSION_ENGINES
+    ):
+        parser.error(
+            f"--codegen requires a session engine "
+            f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} has no "
+            "generated-code backend"
         )
     if arguments.timeout is not None and arguments.timeout <= 0:
         parser.error("--timeout must be positive")
@@ -191,6 +208,7 @@ def _run_query(arguments, target) -> None:
         session = XPathEngine(
             _SESSION_ENGINES[name](optimize=arguments.optimize),
             index="auto" if arguments.indexes else "off",
+            codegen=arguments.codegen,
             default_timeout=arguments.timeout,
             default_max_tuples=arguments.max_tuples,
         )
@@ -204,8 +222,9 @@ def _run_query(arguments, target) -> None:
             for _ in range(max(1, arguments.repeat)):
                 result = session.evaluate(arguments.query, target)
     else:
+        eval_options = EvalOptions(engine=name)
         for _ in range(max(1, arguments.repeat)):
-            result = evaluate(arguments.query, target, engine=name)
+            result = evaluate(arguments.query, target, eval_options)
 
     for line in _render_result(result):
         print(line)

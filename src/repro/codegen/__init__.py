@@ -1,0 +1,17 @@
+"""Plan-to-Python code generation backend.
+
+Compiles a translated algebra plan into one specialized Python
+generator function (operators fused, node tests inlined, subscripts
+lowered to expressions, governance amortized at loop heads).  Entry
+point is :func:`generate_python`; plans the backend cannot compile
+raise :class:`CodegenUnsupported` and execute on the interpreted
+iterator engine instead.
+"""
+
+from repro.codegen.emitter import (
+    CodegenUnsupported,
+    GeneratedPlan,
+    generate_python,
+)
+
+__all__ = ["CodegenUnsupported", "GeneratedPlan", "generate_python"]

@@ -1,0 +1,117 @@
+"""Lowering of scalar (subscript) IR to inline Python expressions.
+
+Each scalar node becomes one Python expression string; the dynamic-
+semantics entry points (``compare``, ``to_boolean``, ``coerce``,
+``call_builtin`` …) are the same functions the tree-walking
+:class:`~repro.engine.subscripts.InterpSubscript` calls, so a lowered
+expression computes bit-identical results — the win is eliminating the
+per-node tree walk and dispatch, not changing any conversion rule.
+
+Nested sequence-valued plans (:class:`~repro.algebra.scalar.SNested`)
+are lowered to a nested generator function emitted into the enclosing
+function scope plus an ``_agg(...)`` call over it.
+
+``lower`` returns ``(code, is_bool)``; ``is_bool`` lets predicate sites
+skip a redundant ``_to_boolean`` wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algebra import scalar as S
+from repro.xpath.datamodel import XPathType
+
+
+def const_expr(value: object) -> str:
+    """A Python literal for an XPath constant (NaN/inf made spellable)."""
+    if isinstance(value, float) and not isinstance(value, bool):
+        if value != value:
+            return "float('nan')"
+        if value == float("inf"):
+            return "float('inf')"
+        if value == float("-inf"):
+            return "float('-inf')"
+    return repr(value)
+
+
+def lower(expr: S.Scalar, emitter, fn) -> Tuple[str, bool]:
+    """Lower ``expr`` to a Python expression string.
+
+    ``emitter`` supplies register locals (:meth:`local`) and nested-plan
+    generator emission (:meth:`lower_nested`); ``fn`` is the function
+    scope nested generator definitions land in.
+    """
+    if isinstance(expr, S.SConst):
+        return const_expr(expr.value), isinstance(expr.value, bool)
+    if isinstance(expr, S.SAttr):
+        return emitter.local(expr.name), False
+    if isinstance(expr, S.SVar):
+        return f"ctx.variable({expr.name!r})", False
+    if isinstance(expr, S.SNested):
+        return emitter.lower_nested(expr, fn), expr.agg == "exists"
+    if isinstance(expr, S.SStringValue):
+        inner, _ = lower(expr.operand, emitter, fn)
+        return f"_as_string({inner})", False
+    if isinstance(expr, S.SConvert):
+        inner, _ = lower(expr.operand, emitter, fn)
+        return (
+            f"_coerce({inner}, _TY_{expr.target.name})",
+            expr.target == XPathType.BOOLEAN,
+        )
+    if isinstance(expr, S.SArith):
+        left, _ = lower(expr.left, emitter, fn)
+        right, _ = lower(expr.right, emitter, fn)
+        if expr.op in ("+", "-", "*"):
+            return (
+                f"(_as_number({left}) {expr.op} _as_number({right}))",
+                False,
+            )
+        return (
+            f"_arith({expr.op!r}, _as_number({left}), _as_number({right}))",
+            False,
+        )
+    if isinstance(expr, S.SNeg):
+        inner, _ = lower(expr.operand, emitter, fn)
+        return f"(-_as_number({inner}))", False
+    if isinstance(expr, S.SCmp):
+        left, _ = lower(expr.left, emitter, fn)
+        right, _ = lower(expr.right, emitter, fn)
+        return (
+            f"_compare({expr.op!r}, _ncmp({left}), _ncmp({right}))",
+            True,
+        )
+    if isinstance(expr, S.SBool):
+        left = lower_bool(expr.left, emitter, fn)
+        right = lower_bool(expr.right, emitter, fn)
+        op = "and" if expr.op == "and" else "or"
+        return f"({left} {op} {right})", True
+    if isinstance(expr, S.SNot):
+        return f"(not {lower_bool(expr.operand, emitter, fn)})", True
+    if isinstance(expr, S.SFunc):
+        args = ", ".join(
+            lower(arg, emitter, fn)[0] for arg in expr.args
+        )
+        return f"_call_builtin({expr.name!r}, [{args}], None)", False
+    if isinstance(expr, S.SDeref):
+        inner, _ = lower(expr.operand, emitter, fn)
+        return f"_deref({inner}, ctx)", False
+    if isinstance(expr, S.STokenize):
+        inner, _ = lower(expr.operand, emitter, fn)
+        return f"_as_string({inner}).split()", False
+    if isinstance(expr, S.SRoot):
+        inner, _ = lower(expr.operand, emitter, fn)
+        return f"_root({inner})", False
+    from repro.codegen.emitter import CodegenUnsupported
+
+    raise CodegenUnsupported(
+        f"no Python lowering for scalar {type(expr).__name__}"
+    )
+
+
+def lower_bool(expr: S.Scalar, emitter, fn) -> str:
+    """Lower ``expr`` coerced to a boolean (predicate position)."""
+    code, is_bool = lower(expr, emitter, fn)
+    if is_bool:
+        return code
+    return f"_to_boolean({code})"

@@ -90,6 +90,48 @@ class CompiledQuery:
         #: Default prefix bindings (set by ``compile_xpath(namespaces=)``),
         #: used when ``evaluate`` is called without explicit namespaces.
         self.default_namespaces: Optional[Mapping[str, str]] = None
+        #: Python-codegen backend state: "pending" until first requested,
+        #: then "compiled" or "unsupported".  The generated function is
+        #: cached here, alongside the plan, so a striped-cache hit reuses
+        #: both under the same fingerprint.
+        self._codegen_lock = threading.Lock()
+        self._generated = None
+        self.codegen_state = "pending"
+        self.codegen_detail = ""
+
+    # ------------------------------------------------------------------
+
+    def ensure_generated(self):
+        """Compile this plan to Python, once; None if unsupported.
+
+        Thread-safe and idempotent: the first caller pays the (one-time)
+        emission cost, everyone else reads the cached outcome.  A plan
+        the backend cannot compile is remembered as ``"unsupported"``
+        with the reason in :attr:`codegen_detail` so callers fall back
+        to the interpreter without retrying emission per evaluation.
+        """
+        if self.codegen_state != "pending":
+            return self._generated
+        with self._codegen_lock:
+            if self.codegen_state != "pending":
+                return self._generated
+            from repro import codegen as pycodegen
+
+            start = time.perf_counter()
+            try:
+                generated = pycodegen.generate_python(
+                    self.translation, self.options, source=self.source
+                )
+            except CodegenError as error:
+                self.codegen_detail = str(error)
+                self.codegen_state = "unsupported"
+            else:
+                self._generated = generated
+                self.codegen_state = "compiled"
+            self.phase_timings["pycodegen"] = (
+                time.perf_counter() - start
+            )
+        return self._generated
 
     # ------------------------------------------------------------------
 
@@ -144,6 +186,7 @@ class CompiledQuery:
         size: int = 1,
         ordered: bool = False,
         governor=None,
+        codegen: str = "off",
     ) -> XPathValue:
         """Evaluate against a context node.
 
@@ -156,6 +199,11 @@ class CompiledQuery:
         ``governor`` bounds the execution (deadline, budgets, cancel)
         and makes it raise a typed governance error instead of
         returning a partial result.
+
+        ``codegen`` selects the backend: ``"off"`` interprets the
+        iterator tree, ``"auto"`` runs the generated Python function
+        when the plan compiles (interpreting otherwise), ``"force"``
+        raises :class:`~repro.errors.CodegenError` if it does not.
         """
         context = ExecutionContext(
             context_node=context_node,
@@ -165,6 +213,15 @@ class CompiledQuery:
             size=size,
             governor=governor,
         )
+        generated = self._select_generated(codegen)
+        if generated is not None:
+            result = generated.execute(context)
+            if ordered and isinstance(result, list):
+                if self.emits_document_order:
+                    generated.stats["order_sort_avoided"] += 1
+                else:
+                    result.sort(key=lambda node: node.sort_key)
+            return result
         physical = self.thread_physical
         result = physical.execute(context)
         if ordered and isinstance(result, list):
@@ -173,6 +230,23 @@ class CompiledQuery:
             else:
                 result.sort(key=lambda node: node.sort_key)
         return result
+
+    def _select_generated(self, codegen: str):
+        """Resolve a ``codegen`` mode to a generated plan (or None)."""
+        if codegen == "off":
+            return None
+        if codegen not in ("auto", "force"):
+            raise ValueError(
+                f"codegen must be 'auto', 'off' or 'force', "
+                f"got {codegen!r}"
+            )
+        generated = self.ensure_generated()
+        if generated is None and codegen == "force":
+            raise CodegenError(
+                f"plan for {self.source!r} has no Python codegen: "
+                f"{self.codegen_detail}"
+            )
+        return generated
 
     def operator_stats(self) -> List[OperatorStats]:
         """Per-operator ``next()``-call and tuple counters (preorder).
@@ -205,6 +279,9 @@ class CompiledQuery:
             ),
             governor=kwargs.get("governor"),
         )
+        generated = self._select_generated(kwargs.get("codegen", "off"))
+        if generated is not None:
+            return generated.execute_count(context)
         return self.thread_physical.execute_count(context)
 
     def reset_stats(self) -> None:
@@ -214,13 +291,21 @@ class CompiledQuery:
 
     @property
     def stats(self) -> Counter:
-        """Runtime counters summed over every thread's plan instance."""
+        """Runtime counters summed over every thread's plan instance.
+
+        Includes the generated-function counters when the Python
+        backend has run (generated plans are shared across threads, so
+        theirs is a single counter, not per-instance).
+        """
         instances = self.instances()
-        if len(instances) == 1:
+        generated = self._generated
+        if len(instances) == 1 and generated is None:
             return instances[0].stats
         merged: Counter = Counter()
         for instance in instances:
             merged.update(instance.stats)
+        if generated is not None:
+            merged.update(generated.stats)
         return merged
 
 

@@ -113,6 +113,9 @@ _PlanKey = Tuple[str, TranslationOptions, _NamespaceSig, Optional[str]]
 #: Valid values of the engine's ``index`` option.
 INDEX_MODES = ("auto", "off", "force")
 
+#: Valid values of the engine's ``codegen`` option.
+CODEGEN_MODES = ("auto", "off", "force")
+
 #: Backwards-compatible name: the plan cache is the striped one now.
 PlanCache = StripedPlanCache
 
@@ -296,6 +299,7 @@ class XPathEngine:
         coalesce: bool = True,
         max_workers: int = DEFAULT_MAX_WORKERS,
         index: Union[str, bool] = "auto",
+        codegen: str = "off",
         default_timeout: Optional[float] = None,
         default_max_tuples: Optional[int] = None,
         default_max_bytes: Optional[int] = None,
@@ -310,11 +314,21 @@ class XPathEngine:
                 f"index must be one of {INDEX_MODES} (or a bool), "
                 f"got {index!r}"
             )
+        if codegen not in CODEGEN_MODES:
+            raise ValueError(
+                f"codegen must be one of {CODEGEN_MODES}, got {codegen!r}"
+            )
         #: "auto" — route name steps onto the target's structural
         #: indexes when the path synopsis says they prune; "force" —
         #: route every eligible step regardless of selectivity; "off" —
         #: never consult indexes.
         self.index_mode: str = index
+        #: "auto" — execute plans through the Python codegen backend
+        #: when they compile, falling back to the interpreter (counted
+        #: as ``codegen_fallbacks``); "force" — raise
+        #: :class:`~repro.errors.CodegenError` on plans that do not
+        #: compile; "off" — always interpret the iterator tree.
+        self.codegen_mode: str = codegen
         self.cache = StripedPlanCache(cache_size, cache_shards)
         self.coalesce = coalesce
         self.max_workers = max_workers
@@ -457,21 +471,53 @@ class XPathEngine:
             cancel=cancel,
         )
 
+    def _resolve_call(self, func_name: str, eval_options, legacy):
+        """Fold an :class:`~repro.api.EvalOptions` (or legacy kwargs)
+        into ``(resolved, codegen_mode)`` for one evaluation call.
+
+        The ``engine`` field is ignored (this engine *is* the
+        strategy); a per-call ``index`` must agree with the engine's
+        configured mode — plans are cached per engine, so one call
+        cannot re-route them.
+        """
+        from repro.api import _resolve_eval_options
+
+        resolved = _resolve_eval_options(
+            func_name, eval_options, legacy, stacklevel=4
+        )
+        if (resolved.index is not None
+                and resolved.index != self.index_mode):
+            raise ValueError(
+                f"per-call index={resolved.index!r} conflicts with this "
+                f"engine's index mode {self.index_mode!r}; configure "
+                "XPathEngine(index=...) instead"
+            )
+        return resolved, resolved.codegen or self.codegen_mode
+
     def evaluate(
         self,
         query: str,
         target: EvalTarget,
+        eval_options=None,
         *,
-        variables: Optional[Mapping[str, XPathValue]] = None,
-        namespaces: Optional[Mapping[str, str]] = None,
         options: Optional[TranslationOptions] = None,
         ordered: bool = False,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
         timeout: Optional[float] = None,
         max_tuples: Optional[int] = None,
         max_bytes: Optional[int] = None,
         cancel: Optional[CancelToken] = None,
     ) -> XPathValue:
         """Evaluate ``query`` against ``target`` through the plan cache.
+
+        Per-call configuration (variables, namespaces, governance
+        limits, a ``codegen`` override) travels in one
+        :class:`~repro.api.EvalOptions`; the old individual keyword
+        arguments keep working with a :class:`DeprecationWarning`.
+        ``options`` (:class:`TranslationOptions`) and ``ordered`` stay
+        separate keywords — compiler parameterization and result shape,
+        not per-call evaluation state.
 
         ``timeout`` (seconds), ``max_tuples``, ``max_bytes`` and
         ``cancel`` bound the evaluation; unset limits fall back to the
@@ -483,38 +529,61 @@ class XPathEngine:
         stays cached and is reusable).
 
         When ``coalesce`` is enabled (the default) and an identical call
-        — same query, options, namespaces, target node, ordering and
-        governance limits, no variables — is already in flight on
-        another thread, this call waits for that execution and shares
-        its result instead of re-evaluating (node-set results are
-        shallow-copied per caller).  Coalesced followers share the
-        leader's deadline, including a governance error if it trips.
+        — same query, options, namespaces, target node, ordering,
+        backend and governance limits, no variables — is already in
+        flight on another thread, this call waits for that execution
+        and shares its result instead of re-evaluating (node-set
+        results are shallow-copied per caller).  Coalesced followers
+        share the leader's deadline, including a governance error if it
+        trips.
         """
+        resolved, codegen = self._resolve_call(
+            "XPathEngine.evaluate",
+            eval_options,
+            {
+                "variables": variables,
+                "namespaces": namespaces,
+                "timeout": timeout,
+                "max_tuples": max_tuples,
+                "max_bytes": max_bytes,
+                "cancel": cancel,
+            },
+        )
+        eval_variables = resolved.variables
+        eval_namespaces = resolved.namespace_map()
         plan = self.compile(
-            query, options=options, namespaces=namespaces, target=target
+            query, options=options, namespaces=eval_namespaces,
+            target=target,
         )
         node = resolve_context_node(target)
         key = self._coalesce_key(
-            query, node, variables, namespaces, options, ordered,
-            timeout, max_tuples, max_bytes, cancel,
+            query, node, eval_variables, eval_namespaces, options, ordered,
+            resolved.timeout, resolved.max_tuples, resolved.max_bytes,
+            resolved.cancel, codegen,
         )
         if key is None:
             return self._execute(
-                plan, node, variables, namespaces, ordered,
+                plan, node, eval_variables, eval_namespaces, ordered,
                 governor=self.make_governor(
-                    timeout=timeout, max_tuples=max_tuples,
-                    max_bytes=max_bytes, cancel=cancel,
+                    timeout=resolved.timeout,
+                    max_tuples=resolved.max_tuples,
+                    max_bytes=resolved.max_bytes,
+                    cancel=resolved.cancel,
                 ),
+                codegen=codegen,
             )
 
         result, led = self._singleflight.do(
             key,
             lambda: self._execute(
-                plan, node, variables, namespaces, ordered,
+                plan, node, eval_variables, eval_namespaces, ordered,
                 governor=self.make_governor(
-                    timeout=timeout, max_tuples=max_tuples,
-                    max_bytes=max_bytes, cancel=cancel,
+                    timeout=resolved.timeout,
+                    max_tuples=resolved.max_tuples,
+                    max_bytes=resolved.max_bytes,
+                    cancel=resolved.cancel,
                 ),
+                codegen=codegen,
             ),
         )
         if not led:
@@ -528,10 +597,11 @@ class XPathEngine:
         self,
         queries: Sequence[str],
         target: EvalTarget,
+        eval_options=None,
         *,
+        options: Optional[TranslationOptions] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
         namespaces: Optional[Mapping[str, str]] = None,
-        options: Optional[TranslationOptions] = None,
         timeout: Optional[float] = None,
         max_tuples: Optional[int] = None,
         max_bytes: Optional[int] = None,
@@ -542,32 +612,58 @@ class XPathEngine:
         Each distinct query is compiled (or fetched) once and a single
         :class:`ExecutionContext` is shared across the batch, so the
         per-call setup cost is paid once instead of ``len(queries)``
-        times.  Results are returned in input order.  The governance
-        limits bound the batch *as a whole* — one shared governor, so
+        times.  Results are returned in input order.  Per-call
+        configuration travels in :class:`~repro.api.EvalOptions` (the
+        old individual keyword arguments warn).  The governance limits
+        bound the batch *as a whole* — one shared governor, so
         ``timeout`` is a deadline for all of it and the budgets are
         cumulative across the queries.
         """
+        resolved, codegen = self._resolve_call(
+            "XPathEngine.evaluate_many",
+            eval_options,
+            {
+                "variables": variables,
+                "namespaces": namespaces,
+                "timeout": timeout,
+                "max_tuples": max_tuples,
+                "max_bytes": max_bytes,
+                "cancel": cancel,
+            },
+        )
+        eval_namespaces = resolved.namespace_map()
         node = resolve_context_node(target)
         plans = [
             self.compile(
-                query, options=options, namespaces=namespaces,
+                query, options=options, namespaces=eval_namespaces,
                 target=target,
             )
             for query in queries
         ]
         context = ExecutionContext(
             context_node=node,
-            variables=dict(variables or {}),
-            namespaces=dict(namespaces or {}),
+            variables=dict(resolved.variables or {}),
+            namespaces=dict(eval_namespaces or {}),
             governor=self.make_governor(
-                timeout=timeout, max_tuples=max_tuples,
-                max_bytes=max_bytes, cancel=cancel,
+                timeout=resolved.timeout,
+                max_tuples=resolved.max_tuples,
+                max_bytes=resolved.max_bytes,
+                cancel=resolved.cancel,
             ),
         )
         results: List[XPathValue] = []
         start = time.perf_counter()
         for plan in plans:
-            results.append(plan.thread_physical.execute(context))
+            generated = (
+                plan._select_generated(codegen)
+                if codegen != "off"
+                else None
+            )
+            if generated is not None:
+                results.append(generated.execute(context))
+            else:
+                results.append(plan.thread_physical.execute(context))
+            self._note_codegen(plan, codegen)
         elapsed = time.perf_counter() - start
         with self._lock:
             self._execution_count += len(plans)
@@ -581,17 +677,18 @@ class XPathEngine:
         self,
         queries: Sequence[str],
         target: EvalTarget,
+        eval_options=None,
         *,
         max_workers: Optional[int] = None,
-        variables: Optional[Mapping[str, XPathValue]] = None,
-        namespaces: Optional[Mapping[str, str]] = None,
         options: Optional[TranslationOptions] = None,
         ordered: bool = False,
+        return_exceptions: bool = False,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
         timeout: Optional[float] = None,
         max_tuples: Optional[int] = None,
         max_bytes: Optional[int] = None,
         cancel: Optional[CancelToken] = None,
-        return_exceptions: bool = False,
     ) -> List[XPathValue]:
         """Evaluate a batch of queries through a thread pool.
 
@@ -615,13 +712,27 @@ class XPathEngine:
         and neither the plan cache nor other queries in the batch are
         affected (budgets are per query, not shared).
         """
+        resolved, codegen = self._resolve_call(
+            "XPathEngine.evaluate_concurrent",
+            eval_options,
+            {
+                "variables": variables,
+                "namespaces": namespaces,
+                "timeout": timeout,
+                "max_tuples": max_tuples,
+                "max_bytes": max_bytes,
+                "cancel": cancel,
+            },
+        )
+        eval_variables = resolved.variables
+        eval_namespaces = resolved.namespace_map()
         node = resolve_context_node(target)
         if not queries:
             return []
         distinct = list(dict.fromkeys(queries))
         plans = {
             query: self.compile(
-                query, options=options, namespaces=namespaces,
+                query, options=options, namespaces=eval_namespaces,
                 target=target,
             )
             for query in distinct
@@ -634,16 +745,18 @@ class XPathEngine:
         # query, anchored *now* — queue wait counts against the deadline.
         governors = {
             query: self.make_governor(
-                timeout=timeout, max_tuples=max_tuples,
-                max_bytes=max_bytes, cancel=cancel,
+                timeout=resolved.timeout,
+                max_tuples=resolved.max_tuples,
+                max_bytes=resolved.max_bytes,
+                cancel=resolved.cancel,
             )
             for query in distinct
         }
 
         def run_one(query: str) -> XPathValue:
             return self._execute(
-                plans[query], node, variables, namespaces, ordered,
-                governor=governors[query],
+                plans[query], node, eval_variables, eval_namespaces,
+                ordered, governor=governors[query], codegen=codegen,
             )
 
         with ThreadPoolExecutor(
@@ -675,28 +788,48 @@ class XPathEngine:
         self,
         query: str,
         target: EvalTarget,
+        eval_options=None,
         *,
+        options: Optional[TranslationOptions] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
         namespaces: Optional[Mapping[str, str]] = None,
-        options: Optional[TranslationOptions] = None,
         timeout: Optional[float] = None,
         max_tuples: Optional[int] = None,
         max_bytes: Optional[int] = None,
         cancel: Optional[CancelToken] = None,
     ) -> int:
         """Count result tuples without materializing them."""
+        resolved, codegen = self._resolve_call(
+            "XPathEngine.count",
+            eval_options,
+            {
+                "variables": variables,
+                "namespaces": namespaces,
+                "timeout": timeout,
+                "max_tuples": max_tuples,
+                "max_bytes": max_bytes,
+                "cancel": cancel,
+            },
+        )
+        eval_namespaces = resolved.namespace_map()
         plan = self.compile(
-            query, options=options, namespaces=namespaces, target=target
+            query, options=options, namespaces=eval_namespaces,
+            target=target,
         )
         node = resolve_context_node(target)
         start = time.perf_counter()
         result = plan.count(
-            node, variables=variables, namespaces=namespaces,
+            node, variables=resolved.variables,
+            namespaces=eval_namespaces,
             governor=self.make_governor(
-                timeout=timeout, max_tuples=max_tuples,
-                max_bytes=max_bytes, cancel=cancel,
+                timeout=resolved.timeout,
+                max_tuples=resolved.max_tuples,
+                max_bytes=resolved.max_bytes,
+                cancel=resolved.cancel,
             ),
+            codegen=codegen,
         )
+        self._note_codegen(plan, codegen)
         self._record_execution(time.perf_counter() - start, plan, node)
         return result
 
@@ -746,6 +879,17 @@ class XPathEngine:
 
     # ------------------------------------------------------------------
 
+    def _note_codegen(self, plan: CompiledQuery, codegen: str) -> None:
+        """Account one execution's backend choice (after the call, when
+        the plan's lazily-computed codegen state is settled)."""
+        if codegen == "off":
+            return
+        with self._lock:
+            if plan.codegen_state == "compiled":
+                self._engine_counters["codegen_compiled"] += 1
+            elif plan.codegen_state == "unsupported":
+                self._engine_counters["codegen_fallbacks"] += 1
+
     def _execute(
         self,
         plan: CompiledQuery,
@@ -754,6 +898,7 @@ class XPathEngine:
         namespaces: Optional[Mapping[str, str]],
         ordered: bool,
         governor: Optional[ResourceGovernor] = None,
+        codegen: str = "off",
     ) -> XPathValue:
         """One governed plan execution, with outcome accounting.
 
@@ -771,8 +916,9 @@ class XPathEngine:
         try:
             result = plan.evaluate(
                 node, variables, namespaces, ordered=ordered,
-                governor=governor,
+                governor=governor, codegen=codegen,
             )
+            self._note_codegen(plan, codegen)
         except QueryTimeoutError:
             with self._lock:
                 self._engine_counters["queries_timed_out"] += 1
@@ -806,6 +952,7 @@ class XPathEngine:
         max_tuples: Optional[int] = None,
         max_bytes: Optional[int] = None,
         cancel: Optional[CancelToken] = None,
+        codegen: str = "off",
     ) -> Optional[Hashable]:
         """The singleflight key, or None when coalescing is off.
 
@@ -816,7 +963,9 @@ class XPathEngine:
         part of the key: two calls with different deadlines or budgets
         must never share a flight (a tightly-limited leader would fail
         loosely-limited followers), and a distinct cancel token keys a
-        distinct flight for the same reason.
+        distinct flight for the same reason.  The effective ``codegen``
+        backend is part of the key too — a forced-compiled call must
+        not share a flight with an interpreted one.
         """
         if not self.coalesce or variables:
             return None
@@ -830,6 +979,7 @@ class XPathEngine:
             max_tuples,
             max_bytes,
             id(cancel) if cancel is not None else None,
+            codegen,
         )
 
     def _record_execution(

@@ -1,6 +1,6 @@
-"""The differential oracle: six execution routes, one answer.
+"""The differential oracle: seven execution routes, one answer.
 
-Every query is executed through six independent paths:
+Every query is executed through seven independent paths:
 
 ``naive``
     the main-memory :class:`~repro.baselines.naive.NaiveInterpreter`
@@ -23,7 +23,13 @@ Every query is executed through six independent paths:
 ``concurrent``
     the improved translation through
     :meth:`XPathEngine.evaluate_concurrent` (thread pool, shared plans,
-    singleflight coalescing).
+    singleflight coalescing),
+``compiled``
+    the improved translation through an engine with ``codegen="auto"``:
+    plans that the :mod:`repro.codegen` backend supports run as
+    generated Python (fused loops, inlined node tests), everything else
+    falls back to the interpreter — so the code generator is
+    differentially checked against all interpreted routes.
 
 Results are compared in a document-independent canonical form: node-sets
 become document-order tuples of ``(sort_key, kind, name, string_value)``
@@ -43,6 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api import EvalOptions
 from repro.baselines.naive import NaiveInterpreter
 from repro.compiler.improved import TranslationOptions
 from repro.compiler.pipeline import XPathCompiler
@@ -62,6 +69,7 @@ ROUTE_NAMES: Tuple[str, ...] = (
     "stored",
     "indexed",
     "concurrent",
+    "compiled",
 )
 
 #: Routes that need the document written to a page file.
@@ -152,7 +160,7 @@ class Divergence:
 
 
 class DifferentialRunner:
-    """Executes queries on one document across all six routes.
+    """Executes queries on one document across all seven routes.
 
     The stored and indexed routes share one page file (indexes are
     built at write time), written once in a private temporary directory
@@ -168,7 +176,8 @@ class DifferentialRunner:
     divergences.
 
     ``governance`` (a mapping with any of ``timeout``, ``max_tuples``,
-    ``max_bytes``) runs every *algebraic* route under a fresh
+    ``max_bytes``, or an :class:`~repro.api.EvalOptions` carrying those
+    limits) runs every *algebraic* route under a fresh
     :class:`~repro.engine.governor.ResourceGovernor` per query while the
     naive baseline stays ungoverned.  The comparison contract then
     becomes: a governed route must either agree with the baseline
@@ -190,13 +199,28 @@ class DifferentialRunner:
         ] = None,
         store_dir: Optional[Path] = None,
         buffer_pages: int = 64,
-        governance: Optional[Mapping[str, object]] = None,
+        governance: Optional[object] = None,
     ):
         self.document = document
         self.variables = dict(variables or {})
         self.namespaces = dict(namespaces or {})
         self.routes = tuple(routes)
         self.extra_routes = dict(extra_routes or {})
+        if isinstance(governance, EvalOptions):
+            if governance.cancel is not None:
+                raise ValueError(
+                    "cancel tokens are not supported as differential "
+                    "governance; use timeout/max_tuples/max_bytes"
+                )
+            governance = {
+                key: value
+                for key, value in (
+                    ("timeout", governance.timeout),
+                    ("max_tuples", governance.max_tuples),
+                    ("max_bytes", governance.max_bytes),
+                )
+                if value is not None
+            }
         self.governance = dict(governance) if governance else None
         if self.governance:
             unknown = set(self.governance) - {
@@ -214,6 +238,9 @@ class DifferentialRunner:
         )
         self._indexed_engine = XPathEngine(
             TranslationOptions.improved(), index="force"
+        )
+        self._compiled_engine = XPathEngine(
+            TranslationOptions.improved(), codegen="auto"
         )
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         self._stored = None
@@ -253,6 +280,14 @@ class DifferentialRunner:
         """Governance kwargs for the engine-session routes."""
         return dict(self.governance) if self.governance else {}
 
+    def _eval_options(self) -> EvalOptions:
+        """Per-call options for the engine-session routes."""
+        return EvalOptions(
+            variables=self.variables or None,
+            namespaces=self.namespaces or None,
+            **self._engine_governance(),
+        )
+
     def _fresh_governor(self) -> Optional[ResourceGovernor]:
         """A per-query governor for the compiled (non-session) route."""
         if not self.governance:
@@ -278,42 +313,33 @@ class DifferentialRunner:
 
     def _run_improved(self, query: str) -> XPathValue:
         return self._engine.evaluate(
-            query,
-            self.document.root,
-            variables=self.variables,
-            namespaces=self.namespaces,
-            **self._engine_governance(),
+            query, self.document.root, self._eval_options()
         )
 
     def _run_stored(self, query: str) -> XPathValue:
         assert self._stored is not None
         return self._stored_engine.evaluate(
-            query,
-            self._stored.root,
-            variables=self.variables,
-            namespaces=self.namespaces,
-            **self._engine_governance(),
+            query, self._stored.root, self._eval_options()
         )
 
     def _run_indexed(self, query: str) -> XPathValue:
         assert self._stored is not None
         return self._indexed_engine.evaluate(
-            query,
-            self._stored.root,
-            variables=self.variables,
-            namespaces=self.namespaces,
-            **self._engine_governance(),
+            query, self._stored.root, self._eval_options()
         )
 
     def _run_concurrent_single(self, query: str) -> XPathValue:
         return self._engine.evaluate_concurrent(
             [query],
             self.document.root,
+            self._eval_options(),
             max_workers=2,
-            variables=self.variables,
-            namespaces=self.namespaces,
-            **self._engine_governance(),
         )[0]
+
+    def _run_compiled(self, query: str) -> XPathValue:
+        return self._compiled_engine.evaluate(
+            query, self.document.root, self._eval_options()
+        )
 
     def _route_runner(self, route: str) -> Callable[[str], XPathValue]:
         if route in self.extra_routes:
@@ -326,6 +352,7 @@ class DifferentialRunner:
             "stored": self._run_stored,
             "indexed": self._run_indexed,
             "concurrent": self._run_concurrent_single,
+            "compiled": self._run_compiled,
         }[route]
 
     # ------------------------------------------------------------------
@@ -386,10 +413,8 @@ class DifferentialRunner:
                     values = self._engine.evaluate_concurrent(
                         [query for _, query in clean],
                         self.document.root,
+                        self._eval_options(),
                         max_workers=4,
-                        variables=self.variables,
-                        namespaces=self.namespaces,
-                        **self._engine_governance(),
                     )
                 except Exception:  # noqa: BLE001 - fall back per query
                     values = None

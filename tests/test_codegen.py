@@ -1,0 +1,232 @@
+"""The plan-to-Python code generation backend (:mod:`repro.codegen`).
+
+Differential by construction: every behavior is pinned against the
+interpreted iterator backend on the same compiled plan — identical
+values, identical governance aborts, identical error surfaces — plus
+the lifecycle contract (lazy compile-once per cached plan, ``auto``
+falling back on unsupported operators, ``force`` refusing to).
+"""
+
+import warnings
+
+import pytest
+
+from repro import (
+    EvalOptions,
+    TranslationOptions,
+    XPathEngine,
+    evaluate,
+    open_store,
+    parse_document,
+    store_document,
+)
+from repro.codegen import CodegenUnsupported, generate_python
+from repro.compiler.pipeline import XPathCompiler
+from repro.errors import (
+    CodegenError,
+    ExecutionError,
+    QueryBudgetError,
+    ReproError,
+)
+
+from .conftest import SAMPLE_XML, normalize_result
+
+DOC = parse_document(SAMPLE_XML)
+
+#: Queries spanning the fused operator repertoire: axis chains,
+#: predicates (positional, existential, nested), aggregates, set
+#: union, arithmetic, string functions, attributes, variables.
+PARITY_QUERIES = [
+    "//b",
+    "/xdoc/a/b",
+    "//a[b = 'x']",
+    "//b[position() = last()]",
+    "//b[2]",
+    "//a[descendant::b[. = 'w']]",  # nested-plan register inheritance
+    "//a[not(c)]",
+    "//b/ancestor::a",
+    "//b/following-sibling::*",
+    "//a/@x",
+    "//*[@id > 5]",
+    "count(//b)",
+    "sum(//e)",
+    "string(//c)",
+    "normalize-space(//e)",
+    "name(//b[1])",
+    "//b | //c",
+    "//a[position() mod 2 = 1]",
+    "boolean(//d/b)",
+    "concat(string(//c), '-', string(count(//a)))",
+]
+
+
+def _compile(query):
+    return XPathCompiler(TranslationOptions.improved()).compile(query)
+
+
+class TestParityWithInterpreter:
+    @pytest.mark.parametrize("query", PARITY_QUERIES)
+    def test_generated_matches_interpreted(self, query):
+        compiled = _compile(query)
+        interpreted = compiled.evaluate(DOC.root, {}, {})
+        generated = compiled.evaluate(DOC.root, {}, {}, codegen="force")
+        assert normalize_result(generated) == normalize_result(interpreted)
+        assert compiled.codegen_state == "compiled"
+
+    def test_variables_and_namespaces(self):
+        doc = parse_document(
+            '<r xmlns:p="urn:x"><p:i>1</p:i><p:i>2</p:i></r>'
+        )
+        compiled = _compile("count(//p:i) + $n")
+        for codegen in ("off", "force"):
+            assert compiled.evaluate(
+                doc.root, {"n": 40.0}, {"p": "urn:x"}, codegen=codegen
+            ) == 42.0
+
+    def test_ordered_results_match(self):
+        engine = XPathEngine(codegen="force")
+        nodes = engine.evaluate(
+            "//b | //c", DOC, ordered=True
+        )
+        keys = [node.sort_key for node in nodes]
+        assert keys == sorted(keys)
+
+    def test_errors_surface_identically(self):
+        compiled = _compile("$missing + 1")
+        with pytest.raises(ReproError) as interpreted:
+            compiled.evaluate(DOC.root, {}, {})
+        with pytest.raises(ReproError) as generated:
+            compiled.evaluate(DOC.root, {}, {}, codegen="force")
+        assert type(generated.value) is type(interpreted.value)
+
+
+class TestLifecycle:
+    def test_compile_once_per_plan(self):
+        compiled = _compile("//b")
+        assert compiled.codegen_state == "pending"
+        compiled.ensure_generated()
+        first = compiled._generated
+        compiled.ensure_generated()
+        assert compiled._generated is first
+        assert compiled.codegen_state == "compiled"
+
+    def test_invalid_mode_rejected(self):
+        compiled = _compile("//b")
+        with pytest.raises(ValueError, match="codegen"):
+            compiled.evaluate(DOC.root, {}, {}, codegen="sometimes")
+
+    def test_engine_counts_compiled_executions(self):
+        engine = XPathEngine(codegen="auto")
+        engine.evaluate("//b", DOC)
+        engine.evaluate("//b", DOC)
+        stats = engine.stats()
+        assert stats.runtime_counters["codegen_compiled"] == 2
+        assert stats.runtime_counters.get("codegen_executions", 0) == 2
+        assert stats.cache.misses == 1  # generated fn reused via the cache
+
+    def test_off_mode_never_compiles(self):
+        engine = XPathEngine()  # codegen defaults to "off"
+        engine.evaluate("//b", DOC)
+        counters = engine.stats().runtime_counters
+        assert counters.get("codegen_compiled", 0) == 0
+        assert counters.get("codegen_executions", 0) == 0
+
+    def test_per_call_override_beats_engine_default(self):
+        engine = XPathEngine()  # off by default
+        engine.evaluate("//b", DOC, EvalOptions(codegen="force"))
+        assert engine.stats().runtime_counters["codegen_compiled"] == 1
+
+
+class TestFallback:
+    """Index-scan plans have no Python lowering; ``auto`` interprets
+    them, ``force`` refuses."""
+
+    @pytest.fixture
+    def stored(self, tmp_path):
+        path = tmp_path / "doc.natix"
+        store_document(DOC, path, indexes=True)
+        with open_store(path) as handle:
+            yield handle
+
+    def test_auto_falls_back_and_counts(self, stored):
+        engine = XPathEngine(index="force", codegen="auto")
+        result = engine.evaluate("//b", stored)
+        assert sorted(node.sort_key for node in result) == sorted(
+            node.sort_key for node in evaluate("//b", DOC)
+        )
+        counters = engine.stats().runtime_counters
+        assert counters["codegen_fallbacks"] == 1
+        assert counters.get("codegen_compiled", 0) == 0
+
+    def test_force_raises_codegen_error(self, stored):
+        engine = XPathEngine(index="force", codegen="force")
+        with pytest.raises(CodegenError):
+            engine.evaluate("//b", stored)
+
+    def test_unsupported_detail_is_recorded(self, stored):
+        engine = XPathEngine(index="force", codegen="auto")
+        engine.evaluate("//b", stored)
+        plan = engine.compile("//b", target=stored)
+        assert plan.codegen_state == "unsupported"
+        assert plan.codegen_detail
+
+
+class TestGovernance:
+    def test_generous_limits_do_not_change_answers(self):
+        engine = XPathEngine(codegen="force")
+        governed = engine.evaluate(
+            "//a[b]", DOC,
+            EvalOptions(max_tuples=1_000_000, max_bytes=50_000_000,
+                        timeout=60.0),
+        )
+        assert normalize_result(governed) == normalize_result(
+            evaluate("//a[b]", DOC)
+        )
+
+    def test_tuple_budget_aborts_generated_code(self):
+        engine = XPathEngine(codegen="force")
+        with pytest.raises(QueryBudgetError):
+            engine.evaluate("//*//*", DOC, EvalOptions(max_tuples=2))
+
+    def test_byte_budget_aborts_materialization(self):
+        engine = XPathEngine(codegen="force")
+        with pytest.raises(QueryBudgetError):
+            engine.evaluate(
+                "//*[count(preceding::*) >= 0]", DOC,
+                EvalOptions(max_bytes=8),
+            )
+
+
+class TestSessionSurfaces:
+    def test_count(self):
+        engine = XPathEngine(codegen="force")
+        assert engine.count("//b", DOC) == 4
+
+    def test_evaluate_many(self):
+        engine = XPathEngine(codegen="force")
+        values = engine.evaluate_many(["count(//b)", "count(//a)"], DOC)
+        assert values == [4.0, 2.0]
+
+    def test_evaluate_concurrent_shares_generated_plans(self):
+        engine = XPathEngine(codegen="force")
+        queries = ["count(//b)", "//a[b = 'x']", "string(//c)"] * 4
+        values = engine.evaluate_concurrent(queries, DOC, max_workers=4)
+        assert values[0::3] == [4.0] * 4
+        assert engine.stats().runtime_counters["codegen_compiled"] >= 3
+
+
+class TestGeneratePython:
+    def test_source_is_attached(self):
+        compiled = _compile("//b")
+        compiled.ensure_generated()
+        source = compiled._generated.source
+        assert source.startswith("def __plan__(ctx):")
+        assert "yield" in source
+
+    def test_scalar_plan_kind(self):
+        compiled = _compile("count(//b)")
+        compiled.ensure_generated()
+        assert compiled._generated.kind == "scalar"
+
+    def test_unsupported_is_a_codegen_error(self):
+        assert issubclass(CodegenUnsupported, CodegenError)

@@ -1,11 +1,11 @@
-"""Replay the checked-in regression corpus through the six-way oracle.
+"""Replay the checked-in regression corpus through the seven-way oracle.
 
 Every entry under ``tests/corpus/*.json`` — the paper's benchmark
 queries, the end-to-end query lists, and every minimized fuzz finding —
-is executed through all six routes (naive, canonical, improved, stored,
-indexed, concurrent) and must agree.  Runners are cached per document so the
-stored route's page file is written once per distinct corpus document,
-not once per entry.
+is executed through all seven routes (naive, canonical, improved, stored,
+indexed, concurrent, compiled) and must agree.  Runners are cached per
+document so the stored route's page file is written once per distinct
+corpus document, not once per entry.
 """
 
 from pathlib import Path

@@ -262,7 +262,7 @@ class TestOracleRoute:
     def test_indexed_is_a_default_route(self):
         assert "indexed" in ROUTE_NAMES
 
-    def test_six_routes_agree_on_sample(self):
+    def test_all_routes_agree_on_sample(self):
         document = parse_document(DOC_XML)
         queries = (
             "//item",

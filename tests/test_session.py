@@ -314,24 +314,22 @@ class TestKeywordOnlyAPI:
         # Explicit namespaces still override the compiled defaults.
         assert compiled.evaluate(doc.root, None, {"x": "urn:z"}) == 0.0
 
-    def test_positional_options_warns_but_works(self):
-        with pytest.deprecated_call():
-            compiled = compile_xpath("//b", TranslationOptions.canonical())
-        assert compiled.options == TranslationOptions.canonical()
+    def test_positional_options_now_rejected(self):
+        # Deprecated (with a warning) in v1.1; a TypeError since v1.3.
+        with pytest.raises(TypeError, match="no longer supported"):
+            compile_xpath("//b", TranslationOptions.canonical())
 
-    def test_positional_evaluate_args_warn_but_work(self):
+    def test_positional_evaluate_args_now_rejected(self):
         doc = parse_document('<a xmlns:p="urn:p"><p:b/></a>')
-        with pytest.deprecated_call():
-            result = evaluate(
+        with pytest.raises(TypeError, match="no longer supported"):
+            evaluate(
                 "count(//x:b) + $n", doc, {"n": 1.0}, {"x": "urn:p"},
                 "natix",
             )
-        assert result == 2.0
 
-    def test_duplicate_argument_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                evaluate("//b", DOC, {"n": 1.0}, variables={"n": 2.0})
+    def test_positional_and_keyword_mix_rejected(self):
+        with pytest.raises(TypeError):
+            evaluate("//b", DOC, {"n": 1.0}, variables={"n": 2.0})
 
     def test_too_many_positionals_rejected(self):
         with pytest.raises(TypeError):

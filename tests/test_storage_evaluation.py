@@ -8,7 +8,7 @@ document and compare node identities with the in-memory evaluation.
 
 import pytest
 
-from repro import compile_xpath, evaluate, parse_document
+from repro import EvalOptions, compile_xpath, evaluate, parse_document
 from repro.storage import DocumentStore
 from repro.workloads import generate_dblp, generate_document
 from repro.workloads.querygen import (
@@ -99,7 +99,8 @@ class TestPaperQueriesOverStorage:
         _, stored = stored_generated
         for engine in ("naive", "memo"):
             result = evaluate(
-                "count(//*[@id > 10])", stored.root, engine=engine
+                "count(//*[@id > 10])", stored.root,
+                EvalOptions(engine=engine),
             )
             assert result == evaluate("count(//*[@id > 10])", stored.root)
 
