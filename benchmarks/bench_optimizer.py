@@ -1,0 +1,258 @@
+"""Optimizer benchmark: cost-based plan choice vs the heuristic gates.
+
+Stores the paper's two workload documents (the section-6.2.1 generated
+``xdoc`` instance at >= 1 MiB and a dblp extract) and runs the paper's
+Figure 6-10 queries plus a set of *showcase* queries through the
+session layer twice: once with ``optimizer="heuristic"`` (the two
+hard-coded selectivity gates) and once with ``optimizer="cost"`` (the
+synopsis-fed cost model of ``repro/compiler/cost.py``).  Both legs use
+``index="auto"`` over the same indexed store; every repetition reopens
+the store so page misses (data vs index) are cold and comparable.
+
+The showcase queries are where the global selectivity gates pick a bad
+plan that the DataGuide frontier walk avoids: ``/xdoc/entry`` and
+``/xdoc/section/entry`` name elements that are globally rare but absent
+(or clustered) at the navigated level, so the heuristic's index probe
+grubs through the deep posting list while navigation touches a handful
+of child records.  Full mode enforces the acceptance floor: the cost
+leg must read **no more** pages than the heuristic leg on every
+showcase query and **strictly fewer** on at least one.
+
+Run standalone (CI uploads the JSON as ``BENCH_optimizer.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer.py --json BENCH_optimizer.json
+    PYTHONPATH=src python benchmarks/bench_optimizer.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro import TranslationOptions, XPathEngine
+from repro.storage import DocumentStore
+from repro.testing.corpus import load_corpus_file
+from repro.workloads import generate_document
+from repro.workloads.dblp import generate_dblp
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+#: Showcase queries per document: the cost leg must not lose pages on
+#: any of these, and must strictly win on at least one overall.  The
+#: dblp queries are report-only: there the cost model trades index
+#: pages for wall time (posting probes beat navigation in seconds but
+#: not in page count), which is a policy choice, not a page regression.
+SHOWCASE = {
+    "generated": ("/xdoc/entry", "/xdoc/section/entry", "//item"),
+    "dblp": (),
+}
+
+FULL_SHAPE = (40000, 6, 6)
+QUICK_SHAPE = (4000, 6, 5)
+FULL_DBLP = 1200
+QUICK_DBLP = 200
+
+#: Figure queries that blow up quadratically (preceding-sibling ×
+#: following) run against the quick-shape store even in full mode.
+HEAVY = frozenset({"fig7-query2"})
+
+
+def _figure_queries() -> dict:
+    """(name, query) pairs from the paper-figures corpus, per document."""
+    entries = load_corpus_file(CORPUS_DIR / "paper_figures.json")
+    queries = {"generated": [], "dblp": []}
+    for entry in entries:
+        if entry.name.startswith(("fig6", "fig7", "fig8", "fig9")):
+            queries["generated"].append((entry.name, entry.query))
+        elif entry.name.startswith("fig10"):
+            queries["dblp"].append((entry.name, entry.query))
+    return queries
+
+
+def _evaluate_cold(engine: XPathEngine, query: str, store_path: Path,
+                   buffer_pages: int) -> dict:
+    with DocumentStore.open(store_path, buffer_pages=buffer_pages) as stored:
+        started = time.perf_counter()
+        result = engine.evaluate(query, stored)
+        elapsed = time.perf_counter() - started
+        by_kind = stored.buffer_stats()["by_kind"]
+        return {
+            "seconds": elapsed,
+            "result_size": len(result) if isinstance(result, list) else result,
+            "data_page_misses": by_kind["data"]["misses"],
+            "index_page_misses": by_kind.get("index", {}).get("misses", 0),
+        }
+
+
+def _run_leg(engine: XPathEngine, query: str, store_path: Path,
+             buffer_pages: int, repeat: int) -> dict:
+    with DocumentStore.open(store_path, buffer_pages=buffer_pages) as stored:
+        engine.compile(query, target=stored)
+    reps = [
+        _evaluate_cold(engine, query, store_path, buffer_pages)
+        for _ in range(repeat)
+    ]
+    sizes = {rep["result_size"] for rep in reps}
+    assert len(sizes) == 1, f"unstable result for {query!r}: {sizes}"
+    first = reps[0]
+    return {
+        "median_seconds": statistics.median(r["seconds"] for r in reps),
+        "min_seconds": min(r["seconds"] for r in reps),
+        "result_size": first["result_size"],
+        "data_page_misses": first["data_page_misses"],
+        "index_page_misses": first["index_page_misses"],
+        "total_page_misses": (
+            first["data_page_misses"] + first["index_page_misses"]
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cost-based vs heuristic optimizer benchmark"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small documents, no page floor (CI smoke)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the full report as JSON")
+    parser.add_argument("--repeat", type=int, default=3, metavar="R",
+                        help="cold repetitions per leg (default: 3)")
+    parser.add_argument("--buffer-pages", type=int, default=4096)
+    arguments = parser.parse_args(argv)
+
+    shape = QUICK_SHAPE if arguments.quick else FULL_SHAPE
+    publications = QUICK_DBLP if arguments.quick else FULL_DBLP
+    engines = {
+        mode: XPathEngine(
+            TranslationOptions.improved(), index="auto", optimizer=mode
+        )
+        for mode in ("heuristic", "cost")
+    }
+    figures = _figure_queries()
+
+    report = {
+        "benchmark": "optimizer",
+        "mode": "quick" if arguments.quick else "full",
+        "repeat": arguments.repeat,
+        "documents": {},
+        "queries": [],
+        "floor": None if arguments.quick else (
+            "cost total pages <= heuristic on every showcase query, "
+            "strictly fewer on at least one"
+        ),
+    }
+
+    ok = True
+    strict_wins = []
+    with tempfile.TemporaryDirectory(prefix="repro-benchopt-") as tmp:
+        stores = {
+            "generated": Path(tmp) / "gen.natix",
+            "dblp": Path(tmp) / "dblp.natix",
+        }
+        DocumentStore.write(generate_document(*shape), stores["generated"])
+        DocumentStore.write(
+            generate_dblp(publications), stores["dblp"]
+        )
+        quick_store = None
+        if not arguments.quick and HEAVY:
+            quick_store = Path(tmp) / "gen-quick.natix"
+            DocumentStore.write(generate_document(*QUICK_SHAPE), quick_store)
+        for kind, path in stores.items():
+            size = path.stat().st_size
+            report["documents"][kind] = {"file_bytes": size}
+            print(f"{kind} store: {size} bytes")
+        gen_bytes = stores["generated"].stat().st_size
+        if not arguments.quick and gen_bytes < 1 << 20:
+            print("error: full-mode generated store is below 1 MiB",
+                  file=sys.stderr)
+            return 2
+
+        for kind, path in stores.items():
+            showcase = SHOWCASE[kind]
+            named = list(figures[kind]) + [
+                (f"showcase:{query}", query)
+                for query in showcase
+                if query not in {q for _, q in figures[kind]}
+            ]
+            for name, query in named:
+                store_path = path
+                repeat = arguments.repeat
+                if name in HEAVY and quick_store is not None:
+                    # quadratic sibling/following blowup: still checked
+                    # for plan parity, but on the small instance.
+                    store_path = quick_store
+                    repeat = 1
+                legs = {
+                    mode: _run_leg(
+                        engines[mode], query, store_path,
+                        arguments.buffer_pages, repeat,
+                    )
+                    for mode in ("heuristic", "cost")
+                }
+                heuristic, cost = legs["heuristic"], legs["cost"]
+                assert heuristic["result_size"] == cost["result_size"], (
+                    f"optimizer modes diverged on {query!r}: "
+                    f"{cost['result_size']} vs {heuristic['result_size']}"
+                )
+                is_showcase = query in showcase
+                entry = {
+                    "name": name,
+                    "query": query,
+                    "document": kind,
+                    "showcase": is_showcase,
+                    "result_size": heuristic["result_size"],
+                    "heuristic": heuristic,
+                    "cost": cost,
+                }
+                report["queries"].append(entry)
+                delta = (
+                    heuristic["total_page_misses"]
+                    - cost["total_page_misses"]
+                )
+                print(
+                    f"{name:>28}: heuristic "
+                    f"{heuristic['median_seconds']*1e3:8.1f} ms "
+                    f"({heuristic['total_page_misses']} pages)  cost "
+                    f"{cost['median_seconds']*1e3:8.1f} ms "
+                    f"({cost['total_page_misses']} pages)"
+                    + ("  [showcase]" if is_showcase else "")
+                )
+                if is_showcase:
+                    if delta > 0:
+                        strict_wins.append(name)
+                    if not arguments.quick and delta < 0:
+                        ok = False
+                        print(
+                            f"FAIL: cost leg read "
+                            f"{cost['total_page_misses']} pages on "
+                            f"showcase {query!r}, heuristic read "
+                            f"{heuristic['total_page_misses']}",
+                            file=sys.stderr,
+                        )
+
+        if not arguments.quick and not strict_wins:
+            ok = False
+            print(
+                "FAIL: cost leg never read strictly fewer pages than "
+                "the heuristic leg on any showcase query",
+                file=sys.stderr,
+            )
+
+    report["strict_wins"] = strict_wins
+    report["ok"] = ok
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {arguments.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,7 +55,7 @@ from repro.errors import (
     QueryTimeoutError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: The curated public surface: ``from repro import *`` and the docs
 #: cover exactly these names; everything else is internal.

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 from repro import (
@@ -84,8 +85,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the logical algebra plan instead of evaluating",
     )
     parser.add_argument(
+        "--explain-cost", action="store_true",
+        help="like --explain, but annotate every operator with the "
+             "optimizer's cardinality and cost estimates (synopsis-fed "
+             "when a --store document with indexes is given)",
+    )
+    parser.add_argument(
         "--optimize", action="store_true",
         help="enable the property-driven plan optimizer",
+    )
+    parser.add_argument(
+        "--optimizer", choices=("heuristic", "cost"), default="heuristic",
+        help="plan-choice mode: the paper's selectivity gates "
+             "('heuristic') or the synopsis-fed cost model ('cost'); "
+             "answers are identical (session engines only)",
     )
     parser.add_argument(
         "--stats", action="store_true",
@@ -159,6 +172,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} has no "
             "generated-code backend"
         )
+    if (
+        arguments.optimizer != "heuristic"
+        and arguments.engine not in _SESSION_ENGINES
+    ):
+        parser.error(
+            f"--optimizer requires a session engine "
+            f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} has no "
+            "plan optimizer"
+        )
     if arguments.timeout is not None and arguments.timeout <= 0:
         parser.error("--timeout must be positive")
     if arguments.max_tuples is not None and arguments.max_tuples <= 0:
@@ -167,23 +189,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     options = TranslationOptions(optimize=arguments.optimize)
 
     try:
-        if arguments.explain:
-            engine = XPathEngine(options)
-            print(engine.explain(arguments.query))
-            compiled = engine.compile(arguments.query)
-            if compiled.optimizer_report:
-                for note in compiled.optimizer_report.notes:
-                    print(f"; optimizer: {note}")
+        if arguments.explain or arguments.explain_cost:
+            # An optional document (and --store) makes the plan compile
+            # against a real target, so index routing and synopsis-fed
+            # estimates show up in the output.
+            engine = XPathEngine(
+                options,
+                index="auto" if arguments.indexes else "off",
+                optimizer=arguments.optimizer,
+            )
+            with ExitStack() as stack:
+                target = None
+                if arguments.document:
+                    document = parse_document(
+                        _read_document(arguments.document)
+                    )
+                    target = document
+                    if arguments.store:
+                        store_document(
+                            document, arguments.store,
+                            indexes=arguments.indexes,
+                        )
+                        target = stack.enter_context(
+                            open_store(arguments.store)
+                        )
+                compiled = engine.compile(arguments.query, target=target)
+                print(
+                    compiled.explain_cost() if arguments.explain_cost
+                    else compiled.explain()
+                )
+                if compiled.optimizer_report:
+                    for note in compiled.optimizer_report.notes:
+                        print(f"; optimizer: {note}")
             return 0
 
         if not arguments.document:
-            parser.error("a document is required unless --explain is given")
-        if arguments.document == "-":
-            text = sys.stdin.read()
-        else:
-            with open(arguments.document, "r", encoding="utf-8") as handle:
-                text = handle.read()
-        document = parse_document(text)
+            parser.error(
+                "a document is required unless --explain/--explain-cost "
+                "is given"
+            )
+        document = parse_document(_read_document(arguments.document))
 
         if arguments.store:
             store_document(
@@ -200,6 +245,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
+def _read_document(path: str) -> str:
+    """The document text: a file path or '-' for stdin."""
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
 def _run_query(arguments, target) -> None:
     """Evaluate (possibly repeatedly), print the result, then stats."""
     name = arguments.engine
@@ -209,6 +262,7 @@ def _run_query(arguments, target) -> None:
             _SESSION_ENGINES[name](optimize=arguments.optimize),
             index="auto" if arguments.indexes else "off",
             codegen=arguments.codegen,
+            optimizer=arguments.optimizer,
             default_timeout=arguments.timeout,
             default_max_tuples=arguments.max_tuples,
         )

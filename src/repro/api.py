@@ -72,6 +72,9 @@ from repro.xpath.datamodel import XPathValue
 #: Values accepted by :attr:`EvalOptions.index` / :attr:`EvalOptions.codegen`.
 _MODE_VALUES = ("auto", "off", "force")
 
+#: Values accepted by :attr:`EvalOptions.optimizer`.
+_OPTIMIZER_VALUES = ("heuristic", "cost")
+
 
 @dataclass(frozen=True)
 class EvalOptions:
@@ -88,8 +91,10 @@ class EvalOptions:
     and hash alike.
 
     ``None`` for any field means "use the callee's default": an engine
-    evaluates with its configured ``index``/``codegen`` mode unless the
-    call overrides it.  ``engine`` names a :data:`ENGINE_REGISTRY`
+    evaluates with its configured ``index``/``codegen``/``optimizer``
+    mode unless the call overrides it.  ``optimizer`` selects plan
+    choice only (``"heuristic"`` gates or the ``"cost"`` model, see
+    ``docs/optimizer.md``) — answers are identical either way.  ``engine`` names a :data:`ENGINE_REGISTRY`
     strategy and is consumed by one-shot :func:`evaluate` (an
     :class:`XPathEngine` *is* the strategy, so its methods ignore the
     field).  ``variables`` may hold unhashable node-sets, so it is
@@ -107,6 +112,7 @@ class EvalOptions:
     cancel: Optional[CancelToken] = field(default=None, hash=False)
     index: Optional[str] = None
     codegen: Optional[str] = None
+    optimizer: Optional[str] = None
 
     def __post_init__(self):
         namespaces = self.namespaces
@@ -121,6 +127,12 @@ class EvalOptions:
                     f"{name} must be one of {_MODE_VALUES} or None, "
                     f"got {value!r}"
                 )
+        if (self.optimizer is not None
+                and self.optimizer not in _OPTIMIZER_VALUES):
+            raise ValueError(
+                f"optimizer must be one of {_OPTIMIZER_VALUES} or None, "
+                f"got {self.optimizer!r}"
+            )
 
     def namespace_map(self) -> Optional[Dict[str, str]]:
         """The namespace bindings as a plain dict (or ``None``)."""
@@ -479,12 +491,13 @@ def evaluate(
         resolved.governed()
         or resolved.index is not None
         or resolved.codegen is not None
+        or resolved.optimizer is not None
     )
     if needs_algebraic:
         if name not in ("natix", "natix-canonical"):
             raise ValueError(
-                "timeout/max_tuples/max_bytes/cancel/index/codegen "
-                "require an algebraic engine ('natix' or "
+                "timeout/max_tuples/max_bytes/cancel/index/codegen/"
+                "optimizer require an algebraic engine ('natix' or "
                 f"'natix-canonical'), got {name!r}"
             )
         if options is None:
@@ -493,11 +506,12 @@ def evaluate(
                 if name == "natix-canonical"
                 else TranslationOptions.improved()
             )
-        if resolved.index is not None:
+        if resolved.index is not None or resolved.optimizer is not None:
             session = XPathEngine(
                 options,
-                index=resolved.index,
+                index=resolved.index or "auto",
                 codegen=resolved.codegen or "off",
+                optimizer=resolved.optimizer or "heuristic",
             )
             return session.evaluate(query, target, resolved)
         compiled = XPathCompiler(options).compile(query)
@@ -564,6 +578,7 @@ def evaluate_concurrent(
         options,
         index=resolved.index or "auto",
         codegen=resolved.codegen or "off",
+        optimizer=resolved.optimizer or "heuristic",
     )
     return engine.evaluate_concurrent(
         queries,

@@ -1,40 +1,54 @@
-"""Property-driven logical plan optimization (paper section 7 outlook).
+"""Rule-driven logical plan optimization (paper section 7 outlook).
 
 The paper closes with a list of algebraic optimizations to build on top
-of the complete translation; this module implements the first of them —
-"using properties of the intermediate results to avoid duplicate
-elimination and sorting" [13]:
+of the complete translation; this module implements them as a small
+rule catalog (each application is recorded in the
+:class:`OptimizerReport` rule trace):
 
-* **dedup pruning** — a Π^D whose input is provably duplicate-free
-  (:func:`repro.algebra.properties.is_duplicate_free`) is removed;
-* **sort pruning** — a Sort whose input is provably in document order
-  (:func:`repro.algebra.properties.is_document_ordered`) is removed;
-* **trivial selections** — σ[true()] is removed;
-* **descendant merging** — the ``//t`` pattern
+* ``merge-descendant`` — the ``//t`` pattern
   ``Υ[child::t](Π^D?(Υ[descendant-or-self::node()]))`` collapses into a
   single ``Υ[descendant::t]`` step (an instance of the paper's
   "equivalences" item; cf. Helmer et al. [12]).  The rewrite requires
   that nothing else reads the intermediate step's attribute — a
   positional predicate grouping on it would change meaning.
+* ``route-index-scan`` — name steps move onto
+  :class:`~repro.algebra.operators.IndexNameScan` /
+  :class:`~repro.algebra.operators.IndexDescendantScan` when the
+  evaluation target carries fresh structural indexes.
+* ``prune-dedup`` / ``prune-sort`` / ``prune-select`` — "using
+  properties of the intermediate results to avoid duplicate elimination
+  and sorting" [13]: a Π^D whose input is provably duplicate-free, a
+  Sort whose input is provably in document order, and σ[true()] are
+  removed.
+* ``prune-memo`` (cost mode only) — a 𝔐 memo whose producer is cheaper
+  to recompute than to cache is dropped (the memo is a pure cache, so
+  answers cannot change).
 
-When the evaluation target is a stored document with fresh structural
-indexes (:mod:`repro.index`), a third rewrite family routes name steps
-onto the index scans:
+Two **optimizer modes** drive the route-index-scan decision:
 
-* ``Υ[descendant::n]`` (including the merged ``//n`` shape above)
-  becomes :class:`~repro.algebra.operators.IndexDescendantScan`,
-* ``Υ[child::n]`` becomes
-  :class:`~repro.algebra.operators.IndexNameScan`,
-
-but only for plain (unprefixed) name tests, and only when the path
-synopsis says the index prunes: a descendant rewrite is declined when
+``optimizer="heuristic"`` (default, the oracle baseline) keeps the two
+hard-coded selectivity gates: a descendant rewrite is declined when
 more than :data:`DESCENDANT_SELECTIVITY_LIMIT` of all elements carry
-the name (the posting list would enumerate most of the subtree anyway,
-plus a parent-chain decode per candidate), a child rewrite only
-happens below :data:`CHILD_SELECTIVITY_LIMIT` (the interval slice
-over-approximates the child set by the whole subtree).  Declined
-rewrites are counted in ``OptimizerReport.index_skips`` — the
-``index_mode="force"`` engine option bypasses the selectivity gate.
+the name (the posting list would enumerate most of the subtree anyway),
+a child rewrite only happens below :data:`CHILD_SELECTIVITY_LIMIT` (the
+interval slice over-approximates the child set by the whole subtree).
+
+``optimizer="cost"`` estimates every operator's cardinality with the
+DataGuide frontier walk of :mod:`repro.compiler.cost` and routes a step
+onto the index iff the modelled index cost (posting pages + candidate
+re-tests) undercuts the modelled navigation cost — which also catches
+the case the global gates cannot see: ``/xdoc/entry`` where ``entry``
+is globally rare but absent *at this tree level*, so the index probe
+would grub through the whole deep posting list while navigation touches
+a handful of children.
+
+In **both** modes an index rewrite is declined when there is no
+evidence for it: an empty synopsis (stale or absent indexes observed
+through a half-built ``index_info``) or a name with neither a synopsis
+count nor a posting list.  Routing on missing evidence used to slip
+through the old ``count > limit * total`` gate as "0% selectivity" and
+silently fall back at runtime; it now counts as ``index_skips``.
+``index_mode="force"`` bypasses every gate in both modes.
 
 The pass is enabled with ``TranslationOptions(optimize=True)`` and runs
 between translation and code generation; it rewrites the plan in place
@@ -53,6 +67,12 @@ from repro.algebra.properties import (
     is_document_ordered,
     is_duplicate_free,
 )
+from repro.compiler.cost import (
+    DEFAULT_MODEL,
+    Dist,
+    PlanEstimates,
+    PlanEstimator,
+)
 from repro.xpath.axes import Axis, NodeTestKind
 
 #: Decline a descendant-index rewrite when the name covers more than
@@ -61,6 +81,9 @@ DESCENDANT_SELECTIVITY_LIMIT = 0.5
 #: A child-index rewrite probes the *subtree* and filters by parent, so
 #: it only pays off for rare names.
 CHILD_SELECTIVITY_LIMIT = 0.1
+
+#: Valid ``optimizer=`` arguments.
+OPTIMIZER_MODES = ("heuristic", "cost")
 
 
 @dataclass
@@ -72,49 +95,102 @@ class OptimizerReport:
     removed_selections: int = 0
     merged_descendant_steps: int = 0
     #: Steps routed onto index scans / rewrites declined by the
-    #: selectivity gate.
+    #: selectivity (or cost, or evidence) gate.
     index_scans: int = 0
     index_skips: int = 0
+    #: 𝔐 memos dropped by the cost model (cost mode only).
+    removed_memos: int = 0
+    #: Which optimizer chose the plan: "heuristic" or "cost".
+    mode: str = "heuristic"
     notes: List[str] = field(default_factory=list)
+    #: Structured rule trace: {"rule", "action": "fired"|"declined",
+    #: "detail"} per considered rewrite, in application order.
+    rules: List[dict] = field(default_factory=list)
+    #: Final-plan estimates (filled whenever a synopsis or the cost
+    #: mode made estimation meaningful; serialized into EXPLAIN).
+    est_root_rows: Optional[float] = None
+    est_cost: Optional[dict] = None
+    estimates: Optional[PlanEstimates] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def total(self) -> int:
         return (
             self.removed_dedups + self.removed_sorts
             + self.removed_selections + self.merged_descendant_steps
-            + self.index_scans
+            + self.index_scans + self.removed_memos
         )
+
+    @property
+    def rules_fired(self) -> int:
+        return sum(1 for r in self.rules if r["action"] == "fired")
+
+    @property
+    def rules_declined(self) -> int:
+        return sum(1 for r in self.rules if r["action"] == "declined")
+
+    def _record(self, rule: str, action: str, detail: str) -> None:
+        self.rules.append({"rule": rule, "action": action, "detail": detail})
+        self.notes.append(detail)
 
 
 def optimize_plan(
     plan: ops.Operator,
     index_info=None,
     index_mode: str = "auto",
+    optimizer: str = "heuristic",
 ) -> tuple[ops.Operator, OptimizerReport]:
-    """Apply the property-driven rewrites; returns (new root, report).
+    """Apply the rule catalog; returns (new root, report).
 
     ``index_info`` is the evaluation target's
     :class:`~repro.index.runtime.DocumentIndexes` (or ``None`` when the
     target carries no fresh indexes); with it, the index-routing family
     runs after the ``//t`` merge — so a merged ``Υ[descendant::t]`` is
     itself eligible — and before property pruning.  ``index_mode``
-    ``"force"`` bypasses the synopsis selectivity gate.
+    ``"force"`` bypasses every routing gate; ``optimizer`` selects the
+    hard-coded selectivity gates (``"heuristic"``) or the synopsis-fed
+    cost comparison (``"cost"``).
     """
     from repro.algebra.visitor import transform_bottom_up
 
-    report = OptimizerReport()
+    if optimizer not in OPTIMIZER_MODES:
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; expected one of "
+            f"{OPTIMIZER_MODES}"
+        )
+    report = OptimizerReport(mode=optimizer)
+    synopsis = index_info.synopsis if index_info is not None else None
+    estimator = PlanEstimator(synopsis)
+
     reads = _attribute_reads(plan)
     plan = transform_bottom_up(
         plan, lambda node: _merge_one(node, reads, report)
     )
     if index_info is not None:
+        pre = estimator.estimate(plan) if optimizer == "cost" else None
         plan = transform_bottom_up(
             plan,
-            lambda node: _index_one(node, index_info, index_mode, report),
+            lambda node: _index_one(
+                node, index_info, index_mode, report, estimator, pre
+            ),
         )
-    return transform_bottom_up(
-        plan, lambda node: _prune_one(node, report)
-    ), report
+    plan = transform_bottom_up(plan, lambda node: _prune_one(node, report))
+    if optimizer == "cost":
+        mid = estimator.estimate(plan)
+        plan = transform_bottom_up(
+            plan, lambda node: _memo_one(node, report, estimator, mid)
+        )
+    if optimizer == "cost" or synopsis is not None:
+        final = estimator.estimate(plan)
+        report.estimates = final
+        report.est_root_rows = round(final.root_rows, 3)
+        report.est_cost = {
+            "data_pages": round(final.total.data_pages, 3),
+            "index_pages": round(final.total.index_pages, 3),
+            "cpu": round(final.total.cpu, 3),
+        }
+    return plan, report
 
 
 # ----------------------------------------------------------------------
@@ -194,8 +270,9 @@ def _merge_one(
         plan.test_kind, plan.test_name,
     )
     report.merged_descendant_steps += 1
-    report.notes.append(
-        f"merged descendant-or-self/child into {merged.label()}"
+    report._record(
+        "merge-descendant", "fired",
+        f"merged descendant-or-self/child into {merged.label()}",
     )
     if _order_info(inner.child).single:
         # descendant:: from a single context node is duplicate-free.
@@ -209,7 +286,8 @@ def _merge_one(
 
 def _index_one(
     plan: ops.Operator, index_info, index_mode: str,
-    report: OptimizerReport,
+    report: OptimizerReport, estimator: PlanEstimator,
+    pre: Optional[PlanEstimates],
 ) -> ops.Operator:
     """Route one eligible name step onto an index scan."""
     if isinstance(plan, (ops.IndexNameScan, ops.IndexDescendantScan)):
@@ -228,18 +306,41 @@ def _index_one(
     synopsis = index_info.synopsis
     count = synopsis.element_count(name)
     total = synopsis.total_elements
-    limit = (
-        CHILD_SELECTIVITY_LIMIT
-        if plan.axis == Axis.CHILD
-        else DESCENDANT_SELECTIVITY_LIMIT
-    )
-    if index_mode != "force" and total and count > limit * total:
-        report.index_skips += 1
-        report.notes.append(
-            f"declined index route for {plan.label()} "
-            f"({count}/{total} elements)"
-        )
-        return plan
+    if index_mode != "force":
+        # Evidence gate (both modes): an empty synopsis means the
+        # catalog was stale or half-read; a name with neither a
+        # synopsis count nor a posting list would route onto an index
+        # that has nothing to say and silently navigate at runtime.
+        if total == 0 or (
+            count == 0 and not index_info.has_element_index(name)
+        ):
+            report.index_skips += 1
+            report._record(
+                "route-index-scan", "declined",
+                f"declined index route for {plan.label()} "
+                f"(no index evidence: {count}/{total} elements)",
+            )
+            return plan
+        if report.mode == "cost":
+            decision = _cost_gate(plan, estimator, pre)
+            if decision is not None:
+                report.index_skips += 1
+                report._record("route-index-scan", "declined", decision)
+                return plan
+        else:
+            limit = (
+                CHILD_SELECTIVITY_LIMIT
+                if plan.axis == Axis.CHILD
+                else DESCENDANT_SELECTIVITY_LIMIT
+            )
+            if count > limit * total:
+                report.index_skips += 1
+                report._record(
+                    "route-index-scan", "declined",
+                    f"declined index route for {plan.label()} "
+                    f"({count}/{total} elements)",
+                )
+                return plan
 
     cls = (
         ops.IndexNameScan
@@ -249,27 +350,88 @@ def _index_one(
     routed = cls(plan.child, plan.in_attr, plan.out_attr, name,
                  est_count=count)
     report.index_scans += 1
-    report.notes.append(f"routed {plan.label()} onto {routed.label()}")
+    report._record(
+        "route-index-scan", "fired",
+        f"routed {plan.label()} onto {routed.label()}",
+    )
     return routed
 
+
+def _cost_gate(
+    plan: ops.UnnestMap, estimator: PlanEstimator,
+    pre: Optional[PlanEstimates],
+) -> Optional[str]:
+    """Cost-mode routing decision: ``None`` to route, else the decline
+    detail."""
+    in_dist = pre.unnest_inputs.get(id(plan)) if pre is not None else None
+    if in_dist is None:
+        # The step was not part of the estimated plan (defensive; the
+        # index pass mutates in place so ids normally survive).
+        in_dist = Dist(1.0, None)
+    navigation = estimator.navigation_cost(
+        in_dist, plan.axis, plan.test_kind, plan.test_name
+    )
+    index = estimator.index_scan_cost(in_dist, plan.axis, plan.test_name)
+    nav_score = navigation.score(DEFAULT_MODEL)
+    idx_score = index.score(DEFAULT_MODEL)
+    if idx_score < nav_score:
+        return None
+    return (
+        f"{plan.label()} navigation wins "
+        f"(nav≈{nav_score:.1f} vs idx≈{idx_score:.1f})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Property pruning
+# ----------------------------------------------------------------------
 
 def _prune_one(plan: ops.Operator, report: OptimizerReport) -> ops.Operator:
     if isinstance(plan, ops.ProjectDup):
         child = plan.child
         if plan.attr == child.result_attr and is_duplicate_free(child):
             report.removed_dedups += 1
-            report.notes.append(f"removed {plan.label()}")
+            report._record(
+                "prune-dedup", "fired", f"removed {plan.label()}"
+            )
             return child
     if isinstance(plan, ops.SortOp):
         child = plan.child
         if plan.attr == child.result_attr and is_document_ordered(child):
             report.removed_sorts += 1
-            report.notes.append(f"removed {plan.label()}")
+            report._record(
+                "prune-sort", "fired", f"removed {plan.label()}"
+            )
             return child
     if isinstance(plan, ops.Select):
         predicate = plan.predicate
         if isinstance(predicate, S.SConst) and predicate.value is True:
             report.removed_selections += 1
-            report.notes.append("removed σ[true()]")
+            report._record("prune-select", "fired", "removed σ[true()]")
             return plan.child
+    return plan
+
+
+def _memo_one(
+    plan: ops.Operator, report: OptimizerReport,
+    estimator: PlanEstimator, estimates: PlanEstimates,
+) -> ops.Operator:
+    """Drop a 𝔐 whose producer is cheaper to recompute than to cache."""
+    if not isinstance(plan, ops.MemoX):
+        return plan
+    producer_cost = estimates.subtree.get(id(plan.child))
+    if producer_cost is None:
+        return plan
+    score = producer_cost.score(estimator.model)
+    if score <= estimator.model.memo_drop_threshold:
+        report.removed_memos += 1
+        report._record(
+            "prune-memo", "fired",
+            f"removed {plan.label()} (producer score≈{score:.1f})",
+        )
+        return plan.child
+    report._record(
+        "prune-memo", "declined",
+        f"kept {plan.label()} (producer score≈{score:.1f})",
+    )
     return plan

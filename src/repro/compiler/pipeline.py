@@ -167,6 +167,45 @@ class CompiledQuery:
         """The logical plan rendered as an indented tree."""
         return plan_to_string(self.logical_plan)
 
+    def explain_cost(self) -> str:
+        """The logical plan annotated with cardinality/cost estimates.
+
+        Uses the estimates the optimizer pass attached (synopsis-fed
+        when the target had fresh indexes); when the pass did not run —
+        or ran without a synopsis — a defaults-only estimation is done
+        on the fly, so the output always carries ``rows≈``/``cost``
+        annotations.
+        """
+        from repro.compiler.cost import PlanEstimator, explain_with_costs
+
+        report = self.optimizer_report
+        estimates = getattr(report, "estimates", None)
+        if estimates is None:
+            estimates = PlanEstimator(None).estimate(self.logical_plan)
+        return explain_with_costs(self.logical_plan, estimates)
+
+    def plan_summary(self) -> dict:
+        """JSON-friendly plan + rule trace + estimates (plan corpus).
+
+        Deterministic for a fixed (query, document, optimizer mode):
+        floats are rounded, dict ordering follows the plan tree.
+        """
+        from repro.compiler.cost import summarize_plan
+
+        report = self.optimizer_report
+        summary: dict = {
+            "mode": getattr(report, "mode", "heuristic")
+            if report is not None else "none",
+            "tree": summarize_plan(
+                self.logical_plan, getattr(report, "estimates", None)
+            ),
+        }
+        if report is not None:
+            summary["rules"] = list(report.rules)
+            summary["est_root_rows"] = report.est_root_rows
+            summary["est_cost"] = report.est_cost
+        return summary
+
     @property
     def emits_document_order(self) -> bool:
         """True when the plan provably yields nodes in document order."""
@@ -322,10 +361,14 @@ class XPathCompiler:
     """
 
     def __init__(self, options: Optional[TranslationOptions] = None,
-                 index_info=None, index_mode: str = "auto"):
+                 index_info=None, index_mode: str = "auto",
+                 optimizer: str = "heuristic"):
         self.options = options or TranslationOptions()
         self.index_info = index_info
         self.index_mode = index_mode
+        #: "heuristic" (selectivity gates) or "cost" (synopsis-fed cost
+        #: comparison); see :mod:`repro.compiler.optimize`.
+        self.optimizer = optimizer
 
     def compile(self, query: str) -> CompiledQuery:
         timings: Dict[str, float] = {}
@@ -358,10 +401,12 @@ class XPathCompiler:
             )
             translation.result_attr = _SCALAR_RESULT_ATTR
 
-        # Phase 5b (optional): property-driven plan optimization.  An
+        # Phase 5b (optional): rule-driven plan optimization.  An
         # indexed target enables the pass even without optimize=True —
-        # index routing is what makes the target's indexes reachable.
-        if self.options.optimize or self.index_info is not None:
+        # index routing is what makes the target's indexes reachable —
+        # and so does the cost optimizer (its estimates feed EXPLAIN).
+        if (self.options.optimize or self.index_info is not None
+                or self.optimizer == "cost"):
             from repro.compiler.optimize import optimize_plan
 
             assert translation.plan is not None
@@ -370,6 +415,7 @@ class XPathCompiler:
                 translation.plan,
                 index_info=self.index_info,
                 index_mode=self.index_mode,
+                optimizer=self.optimizer,
             )
             timings["optimize"] = time.perf_counter() - start
 

@@ -116,6 +116,9 @@ INDEX_MODES = ("auto", "off", "force")
 #: Valid values of the engine's ``codegen`` option.
 CODEGEN_MODES = ("auto", "off", "force")
 
+#: Valid values of the engine's ``optimizer`` option.
+OPTIMIZER_MODES = ("heuristic", "cost")
+
 #: Backwards-compatible name: the plan cache is the striped one now.
 PlanCache = StripedPlanCache
 
@@ -300,6 +303,7 @@ class XPathEngine:
         max_workers: int = DEFAULT_MAX_WORKERS,
         index: Union[str, bool] = "auto",
         codegen: str = "off",
+        optimizer: str = "heuristic",
         default_timeout: Optional[float] = None,
         default_max_tuples: Optional[int] = None,
         default_max_bytes: Optional[int] = None,
@@ -318,6 +322,11 @@ class XPathEngine:
             raise ValueError(
                 f"codegen must be one of {CODEGEN_MODES}, got {codegen!r}"
             )
+        if optimizer not in OPTIMIZER_MODES:
+            raise ValueError(
+                f"optimizer must be one of {OPTIMIZER_MODES}, "
+                f"got {optimizer!r}"
+            )
         #: "auto" — route name steps onto the target's structural
         #: indexes when the path synopsis says they prune; "force" —
         #: route every eligible step regardless of selectivity; "off" —
@@ -329,6 +338,11 @@ class XPathEngine:
         #: :class:`~repro.errors.CodegenError` on plans that do not
         #: compile; "off" — always interpret the iterator tree.
         self.codegen_mode: str = codegen
+        #: "heuristic" — index routing behind the paper's hard-coded
+        #: selectivity gates; "cost" — routing, memo placement and the
+        #: EXPLAIN estimates come from the synopsis-fed cost model
+        #: (:mod:`repro.compiler.cost`).  Answers never depend on it.
+        self.optimizer_mode: str = optimizer
         self.cache = StripedPlanCache(cache_size, cache_shards)
         self.coalesce = coalesce
         self.max_workers = max_workers
@@ -403,7 +417,8 @@ class XPathEngine:
         if plan is not None:
             return plan
         compiled = XPathCompiler(
-            opts, index_info=indexes, index_mode=self.index_mode
+            opts, index_info=indexes, index_mode=self.index_mode,
+            optimizer=self.optimizer_mode,
         ).compile(query)
         self.cache.put(key, compiled)
         with self._lock:
@@ -421,6 +436,14 @@ class XPathEngine:
                 self._engine_counters["rewrite_index_skips"] += (
                     report.index_skips
                 )
+                self._engine_counters["opt_rules_fired"] += (
+                    report.rules_fired
+                )
+                self._engine_counters["opt_rules_declined"] += (
+                    report.rules_declined
+                )
+                if report.mode == "cost":
+                    self._engine_counters["plans_cost_optimized"] += 1
         return compiled
 
     def explain(
@@ -491,6 +514,14 @@ class XPathEngine:
                 f"per-call index={resolved.index!r} conflicts with this "
                 f"engine's index mode {self.index_mode!r}; configure "
                 "XPathEngine(index=...) instead"
+            )
+        if (resolved.optimizer is not None
+                and resolved.optimizer != self.optimizer_mode):
+            raise ValueError(
+                f"per-call optimizer={resolved.optimizer!r} conflicts "
+                f"with this engine's optimizer mode "
+                f"{self.optimizer_mode!r}; configure "
+                "XPathEngine(optimizer=...) instead"
             )
         return resolved, resolved.codegen or self.codegen_mode
 
@@ -937,8 +968,30 @@ class XPathEngine:
             raise
         with self._lock:
             self._engine_counters["queries_completed"] += 1
+        self._note_estimation(plan, result)
         self._record_execution(time.perf_counter() - start, plan, node)
         return result
+
+    def _note_estimation(self, plan: CompiledQuery, result) -> None:
+        """Track the cost optimizer's estimation error against reality.
+
+        Only node-set results of cost-optimized plans are scored (the
+        estimator predicts result *rows*); ``cost_estimate_abs_error``
+        over ``cost_estimates_recorded`` is the mean absolute error.
+        """
+        report = plan.optimizer_report
+        if (report is None or getattr(report, "mode", "heuristic") != "cost"
+                or report.est_root_rows is None
+                or not isinstance(result, list)):
+            return
+        estimated = int(round(report.est_root_rows))
+        with self._lock:
+            self._engine_counters["cost_estimates_recorded"] += 1
+            self._engine_counters["cost_estimated_rows"] += estimated
+            self._engine_counters["cost_actual_rows"] += len(result)
+            self._engine_counters["cost_estimate_abs_error"] += abs(
+                estimated - len(result)
+            )
 
     def _coalesce_key(
         self,

@@ -35,6 +35,11 @@ class SynopsisEntry:
     count: int
 
 
+#: Pseudo entry index of the document root node (parent of the root
+#: element's entry); :meth:`PathSynopsis.children_of` accepts it.
+ROOT_ENTRY = -1
+
+
 class PathSynopsis:
     """Cardinality lookups over the DataGuide entries."""
 
@@ -42,8 +47,11 @@ class PathSynopsis:
         self.entries: Tuple[SynopsisEntry, ...] = tuple(entries)
         self._element_counts: Dict[str, int] = {}
         self._attribute_counts: Dict[str, int] = {}
+        self._children: Dict[int, Tuple[int, ...]] = {}
         total = 0
-        for entry in self.entries:
+        children: Dict[int, list] = {}
+        for index, entry in enumerate(self.entries):
+            children.setdefault(entry.parent, []).append(index)
             if entry.kind == KIND_ELEMENT:
                 total += entry.count
                 self._element_counts[entry.name] = (
@@ -53,9 +61,19 @@ class PathSynopsis:
                 self._attribute_counts[entry.name] = (
                     self._attribute_counts.get(entry.name, 0) + entry.count
                 )
+        self._children = {
+            parent: tuple(indices) for parent, indices in children.items()
+        }
         self.total_elements = total
 
     # ------------------------------------------------------------------
+
+    def children_of(self, index: int) -> Tuple[int, ...]:
+        """Entry indices whose parent entry is ``index``.
+
+        Pass :data:`ROOT_ENTRY` for the children of the document root.
+        """
+        return self._children.get(index, ())
 
     def element_count(self, name: str) -> int:
         """How many elements in the document are named ``name``."""

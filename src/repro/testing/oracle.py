@@ -1,6 +1,6 @@
-"""The differential oracle: seven execution routes, one answer.
+"""The differential oracle: eight execution routes, one answer.
 
-Every query is executed through seven independent paths:
+Every query is executed through eight independent paths:
 
 ``naive``
     the main-memory :class:`~repro.baselines.naive.NaiveInterpreter`
@@ -29,7 +29,14 @@ Every query is executed through seven independent paths:
     plans that the :mod:`repro.codegen` backend supports run as
     generated Python (fused loops, inlined node tests), everything else
     falls back to the interpreter — so the code generator is
-    differentially checked against all interpreted routes.
+    differentially checked against all interpreted routes,
+``cost``
+    the stored document through an engine with ``index="auto"`` and
+    ``optimizer="cost"``: the synopsis-fed cost model of
+    :mod:`repro.compiler.cost` decides index routing and memo
+    placement instead of the hard-coded selectivity gates — the cost
+    optimizer may pick different physical plans (page and ``next()``
+    counts change) but must never change answers.
 
 Results are compared in a document-independent canonical form: node-sets
 become document-order tuples of ``(sort_key, kind, name, string_value)``
@@ -70,10 +77,11 @@ ROUTE_NAMES: Tuple[str, ...] = (
     "indexed",
     "concurrent",
     "compiled",
+    "cost",
 )
 
 #: Routes that need the document written to a page file.
-_STORE_ROUTES = ("stored", "indexed")
+_STORE_ROUTES = ("stored", "indexed", "cost")
 
 BASELINE_ROUTE = "naive"
 
@@ -160,7 +168,7 @@ class Divergence:
 
 
 class DifferentialRunner:
-    """Executes queries on one document across all seven routes.
+    """Executes queries on one document across all eight routes.
 
     The stored and indexed routes share one page file (indexes are
     built at write time), written once in a private temporary directory
@@ -241,6 +249,9 @@ class DifferentialRunner:
         )
         self._compiled_engine = XPathEngine(
             TranslationOptions.improved(), codegen="auto"
+        )
+        self._cost_engine = XPathEngine(
+            TranslationOptions.improved(), index="auto", optimizer="cost"
         )
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         self._stored = None
@@ -341,6 +352,12 @@ class DifferentialRunner:
             query, self.document.root, self._eval_options()
         )
 
+    def _run_cost(self, query: str) -> XPathValue:
+        assert self._stored is not None
+        return self._cost_engine.evaluate(
+            query, self._stored.root, self._eval_options()
+        )
+
     def _route_runner(self, route: str) -> Callable[[str], XPathValue]:
         if route in self.extra_routes:
             run = self.extra_routes[route]
@@ -353,6 +370,7 @@ class DifferentialRunner:
             "indexed": self._run_indexed,
             "concurrent": self._run_concurrent_single,
             "compiled": self._run_compiled,
+            "cost": self._run_cost,
         }[route]
 
     # ------------------------------------------------------------------

@@ -1,9 +1,9 @@
-"""Replay the checked-in regression corpus through the seven-way oracle.
+"""Replay the checked-in regression corpus through the eight-way oracle.
 
 Every entry under ``tests/corpus/*.json`` — the paper's benchmark
 queries, the end-to-end query lists, and every minimized fuzz finding —
-is executed through all seven routes (naive, canonical, improved, stored,
-indexed, concurrent, compiled) and must agree.  Runners are cached per
+is executed through all eight routes (naive, canonical, improved, stored,
+indexed, concurrent, compiled, cost) and must agree.  Runners are cached per
 document so the stored route's page file is written once per distinct
 corpus document, not once per entry.
 """

@@ -64,7 +64,7 @@ class TestValueObject:
         assert options.namespace_map() is None
         assert options == EvalOptions()
 
-    @pytest.mark.parametrize("field", ["index", "codegen"])
+    @pytest.mark.parametrize("field", ["index", "codegen", "optimizer"])
     def test_invalid_mode_rejected(self, field):
         with pytest.raises(ValueError, match=field):
             EvalOptions(**{field: "sometimes"})
@@ -121,6 +121,20 @@ class TestUniformAcceptance:
         engine = XPathEngine(index="off")
         with pytest.raises(ValueError, match="index"):
             engine.evaluate("//b", DOC, EvalOptions(index="force"))
+
+    def test_per_call_optimizer_conflict_rejected(self):
+        engine = XPathEngine()  # optimizer defaults to "heuristic"
+        with pytest.raises(ValueError, match="optimizer"):
+            engine.evaluate("//b", DOC, EvalOptions(optimizer="cost"))
+
+    def test_matching_optimizer_accepted(self):
+        engine = XPathEngine(optimizer="cost")
+        options = EvalOptions(optimizer="cost")
+        assert engine.count("//b", DOC, options) == 2
+
+    def test_one_shot_optimizer_spins_up_session(self):
+        options = EvalOptions(optimizer="cost")
+        assert evaluate("count(//b)", DOC, options) == 2.0
 
     def test_differential_runner_governance(self):
         with DifferentialRunner(

@@ -144,6 +144,22 @@ class TestStaleness:
                     engine.evaluate(query, stored)
                 ) == canonical_value(evaluate(query, document))
 
+    def test_stale_trailer_never_routes(self, tmp_path):
+        # The spliced trailer fails the fingerprint check, so the
+        # compiler sees no index_info at all — nothing may be routed
+        # (routing on a stale synopsis would navigate silently at
+        # runtime, hiding the staleness from every counter).
+        path = self._spliced_store(tmp_path)
+        for optimizer in ("heuristic", "cost"):
+            engine = XPathEngine(index="auto", optimizer=optimizer)
+            with DocumentStore.open(path) as stored:
+                compiled = engine.compile("//item", target=stored)
+                assert len(engine.evaluate("//item", stored)) == 1
+            report = compiled.optimizer_report
+            assert report is None or report.index_scans == 0
+            counters = engine.stats().runtime_counters
+            assert counters.get("rewrite_index_scans", 0) == 0
+
     def test_truncated_trailer_is_ignored(self, store_path, tmp_path):
         _write(store_path)
         clipped = tmp_path / "clipped.natix"
@@ -204,6 +220,29 @@ class TestPlanRewriting:
         assert compiled.optimizer_report is None or (
             compiled.optimizer_report.index_scans == 0
         )
+
+    def test_unknown_name_is_evidence_declined(self, generated_store):
+        # A name with neither a synopsis count nor a posting list used
+        # to slip through the selectivity gate as "0% selectivity" and
+        # route onto an index with nothing to say; it now declines and
+        # shows up in the skip counters.
+        engine = XPathEngine(index="auto")
+        compiled = engine.compile("//nosuchname", target=generated_store)
+        report = compiled.optimizer_report
+        assert report.index_scans == 0
+        assert report.index_skips >= 1
+        assert any("no index evidence" in note for note in report.notes)
+        counters = engine.stats().runtime_counters
+        assert counters["rewrite_index_skips"] >= 1
+        assert counters.get("rewrite_index_scans", 0) == 0
+
+    def test_cost_mode_evidence_decline_matches(self, generated_store):
+        engine = XPathEngine(index="auto", optimizer="cost")
+        compiled = engine.compile("//nosuchname", target=generated_store)
+        report = compiled.optimizer_report
+        assert report.index_scans == 0
+        assert report.index_skips >= 1
+        assert engine.evaluate("//nosuchname", generated_store) == []
 
     def test_prefixed_name_test_is_never_rewritten(self, tmp_path):
         xml = (

@@ -1,0 +1,160 @@
+"""The EXPLAIN-diff plan corpus: optimizer output locked down in CI.
+
+Every paper-figure query (``tests/corpus/paper_figures.json``) is
+compiled under both optimizer modes against its stored, indexed
+document, and the full :meth:`CompiledQuery.plan_summary` — operator
+tree with per-operator cardinality/cost estimates, rule trace, root
+estimates — is compared against the checked-in snapshot
+``tests/corpus/plans.json``.  A plan change (new rule, different
+routing decision, shifted estimate) fails here with a JSON diff before
+it can silently regress query performance.
+
+Regenerate the snapshot after an intentional optimizer change with::
+
+    REPRO_REGEN_PLANS=1 PYTHONPATH=src python -m pytest \
+        tests/test_plan_regressions.py -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import TranslationOptions, XPathEngine
+from repro.storage import DocumentStore
+from repro.testing.corpus import document_cache_key, load_corpus_file
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+PLANS_FILE = CORPUS_DIR / "plans.json"
+
+FIGURES = load_corpus_file(CORPUS_DIR / "paper_figures.json")
+MODES = ("heuristic", "cost")
+
+REGEN = os.environ.get("REPRO_REGEN_PLANS") == "1"
+
+SNAPSHOT = (
+    json.loads(PLANS_FILE.read_text(encoding="utf-8"))
+    if PLANS_FILE.exists()
+    else {"plans": {}}
+)
+
+
+@pytest.fixture(scope="module")
+def store_cache(tmp_path_factory):
+    """One stored+indexed page file per distinct corpus document."""
+    base = tmp_path_factory.mktemp("plan-stores")
+    stores = {}
+
+    def get(entry):
+        key = document_cache_key(entry.document)
+        stored = stores.get(key)
+        if stored is None:
+            path = base / f"doc{len(stores)}.natix"
+            DocumentStore.write(entry.build_document(), path)
+            stored = DocumentStore.open(path)
+            stores[key] = stored
+        return stored
+
+    yield get
+    for stored in stores.values():
+        stored.close()
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {
+        mode: XPathEngine(
+            TranslationOptions.improved(), index="auto", optimizer=mode
+        )
+        for mode in MODES
+    }
+
+
+@pytest.fixture(scope="module")
+def regen_sink():
+    """Collects fresh summaries; writes the snapshot on teardown."""
+    records = {}
+    yield records
+    if REGEN and records:
+        payload = {
+            "description": (
+                "Optimizer plan snapshots (operator tree + estimates + "
+                "rule trace) for the paper-figure queries under both "
+                "optimizer modes; regenerate with REPRO_REGEN_PLANS=1."
+            ),
+            "plans": records,
+        }
+        PLANS_FILE.write_text(
+            json.dumps(payload, indent=1, ensure_ascii=False) + "\n",
+            encoding="utf-8",
+        )
+
+
+def build_summary(entry, mode, store_cache, engines):
+    stored = store_cache(entry)
+    compiled = engines[mode].compile(
+        entry.query,
+        namespaces=entry.namespaces or None,
+        target=stored,
+    )
+    return compiled.plan_summary()
+
+
+@pytest.mark.parametrize(
+    "entry", FIGURES, ids=[entry.name for entry in FIGURES]
+)
+@pytest.mark.parametrize("mode", MODES)
+def test_plan_matches_snapshot(entry, mode, store_cache, engines,
+                               regen_sink):
+    summary = build_summary(entry, mode, store_cache, engines)
+    if REGEN:
+        regen_sink.setdefault(entry.name, {})[mode] = summary
+        return
+    recorded = SNAPSHOT["plans"].get(entry.name, {}).get(mode)
+    assert recorded is not None, (
+        f"no recorded plan for {entry.name!r} mode={mode}; regenerate "
+        f"with REPRO_REGEN_PLANS=1"
+    )
+    assert summary == recorded, (
+        f"optimizer output changed for {entry.name!r} ({mode}); if "
+        f"intentional, regenerate tests/corpus/plans.json with "
+        f"REPRO_REGEN_PLANS=1\n"
+        f"--- recorded ---\n{json.dumps(recorded, indent=1, ensure_ascii=False)}\n"
+        f"--- current ---\n{json.dumps(summary, indent=1, ensure_ascii=False)}"
+    )
+
+
+@pytest.mark.skipif(REGEN, reason="regenerating the snapshot")
+class TestSnapshotShape:
+    def test_snapshot_covers_every_figure_in_both_modes(self):
+        for entry in FIGURES:
+            recorded = SNAPSHOT["plans"].get(entry.name)
+            assert recorded is not None, entry.name
+            assert set(recorded) == set(MODES), entry.name
+
+    def test_modes_are_tagged(self):
+        for name, by_mode in SNAPSHOT["plans"].items():
+            for mode in MODES:
+                assert by_mode[mode]["mode"] == mode, (name, mode)
+
+    def test_cost_mode_changes_at_least_one_plan(self):
+        # The cost optimizer must actually disagree with the heuristic
+        # somewhere, or the snapshot is not exercising the gate.
+        differing = [
+            name
+            for name, by_mode in SNAPSHOT["plans"].items()
+            if by_mode["heuristic"]["tree"] != by_mode["cost"]["tree"]
+        ]
+        assert differing, (
+            "cost and heuristic produced identical trees on every "
+            "corpus query"
+        )
+
+    def test_every_cost_plan_is_estimated(self):
+        for name, by_mode in SNAPSHOT["plans"].items():
+            cost = by_mode["cost"]
+            assert cost["est_root_rows"] is not None, name
+            assert set(cost["est_cost"]) == {
+                "data_pages", "index_pages", "cpu",
+            }, name
