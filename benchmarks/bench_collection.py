@@ -1,0 +1,249 @@
+"""Collection scatter-gather scaling: closed-loop q/s at 1/2/4/8 workers.
+
+Shards two corpora — the paper-style generated document and the
+synthetic DBLP corpus — into eight-shard collections, then serves a
+closed loop of queries through :class:`repro.collection.Collection`
+at 1, 2, 4 and 8 worker processes, reporting throughput (queries per
+second) and latency percentiles (p50/p95) per worker count.  Shards
+outnumber workers on the small legs, so scaling comes from the shard
+fan-out spreading across processes.
+
+Results are asserted equal (canonical form) across every worker count
+before any timing is trusted.
+
+Run standalone (CI uploads the JSON as ``BENCH_collection.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_collection.py --json BENCH_collection.json
+    PYTHONPATH=src python benchmarks/bench_collection.py --quick
+
+The full run enforces the acceptance floor (``--min-speedup``, default
+1.8x q/s at 4 processes vs. 1) and ``--quick`` a softer 2-process floor
+— each only on hosts with enough cores (the floor is meaningless on a
+single-CPU box, where the legs time-slice one core); underpowered hosts
+report without enforcing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.collection import Collection, create_collection_from_document
+from repro.workloads.dblp import generate_dblp
+from repro.workloads.docgen import generate_document
+
+#: Shards per collection: more shards than the largest worker count
+#: never hurts, and the 1/2-worker legs exercise multiplexing.
+SHARDS = 8
+
+#: Closed-loop query mix per corpus.  Scan-heavy scalar and predicate
+#: queries: real per-shard work, small cross-process payloads.
+WORKLOADS = {
+    "generated": (
+        "count(//item)",
+        "//section[leaf]",
+        "count(//entry[@id mod 2 = 1])",
+        "sum(//*/@id)",
+    ),
+    "dblp": (
+        "count(//author)",
+        "/dblp/article[year = 1991]/title",
+        "count(//inproceedings[position() < 100])",
+        "//title[contains(., 'of')]",
+    ),
+}
+
+
+def _build_documents(quick: bool) -> Dict[str, object]:
+    if quick:
+        return {
+            "generated": generate_document(1500, 8, 6),
+            "dblp": generate_dblp(publications=300),
+        }
+    return {
+        "generated": generate_document(6000, 8, 6),
+        "dblp": generate_dblp(publications=1500),
+    }
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _run_leg(
+    directory: Path, workers: int, queries, rounds: int
+) -> dict:
+    """One closed loop: every query, ``rounds`` times, one collection."""
+    with Collection(directory, workers=workers) as collection:
+        canonical = []
+        for query in queries:  # warm: ship plans, fill worker caches
+            canonical.append(collection.evaluate(query).canonical())
+        latencies: List[float] = []
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                begin = time.perf_counter()
+                collection.evaluate(query)
+                latencies.append(time.perf_counter() - begin)
+        elapsed = time.perf_counter() - started
+        stats = collection.stats()
+    return {
+        "workers": workers,
+        "queries": len(latencies),
+        "qps": len(latencies) / elapsed,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p95_ms": _percentile(latencies, 0.95) * 1e3,
+        "scatter_seconds": stats.scatter_seconds,
+        "gather_seconds": stats.gather_seconds,
+        "recycles": stats.recycles,
+        "canonical": canonical,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="collection scatter-gather scaling benchmark"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpora, few rounds, 2-process floor")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the full report as JSON")
+    parser.add_argument("--rounds", type=int, default=25, metavar="R",
+                        help="closed-loop rounds per leg (default: 25)")
+    parser.add_argument("--processes", default="1,2,4,8", metavar="LIST",
+                        help="comma-separated worker counts "
+                             "(default: 1,2,4,8)")
+    parser.add_argument("--min-speedup", type=float, default=1.8,
+                        help="required q/s speedup at 4 processes vs. 1 "
+                             "(full mode, hosts with >= 4 CPUs; "
+                             "default: 1.8)")
+    parser.add_argument("--quick-min-speedup", type=float, default=1.1,
+                        help="required q/s speedup at 2 processes vs. 1 "
+                             "(quick mode, hosts with >= 2 CPUs; "
+                             "default: 1.1)")
+    arguments = parser.parse_args(argv)
+    process_counts = sorted(
+        {int(part) for part in arguments.processes.split(",") if part}
+    )
+    if arguments.quick:
+        arguments.rounds = min(arguments.rounds, 5)
+        process_counts = [w for w in process_counts if w <= 2] or [1, 2]
+    if 1 not in process_counts:
+        process_counts.insert(0, 1)
+
+    cpus = os.cpu_count() or 1
+    report = {
+        "benchmark": "collection",
+        "mode": "quick" if arguments.quick else "full",
+        "cpu_count": cpus,
+        "shards": SHARDS,
+        "rounds": arguments.rounds,
+        "processes": process_counts,
+        "corpora": {},
+    }
+
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="repro-bench-coll-") as tmp:
+        for corpus, document in _build_documents(arguments.quick).items():
+            directory = Path(tmp) / corpus
+            create_collection_from_document(
+                document, directory, shards=SHARDS
+            )
+            queries = WORKLOADS[corpus]
+            legs = {}
+            baseline_canonical = None
+            for workers in process_counts:
+                leg = _run_leg(
+                    directory, workers, queries, arguments.rounds
+                )
+                canonical = leg.pop("canonical")
+                if baseline_canonical is None:
+                    baseline_canonical = canonical
+                elif canonical != baseline_canonical:
+                    ok = False
+                    print(
+                        f"FAIL: {corpus} results at {workers} workers "
+                        f"differ from the 1-worker leg",
+                        file=sys.stderr,
+                    )
+                legs[workers] = leg
+                print(
+                    f"{corpus:>10} workers={workers}: "
+                    f"{leg['qps']:8.1f} q/s  "
+                    f"p50={leg['p50_ms']:7.2f}ms  "
+                    f"p95={leg['p95_ms']:7.2f}ms"
+                )
+            speedups = {
+                workers: legs[workers]["qps"] / legs[1]["qps"]
+                for workers in process_counts
+            }
+            for workers, speedup in speedups.items():
+                if workers != 1:
+                    print(
+                        f"{corpus:>10} speedup at {workers} workers: "
+                        f"{speedup:.2f}x"
+                    )
+            report["corpora"][corpus] = {
+                "queries": list(queries),
+                "legs": {str(w): leg for w, leg in legs.items()},
+                "speedups": {str(w): s for w, s in speedups.items()},
+            }
+
+    best = {
+        workers: max(
+            corpus["speedups"][str(workers)]
+            for corpus in report["corpora"].values()
+        )
+        for workers in process_counts
+        if workers != 1
+    }
+    report["best_speedups"] = {str(w): s for w, s in best.items()}
+
+    if arguments.quick:
+        floor, at = arguments.quick_min_speedup, 2
+        enforce = cpus >= 2 and at in best
+    else:
+        floor, at = arguments.min_speedup, 4
+        enforce = cpus >= 4 and at in best
+    report["floor"] = {
+        "workers": at,
+        "min_speedup": floor,
+        "enforced": enforce,
+    }
+    if enforce:
+        if best[at] < floor:
+            ok = False
+            print(
+                f"FAIL: best {at}-process speedup {best[at]:.2f}x "
+                f"is below the {floor:.2f}x floor",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"floor met: {best[at]:.2f}x at {at} processes "
+                f"(required {floor:.2f}x)"
+            )
+    else:
+        print(
+            f"floor not enforced (cpu_count={cpus}); "
+            f"reporting speedups only"
+        )
+
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {arguments.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,10 +35,12 @@ from repro.api import (
     XPathEngine,
     build_indexes,
     compile_xpath,
+    create_collection,
     engine_names,
     evaluate,
     evaluate_concurrent,
     get_engine_factory,
+    open_collection,
     open_store,
     parse_document,
     register_engine,
@@ -55,7 +57,7 @@ from repro.errors import (
     QueryTimeoutError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: The curated public surface: ``from repro import *`` and the docs
 #: cover exactly these names; everything else is internal.
@@ -79,10 +81,12 @@ __all__ = [
     "XPathEngine",
     "build_indexes",
     "compile_xpath",
+    "create_collection",
     "engine_names",
     "evaluate",
     "evaluate_concurrent",
     "get_engine_factory",
+    "open_collection",
     "open_store",
     "parse_document",
     "register_engine",

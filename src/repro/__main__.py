@@ -27,8 +27,10 @@ from repro import (
     EvalOptions,
     TranslationOptions,
     XPathEngine,
+    create_collection,
     engine_names,
     evaluate,
+    open_collection,
     open_store,
     parse_document,
     store_document,
@@ -139,6 +141,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="store the parsed document as a page file, then query it",
     )
     parser.add_argument(
+        "--collection", metavar="DIR",
+        help="serve the query from a sharded collection directory: with "
+             "a document argument, split it into --shards shards and "
+             "write the collection there first; without one, open the "
+             "existing collection (scatter-gather across --workers "
+             "processes; session engines only)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="shard count when building a collection from a document "
+             "with --collection (default: 4)",
+    )
+    parser.add_argument(
         "--indexes", action=argparse.BooleanOptionalAction, default=True,
         help="build structural indexes when storing with --store, and "
              "route eligible steps onto them (session engines; default "
@@ -185,6 +200,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--timeout must be positive")
     if arguments.max_tuples is not None and arguments.max_tuples <= 0:
         parser.error("--max-tuples must be positive")
+    if arguments.collection:
+        if arguments.engine not in _SESSION_ENGINES:
+            parser.error(
+                f"--collection requires a session engine "
+                f"({sorted(_SESSION_ENGINES)}); {arguments.engine!r} "
+                "cannot scatter across processes"
+            )
+        if arguments.store:
+            parser.error("--collection and --store are mutually exclusive")
+        if arguments.codegen != "off":
+            parser.error(
+                "--codegen is not supported with --collection "
+                "(workers interpret shipped plans)"
+            )
+        if arguments.shards < 1:
+            parser.error("--shards must be at least 1")
 
     options = TranslationOptions(optimize=arguments.optimize)
 
@@ -223,6 +254,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         print(f"; optimizer: {note}")
             return 0
 
+        if arguments.collection:
+            if arguments.document:
+                document = parse_document(
+                    _read_document(arguments.document)
+                )
+                create_collection(
+                    document, arguments.collection,
+                    shards=arguments.shards, indexes=arguments.indexes,
+                )
+            _run_collection(arguments)
+            return 0
+
         if not arguments.document:
             parser.error(
                 "a document is required unless --explain/--explain-cost "
@@ -251,6 +294,59 @@ def _read_document(path: str) -> str:
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+def _run_collection(arguments) -> None:
+    """Serve the query from a collection through the session layer."""
+    name = arguments.engine
+    session = XPathEngine(
+        _SESSION_ENGINES[name](optimize=arguments.optimize),
+        index="auto" if arguments.indexes else "off",
+        optimizer=arguments.optimizer,
+        default_timeout=arguments.timeout,
+        default_max_tuples=arguments.max_tuples,
+    )
+    with open_collection(
+        arguments.collection,
+        workers=arguments.workers,
+        index="auto" if arguments.indexes else "off",
+        optimizer=arguments.optimizer,
+    ) as collection:
+        for _ in range(max(1, arguments.repeat)):
+            result = session.evaluate_collection(
+                arguments.query, collection
+            )
+        merged = result.merged()
+        if result.kind == "node-set":
+            for record in merged:
+                label = record.name or "(text)"
+                print(
+                    f"[shard {record.shard}] {label}: "
+                    f"{record.string_value}"
+                )
+        else:
+            for shard, value in enumerate(merged):
+                rendered = (
+                    number_to_string(value)
+                    if isinstance(value, float) and not isinstance(
+                        value, bool
+                    )
+                    else value
+                )
+                print(f"[shard {shard}] {rendered}")
+        if arguments.stats:
+            stats = collection.stats()
+            print(
+                f"; collection: queries={stats.queries} "
+                f"submitted={stats.submitted} "
+                f"completed={stats.completed} "
+                f"timed_out={stats.timed_out} "
+                f"cancelled={stats.cancelled} failed={stats.failed} "
+                f"recycles={stats.recycles}",
+                file=sys.stderr,
+            )
+        if arguments.explain_stats:
+            print(session.stats().to_json(indent=2), file=sys.stderr)
 
 
 def _run_query(arguments, target) -> None:

@@ -353,6 +353,54 @@ def open_store(path, *args, buffer_pages: Optional[int] = None):
     )
 
 
+def create_collection(documents, directory, *, shards: Optional[int] = None,
+                      name: Optional[str] = None, indexes: bool = True):
+    """Write documents as a sharded collection directory.
+
+    ``documents`` is either a sequence of :class:`Document` (one shard
+    each, in global document order) or a single document to split into
+    ``shards`` per-subtree shards (default 4).  Structural indexes are
+    built per shard unless ``indexes=False``.  Returns the written
+    :class:`~repro.collection.catalog.CollectionCatalog`.
+    """
+    from repro.collection import catalog as collection_catalog
+
+    if isinstance(documents, Document):
+        return collection_catalog.create_collection_from_document(
+            documents, directory, shards=shards or 4,
+            name=name, indexes=indexes,
+        )
+    if shards is not None:
+        raise ValueError(
+            "shards= only applies when splitting a single document; "
+            "a sequence of documents is one shard each"
+        )
+    return collection_catalog.create_collection(
+        directory, list(documents), name=name, indexes=indexes,
+    )
+
+
+def open_collection(directory, *, workers: Optional[int] = None,
+                    index: str = "auto", optimizer: str = "heuristic",
+                    options=None):
+    """Open a collection directory and start its worker pool.
+
+    The returned :class:`~repro.collection.Collection` serves queries
+    across every shard through a persistent ``multiprocessing`` pool —
+    use it directly or pass it to
+    :meth:`XPathEngine.evaluate_collection`.  It holds worker processes
+    open: close it (or use it as a context manager) when done.
+    ``index`` and ``optimizer`` mirror the :class:`XPathEngine` knobs
+    and apply inside every worker.
+    """
+    from repro.collection import Collection
+
+    return Collection(
+        directory, workers=workers, index_mode=index,
+        optimizer=optimizer, options=options,
+    )
+
+
 # ----------------------------------------------------------------------
 # One-shot compile and evaluate
 # ----------------------------------------------------------------------
@@ -604,10 +652,12 @@ __all__ = [
     "XPathEngine",
     "build_indexes",
     "compile_xpath",
+    "create_collection",
     "engine_names",
     "evaluate",
     "evaluate_concurrent",
     "get_engine_factory",
+    "open_collection",
     "open_store",
     "parse_document",
     "register_engine",

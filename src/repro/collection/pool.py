@@ -1,0 +1,306 @@
+"""The persistent shard-worker process pool.
+
+One pool serves one collection: ``workers`` long-lived daemon
+processes, shards assigned round-robin (``shard % workers``), one task
+queue per worker plus one shared result queue.  The pool provides the
+*mechanics* of scatter-gather — dispatch, collection, cross-process
+cancellation, crash detection, recycling — while
+:class:`~repro.collection.collection.Collection` owns the policy
+(plan shipping, governance derivation, ordering, statistics).
+
+Crash handling is deliberately blunt: when any worker is found dead
+mid-query (e.g. SIGKILLed), the **whole pool** is recycled — every
+worker terminated and respawned with fresh queues.  A process killed
+while holding a ``multiprocessing.Queue`` feeder lock can poison that
+queue for every sibling, so selectively restarting one worker risks
+trading a visible crash for an invisible hang; full recycling costs a
+few tens of milliseconds and restores a provably clean state.  Queries
+are serialized per collection, so at most one query's tasks are ever
+in flight and dropping them loses nothing that is not already failed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.collection.catalog import CollectionCatalog
+from repro.collection.worker import decode_error, worker_main
+from repro.errors import ShardFailedError
+
+#: Seconds between liveness checks while blocked on the result queue.
+POLL_INTERVAL = 0.05
+
+#: Grace beyond the query deadline before the parent declares a worker
+#: unresponsive (covers the governor's amortized check latency).
+DEADLINE_GRACE = 5.0
+
+#: Page-buffer frames each worker grants each of its shard stores.
+DEFAULT_WORKER_BUFFER_PAGES = 64
+
+
+class ShardOutcome:
+    """How one shard's task resolved: exactly one of ok/error/dead."""
+
+    __slots__ = ("shard", "payload", "error", "elapsed")
+
+    def __init__(self, shard: int, payload=None,
+                 error: Optional[Exception] = None,
+                 elapsed: float = 0.0):
+        self.shard = shard
+        self.payload = payload
+        self.error = error
+        self.elapsed = elapsed
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class WorkerPool:
+    """Persistent process pool bound to one collection catalog."""
+
+    def __init__(
+        self,
+        catalog: CollectionCatalog,
+        workers: Optional[int] = None,
+        *,
+        index_mode: str = "auto",
+        buffer_pages: int = DEFAULT_WORKER_BUFFER_PAGES,
+    ):
+        shard_count = catalog.shard_count
+        if workers is None:
+            workers = shard_count
+        self.workers = max(1, min(int(workers), shard_count))
+        self.catalog = catalog
+        self.index_mode = index_mode
+        self.buffer_pages = buffer_pages
+        #: shard id -> worker index (round-robin, fixed for the pool).
+        self.shard_worker: Dict[int, int] = {
+            info.shard: info.shard % self.workers
+            for info in catalog.shards
+        }
+        self.recycles = 0
+        self._ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._processes: List = []
+        self._task_queues: List = []
+        self._cancel_cells: List = []
+        self._result_queue = None
+        self._closed = False
+        self._spawn()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _assignments(self, worker: int) -> List[Tuple[int, str]]:
+        return [
+            (info.shard, str(self.catalog.shard_path(info.shard)))
+            for info in self.catalog.shards
+            if self.shard_worker[info.shard] == worker
+        ]
+
+    def _spawn(self) -> None:
+        self._result_queue = self._ctx.Queue()
+        self._task_queues = [self._ctx.Queue() for _ in range(self.workers)]
+        self._cancel_cells = [
+            self._ctx.Value("q", -1, lock=False)
+            for _ in range(self.workers)
+        ]
+        self._processes = []
+        for worker in range(self.workers):
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(
+                    self._assignments(worker),
+                    self._task_queues[worker],
+                    self._result_queue,
+                    self._cancel_cells[worker],
+                    self.index_mode,
+                    self.buffer_pages,
+                ),
+                daemon=True,
+                name=f"repro-shard-worker-{worker}",
+            )
+            process.start()
+            self._processes.append(process)
+
+    def recycle(self) -> None:
+        """Terminate every worker and respawn the pool with fresh queues."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        for queue in [self._result_queue, *self._task_queues]:
+            if queue is not None:
+                queue.close()
+                queue.cancel_join_thread()
+        self.recycles += 1
+        self._spawn()
+
+    def close(self) -> None:
+        """Stop the workers and release every queue (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._task_queues:
+            try:
+                queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for queue in [self._result_queue, *self._task_queues]:
+            if queue is not None:
+                queue.close()
+                queue.cancel_join_thread()
+
+    def worker_pids(self) -> List[int]:
+        """The live worker pids (test hook for crash injection)."""
+        return [process.pid for process in self._processes]
+
+    # -- scatter-gather ------------------------------------------------
+
+    def cancel(self, qid: int, except_worker: Optional[int] = None) -> None:
+        """Aim a cancel at ``qid`` on every worker (cross-process).
+
+        Workers observe it at their next governor check; tasks of any
+        other qid are unaffected (the cell matches on qid, not a flag).
+        """
+        for worker, cell in enumerate(self._cancel_cells):
+            if worker != except_worker:
+                cell.value = qid
+
+    def scatter(self, qid: int, tasks: Dict[int, tuple]) -> None:
+        """Dispatch one query's per-shard tasks onto the worker queues.
+
+        Also clears every cancel cell: a leftover cancel aimed at a
+        previous qid can never match, but starting from a clean slate
+        keeps the cells inspectable.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        for cell in self._cancel_cells:
+            cell.value = -1
+        for shard, task in tasks.items():
+            self._task_queues[self.shard_worker[shard]].put(task)
+
+    def gather(
+        self,
+        qid: int,
+        shards,
+        deadline: Optional[float],
+        cancel_check=None,
+    ) -> Dict[int, ShardOutcome]:
+        """Collect exactly one outcome per scattered shard.
+
+        ``deadline`` is the collection deadline on the monotonic clock
+        (``None`` when ungoverned).  A crashed or unresponsive worker
+        yields outcomes carrying
+        :class:`~repro.errors.ShardFailedError`, never a hang: the
+        parent enforces ``deadline + DEADLINE_GRACE`` as a hard
+        failsafe above the workers' cooperative governors, and recycles
+        the pool whenever a worker died or overran it.  ``cancel_check``
+        (a nullary callable) is polled between queue reads; when it
+        turns true the in-flight shards are cancelled cross-process and
+        their governors raise, so the gather still resolves every
+        shard.
+        """
+        outcomes: Dict[int, ShardOutcome] = {}
+        pending = set(shards)
+        cancelled_rest = False
+        need_recycle = False
+        while pending:
+            if cancel_check is not None and not cancelled_rest:
+                if cancel_check():
+                    cancelled_rest = True
+                    self.cancel(qid)
+            try:
+                message = self._result_queue.get(timeout=POLL_INTERVAL)
+            except queue_module.Empty:
+                message = None
+            if message is not None:
+                kind, got_qid, shard, body, elapsed = message
+                if got_qid != qid or shard not in pending:
+                    continue  # stale leftover from an abandoned query
+                pending.discard(shard)
+                if kind == "ok":
+                    outcomes[shard] = ShardOutcome(
+                        shard, payload=body, elapsed=elapsed
+                    )
+                else:
+                    outcomes[shard] = ShardOutcome(
+                        shard, error=decode_error(body), elapsed=elapsed
+                    )
+                    if not cancelled_rest:
+                        # First failing shard: abort the siblings' work.
+                        cancelled_rest = True
+                        self.cancel(qid)
+                continue
+
+            dead = [
+                worker for worker, process in enumerate(self._processes)
+                if not process.is_alive()
+            ]
+            if dead:
+                dead_set = set(dead)
+                for shard in sorted(pending):
+                    if self.shard_worker[shard] in dead_set:
+                        pending.discard(shard)
+                        outcomes[shard] = ShardOutcome(
+                            shard,
+                            error=ShardFailedError(shard, "worker-died"),
+                        )
+                need_recycle = True
+                if pending:
+                    # Live siblings' results are useless now; stop them.
+                    # Recycling will drop whatever they still emit.
+                    self.cancel(qid)
+                    for shard in sorted(pending):
+                        outcomes[shard] = ShardOutcome(
+                            shard,
+                            error=ShardFailedError(
+                                shard, "pool-recycled",
+                            ),
+                        )
+                    pending.clear()
+                break
+
+            if (deadline is not None
+                    and time.monotonic() > deadline + DEADLINE_GRACE):
+                # Cooperative governance failed to fire: hard failsafe.
+                for shard in sorted(pending):
+                    outcomes[shard] = ShardOutcome(
+                        shard,
+                        error=ShardFailedError(shard, "unresponsive"),
+                    )
+                pending.clear()
+                need_recycle = True
+                break
+
+        if need_recycle:
+            self.recycle()
+        return outcomes
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

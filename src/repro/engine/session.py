@@ -195,6 +195,11 @@ class EngineStats:
     runtime_counters: Dict[str, int]
     #: Buffer-manager counters when the last target was page-backed.
     buffer: Optional[BufferSnapshot] = None
+    #: Stats snapshot of the last collection served through
+    #: :meth:`XPathEngine.evaluate_collection` (per-shard task
+    #: counters, scatter/gather latency, worker recycles), or ``None``
+    #: when this engine never served a collection.
+    collection: Optional[object] = None
 
     def to_dict(self) -> dict:
         """A plain-dict rendering (safe for ``json.dumps``)."""
@@ -369,6 +374,7 @@ class XPathEngine:
         )
         self._last_plan: Optional[CompiledQuery] = None
         self._last_buffer: Optional[BufferSnapshot] = None
+        self._last_collection_stats = None
 
     # -- compilation ---------------------------------------------------
 
@@ -815,6 +821,135 @@ class XPathEngine:
             for result in (by_query[query] for query in queries)
         ]
 
+    def evaluate_collection(
+        self,
+        query: str,
+        collection,
+        eval_options=None,
+        *,
+        options: Optional[TranslationOptions] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
+    ):
+        """Evaluate ``query`` over every shard of a ``collection``.
+
+        ``collection`` is a :class:`repro.collection.Collection`; the
+        scatter-gather itself (plan shipping, per-shard governors,
+        global-document-order merge) is the collection's job — this
+        method is the *session* layer above it: per-call configuration
+        through :class:`~repro.api.EvalOptions`, engine governance
+        defaults, outcome accounting into the engine's governance
+        counters (one collection query counts as one query), and
+        singleflight coalescing.
+
+        The coalesce key includes the **collection fingerprint**, never
+        an object identity: two collections holding byte-identical
+        documents have distinct fingerprints (the catalog salts them),
+        so identical queries against them never share a flight or a
+        result — the cross-process analogue of the plan cache's
+        index-signature keying.  Unlike node targets (which coalesce by
+        ``id``), a fingerprint survives reopening the same collection.
+
+        Governance: per-call limits fall back to the engine defaults;
+        the resulting deadline governs the whole scatter (each shard's
+        worker derives its governor from it).  A tripped limit raises
+        the typed governance error; a crashed or unresponsive worker
+        raises :class:`~repro.errors.ShardFailedError`.  Returns the
+        merged :class:`repro.collection.CollectionResult`.
+        """
+        resolved, _codegen = self._resolve_call(
+            "XPathEngine.evaluate_collection",
+            eval_options,
+            {
+                "variables": variables,
+                "namespaces": namespaces,
+                "timeout": timeout,
+                "max_tuples": max_tuples,
+                "max_bytes": max_bytes,
+                "cancel": cancel,
+            },
+        )
+        eval_variables = resolved.variables
+        eval_namespaces = resolved.namespace_map()
+        eval_timeout = (
+            resolved.timeout if resolved.timeout is not None
+            else self.default_timeout
+        )
+        eval_max_tuples = (
+            resolved.max_tuples if resolved.max_tuples is not None
+            else self.default_max_tuples
+        )
+        eval_max_bytes = (
+            resolved.max_bytes if resolved.max_bytes is not None
+            else self.default_max_bytes
+        )
+
+        def run():
+            with self._lock:
+                self._engine_counters["queries_submitted"] += 1
+                self._engine_counters["collection_queries"] += 1
+            start = time.perf_counter()
+            try:
+                result = collection.evaluate(
+                    query,
+                    variables=eval_variables,
+                    namespaces=eval_namespaces,
+                    options=options,
+                    timeout=eval_timeout,
+                    max_tuples=eval_max_tuples,
+                    max_bytes=eval_max_bytes,
+                    cancel=resolved.cancel,
+                )
+            except QueryTimeoutError:
+                with self._lock:
+                    self._engine_counters["queries_timed_out"] += 1
+                raise
+            except QueryCancelledError:
+                with self._lock:
+                    self._engine_counters["queries_cancelled"] += 1
+                raise
+            except QueryBudgetError:
+                with self._lock:
+                    self._engine_counters["budget_aborts"] += 1
+                raise
+            except BaseException:
+                with self._lock:
+                    self._engine_counters["queries_completed"] += 1
+                raise
+            finally:
+                with self._lock:
+                    self._execution_count += 1
+                    self._execution_seconds += (
+                        time.perf_counter() - start
+                    )
+                    self._last_collection_stats = collection.stats()
+            with self._lock:
+                self._engine_counters["queries_completed"] += 1
+            return result
+
+        if not self.coalesce or eval_variables:
+            return run()
+        key = (
+            "collection",
+            query,
+            collection.fingerprint,
+            options or self.options,
+            _namespace_signature(eval_namespaces),
+            eval_timeout,
+            eval_max_tuples,
+            eval_max_bytes,
+            id(resolved.cancel) if resolved.cancel is not None else None,
+        )
+        result, led = self._singleflight.do(key, run)
+        if not led:
+            with self._lock:
+                self._engine_counters["coalesced_requests"] += 1
+        return result
+
     def count(
         self,
         query: str,
@@ -886,6 +1021,7 @@ class XPathEngine:
                 operators=operators,
                 runtime_counters=dict(runtime_counters),
                 buffer=self._last_buffer,
+                collection=self._last_collection_stats,
             )
 
     def reset_stats(self) -> None:
@@ -901,6 +1037,7 @@ class XPathEngine:
                 {name: 0 for name in GOVERNANCE_COUNTERS}
             )
             self._last_buffer = None
+            self._last_collection_stats = None
         self.cache.reset_counters()
         for plan in self.cache.plans():
             plan.reset_stats()

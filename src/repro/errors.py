@@ -149,3 +149,35 @@ class QueryCancelledError(QueryGovernanceError):
             f"query cancelled{f': {reason}' if reason else ''}"
         )
         self.reason = reason
+
+
+class CollectionError(ReproError):
+    """Raised by the collection layer for catalog and setup failures.
+
+    Covers malformed or missing catalogs, fingerprint mismatches between
+    a catalog and its shard files, and invalid sharding requests — the
+    *static* failures of :mod:`repro.collection`.  Runtime failures of a
+    scattered query raise :class:`ShardFailedError` instead.
+    """
+
+
+class ShardFailedError(ExecutionError):
+    """Raised when a scattered collection query loses a shard.
+
+    ``shard`` is the shard id that failed; ``reason`` a short
+    classification (``"worker-died"``, ``"worker-error"``); ``cause``
+    the reconstructed worker-side exception when one was reported (a
+    worker killed mid-query has none).  The query as a whole fails —
+    scatter-gather never returns a silently partial result — and the
+    pool recycles its workers before the next query.
+    """
+
+    def __init__(self, shard: int, reason: str,
+                 cause: "Exception | None" = None):
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"collection shard {shard} failed ({reason}){detail}"
+        )
+        self.shard = shard
+        self.reason = reason
+        self.cause = cause

@@ -8,7 +8,7 @@ the reproduction keeps that claim honest at scale.  It provides
 * :class:`~repro.testing.documents.DocumentGenerator` — random XML
   documents (mixed content, comments, PIs, namespaces),
 * :class:`~repro.testing.oracle.DifferentialRunner` — executes each
-  query through eight independent routes (naive interpreter, canonical
+  query through nine independent routes (naive interpreter, canonical
   translation, improved translation, stored page-buffer backend,
   index-forced stored backend, concurrent thread-pool evaluation,
   codegen-compiled evaluation, cost-optimized stored backend) and

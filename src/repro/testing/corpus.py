@@ -2,7 +2,7 @@
 
 Every divergence the fuzzer ever found — plus the paper's benchmark
 queries and the hand-written conformance workloads — lives in
-``tests/corpus/*.json`` and is replayed through the full eight-way
+``tests/corpus/*.json`` and is replayed through the full nine-way
 differential oracle by ``tests/test_corpus_regressions.py`` forever
 after.
 

@@ -1,6 +1,6 @@
-"""The differential oracle: eight execution routes, one answer.
+"""The differential oracle: nine execution routes, one answer.
 
-Every query is executed through eight independent paths:
+Every query is executed through nine independent paths:
 
 ``naive``
     the main-memory :class:`~repro.baselines.naive.NaiveInterpreter`
@@ -36,7 +36,21 @@ Every query is executed through eight independent paths:
     :mod:`repro.compiler.cost` decides index routing and memo
     placement instead of the hard-coded selectivity gates — the cost
     optimizer may pick different physical plans (page and ``next()``
-    counts change) but must never change answers.
+    counts change) but must never change answers,
+``collection``
+    the document split into per-subtree shards
+    (:func:`repro.collection.split_document`), written as a sharded
+    collection and served through the multi-process scatter-gather
+    pool (:class:`repro.collection.Collection` via
+    :meth:`XPathEngine.evaluate_collection`).  Sharding changes the
+    data, so this route is *not* compared against the whole-document
+    baseline; its reference leg (``collection_ref``) evaluates the
+    very same shard stores in-process through the single-document
+    stored route and merges per-shard canonical results identically —
+    the multi-process pipeline (plan shipping, worker-side back-end
+    compilation, cross-process result records, global document-order
+    merge) must be observationally identical to in-process serving,
+    shard for shard.
 
 Results are compared in a document-independent canonical form: node-sets
 become document-order tuples of ``(sort_key, kind, name, string_value)``
@@ -58,6 +72,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api import EvalOptions
 from repro.baselines.naive import NaiveInterpreter
+from repro.collection import Collection, create_collection_from_document
 from repro.compiler.improved import TranslationOptions
 from repro.compiler.pipeline import XPathCompiler
 from repro.dom.document import Document
@@ -78,10 +93,22 @@ ROUTE_NAMES: Tuple[str, ...] = (
     "concurrent",
     "compiled",
     "cost",
+    "collection",
 )
 
 #: Routes that need the document written to a page file.
 _STORE_ROUTES = ("stored", "indexed", "cost")
+
+#: The scatter-gather route; compared against its in-process reference
+#: leg (``collection_ref``), never against the whole-document baseline.
+COLLECTION_ROUTE = "collection"
+COLLECTION_REF_ROUTE = "collection_ref"
+
+#: Shards the collection route splits each fuzz document into, and
+#: worker processes serving them (workers < shards on purpose: one
+#: process owning several shards is the harder multiplexing case).
+COLLECTION_SHARDS = 3
+COLLECTION_WORKERS = 2
 
 BASELINE_ROUTE = "naive"
 
@@ -142,8 +169,14 @@ def canonical_value(value: XPathValue) -> object:
 
 def outcome_of(run: Callable[[], XPathValue]) -> Outcome:
     """Run one route and fold its result/exception into an Outcome."""
+    return _outcome_of_canonical(lambda: canonical_value(run()))
+
+
+def _outcome_of_canonical(run: Callable[[], object]) -> Outcome:
+    """Like :func:`outcome_of` for runs returning pre-canonical values
+    (the collection legs canonicalize per shard themselves)."""
     try:
-        return Outcome("value", canonical_value(run()))
+        return Outcome("value", run())
     except ReproError as error:
         return Outcome("error", type(error).__name__, str(error))
     except Exception as error:  # noqa: BLE001 - crashes are findings
@@ -152,23 +185,30 @@ def outcome_of(run: Callable[[], XPathValue]) -> Outcome:
 
 @dataclass
 class Divergence:
-    """One route disagreeing with the baseline on one query."""
+    """One route disagreeing with its reference on one query.
+
+    The reference is the naive baseline for every route except
+    ``collection``, which is compared against its in-process
+    ``collection_ref`` leg (sharding changes the data, so the
+    whole-document baseline is not comparable).
+    """
 
     query: str
     route: str
     outcome: Outcome
     baseline: Outcome
+    baseline_route: str = BASELINE_ROUTE
 
     def describe(self) -> str:
         return (
             f"{self.route} disagrees on {self.query!r}:\n"
-            f"  {BASELINE_ROUTE:>10}: {self.baseline.describe()}\n"
+            f"  {self.baseline_route:>10}: {self.baseline.describe()}\n"
             f"  {self.route:>10}: {self.outcome.describe()}"
         )
 
 
 class DifferentialRunner:
-    """Executes queries on one document across all eight routes.
+    """Executes queries on one document across all nine routes.
 
     The stored and indexed routes share one page file (indexes are
     built at write time), written once in a private temporary directory
@@ -255,21 +295,51 @@ class DifferentialRunner:
         )
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         self._stored = None
-        if any(route in self.routes for route in _STORE_ROUTES):
-            if store_dir is None:
-                self._tmp = tempfile.TemporaryDirectory(
-                    prefix="repro-fuzz-"
-                )
-                store_dir = Path(self._tmp.name)
+        self._collection: Optional[Collection] = None
+        self._shard_stores: List[DocumentStore] = []
+        needs_store = any(route in self.routes for route in _STORE_ROUTES)
+        needs_collection = COLLECTION_ROUTE in self.routes
+        if (needs_store or needs_collection) and store_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-fuzz-")
+            store_dir = Path(self._tmp.name)
+        if needs_store:
             store_path = Path(store_dir) / "fuzz.natix"
             DocumentStore.write(document, store_path)
             self._stored = DocumentStore.open(
                 store_path, buffer_pages=buffer_pages
             )
+        if needs_collection:
+            catalog = create_collection_from_document(
+                document,
+                Path(store_dir) / "collection",
+                shards=COLLECTION_SHARDS,
+                name="fuzz",
+            )
+            self._collection = Collection(
+                catalog.directory, workers=COLLECTION_WORKERS
+            )
+            # The reference leg: the *same* shard stores, evaluated
+            # in-process through the single-document stored route.
+            self._collection_engine = XPathEngine(
+                TranslationOptions.improved(), index="off"
+            )
+            for info in catalog.shards:
+                self._shard_stores.append(
+                    DocumentStore.open(
+                        catalog.shard_path(info.shard),
+                        buffer_pages=buffer_pages,
+                    )
+                )
 
     # ------------------------------------------------------------------
 
     def close(self) -> None:
+        if self._collection is not None:
+            self._collection.close()
+            self._collection = None
+        for stored in self._shard_stores:
+            stored.close()
+        self._shard_stores = []
         if self._stored is not None:
             self._stored.close()
             self._stored = None
@@ -358,6 +428,41 @@ class DifferentialRunner:
             query, self._stored.root, self._eval_options()
         )
 
+    def _collection_pair(self, query: str) -> Tuple[Outcome, Outcome]:
+        """Outcomes of the scatter-gather leg and its reference leg.
+
+        Both legs produce the same canonical shape — one ``(shard id,
+        canonical payload)`` pair per shard — so agreement means the
+        multi-process pipeline returned exactly what in-process
+        evaluation of the identical shard stores returns, shard for
+        shard, in global document order.
+        """
+        assert self._collection is not None
+
+        def run_collection() -> tuple:
+            result = self._collection_engine.evaluate_collection(
+                query, self._collection, self._eval_options()
+            )
+            return result.canonical()
+
+        def run_reference() -> tuple:
+            return tuple(
+                (
+                    shard,
+                    canonical_value(
+                        self._collection_engine.evaluate(
+                            query, stored.root, self._eval_options()
+                        )
+                    ),
+                )
+                for shard, stored in enumerate(self._shard_stores)
+            )
+
+        return (
+            _outcome_of_canonical(run_collection),
+            _outcome_of_canonical(run_reference),
+        )
+
     def _route_runner(self, route: str) -> Callable[[str], XPathValue]:
         if route in self.extra_routes:
             run = self.extra_routes[route]
@@ -381,6 +486,12 @@ class DifferentialRunner:
         """Outcome of every configured route for one query."""
         results: Dict[str, Outcome] = {}
         for route in self.routes:
+            if route == COLLECTION_ROUTE:
+                (
+                    results[COLLECTION_ROUTE],
+                    results[COLLECTION_REF_ROUTE],
+                ) = self._collection_pair(query)
+                continue
             runner = self._route_runner(route)
             results[route] = outcome_of(lambda: runner(query))
         for route in self.extra_routes:
@@ -408,6 +519,12 @@ class DifferentialRunner:
             outcomes = {}
             for route in self.routes:
                 if route == "concurrent":
+                    continue
+                if route == COLLECTION_ROUTE:
+                    (
+                        outcomes[COLLECTION_ROUTE],
+                        outcomes[COLLECTION_REF_ROUTE],
+                    ) = self._collection_pair(query)
                     continue
                 runner = self._route_runner(route)
                 outcomes[route] = outcome_of(lambda: runner(query))
@@ -465,16 +582,48 @@ class DifferentialRunner:
                         Divergence(query, route, outcome, outcome)
                     )
                 continue
-            if (
-                self.governance
-                and outcome.kind == "error"
-                and outcome.payload in GOVERNANCE_ERROR_NAMES
+            if route == COLLECTION_REF_ROUTE:
+                # The reference leg exists only as the collection
+                # route's comparison target — sharding changes the
+                # data, so it is never compared to the whole-document
+                # baseline.  A crash there is still a finding.
+                if outcome.kind == "crash":
+                    divergences.append(
+                        Divergence(query, route, outcome, outcome, route)
+                    )
+                continue
+            reference = baseline
+            reference_route = BASELINE_ROUTE
+            if route == COLLECTION_ROUTE:
+                reference = outcomes[COLLECTION_REF_ROUTE]
+                reference_route = COLLECTION_REF_ROUTE
+            if outcome.kind == "crash":
+                divergences.append(
+                    Divergence(
+                        query, route, outcome, reference, reference_route
+                    )
+                )
+                continue
+            if self.governance and (
+                (
+                    outcome.kind == "error"
+                    and outcome.payload in GOVERNANCE_ERROR_NAMES
+                )
+                or (
+                    route == COLLECTION_ROUTE
+                    and reference.kind == "error"
+                    and reference.payload in GOVERNANCE_ERROR_NAMES
+                )
             ):
                 # Under governance a limit abort is a legal outcome on
                 # any governed route; the baseline is never governed.
+                # The collection reference leg *is* governed, so a trip
+                # on either collection leg voids the comparison.
                 continue
-            if outcome != baseline or outcome.kind == "crash":
+            if outcome != reference:
                 divergences.append(
-                    Divergence(query, route, outcome, baseline)
+                    Divergence(
+                        query, route, outcome, reference, reference_route
+                    )
                 )
         return divergences

@@ -1,0 +1,450 @@
+"""Sharded collections: scatter-gather serving across worker processes.
+
+Covers the collection layer end to end: catalog round-trips, the global
+document-order merge guarantee (hypothesis property: the merged result
+is a permutation-free concatenation of per-shard runs), statistics
+reconciliation (``submitted == completed + timed_out + cancelled +
+failed`` at every quiescent point), worker-crash recovery (SIGKILL mid
+query → typed :class:`~repro.errors.ShardFailedError`, pool recycle,
+next query succeeds), per-shard deadline expiry cancelling sibling
+shards, and the collection-fingerprint isolation fix: two collections
+with byte-identical documents must never share compiled plans or
+coalesced results.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import EvalOptions, XPathEngine, parse_document
+from repro.collection import (
+    Collection,
+    create_collection_from_document,
+    load_catalog,
+    split_document,
+)
+from repro.engine.governor import CancelToken
+from repro.errors import (
+    CollectionError,
+    QueryTimeoutError,
+    ShardFailedError,
+    UnboundVariableError,
+    XPathSyntaxError,
+)
+from repro.storage import DocumentStore
+
+pytestmark = pytest.mark.multiprocess
+
+CORPUS_XML = (
+    "<root kind=\"corpus\">"
+    + "".join(
+        f"<item n=\"{n}\"><name>item-{n:03d}</name>"
+        f"<price>{(n * 7) % 90}</price>"
+        f"{'<flag/>' if n % 3 == 0 else ''}</item>"
+        for n in range(24)
+    )
+    + "</root>"
+)
+
+QUERIES = (
+    "//item",
+    "//name",
+    "/root/item[position() mod 2 = 1]",
+    "//item[@n > 10]/name",
+    "//item[flag]",
+    "//price[. > 40]",
+    "count(//item)",
+    "sum(//price)",
+    "string(//name)",
+    "boolean(//flag)",
+    "//item/@n",
+    "//*",
+    "//item[price > 50 or flag]/name/text()",
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_collection(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("coll") / "corpus"
+    document = parse_document(CORPUS_XML)
+    create_collection_from_document(document, directory, shards=4)
+    with Collection(directory, workers=2) as collection:
+        yield collection
+
+
+@pytest.fixture(scope="module")
+def shard_engines(corpus_collection):
+    """In-process reference: each shard store + one engine."""
+    engine = XPathEngine(index="off")
+    stores = [
+        DocumentStore.open(
+            corpus_collection.catalog.shard_path(info.shard),
+            buffer_pages=32,
+        )
+        for info in corpus_collection.catalog.shards
+    ]
+    yield engine, stores
+    for stored in stores:
+        stored.close()
+
+
+def _crash_collection(tmp_path, shards=4, workers=2):
+    directory = tmp_path / "crash"
+    create_collection_from_document(
+        parse_document(CORPUS_XML), directory, shards=shards
+    )
+    return Collection(directory, workers=workers)
+
+
+# ----------------------------------------------------------------------
+# Catalog and splitting
+# ----------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_split_preserves_every_child(self):
+        document = parse_document(CORPUS_XML)
+        shards = split_document(document, 4)
+        assert len(shards) == 4
+        names = [
+            child.name
+            for shard in shards
+            for child in shard.root.children[0].children
+        ]
+        original = [
+            child.name for child in document.root.children[0].children
+        ]
+        assert names == original
+
+    def test_split_never_creates_empty_shards(self):
+        document = parse_document("<r><a/><b/></r>")
+        shards = split_document(document, 8)
+        assert len(shards) == 2
+
+    def test_catalog_round_trip(self, corpus_collection):
+        catalog = load_catalog(corpus_collection.catalog.directory)
+        assert catalog.shard_count == 4
+        assert [info.shard for info in catalog.shards] == [0, 1, 2, 3]
+        assert catalog.fingerprint() == corpus_collection.fingerprint
+
+    def test_missing_catalog_raises(self, tmp_path):
+        with pytest.raises(CollectionError):
+            load_catalog(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Merge ordering: hypothesis property
+# ----------------------------------------------------------------------
+
+
+class TestMergeOrdering:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(query=st.sampled_from(QUERIES))
+    def test_merged_is_global_document_order(
+        self, corpus_collection, query
+    ):
+        """The merge is a permutation-free concatenation: sorting the
+        merged records by ``(shard, sort_key)`` changes nothing, and the
+        per-shard runs are exactly the shard results, in shard order."""
+        result = corpus_collection.evaluate(query)
+        merged = result.merged()
+        if result.kind != "node-set":
+            assert len(merged) == corpus_collection.shard_count
+            return
+        assert merged == sorted(
+            merged, key=lambda r: (r.shard, r.sort_key)
+        )
+        # Permutation-free concatenation of the per-shard runs.
+        concatenated = [
+            record for shard in result.shards for record in shard.value
+        ]
+        assert merged == concatenated
+        # No duplicate global positions.
+        positions = [(r.shard, r.sort_key) for r in merged]
+        assert len(positions) == len(set(positions))
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(query=st.sampled_from(QUERIES))
+    def test_matches_in_process_shard_evaluation(
+        self, corpus_collection, shard_engines, query
+    ):
+        """Scatter-gather result == in-process evaluation, shard for
+        shard (the same property the differential oracle enforces)."""
+        engine, stores = shard_engines
+        result = corpus_collection.evaluate(query)
+        from repro.testing.oracle import canonical_value
+
+        reference = tuple(
+            (shard, canonical_value(engine.evaluate(query, stored.root)))
+            for shard, stored in enumerate(stores)
+        )
+        assert result.canonical() == reference
+
+    def test_stable_across_repeats(self, corpus_collection):
+        first = corpus_collection.evaluate("//item[@n > 5]")
+        second = corpus_collection.evaluate("//item[@n > 5]")
+        assert first.canonical() == second.canonical()
+
+
+# ----------------------------------------------------------------------
+# Statistics reconciliation
+# ----------------------------------------------------------------------
+
+
+def _assert_reconciled(stats):
+    assert stats.submitted == (
+        stats.completed + stats.timed_out + stats.cancelled + stats.failed
+    )
+    for key in ("submitted", "completed", "timed_out", "cancelled",
+                "failed"):
+        assert getattr(stats, key) == sum(
+            counters[key] for counters in stats.per_shard.values()
+        )
+
+
+class TestStatistics:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(queries=st.lists(st.sampled_from(QUERIES), max_size=4))
+    def test_counters_reconcile_at_quiescence(
+        self, corpus_collection, queries
+    ):
+        for query in queries:
+            corpus_collection.evaluate(query)
+        _assert_reconciled(corpus_collection.stats())
+
+    def test_counters_reconcile_after_governance(self, tmp_path):
+        with _crash_collection(tmp_path) as collection:
+            collection.evaluate("//item")
+            with pytest.raises(QueryTimeoutError):
+                collection._debug_sleep(30.0, timeout=0.2)
+            stats = collection.stats()
+            _assert_reconciled(stats)
+            assert stats.queries == 2
+            assert stats.submitted == 8
+            assert stats.timed_out >= 1
+
+    def test_shipped_plan_cache(self, corpus_collection):
+        before = corpus_collection.stats()
+        corpus_collection.evaluate("//item/name")
+        corpus_collection.evaluate("//item/name")
+        after = corpus_collection.stats()
+        assert after.plans_shipped == before.plans_shipped + 1
+        assert after.shipped_cache_hits >= before.shipped_cache_hits + 1
+
+
+# ----------------------------------------------------------------------
+# Governance: deadlines, cancellation, budgets
+# ----------------------------------------------------------------------
+
+
+class TestGovernance:
+    def test_one_shard_deadline_cancels_siblings(self, tmp_path):
+        """One shard's deadline expiring must cancel the remaining
+        shards' in-flight work — the query ends when the trip
+        propagates, not after every sibling's full sleep."""
+        with _crash_collection(tmp_path) as collection:
+            started = time.monotonic()
+            with pytest.raises(QueryTimeoutError):
+                collection._debug_sleep(30.0, timeouts={0: 0.3})
+            elapsed = time.monotonic() - started
+            assert elapsed < 10.0
+            stats = collection.stats()
+            _assert_reconciled(stats)
+            assert stats.timed_out == 1
+            assert stats.cancelled == 3
+
+    def test_cancel_token_aborts_collection_query(self, tmp_path):
+        with _crash_collection(tmp_path) as collection:
+            token = CancelToken()
+            timer = threading.Timer(0.3, token.cancel)
+            timer.start()
+            try:
+                started = time.monotonic()
+                with pytest.raises(Exception) as excinfo:
+                    collection._debug_sleep(30.0, cancel=token)
+                assert time.monotonic() - started < 10.0
+                assert "Cancelled" in type(excinfo.value).__name__
+            finally:
+                timer.cancel()
+            _assert_reconciled(collection.stats())
+
+    def test_per_shard_tuple_budget(self, corpus_collection):
+        from repro.errors import QueryBudgetError
+
+        with pytest.raises(QueryBudgetError):
+            corpus_collection.evaluate("//*//*", max_tuples=3)
+        _assert_reconciled(corpus_collection.stats())
+
+
+# ----------------------------------------------------------------------
+# Worker-crash robustness
+# ----------------------------------------------------------------------
+
+
+class TestCrashRobustness:
+    def test_sigkill_mid_query_recycles_and_recovers(self, tmp_path):
+        with _crash_collection(tmp_path) as collection:
+            victim = collection.pool.worker_pids()[0]
+
+            def kill():
+                time.sleep(0.3)
+                os.kill(victim, signal.SIGKILL)
+
+            killer = threading.Thread(target=kill)
+            killer.start()
+            started = time.monotonic()
+            with pytest.raises(ShardFailedError) as excinfo:
+                collection._debug_sleep(30.0, timeout=60.0)
+            killer.join()
+            # Typed error, promptly — not a hang until the deadline.
+            assert time.monotonic() - started < 10.0
+            assert excinfo.value.reason == "worker-died"
+            stats = collection.stats()
+            assert stats.recycles == 1
+            _assert_reconciled(stats)
+            # The recycled pool serves subsequent queries.
+            assert set(collection.pool.worker_pids()).isdisjoint({victim})
+            result = collection.evaluate("count(//item)")
+            assert sum(result.merged()) == 24.0
+            _assert_reconciled(collection.stats())
+
+    def test_typed_errors_cross_the_process_boundary(
+        self, corpus_collection
+    ):
+        with pytest.raises(XPathSyntaxError):
+            corpus_collection.evaluate("//item[")
+        with pytest.raises(UnboundVariableError):
+            corpus_collection.evaluate("//item[@n = $missing]")
+        _assert_reconciled(corpus_collection.stats())
+
+
+# ----------------------------------------------------------------------
+# Fingerprint isolation (the evaluate-cache fix)
+# ----------------------------------------------------------------------
+
+
+class TestFingerprintIsolation:
+    def test_identical_content_distinct_fingerprints(self, tmp_path):
+        document = parse_document(CORPUS_XML)
+        create_collection_from_document(document, tmp_path / "a", shards=3)
+        create_collection_from_document(document, tmp_path / "b", shards=3)
+        catalog_a = load_catalog(tmp_path / "a")
+        catalog_b = load_catalog(tmp_path / "b")
+        # Byte-identical shards...
+        assert [i.fingerprint for i in catalog_a.shards] == [
+            i.fingerprint for i in catalog_b.shards
+        ]
+        # ...but distinct collection identities: plan caches and
+        # singleflight coalescing key on the collection fingerprint.
+        assert catalog_a.fingerprint() != catalog_b.fingerprint()
+
+    def test_engine_never_shares_results_across_collections(
+        self, tmp_path
+    ):
+        """Concurrent identical queries against two *different*
+        collections must not coalesce into one flight: each caller gets
+        its own collection's answer."""
+        create_collection_from_document(
+            parse_document("<r><x>1</x><x>2</x></r>"),
+            tmp_path / "small", shards=2,
+        )
+        create_collection_from_document(
+            parse_document("<r>" + "<x>9</x>" * 10 + "</r>"),
+            tmp_path / "big", shards=2,
+        )
+        engine = XPathEngine(coalesce=True)
+        with Collection(tmp_path / "small", workers=1) as small, \
+                Collection(tmp_path / "big", workers=1) as big:
+            barrier = threading.Barrier(2)
+            results = {}
+
+            def run(name, collection):
+                barrier.wait()
+                result = engine.evaluate_collection(
+                    "count(//x)", collection
+                )
+                results[name] = sum(result.merged())
+
+            threads = [
+                threading.Thread(target=run, args=("small", small)),
+                threading.Thread(target=run, args=("big", big)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert results == {"small": 2.0, "big": 10.0}
+
+    def test_same_collection_coalesces(self, corpus_collection):
+        """Sanity check the other direction: identical concurrent
+        queries on the *same* collection may share one flight."""
+        engine = XPathEngine(coalesce=True)
+        barrier = threading.Barrier(4)
+        values = []
+        lock = threading.Lock()
+
+        def run():
+            barrier.wait()
+            result = engine.evaluate_collection(
+                "count(//item)", corpus_collection
+            )
+            with lock:
+                values.append(sum(result.merged()))
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert values == [24.0] * 4
+        counters = engine.stats().runtime_counters
+        assert counters.get("collection_queries", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Engine surface
+# ----------------------------------------------------------------------
+
+
+class TestEngineSurface:
+    def test_engine_stats_carry_collection_snapshot(
+        self, corpus_collection
+    ):
+        engine = XPathEngine()
+        result = engine.evaluate_collection(
+            "//item[@n < 3]", corpus_collection,
+            EvalOptions(timeout=30.0),
+        )
+        assert len(result.merged()) == 3
+        stats = engine.stats()
+        assert stats.collection is not None
+        assert stats.collection.fingerprint == (
+            corpus_collection.fingerprint
+        )
+        payload = stats.to_dict()
+        assert payload["collection"]["shard_count"] == 4
+        assert payload["collection"]["submitted"] >= 4
+
+    def test_closed_collection_raises(self, tmp_path):
+        collection = _crash_collection(tmp_path)
+        collection.close()
+        with pytest.raises(CollectionError):
+            collection.evaluate("//item")

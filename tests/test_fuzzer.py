@@ -198,7 +198,8 @@ class TestDifferentialRunnerOutcomes:
             namespaces=DEFAULT_NAMESPACES,
         ) as runner:
             outcomes = runner.outcomes("count(//a) = $num - 1")
-            assert set(outcomes) == set(ROUTE_NAMES)
+            # The collection route brings its paired reference leg.
+            assert set(outcomes) == set(ROUTE_NAMES) | {"collection_ref"}
             kinds = {o.kind for o in outcomes.values()}
             assert kinds == {"value"}
             assert not runner.check("count(//a) = $num - 1")
