@@ -102,9 +102,8 @@ def _run_leg(
         "qps": len(latencies) / elapsed,
         "p50_ms": _percentile(latencies, 0.50) * 1e3,
         "p95_ms": _percentile(latencies, 0.95) * 1e3,
-        "scatter_seconds": stats.scatter_seconds,
-        "gather_seconds": stats.gather_seconds,
-        "recycles": stats.recycles,
+        # The full JSON-safe snapshot instead of hand-picked counters.
+        "stats": stats.to_dict(),
         "canonical": canonical,
     }
 

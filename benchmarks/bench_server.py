@@ -1,0 +1,337 @@
+"""Serving front-end latency: closed- and open-loop percentile curves.
+
+Starts a loopback :class:`repro.server.XPathServer` over a generated
+document and drives it with 1/2/4/8 concurrent clients:
+
+* **closed loop** — every client keeps exactly one request in flight
+  (send, wait, repeat): per-request p50/p95/p99 and aggregate q/s per
+  client count,
+* **open loop** — every client fires requests on a fixed schedule
+  derived from the measured single-client capacity, *regardless* of
+  completions; latency is measured from the scheduled send time, so
+  queueing delay is part of the number (no coordinated omission).
+
+A scalar query (one number crosses the wire) carries the latency
+curves — its cost is evaluation, not serialization — and a node-set
+query streams multi-page responses for a paging-throughput figure.
+Results are asserted equal to in-process evaluation before any timing
+is trusted.
+
+Run standalone (CI uploads the JSON as ``BENCH_server.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --json BENCH_server.json
+    PYTHONPATH=src python benchmarks/bench_server.py --quick
+
+The smoke floor (both modes): cache-hot single-client closed-loop p50
+through the server must stay within ``--max-overhead`` (default 2x) of
+the in-process p50 for the same query on the same engine — the
+protocol, event loop and executor hop may cost at most as much again
+as the evaluation itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.engine.session import XPathEngine
+from repro.server import ServerClient, ServerConfig, start_in_thread
+from repro.testing.oracle import canonical_value
+from repro.workloads.docgen import generate_document
+
+#: The latency-curve query: scan-heavy, scalar answer (evaluation
+#: dominates; serialization is one number).
+SCALAR_QUERY = "count(//entry[@id mod 2 = 1])"
+
+#: The paging query: a large node-set streamed as many page frames.
+NODESET_QUERY = "//leaf"
+
+PAGE_SIZE = 64
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _latency_summary(latencies: List[float], elapsed: float) -> dict:
+    return {
+        "requests": len(latencies),
+        "qps": len(latencies) / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p95_ms": _percentile(latencies, 0.95) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def _closed_loop(host: str, port: int, query: str, clients: int,
+                 requests_per_client: int, **fields) -> dict:
+    """Every client: send, wait, repeat — one request in flight each."""
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+
+    def run(slot: int) -> None:
+        with ServerClient(
+            host, port, client_id=f"closed-{slot}"
+        ) as client:
+            client.query(query, **fields)  # connection + cache warm
+            barrier.wait()
+            for _ in range(requests_per_client):
+                begin = time.perf_counter()
+                result = client.query(query, **fields)
+                latencies[slot].append(time.perf_counter() - begin)
+                assert result.ok, result.error
+
+    threads = [
+        threading.Thread(target=run, args=(slot,), daemon=True)
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    merged = [sample for per in latencies for sample in per]
+    return _latency_summary(merged, elapsed)
+
+
+def _open_loop(host: str, port: int, query: str, clients: int,
+               per_client_rate: float, requests_per_client: int,
+               **fields) -> dict:
+    """Every client fires on a fixed schedule; latency counts queueing.
+
+    Latency for arrival ``i`` is measured from its *scheduled* time
+    ``start + i/rate``, not from when the (possibly backlogged) sender
+    got around to it — a server falling behind shows up as growing
+    tail latency instead of silently thinning the load.
+    """
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+    interval = 1.0 / per_client_rate
+
+    def run(slot: int) -> None:
+        with ServerClient(
+            host, port, client_id=f"open-{slot}"
+        ) as client:
+            client.query(query, **fields)
+            barrier.wait()
+            start = time.perf_counter()
+            for index in range(requests_per_client):
+                scheduled = start + index * interval
+                now = time.perf_counter()
+                if now < scheduled:
+                    time.sleep(scheduled - now)
+                result = client.query(query, **fields)
+                latencies[slot].append(
+                    time.perf_counter() - scheduled
+                )
+                assert result.ok, result.error
+
+    threads = [
+        threading.Thread(target=run, args=(slot,), daemon=True)
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    merged = [sample for per in latencies for sample in per]
+    summary = _latency_summary(merged, elapsed)
+    summary["offered_qps"] = per_client_rate * clients
+    return summary
+
+
+def _in_process_p50(engine: XPathEngine, document, query: str,
+                    rounds: int) -> float:
+    engine.evaluate(query, document)  # compile + cache warm
+    latencies = []
+    for _ in range(rounds):
+        begin = time.perf_counter()
+        engine.evaluate(query, document)
+        latencies.append(time.perf_counter() - begin)
+    return _percentile(latencies, 0.50)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving front-end latency benchmark"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small document, few requests")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the full report as JSON")
+    parser.add_argument("--requests", type=int, default=150, metavar="N",
+                        help="closed-loop requests per client "
+                             "(default: 150)")
+    parser.add_argument("--max-overhead", type=float, default=2.0,
+                        help="required ceiling on single-client server "
+                             "p50 / in-process p50 (default: 2.0)")
+    parser.add_argument("--open-load", type=float, default=0.4,
+                        help="open-loop per-client rate as a fraction "
+                             "of single-client closed-loop throughput "
+                             "(default: 0.4)")
+    arguments = parser.parse_args(argv)
+    requests_per_client = (
+        min(arguments.requests, 40) if arguments.quick
+        else arguments.requests
+    )
+    # The same document size in both modes: the floor compares server
+    # p50 against in-process p50 on identical work, so quick mode only
+    # trims request counts, never the per-request cost.
+    document = generate_document(2500, 8, 6)
+
+    engine = XPathEngine()
+    inproc_p50 = _in_process_p50(
+        engine, document, SCALAR_QUERY, requests_per_client
+    )
+    reference_scalar = canonical_value(
+        engine.evaluate(SCALAR_QUERY, document)
+    )
+    reference_nodeset = canonical_value(
+        engine.evaluate(NODESET_QUERY, document)
+    )
+
+    report: Dict[str, object] = {
+        "benchmark": "server",
+        "mode": "quick" if arguments.quick else "full",
+        "cpu_count": os.cpu_count() or 1,
+        "scalar_query": SCALAR_QUERY,
+        "nodeset_query": NODESET_QUERY,
+        "page_size": PAGE_SIZE,
+        "requests_per_client": requests_per_client,
+        "in_process_p50_ms": inproc_p50 * 1e3,
+        "closed": {},
+        "open": {},
+    }
+
+    ok = True
+    config = ServerConfig(
+        port=0, page_size=PAGE_SIZE, max_inflight=16, queue_depth=64,
+        default_timeout=None,
+    )
+    with start_in_thread(
+        {"doc": document}, engine=engine, config=config
+    ) as handle:
+        with ServerClient(handle.host, handle.port) as probe:
+            scalar = probe.query(SCALAR_QUERY)
+            nodeset = probe.query(NODESET_QUERY, page_size=PAGE_SIZE)
+        if scalar.canonical() != reference_scalar:
+            print("FAIL: scalar round trip diverged", file=sys.stderr)
+            return 1
+        if nodeset.canonical() != reference_nodeset:
+            print("FAIL: node-set round trip diverged", file=sys.stderr)
+            return 1
+        if len(nodeset.pages) < 2:
+            print(
+                "FAIL: node-set response did not stream multiple pages",
+                file=sys.stderr,
+            )
+            return 1
+
+        for clients in CLIENT_COUNTS:
+            leg = _closed_loop(
+                handle.host, handle.port, SCALAR_QUERY, clients,
+                requests_per_client,
+            )
+            report["closed"][str(clients)] = leg
+            print(
+                f"closed clients={clients}: {leg['qps']:8.1f} q/s  "
+                f"p50={leg['p50_ms']:6.2f}ms  "
+                f"p95={leg['p95_ms']:6.2f}ms  "
+                f"p99={leg['p99_ms']:6.2f}ms"
+            )
+
+        single_qps = report["closed"]["1"]["qps"]
+        per_client_rate = max(single_qps * arguments.open_load, 1.0)
+        report["open_per_client_qps"] = per_client_rate
+        for clients in CLIENT_COUNTS:
+            leg = _open_loop(
+                handle.host, handle.port, SCALAR_QUERY, clients,
+                per_client_rate, requests_per_client,
+            )
+            report["open"][str(clients)] = leg
+            print(
+                f"open   clients={clients}: "
+                f"offered={leg['offered_qps']:8.1f} q/s  "
+                f"p50={leg['p50_ms']:6.2f}ms  "
+                f"p95={leg['p95_ms']:6.2f}ms  "
+                f"p99={leg['p99_ms']:6.2f}ms"
+            )
+
+        # Paging throughput: one client pulling multi-page node-sets.
+        begin = time.perf_counter()
+        stream_rounds = max(requests_per_client // 5, 5)
+        with ServerClient(
+            handle.host, handle.port, client_id="pager"
+        ) as client:
+            pages = items = 0
+            for _ in range(stream_rounds):
+                result = client.query(
+                    NODESET_QUERY, page_size=PAGE_SIZE
+                )
+                assert result.ok
+                pages += len(result.pages)
+                items += result.footer["items"]
+        stream_elapsed = time.perf_counter() - begin
+        report["streaming"] = {
+            "rounds": stream_rounds,
+            "pages": pages,
+            "items": items,
+            "pages_per_second": pages / stream_elapsed,
+            "items_per_second": items / stream_elapsed,
+        }
+        print(
+            f"stream {stream_rounds} rounds: "
+            f"{report['streaming']['items_per_second']:,.0f} items/s in "
+            f"{PAGE_SIZE}-item pages"
+        )
+
+    server_p50 = report["closed"]["1"]["p50_ms"] / 1e3
+    overhead = (
+        server_p50 / inproc_p50 if inproc_p50 > 0 else float("inf")
+    )
+    report["floor"] = {
+        "max_overhead": arguments.max_overhead,
+        "in_process_p50_ms": inproc_p50 * 1e3,
+        "server_p50_ms": server_p50 * 1e3,
+        "overhead": overhead,
+    }
+    print(
+        f"overhead: server p50 {server_p50 * 1e3:.2f}ms / "
+        f"in-process p50 {inproc_p50 * 1e3:.2f}ms = {overhead:.2f}x"
+    )
+    if overhead > arguments.max_overhead:
+        ok = False
+        print(
+            f"FAIL: single-client overhead {overhead:.2f}x exceeds the "
+            f"{arguments.max_overhead:.2f}x floor",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"floor met: {overhead:.2f}x <= "
+            f"{arguments.max_overhead:.2f}x"
+        )
+
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {arguments.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

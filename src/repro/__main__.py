@@ -27,6 +27,7 @@ from repro import (
     EvalOptions,
     TranslationOptions,
     XPathEngine,
+    __version__,
     create_collection,
     engine_names,
     evaluate,
@@ -72,6 +73,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Algebraic XPath 1.0 processor (ICDE 2005 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     parser.add_argument("query", help="XPath 1.0 expression")
     parser.add_argument(

@@ -39,7 +39,7 @@ import itertools
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple, Union
 
 from repro.collection.catalog import CollectionCatalog, load_catalog
@@ -173,6 +173,16 @@ class CollectionStats:
     plans_shipped: int
     shipped_cache_hits: int
     recycles: int
+
+    def to_dict(self) -> dict:
+        """A plain-dict rendering (safe for ``json.dumps``): per-shard
+        counter keys become strings, as JSON object keys must be."""
+        data = asdict(self)
+        data["per_shard"] = {
+            str(shard): dict(counters)
+            for shard, counters in self.per_shard.items()
+        }
+        return data
 
 
 class Collection:

@@ -270,6 +270,54 @@ class CompiledQuery:
                 result.sort(key=lambda node: node.sort_key)
         return result
 
+    def evaluate_stream(
+        self,
+        context_node: Node,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        namespaces: Optional[Mapping[str, str]] = None,
+        ordered: bool = False,
+        governor=None,
+    ):
+        """Evaluate lazily, yielding result items one at a time.
+
+        The streaming sibling of :meth:`evaluate`: node-set results are
+        pulled from the iterator engine on demand instead of collected,
+        so a consumer that pages them out (the network server) never
+        materializes the whole answer.  Scalar plans yield their single
+        value.  ``ordered=True`` streams directly when the order
+        analysis proves the pipeline emits document order; otherwise it
+        falls back to materialize-and-sort (counted as
+        ``stream_sort_fallbacks`` — the answer cannot be known in order
+        before it is complete).
+
+        Always interprets the iterator tree (the generated-Python
+        backend materializes internally and gains nothing from
+        streaming).  The returned generator must be consumed on the
+        thread that created it — it drives that thread's private plan
+        instance — and closed before the same thread starts another
+        evaluation of this query.
+        """
+        context = ExecutionContext(
+            context_node=context_node,
+            variables=dict(variables or {}),
+            namespaces=dict(namespaces or self.default_namespaces or {}),
+            governor=governor,
+        )
+        physical = self.thread_physical
+        if (
+            ordered
+            and self.translation.kind == "sequence"
+            and not self.emits_document_order
+        ):
+            physical.stats["stream_sort_fallbacks"] += 1
+            result = physical.execute(context)
+            assert isinstance(result, list)
+            result.sort(key=lambda node: node.sort_key)
+            return iter(result)
+        if ordered and self.emits_document_order:
+            physical.stats["order_sort_avoided"] += 1
+        return physical.execute_stream(context)
+
     def _select_generated(self, codegen: str):
         """Resolve a ``codegen`` mode to a generated plan (or None)."""
         if codegen == "off":

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Hashable, Iterable, List, Optional, Tuple, TypeVar
 
 #: Default number of compiled plans a cache keeps.
@@ -46,6 +46,10 @@ class ShardStats:
     size: int
     capacity: int
 
+    def to_dict(self) -> dict:
+        """A plain-dict rendering (safe for ``json.dumps``)."""
+        return asdict(self)
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -59,6 +63,13 @@ class CacheStats:
     lookups: int = 0
     shard_count: int = 1
     shards: Tuple[ShardStats, ...] = ()
+
+    def to_dict(self) -> dict:
+        """A plain-dict rendering (safe for ``json.dumps``); the
+        per-shard snapshots become a list of dicts."""
+        data = asdict(self)
+        data["shards"] = [shard.to_dict() for shard in self.shards]
+        return data
 
 
 class CacheShard:

@@ -104,6 +104,40 @@ class PhysicalPlan:
         finally:
             self.root.close()
 
+    def execute_stream(
+        self, context: ExecutionContext
+    ) -> PyIterator[XPathValue]:
+        """Run the plan yielding result tuples one at a time.
+
+        The lazy sibling of :meth:`execute`: nothing is collected, so a
+        consumer that stops early (or pages results out over a network)
+        never holds the whole answer in memory.  The iterator tree is
+        opened on first ``next()`` and closed when the generator is
+        exhausted, garbage-collected, or ``close()``d — callers that
+        abandon a stream mid-way must close it (``with
+        contextlib.closing`` or by letting it go out of scope) before
+        reusing this plan instance.  Governance accounting matches
+        :meth:`execute` (each yielded node charges the same
+        materialization bytes), so a budget that aborts the materialized
+        path aborts the streamed one at the same point.
+        """
+        self._prepare(context)
+        regs = self.runtime.regs
+        self.root.open()
+        try:
+            if self.kind == "scalar":
+                if not self.root.next():
+                    raise ExecutionError("scalar plan produced no tuple")
+                yield regs[self.result_slot]
+                return
+            governor = self.runtime.governor
+            while self.root.next():
+                if governor is not None:
+                    governor.add_bytes(16)
+                yield regs[self.result_slot]
+        finally:
+            self.root.close()
+
     def execute_count(self, context: ExecutionContext) -> int:
         """Run the plan counting result tuples (benchmark entry point)."""
         self._prepare(context)

@@ -76,6 +76,10 @@ from repro.xpath.datamodel import XPathValue
 #: Default thread-pool width of :meth:`XPathEngine.evaluate_concurrent`.
 DEFAULT_MAX_WORKERS = 4
 
+#: Default result-page size of :meth:`XPathEngine.evaluate_stream`
+#: (and of the network server built on it).
+DEFAULT_PAGE_SIZE = 256
+
 #: Environment variable supplying an engine-wide default timeout in
 #: seconds.  CI sets it to run whole suites under a global deadline; an
 #: explicit ``default_timeout``/per-call ``timeout`` wins over it.
@@ -173,6 +177,10 @@ class BufferSnapshot:
     capacity: int = 0
     by_kind: Optional[Dict[str, Dict[str, int]]] = None
 
+    def to_dict(self) -> dict:
+        """A plain-dict rendering (safe for ``json.dumps``)."""
+        return asdict(self)
+
 
 @dataclass(frozen=True)
 class EngineStats:
@@ -202,8 +210,22 @@ class EngineStats:
     collection: Optional[object] = None
 
     def to_dict(self) -> dict:
-        """A plain-dict rendering (safe for ``json.dumps``)."""
-        return asdict(self)
+        """A plain-dict rendering (safe for ``json.dumps``).
+
+        Every nested snapshot renders through its own ``to_dict`` —
+        the cache, buffer and collection snapshots are independently
+        serializable, and composite keys (per-shard counters) come out
+        as JSON-legal string keys.
+        """
+        data = asdict(self)
+        data["cache"] = self.cache.to_dict()
+        if self.buffer is not None:
+            data["buffer"] = self.buffer.to_dict()
+        if self.collection is not None and hasattr(
+            self.collection, "to_dict"
+        ):
+            data["collection"] = self.collection.to_dict()
+        return data
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), **kwargs)
@@ -629,6 +651,124 @@ class XPathEngine:
             if isinstance(result, list):
                 return list(result)
         return result
+
+    def evaluate_stream(
+        self,
+        query: str,
+        target: EvalTarget,
+        eval_options=None,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        options: Optional[TranslationOptions] = None,
+        ordered: bool = False,
+    ):
+        """Evaluate ``query`` lazily, yielding result *pages*.
+
+        The streaming entry point behind the network server
+        (:mod:`repro.server`): result items are pulled from the
+        iterator engine on demand and handed out in lists of at most
+        ``page_size``, so a large node-set answer never lives in memory
+        whole — only the page being built does.  Scalar results arrive
+        as a single one-item page.
+
+        Semantics relative to :meth:`evaluate`:
+
+        * the plan cache and compile path are identical (a hot query
+          streams from a cached plan),
+        * governance applies identically — the governor is built when
+          the stream is *created*, so the deadline covers the whole
+          consumption, and a tripped limit raises the typed governance
+          error out of the page iterator mid-stream,
+        * streams are **not** coalesced: each consumer paces its own
+          pull, so two identical streams cannot share one execution the
+          way two :meth:`evaluate` calls do,
+        * the returned generator is thread-confined (it drives the
+          calling thread's plan instance) and must be closed before the
+          same thread evaluates the same query again.
+
+        Governance outcome accounting matches :meth:`evaluate`: one
+        ``queries_submitted`` per stream, resolved into exactly one of
+        completed / timed-out / cancelled / budget-abort when the
+        stream finishes (an abandoned, half-consumed stream counts as
+        completed on close).
+        """
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        resolved, _codegen = self._resolve_call(
+            "XPathEngine.evaluate_stream", eval_options, {}
+        )
+        eval_namespaces = resolved.namespace_map()
+        plan = self.compile(
+            query, options=options, namespaces=eval_namespaces,
+            target=target,
+        )
+        node = resolve_context_node(target)
+        governor = self.make_governor(
+            timeout=resolved.timeout,
+            max_tuples=resolved.max_tuples,
+            max_bytes=resolved.max_bytes,
+            cancel=resolved.cancel,
+        )
+        with self._lock:
+            self._engine_counters["queries_submitted"] += 1
+            self._engine_counters["stream_queries"] += 1
+        return self._stream_pages(
+            plan, node, resolved, eval_namespaces, page_size, ordered,
+            governor,
+        )
+
+    def _stream_pages(
+        self, plan, node, resolved, namespaces, page_size, ordered,
+        governor,
+    ):
+        """Generator body of :meth:`evaluate_stream` (accounting here:
+        ``queries_submitted`` was already counted by the caller)."""
+        settled = False
+
+        def settle(counter: str) -> None:
+            nonlocal settled
+            if settled:
+                return
+            settled = True
+            with self._lock:
+                self._engine_counters[counter] += 1
+
+        start = time.perf_counter()
+        try:
+            items = plan.evaluate_stream(
+                node, resolved.variables, namespaces,
+                ordered=ordered, governor=governor,
+            )
+            page: List[XPathValue] = []
+            yielded = False
+            for item in items:
+                page.append(item)
+                if len(page) >= page_size:
+                    with self._lock:
+                        self._engine_counters["stream_pages"] += 1
+                    yield page
+                    page = []
+                    yielded = True
+            if page or not yielded:
+                # The last partial page — or, for an empty result, one
+                # empty page so every stream yields at least once.
+                with self._lock:
+                    self._engine_counters["stream_pages"] += 1
+                yield page
+        except QueryTimeoutError:
+            settle("queries_timed_out")
+            raise
+        except QueryCancelledError:
+            settle("queries_cancelled")
+            raise
+        except QueryBudgetError:
+            settle("budget_aborts")
+            raise
+        finally:
+            settle("queries_completed")
+            self._record_execution(
+                time.perf_counter() - start, plan, node
+            )
 
     def evaluate_many(
         self,

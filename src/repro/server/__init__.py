@@ -1,0 +1,46 @@
+"""The network serving front end: streaming HTTP/JSON over the engine.
+
+See ``docs/server.md`` for the protocol, and ``python -m repro.server
+--help`` for the standalone entry point.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.client import QueryResult, ServerClient
+from repro.server.protocol import (
+    ERROR_TABLE,
+    MODES,
+    PROTOCOL_VERSION,
+    REJECTION_STATUS,
+    ProtocolError,
+    QueryRequest,
+    canonical_items,
+    classify_error,
+    encode_item,
+    parse_request,
+)
+from repro.server.server import (
+    ServerConfig,
+    ServerHandle,
+    XPathServer,
+    start_in_thread,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ERROR_TABLE",
+    "MODES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResult",
+    "REJECTION_STATUS",
+    "ServerClient",
+    "ServerConfig",
+    "ServerHandle",
+    "XPathServer",
+    "canonical_items",
+    "classify_error",
+    "encode_item",
+    "parse_request",
+    "start_in_thread",
+]

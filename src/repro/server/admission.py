@@ -1,0 +1,104 @@
+"""Per-client admission control for the serving front end.
+
+Admission happens on the event loop, *before* a query is handed to the
+executor — a rejected request costs one JSON error frame and never
+touches a worker thread.  Two quotas apply:
+
+``max_inflight``
+    per client (the ``X-Client-Id`` header, falling back to the peer
+    address): how many of that client's queries may be admitted but
+    not yet finished.  A client at its quota gets ``quota-exceeded``
+    (429) until one of its queries completes.
+``queue_depth``
+    server-wide: how many admitted queries may be *waiting* for an
+    executor thread (total in-flight beyond the worker count).  A full
+    queue gets ``queue-full`` (429) regardless of the client — the
+    server sheds load instead of buffering it.
+
+Every admitted query runs under the server's default deadline (unless
+the request brings its own), so an admission slot is always bounded in
+time — the quota cannot be wedged open by a query that never ends.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.server.protocol import ProtocolError
+
+
+class AdmissionController:
+    """Tracks in-flight queries per client and server-wide."""
+
+    def __init__(self, *, max_inflight: int, queue_depth: int,
+                 workers: int):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must not be negative")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._per_client: Dict[str, int] = {}
+        self._total = 0
+        self._admitted = 0
+        self._rejected_quota = 0
+        self._rejected_queue = 0
+
+    @property
+    def total_inflight(self) -> int:
+        with self._lock:
+            return self._total
+
+    def admit(self, client: str) -> None:
+        """Claim one slot for ``client`` or raise the typed rejection."""
+        with self._lock:
+            inflight = self._per_client.get(client, 0)
+            if inflight >= self.max_inflight:
+                self._rejected_quota += 1
+                raise ProtocolError(
+                    "quota-exceeded",
+                    f"client {client!r} already has {inflight} queries "
+                    f"in flight (max_inflight={self.max_inflight})",
+                )
+            queued = self._total - self.workers
+            if queued >= self.queue_depth:
+                self._rejected_queue += 1
+                raise ProtocolError(
+                    "queue-full",
+                    f"{self._total} queries in flight, "
+                    f"{max(queued, 0)} waiting "
+                    f"(queue_depth={self.queue_depth})",
+                )
+            self._per_client[client] = inflight + 1
+            self._total += 1
+            self._admitted += 1
+
+    def release(self, client: str) -> None:
+        """Return ``client``'s slot (exactly once per admit)."""
+        with self._lock:
+            inflight = self._per_client.get(client, 0)
+            if inflight <= 1:
+                self._per_client.pop(client, None)
+            else:
+                self._per_client[client] = inflight - 1
+            self._total = max(0, self._total - 1)
+
+    def snapshot(self) -> dict:
+        """Quota counters for ``/stats`` (JSON-safe)."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "workers": self.workers,
+                "inflight": self._total,
+                "queued": max(0, self._total - self.workers),
+                "clients": dict(self._per_client),
+                "admitted": self._admitted,
+                "rejected_quota": self._rejected_quota,
+                "rejected_queue": self._rejected_queue,
+            }

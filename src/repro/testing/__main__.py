@@ -37,7 +37,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.testing",
         description=(
-            "Grammar-directed XPath fuzzer with a nine-way "
+            "Grammar-directed XPath fuzzer with a ten-way "
             "differential oracle"
         ),
     )

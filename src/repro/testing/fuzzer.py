@@ -8,7 +8,7 @@ from the campaign banner alone.
 The campaign loop works document-by-document: generate a random
 document, stand up a :class:`~repro.testing.oracle.DifferentialRunner`
 (which writes the page file for the stored/indexed routes once),
-generate a batch of queries, run the batch through all nine routes
+generate a batch of queries, run the batch through all ten routes
 (``routes`` narrows the set), and compare.  On a
 divergence the delta-debugging shrinker minimizes the ``(query,
 document)`` pair, and the minimized reproducer can be appended to the
@@ -144,7 +144,7 @@ def run_campaign(
     does not turn the report into a firehose (the cap is noted by the
     CLI when hit).  ``routes`` selects a subset of
     :data:`~repro.testing.oracle.ROUTE_NAMES` (the baseline is always
-    included); the default runs all nine.  ``governance`` (``timeout`` /
+    included); the default runs all ten.  ``governance`` (``timeout`` /
     ``max_tuples`` / ``max_bytes``) runs the algebraic routes under a
     :class:`~repro.engine.governor.ResourceGovernor`: a governed route
     must agree with the ungoverned baseline or abort with exactly a

@@ -1,6 +1,6 @@
-"""The differential oracle: nine execution routes, one answer.
+"""The differential oracle: ten execution routes, one answer.
 
-Every query is executed through nine independent paths:
+Every query is executed through ten independent paths:
 
 ``naive``
     the main-memory :class:`~repro.baselines.naive.NaiveInterpreter`
@@ -50,7 +50,19 @@ Every query is executed through nine independent paths:
     the multi-process pipeline (plan shipping, worker-side back-end
     compilation, cross-process result records, global document-order
     merge) must be observationally identical to in-process serving,
-    shard for shard.
+    shard for shard,
+``server``
+    the stored document served over loopback HTTP through the
+    streaming front end (:mod:`repro.server`): each query is POSTed to
+    a thread-hosted :class:`~repro.server.XPathServer` with a tiny
+    page size (so every non-trivial node-set crosses the wire as
+    several chunked page frames), the client reassembles the pages and
+    canonicalizes them — the whole serialization round trip (NDJSON
+    frames, canonical node records, typed error frames) must agree
+    with the in-process baseline.  Stored node ids are preorder ranks,
+    so the wire-side sort keys line up with the in-memory document's,
+    and error frames carry the engine's exception type name, so
+    error-outcome agreement works transparently.
 
 Results are compared in a document-independent canonical form: node-sets
 become document-order tuples of ``(sort_key, kind, name, string_value)``
@@ -94,10 +106,16 @@ ROUTE_NAMES: Tuple[str, ...] = (
     "compiled",
     "cost",
     "collection",
+    "server",
 )
 
 #: Routes that need the document written to a page file.
-_STORE_ROUTES = ("stored", "indexed", "cost")
+_STORE_ROUTES = ("stored", "indexed", "cost", "server")
+
+#: The loopback HTTP route, and the page size its requests pin (small,
+#: so ordinary fuzz node-sets stream as several page frames).
+SERVER_ROUTE = "server"
+SERVER_PAGE_SIZE = 7
 
 #: The scatter-gather route; compared against its in-process reference
 #: leg (``collection_ref``), never against the whole-document baseline.
@@ -208,7 +226,7 @@ class Divergence:
 
 
 class DifferentialRunner:
-    """Executes queries on one document across all nine routes.
+    """Executes queries on one document across all ten routes.
 
     The stored and indexed routes share one page file (indexes are
     built at write time), written once in a private temporary directory
@@ -297,6 +315,8 @@ class DifferentialRunner:
         self._stored = None
         self._collection: Optional[Collection] = None
         self._shard_stores: List[DocumentStore] = []
+        self._server_handle = None
+        self._server_client = None
         needs_store = any(route in self.routes for route in _STORE_ROUTES)
         needs_collection = COLLECTION_ROUTE in self.routes
         if (needs_store or needs_collection) and store_dir is None:
@@ -330,10 +350,42 @@ class DifferentialRunner:
                         buffer_pages=buffer_pages,
                     )
                 )
+        if SERVER_ROUTE in self.routes:
+            # Imported here so runners without the server route never
+            # touch the asyncio serving machinery.
+            from repro.server import (
+                ServerClient,
+                ServerConfig,
+                start_in_thread,
+            )
+
+            assert self._stored is not None
+            self._server_handle = start_in_thread(
+                {"fuzz": self._stored},
+                engine=XPathEngine(
+                    TranslationOptions.improved(), index="off"
+                ),
+                config=ServerConfig(
+                    port=0,
+                    page_size=SERVER_PAGE_SIZE,
+                    default_timeout=None,
+                ),
+            )
+            self._server_client = ServerClient(
+                self._server_handle.host,
+                self._server_handle.port,
+                client_id="oracle",
+            )
 
     # ------------------------------------------------------------------
 
     def close(self) -> None:
+        if self._server_client is not None:
+            self._server_client.close()
+            self._server_client = None
+        if self._server_handle is not None:
+            self._server_handle.stop()
+            self._server_handle = None
         if self._collection is not None:
             self._collection.close()
             self._collection = None
@@ -463,6 +515,31 @@ class DifferentialRunner:
             _outcome_of_canonical(run_reference),
         )
 
+    def _run_server_canonical(self, query: str) -> object:
+        """One loopback HTTP round trip, reassembled and canonical.
+
+        Streams with a deliberately tiny page size so node-sets cross
+        the wire as several chunked page frames; the client's
+        ``canonical()`` mirrors :func:`canonical_value`, so the result
+        compares directly against the naive baseline.  Error frames
+        re-raise the typed engine exception by its wire-carried name —
+        error-outcome agreement (including governance aborts) needs no
+        special handling.
+        """
+        assert self._server_client is not None
+        request: Dict[str, object] = {
+            "page_size": SERVER_PAGE_SIZE,
+        }
+        if self.variables:
+            request["variables"] = self.variables
+        if self.namespaces:
+            request["namespaces"] = self.namespaces
+        if self.governance:
+            request.update(self.governance)
+        result = self._server_client.query(query, **request)
+        result.raise_for_error()
+        return result.canonical()
+
     def _route_runner(self, route: str) -> Callable[[str], XPathValue]:
         if route in self.extra_routes:
             run = self.extra_routes[route]
@@ -491,6 +568,11 @@ class DifferentialRunner:
                     results[COLLECTION_ROUTE],
                     results[COLLECTION_REF_ROUTE],
                 ) = self._collection_pair(query)
+                continue
+            if route == SERVER_ROUTE:
+                results[route] = _outcome_of_canonical(
+                    lambda: self._run_server_canonical(query)
+                )
                 continue
             runner = self._route_runner(route)
             results[route] = outcome_of(lambda: runner(query))
@@ -525,6 +607,11 @@ class DifferentialRunner:
                         outcomes[COLLECTION_ROUTE],
                         outcomes[COLLECTION_REF_ROUTE],
                     ) = self._collection_pair(query)
+                    continue
+                if route == SERVER_ROUTE:
+                    outcomes[route] = _outcome_of_canonical(
+                        lambda: self._run_server_canonical(query)
+                    )
                     continue
                 runner = self._route_runner(route)
                 outcomes[route] = outcome_of(lambda: runner(query))
