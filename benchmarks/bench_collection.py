@@ -1,26 +1,36 @@
-"""Collection scatter-gather scaling: closed-loop q/s at 1/2/4/8 workers.
+"""Collection scatter-gather: scaling, concurrent clients, pruning.
 
-Shards two corpora — the paper-style generated document and the
-synthetic DBLP corpus — into eight-shard collections, then serves a
-closed loop of queries through :class:`repro.collection.Collection`
-at 1, 2, 4 and 8 worker processes, reporting throughput (queries per
-second) and latency percentiles (p50/p95) per worker count.  Shards
-outnumber workers on the small legs, so scaling comes from the shard
-fan-out spreading across processes.
+Three benchmark families over eight-shard collections:
+
+1. **Worker scaling** — a closed loop of queries at 1, 2, 4 and 8
+   worker processes, reporting throughput (q/s) and latency
+   percentiles (p50/p95) per worker count.  Shards outnumber workers
+   on the small legs, so scaling comes from the shard fan-out
+   spreading across processes.
+2. **Concurrent clients** — q/s at 1, 2 and 4 in-flight queries
+   (client threads in a closed loop against *one* collection with a
+   fixed worker pool).  This measures the qid-multiplexed pool: with
+   several queries in flight, worker compute overlaps the parent-side
+   ship/merge work instead of idling behind a serialized scatter.
+3. **Pruning** — a leading-step-selective query over a *skewed*
+   corpus (the needle lives in one shard): q/s and shards shipped
+   per query, pruned vs. unpruned, with canonical equality asserted.
 
 Results are asserted equal (canonical form) across every worker count
-before any timing is trusted.
+and between the pruned and unpruned legs before any timing is trusted.
 
 Run standalone (CI uploads the JSON as ``BENCH_collection.json``)::
 
     PYTHONPATH=src python benchmarks/bench_collection.py --json BENCH_collection.json
     PYTHONPATH=src python benchmarks/bench_collection.py --quick
 
-The full run enforces the acceptance floor (``--min-speedup``, default
-1.8x q/s at 4 processes vs. 1) and ``--quick`` a softer 2-process floor
-— each only on hosts with enough cores (the floor is meaningless on a
-single-CPU box, where the legs time-slice one core); underpowered hosts
-report without enforcing.
+The full run enforces the acceptance floors (``--min-speedup``,
+default 1.8x q/s at 4 processes vs. 1; ``--min-concurrent-speedup``,
+default 1.5x q/s at 4 in-flight vs. 1) and ``--quick`` a softer
+2-process scaling floor plus the same concurrency floor — each only on
+hosts with enough cores (the floors are meaningless on a single-CPU
+box, where the legs time-slice one core); underpowered hosts report
+without enforcing.
 """
 
 from __future__ import annotations
@@ -31,11 +41,17 @@ import os
 import statistics
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.collection import Collection, create_collection_from_document
+from repro import parse_document
+from repro.collection import (
+    Collection,
+    create_collection,
+    create_collection_from_document,
+)
 from repro.workloads.dblp import generate_dblp
 from repro.workloads.docgen import generate_document
 
@@ -108,6 +124,115 @@ def _run_leg(
     }
 
 
+#: Worker-pool size for the concurrent-clients legs: fixed, so the
+#: only variable across legs is how many queries are in flight.
+CONCURRENCY_WORKERS = 4
+
+#: Mix for the concurrent-clients legs: scan-heavy scalars (worker
+#: compute) plus node-set queries (parent-side merge work) — overlap
+#: between the two is exactly what multiplexing buys.
+CONCURRENCY_WORKLOAD = (
+    "count(//entry[@id mod 2 = 1])",
+    "//section[leaf]",
+    "sum(//*/@id)",
+    "//leaf[@id mod 7 = 0]",
+)
+
+
+def _run_concurrent_leg(
+    directory: Path, clients: int, queries, rounds: int
+) -> dict:
+    """Closed loop per client thread, ``clients`` queries in flight."""
+    with Collection(directory, workers=CONCURRENCY_WORKERS) as collection:
+        canonical = [
+            collection.evaluate(query).canonical() for query in queries
+        ]
+        errors: List[BaseException] = []
+        barrier = threading.Barrier(clients + 1)
+
+        def loop() -> None:
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    for query in queries:
+                        collection.evaluate(query)
+            except BaseException as error:  # noqa: BLE001 - reported
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=loop, name=f"bench-client-{n}")
+            for n in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+    total = clients * rounds * len(queries)
+    return {
+        "clients": clients,
+        "queries": total,
+        "qps": total / elapsed,
+        "canonical": canonical,
+    }
+
+
+def _run_pruning_leg(tmp: Path, rounds: int) -> dict:
+    """Selective query over a skewed corpus, pruned vs. unpruned.
+
+    ``//needle`` matches inside exactly one of the eight shards; the
+    path-synopsis route must ship it to strictly fewer shards than the
+    shard count while returning the identical canonical result.
+    """
+    documents = []
+    for n in range(SHARDS):
+        body = "".join(
+            f'<item id="{i}"><v>{i % 17}</v></item>'
+            for i in range(n * 60, n * 60 + 60)
+        )
+        if n == 5:
+            body += '<needle id="n5"><v>hit</v></needle>'
+        documents.append(parse_document(f"<doc>{body}</doc>"))
+    directory = tmp / "skewed"
+    create_collection(directory, documents)
+    query = "//needle"
+    legs = {}
+    with Collection(directory) as collection:
+        for name, pruning in (("unpruned", False), ("pruned", True)):
+            canonical = collection.evaluate(
+                query, pruning=pruning
+            ).canonical()
+            before = collection.stats()
+            started = time.perf_counter()
+            for _ in range(rounds):
+                collection.evaluate(query, pruning=pruning)
+            elapsed = time.perf_counter() - started
+            after = collection.stats()
+            pruned_per_query = (
+                after.shards_pruned - before.shards_pruned
+            ) / rounds
+            legs[name] = {
+                "qps": rounds / elapsed,
+                "shards_shipped": SHARDS - pruned_per_query,
+                "canonical": canonical,
+            }
+    equal = legs["pruned"].pop("canonical") == legs["unpruned"].pop(
+        "canonical"
+    )
+    return {
+        "query": query,
+        "shards": SHARDS,
+        "rounds": rounds,
+        "legs": legs,
+        "results_equal": equal,
+        "speedup": legs["pruned"]["qps"] / legs["unpruned"]["qps"],
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="collection scatter-gather scaling benchmark"
@@ -129,6 +254,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="required q/s speedup at 2 processes vs. 1 "
                              "(quick mode, hosts with >= 2 CPUs; "
                              "default: 1.1)")
+    parser.add_argument("--clients", default="1,2,4", metavar="LIST",
+                        help="comma-separated in-flight client counts "
+                             "for the concurrency legs (default: 1,2,4)")
+    parser.add_argument("--min-concurrent-speedup", type=float,
+                        default=1.5,
+                        help="required q/s speedup at 4 in-flight "
+                             "clients vs. 1 (hosts with >= 4 CPUs; "
+                             "default: 1.5)")
     arguments = parser.parse_args(argv)
     process_counts = sorted(
         {int(part) for part in arguments.processes.split(",") if part}
@@ -196,6 +329,112 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "legs": {str(w): leg for w, leg in legs.items()},
                 "speedups": {str(w): s for w, s in speedups.items()},
             }
+
+        # -- concurrent clients: q/s at 1/2/4 in flight ---------------
+        client_counts = sorted(
+            {int(part) for part in arguments.clients.split(",") if part}
+        )
+        if 1 not in client_counts:
+            client_counts.insert(0, 1)
+        concurrency_dir = Path(tmp) / "generated"
+        concurrency_legs = {}
+        baseline_canonical = None
+        for clients in client_counts:
+            leg = _run_concurrent_leg(
+                concurrency_dir, clients, CONCURRENCY_WORKLOAD,
+                arguments.rounds,
+            )
+            canonical = leg.pop("canonical")
+            if baseline_canonical is None:
+                baseline_canonical = canonical
+            elif canonical != baseline_canonical:
+                ok = False
+                print(
+                    f"FAIL: results at {clients} in-flight clients "
+                    f"differ from the 1-client leg",
+                    file=sys.stderr,
+                )
+            concurrency_legs[clients] = leg
+            print(
+                f"concurrent clients={clients}: "
+                f"{leg['qps']:8.1f} q/s"
+            )
+        concurrency_speedups = {
+            clients: concurrency_legs[clients]["qps"]
+            / concurrency_legs[1]["qps"]
+            for clients in client_counts
+        }
+        for clients, speedup in concurrency_speedups.items():
+            if clients != 1:
+                print(
+                    f"concurrent speedup at {clients} in flight: "
+                    f"{speedup:.2f}x"
+                )
+        concurrency_floor_at = 4
+        concurrency_enforced = (
+            cpus >= 4 and concurrency_floor_at in concurrency_speedups
+        )
+        report["concurrency"] = {
+            "workers": CONCURRENCY_WORKERS,
+            "queries": list(CONCURRENCY_WORKLOAD),
+            "legs": {
+                str(c): leg for c, leg in concurrency_legs.items()
+            },
+            "speedups": {
+                str(c): s for c, s in concurrency_speedups.items()
+            },
+            "floor": {
+                "clients": concurrency_floor_at,
+                "min_speedup": arguments.min_concurrent_speedup,
+                "enforced": concurrency_enforced,
+            },
+        }
+        if concurrency_enforced:
+            achieved = concurrency_speedups[concurrency_floor_at]
+            if achieved < arguments.min_concurrent_speedup:
+                ok = False
+                print(
+                    f"FAIL: {concurrency_floor_at}-client concurrent "
+                    f"speedup {achieved:.2f}x is below the "
+                    f"{arguments.min_concurrent_speedup:.2f}x floor",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"concurrency floor met: {achieved:.2f}x at "
+                    f"{concurrency_floor_at} in-flight clients "
+                    f"(required "
+                    f"{arguments.min_concurrent_speedup:.2f}x)"
+                )
+        else:
+            print(
+                f"concurrency floor not enforced (cpu_count={cpus}); "
+                f"reporting speedups only"
+            )
+
+        # -- pruning: selective query over the skewed corpus ----------
+        pruning = _run_pruning_leg(Path(tmp), max(arguments.rounds, 5))
+        report["pruning"] = pruning
+        if not pruning["results_equal"]:
+            ok = False
+            print(
+                "FAIL: pruned and unpruned results differ",
+                file=sys.stderr,
+            )
+        if pruning["legs"]["pruned"]["shards_shipped"] >= SHARDS:
+            ok = False
+            print(
+                "FAIL: the selective query shipped to every shard — "
+                "pruning never engaged",
+                file=sys.stderr,
+            )
+        print(
+            f"pruning: {pruning['legs']['pruned']['qps']:8.1f} q/s at "
+            f"{pruning['legs']['pruned']['shards_shipped']:.0f}/"
+            f"{SHARDS} shards vs "
+            f"{pruning['legs']['unpruned']['qps']:8.1f} q/s unpruned "
+            f"({pruning['speedup']:.2f}x)"
+        )
 
     best = {
         workers: max(

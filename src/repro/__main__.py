@@ -159,6 +159,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "with --collection (default: 4)",
     )
     parser.add_argument(
+        "--pruning", action=argparse.BooleanOptionalAction, default=True,
+        help="skip collection shards whose path synopsis proves the "
+             "query empty there (default on; --no-pruning scatters to "
+             "every shard — results are identical either way)",
+    )
+    parser.add_argument(
         "--indexes", action=argparse.BooleanOptionalAction, default=True,
         help="build structural indexes when storing with --store, and "
              "route eligible steps onto them (session engines; default "
@@ -316,6 +322,7 @@ def _run_collection(arguments) -> None:
         workers=arguments.workers,
         index="auto" if arguments.indexes else "off",
         optimizer=arguments.optimizer,
+        pruning=arguments.pruning,
     ) as collection:
         for _ in range(max(1, arguments.repeat)):
             result = session.evaluate_collection(
@@ -347,6 +354,7 @@ def _run_collection(arguments) -> None:
                 f"completed={stats.completed} "
                 f"timed_out={stats.timed_out} "
                 f"cancelled={stats.cancelled} failed={stats.failed} "
+                f"pruned={stats.shards_pruned} "
                 f"recycles={stats.recycles}",
                 file=sys.stderr,
             )

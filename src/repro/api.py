@@ -382,7 +382,7 @@ def create_collection(documents, directory, *, shards: Optional[int] = None,
 
 def open_collection(directory, *, workers: Optional[int] = None,
                     index: str = "auto", optimizer: str = "heuristic",
-                    options=None):
+                    options=None, pruning: bool = True):
     """Open a collection directory and start its worker pool.
 
     The returned :class:`~repro.collection.Collection` serves queries
@@ -391,13 +391,15 @@ def open_collection(directory, *, workers: Optional[int] = None,
     :meth:`XPathEngine.evaluate_collection`.  It holds worker processes
     open: close it (or use it as a context manager) when done.
     ``index`` and ``optimizer`` mirror the :class:`XPathEngine` knobs
-    and apply inside every worker.
+    and apply inside every worker.  ``pruning`` (default on) lets the
+    scatter skip shards whose path synopsis proves the query empty
+    there; results are identical either way.
     """
     from repro.collection import Collection
 
     return Collection(
         directory, workers=workers, index_mode=index,
-        optimizer=optimizer, options=options,
+        optimizer=optimizer, options=options, pruning=pruning,
     )
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -41,6 +41,7 @@ from repro.dom.node import NodeKind
 from repro.dom.parser import parse as parse_xml
 from repro.dom.serializer import escape_attribute, serialize
 from repro.errors import CollectionError
+from repro.index.synopsis import PathSynopsis
 from repro.storage import DocumentStore
 
 #: The catalog file inside a collection directory.
@@ -55,20 +56,35 @@ SHARD_PATTERN = "shard-{shard:04d}.natix"
 
 @dataclass(frozen=True)
 class ShardInfo:
-    """One catalog row: a shard's id, file and structural identity."""
+    """One catalog row: a shard's id, file and structural identity.
+
+    ``synopsis`` mirrors the shard store's DataGuide path synopsis into
+    the parent catalog (when the store carries fresh indexes), which is
+    what lets the collection layer answer "can this shard match at
+    all?" at scatter time without opening any shard file — see
+    :mod:`repro.collection.pruning`.  It is identity-neutral: two
+    catalogs differing only in mirrored synopses compare equal and
+    fingerprint identically.
+    """
 
     shard: int
     path: str  #: file name relative to the collection directory
     fingerprint: str  #: hex structural fingerprint of the store
     node_count: int
+    synopsis: Optional[PathSynopsis] = field(
+        default=None, compare=False, repr=False
+    )
 
     def to_json(self) -> dict:
-        return {
+        row = {
             "shard": self.shard,
             "path": self.path,
             "fingerprint": self.fingerprint,
             "node_count": self.node_count,
         }
+        if self.synopsis is not None:
+            row["synopsis"] = self.synopsis.to_rows()
+        return row
 
 
 @dataclass(frozen=True)
@@ -146,12 +162,19 @@ def load_catalog(directory: Union[str, os.PathLike]) -> CollectionCatalog:
         )
     shards: List[ShardInfo] = []
     for row in payload.get("shards", []):
+        synopsis = None
+        if row.get("synopsis") is not None:
+            try:
+                synopsis = PathSynopsis.from_rows(row["synopsis"])
+            except (TypeError, ValueError, IndexError):
+                synopsis = None  # malformed mirror: no pruning evidence
         shards.append(
             ShardInfo(
                 shard=int(row["shard"]),
                 path=str(row["path"]),
                 fingerprint=str(row["fingerprint"]),
                 node_count=int(row["node_count"]),
+                synopsis=synopsis,
             )
         )
     if not shards:
@@ -166,6 +189,7 @@ def load_catalog(directory: Union[str, os.PathLike]) -> CollectionCatalog:
         name=str(payload.get("name", directory.name)),
         shards=tuple(shards),
     )
+    validated: List[ShardInfo] = []
     for info in catalog.shards:
         shard_path = catalog.shard_path(info.shard)
         if not shard_path.is_file():
@@ -181,7 +205,23 @@ def load_catalog(directory: Union[str, os.PathLike]) -> CollectionCatalog:
                     f"{info.fingerprint[:12]}…, file {actual[:12]}…); "
                     "re-create the collection"
                 )
-    return catalog
+            if info.synopsis is None and stored.index_status == "fresh":
+                # Catalogs written before the synopsis mirror existed:
+                # lift the synopsis out of the store we just opened
+                # anyway, so pruning works without re-creating them.
+                info = ShardInfo(
+                    shard=info.shard,
+                    path=info.path,
+                    fingerprint=info.fingerprint,
+                    node_count=info.node_count,
+                    synopsis=stored.indexes.synopsis,
+                )
+        validated.append(info)
+    return CollectionCatalog(
+        directory=catalog.directory,
+        name=catalog.name,
+        shards=tuple(validated),
+    )
 
 
 def create_collection(
@@ -207,12 +247,16 @@ def create_collection(
         shard_path = directory / file_name
         DocumentStore.write(document, shard_path, indexes=indexes)
         with DocumentStore.open(shard_path, buffer_pages=8) as stored:
+            synopsis = None
+            if stored.index_status == "fresh":
+                synopsis = stored.indexes.synopsis
             infos.append(
                 ShardInfo(
                     shard=shard,
                     path=file_name,
                     fingerprint=stored.fingerprint.hex(),
                     node_count=stored.node_count,
+                    synopsis=synopsis,
                 )
             )
     catalog = CollectionCatalog(

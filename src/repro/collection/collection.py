@@ -8,8 +8,15 @@ queries:
 1. **Ship** — the query is front-end compiled once (phases 1–5) and the
    pickled translation cached under ``(query, options, namespaces,
    index mode, optimizer)``; see :mod:`repro.collection.plans`.
-2. **Scatter** — one task per shard, carrying the shipped plan and the
-   per-shard governance limits derived from the collection deadline.
+2. **Prune + scatter** — before anything ships, each shard's mirrored
+   path synopsis is asked whether the query's leading structural steps
+   can match at all (:mod:`repro.collection.pruning`); a refuted shard
+   is *pruned* — the parent synthesizes its provably-empty node-set
+   slice without scattering.  The admitted shards each get one task,
+   carrying the shipped plan and the per-shard governance limits
+   derived from the collection deadline.  Scatters are **not**
+   serialized: any number of queries may be in flight on the pool at
+   once, multiplexed by query id (see :mod:`repro.collection.pool`).
 3. **Gather** — the pool collects exactly one outcome per shard
    (worker crashes and unresponsive workers included, as typed
    errors), cancelling the in-flight siblings as soon as any shard
@@ -26,11 +33,13 @@ errors (:class:`~repro.errors.QueryTimeoutError`, budget, cancel) when
 a governor tripped, :class:`~repro.errors.ShardFailedError` when a
 worker died or stopped responding.  There are no partial results.
 
-Accounting is parent-side only: every scattered shard task resolves to
+Accounting is parent-side only: every submitted shard task resolves to
 exactly one of ``completed`` / ``timed_out`` / ``cancelled`` /
-``failed`` at gather time, so the :class:`CollectionStats` invariant
-``submitted == completed + timed_out + cancelled + failed`` holds at
-every quiescent point by construction, no matter what the workers did.
+``failed`` / ``pruned``, so the :class:`CollectionStats` invariant
+``submitted == completed + timed_out + cancelled + failed + pruned``
+holds at every quiescent point by construction, no matter what the
+workers did (pruned shards count as submitted and resolve instantly,
+parent-side).
 """
 
 from __future__ import annotations
@@ -40,7 +49,9 @@ import os
 import threading
 import time
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple, Union
+from typing import (
+    Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Union,
+)
 
 from repro.collection.catalog import CollectionCatalog, load_catalog
 from repro.collection.plans import ShippedPlan, ship_plan
@@ -49,6 +60,7 @@ from repro.collection.pool import (
     ShardOutcome,
     WorkerPool,
 )
+from repro.collection.pruning import shard_admits
 from repro.compiler.improved import TranslationOptions
 from repro.errors import (
     CollectionError,
@@ -62,7 +74,9 @@ from repro.errors import (
 SHIPPED_CACHE_LIMIT = 128
 
 #: The outcome classes a shard task resolves into (stats keys).
-OUTCOME_KEYS = ("submitted", "completed", "timed_out", "cancelled", "failed")
+OUTCOME_KEYS = (
+    "submitted", "completed", "timed_out", "cancelled", "failed", "pruned",
+)
 
 
 class NodeRecord(NamedTuple):
@@ -153,8 +167,9 @@ class CollectionStats:
     """Immutable statistics snapshot of one :class:`Collection`.
 
     Task counters are per-*shard-task* (one query over N shards
-    submits N), and reconcile at every quiescent point:
-    ``submitted == completed + timed_out + cancelled + failed``.
+    submits N, whether or not the synopsis then prunes some of them),
+    and reconcile at every quiescent point: ``submitted == completed +
+    timed_out + cancelled + failed + shards_pruned``.
     """
 
     name: str
@@ -167,6 +182,7 @@ class CollectionStats:
     timed_out: int
     cancelled: int
     failed: int
+    shards_pruned: int
     per_shard: Mapping[int, Mapping[str, int]]
     scatter_seconds: float
     gather_seconds: float
@@ -199,11 +215,17 @@ class Collection:
 
     ``index_mode`` and ``optimizer`` mirror the single-document
     :class:`~repro.engine.session.XPathEngine` knobs and apply in every
-    worker.  Queries are serialized per collection (one scatter in
-    flight at a time); concurrency comes from the shards fanning out
-    across worker processes, and from
-    :meth:`XPathEngine.evaluate_collection` coalescing duplicate
-    concurrent requests above this layer.
+    worker.  Queries are **concurrent**: any number of threads may call
+    :meth:`evaluate` at once and their scatters interleave on the pool,
+    multiplexed by query id — concurrency comes both from the shards
+    fanning out across worker processes and from distinct queries
+    overlapping in flight (duplicate concurrent requests are still
+    coalesced by :meth:`XPathEngine.evaluate_collection` above this
+    layer).  ``pruning`` (default on) lets the scatter skip shards
+    whose mirrored path synopsis refutes the query's leading structural
+    steps; pruned shards contribute provably-empty node-set slices and
+    are counted in :class:`CollectionStats` — results are bit-identical
+    with pruning on or off.
     """
 
     def __init__(
@@ -215,6 +237,7 @@ class Collection:
         optimizer: str = "heuristic",
         options: Optional[TranslationOptions] = None,
         buffer_pages: int = DEFAULT_WORKER_BUFFER_PAGES,
+        pruning: bool = True,
     ):
         if index_mode not in ("off", "auto", "force"):
             raise ValueError(
@@ -233,6 +256,7 @@ class Collection:
         self.index_mode = index_mode
         self.optimizer = optimizer
         self.options = options or TranslationOptions()
+        self.pruning = bool(pruning)
         self.pool = WorkerPool(
             self.catalog,
             workers,
@@ -240,7 +264,6 @@ class Collection:
             buffer_pages=buffer_pages,
         )
         self._lock = threading.Lock()
-        self._pool_lock = threading.Lock()
         self._qids = itertools.count(1)
         self._shipped: Dict[tuple, ShippedPlan] = {}
         self._closed = False
@@ -316,6 +339,7 @@ class Collection:
         max_tuples: Optional[int] = None,
         max_bytes: Optional[int] = None,
         cancel=None,
+        pruning: Optional[bool] = None,
     ) -> CollectionResult:
         """Evaluate ``query`` over every shard and merge the results.
 
@@ -326,6 +350,9 @@ class Collection:
         budget each shard individually.  ``cancel`` is an optional
         :class:`~repro.engine.governor.CancelToken` observed parent-
         side between gather polls and propagated to the workers.
+        ``pruning`` overrides the collection-level pruning default for
+        this one query (``None`` inherits it); pruning never changes
+        the result, only which shards the scatter actually ships to.
 
         Raises the highest-priority shard error when any shard fails
         (timeout/budget over crash over cancel) — never returns a
@@ -340,14 +367,22 @@ class Collection:
         limits = (timeout, deadline, max_tuples, max_bytes)
         started = time.perf_counter()
         qid = next(self._qids)
-        tasks = {
-            info.shard: (
+        prune = self.pruning if pruning is None else bool(pruning)
+        pruned: List[int] = []
+        tasks: Dict[int, tuple] = {}
+        for info in self.catalog.shards:
+            if (prune
+                    and shipped.result_kind == "sequence"
+                    and shipped.prune_paths is not None
+                    and not shard_admits(info.synopsis,
+                                         shipped.prune_paths)):
+                pruned.append(info.shard)
+                continue
+            tasks[info.shard] = (
                 "query", qid, info.shard, shipped,
                 dict(variables or {}), dict(namespaces or {}), limits,
             )
-            for info in self.catalog.shards
-        }
-        outcomes = self._run(qid, tasks, deadline, cancel)
+        outcomes = self._run(qid, tasks, pruned, deadline, cancel)
         elapsed = time.perf_counter() - started
         return self._resolve(outcomes, elapsed)
 
@@ -355,33 +390,46 @@ class Collection:
         self,
         qid: int,
         tasks: Dict[int, tuple],
+        pruned: List[int],
         deadline: Optional[float],
         cancel,
     ) -> Dict[int, ShardOutcome]:
-        """Scatter + gather one query, serialized, with accounting.
+        """Scatter + gather one query, concurrently, with accounting.
 
-        The pool serves one scatter at a time (``self._pool_lock``):
-        worker task queues are strictly per-query, so gather never has
-        to disambiguate interleaved queries, and a recycle can drop
-        whatever is in flight knowing it all belongs to the failed
-        query.  Counters are accounted here, parent-side only — every
-        scattered shard resolves to exactly one outcome key.
+        Scatters are *not* serialized: the pool multiplexes any number
+        of in-flight queries by qid, so this method only registers the
+        flight, waits for it, and accounts the outcomes.  ``pruned``
+        shards never touch the pool — the parent resolves them here to
+        synthesized empty node-set outcomes, counted under their own
+        key.  Every submitted shard (scattered or pruned) resolves to
+        exactly one outcome key, parent-side only.
         """
-        with self._pool_lock:
-            with self._lock:
-                for shard in tasks:
-                    self._counters["submitted"] += 1
-                    self._per_shard[shard]["submitted"] += 1
-                self._queries += 1
-            scatter_started = time.perf_counter()
-            self.pool.scatter(qid, tasks)
+        with self._lock:
+            for shard in tasks:
+                self._counters["submitted"] += 1
+                self._per_shard[shard]["submitted"] += 1
+            for shard in pruned:
+                self._counters["submitted"] += 1
+                self._per_shard[shard]["submitted"] += 1
+            self._queries += 1
+        outcomes: Dict[int, ShardOutcome] = {
+            shard: ShardOutcome(
+                shard, payload=("node-set", ()), pruned=True
+            )
+            for shard in pruned
+        }
+        scatter_started = time.perf_counter()
+        gather_started = scatter_started
+        finished = scatter_started
+        if tasks:
+            flight = self.pool.scatter(qid, tasks, deadline)
             gather_started = time.perf_counter()
-            outcomes = self.pool.gather(
-                qid, tasks, deadline, cancel_check=(
+            outcomes.update(self.pool.gather(
+                flight, cancel_check=(
                     (lambda: cancel.cancelled)
                     if cancel is not None else None
                 ),
-            )
+            ))
             finished = time.perf_counter()
         with self._lock:
             self._scatter_seconds += gather_started - scatter_started
@@ -428,6 +476,7 @@ class Collection:
         timeout: Optional[float] = None,
         timeouts: Optional[Mapping[int, float]] = None,
         cancel=None,
+        shards: Optional[Sequence[int]] = None,
     ) -> CollectionResult:
         """Scatter governed sleeps instead of a query (tests only).
 
@@ -435,7 +484,10 @@ class Collection:
         mapping; ``timeouts`` optionally overrides the deadline per
         shard (a shard absent from it runs deadline-free), which is how
         the regression tests arrange for *one* shard's deadline to
-        expire while its siblings are mid-flight.  Exercises the full
+        expire while its siblings are mid-flight.  ``shards`` restricts
+        the scatter to a subset of shard ids (default: all), which is
+        how the concurrency tests park a sleep on *one* worker while a
+        real query overlaps on the others.  Exercises the full
         scatter-gather machinery — governance, cancellation, crash
         handling, accounting — with a deterministic wall-clock payload.
         """
@@ -443,11 +495,17 @@ class Collection:
             seconds if isinstance(seconds, Mapping)
             else {info.shard: seconds for info in self.catalog.shards}
         )
+        chosen = (
+            set(shards) if shards is not None
+            else {info.shard for info in self.catalog.shards}
+        )
         now = time.monotonic()
         deadline = now + timeout if timeout is not None else None
         qid = next(self._qids)
         tasks = {}
         for info in self.catalog.shards:
+            if info.shard not in chosen:
+                continue
             shard_timeout = timeout
             shard_deadline = deadline
             if timeouts is not None:
@@ -462,7 +520,7 @@ class Collection:
                 (shard_timeout, shard_deadline, None, None),
             )
         started = time.perf_counter()
-        outcomes = self._run(qid, tasks, deadline, cancel)
+        outcomes = self._run(qid, tasks, [], deadline, cancel)
         return self._resolve(outcomes, time.perf_counter() - started)
 
     # -- statistics ----------------------------------------------------
@@ -480,6 +538,7 @@ class Collection:
                 timed_out=self._counters["timed_out"],
                 cancelled=self._counters["cancelled"],
                 failed=self._counters["failed"],
+                shards_pruned=self._counters["pruned"],
                 per_shard={
                     shard: dict(counters)
                     for shard, counters in self._per_shard.items()
@@ -507,6 +566,8 @@ class Collection:
 
 
 def _outcome_key(outcome: ShardOutcome) -> str:
+    if outcome.pruned:
+        return "pruned"
     if outcome.error is None:
         return "completed"
     if isinstance(outcome.error, QueryTimeoutError):

@@ -24,10 +24,11 @@ plans hold live iterators and register files and are never shipped.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.algebra import operators as ops
+from repro.collection.pruning import PrunePaths, extract_prune_paths
 from repro.compiler.improved import TranslationOptions
 from repro.compiler.normalize import normalize
 from repro.compiler.pipeline import (
@@ -48,13 +49,19 @@ class ShippedPlan:
     ``blob`` pickles ``(query, TranslationOptions, TranslationResult)``;
     ``index_mode`` / ``optimizer`` ride alongside because they are
     compile *inputs* the worker's back end needs, not part of the
-    translation itself.
+    translation itself.  ``result_kind`` and ``prune_paths`` are
+    parent-side scatter metadata: the collection layer may skip shards
+    whose synopsis refutes every prune path, but only for node-set
+    (``"sequence"``) results, where the skipped shard's slice is
+    provably the empty node-set.
     """
 
     query: str
     blob: bytes
     index_mode: str
     optimizer: str
+    result_kind: str = "sequence"
+    prune_paths: Optional[PrunePaths] = field(default=None)
 
 
 def translate_front_end(
@@ -98,8 +105,16 @@ def ship_plan(
     blob = pickle.dumps(
         (query, options, translation), protocol=pickle.HIGHEST_PROTOCOL
     )
+    # The prune signature comes from a fresh parse: normalization
+    # mutates the translated AST, and the signature must mirror the
+    # query as written.
+    prune_paths = None
+    if translation.kind == "sequence":
+        prune_paths = extract_prune_paths(parse_xpath(query))
     return ShippedPlan(
-        query=query, blob=blob, index_mode=index_mode, optimizer=optimizer
+        query=query, blob=blob, index_mode=index_mode,
+        optimizer=optimizer, result_kind=translation.kind,
+        prune_paths=prune_paths,
     )
 
 

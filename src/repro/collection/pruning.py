@@ -1,0 +1,157 @@
+"""Synopsis-driven shard pruning: "can this shard match at all?".
+
+Every shard of a collection persists a DataGuide path synopsis
+(:mod:`repro.index.synopsis`) — the same evidence the cost optimizer
+consults before routing a step onto an index.  This module applies the
+same discipline one layer up, at *scatter* time: before a query ships
+to a shard, the parent walks the query's leading structural steps
+through that shard's synopsis frontier, and a shard whose frontier
+comes up empty provably cannot contribute a single result node, so the
+scatter skips it entirely (the parent synthesizes its empty node-set
+slice and counts the shard as ``pruned``).
+
+Soundness rests on *necessity*: :func:`extract_prune_paths` derives,
+from the parsed query, a set of structural path signatures such that a
+non-empty result implies a non-empty frontier for at least one
+signature.  Predicates are ignored (they only filter — and XPath 1.0
+evaluates them lazily, so a predicate over an empty candidate set can
+neither produce results nor raise), and extraction *truncates* at the
+first step the synopsis cannot answer (reverse axes, node-type tests,
+prefixed names): a truncated prefix is still a necessary condition.
+Queries from which no signature can be derived (scalar results,
+filter/function heads, prefixed name tests) are never pruned — every
+shard is scattered to, exactly as before.
+
+False positives (a shard admitted that turns out empty — e.g. name
+tests shadowed by namespace bindings) cost only a wasted task; false
+negatives are impossible by construction, which is what the
+pruned-vs-unpruned canonical-equality property in
+``tests/test_collection.py`` and the differential oracle's pruning-on
+``collection`` route lock in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.index.synopsis import PathSynopsis
+from repro.xpath import xast
+from repro.xpath.axes import Axis, NodeTestKind
+
+#: One structural step of a prune signature: ``(op, name)`` with op in
+#: ``child`` / ``desc`` / ``descself`` / ``self`` / ``attr`` and name a
+#: literal QName or ``"*"`` — the vocabulary of
+#: :meth:`PathSynopsis.frontier_entries`.
+PruneStep = Tuple[str, str]
+
+#: A prune signature: several alternative structural paths (union
+#: branches); a shard is admitted when *any* path admits a non-empty
+#: frontier.
+PrunePaths = Tuple[Tuple[PruneStep, ...], ...]
+
+_AXIS_OPS = {
+    Axis.CHILD: "child",
+    Axis.DESCENDANT: "desc",
+    Axis.DESCENDANT_OR_SELF: "descself",
+    Axis.SELF: "self",
+    Axis.ATTRIBUTE: "attr",
+}
+
+
+def _step_op(step: "xast.Step") -> Optional[PruneStep]:
+    """The frontier op of one location step, or ``None`` to truncate.
+
+    Only forward structural axes with name(-ish) tests translate; a
+    prefixed QName depends on namespace bindings the synopsis does not
+    record, and node-type tests (text/comment/PI — and ``node()`` on
+    any axis but ``descendant-or-self``) reach nodes outside the
+    DataGuide, so both truncate extraction at this step.
+    """
+    op = _AXIS_OPS.get(step.axis)
+    if op is None:
+        return None
+    if step.test_kind == NodeTestKind.NAME:
+        name = step.test_name or ""
+        if not name or ":" in name:
+            return None  # prefixed: matching depends on bindings
+        return (op, name)
+    if step.test_kind == NodeTestKind.ANY_NAME:
+        if step.test_name:  # prefix:* — namespace-dependent
+            return None
+        return (op, "*")
+    if (step.test_kind == NodeTestKind.NODE
+            and step.axis == Axis.DESCENDANT_OR_SELF):
+        # The `//` abbreviation: widen the frontier, keep walking.
+        return ("descself", "*")
+    return None
+
+
+def _steps_signature(
+    steps: List["xast.Step"],
+) -> Optional[Tuple[PruneStep, ...]]:
+    """The structural prefix of a step list (predicates ignored)."""
+    ops: List[PruneStep] = []
+    for step in steps:
+        op = _step_op(step)
+        if op is None:
+            break
+        if op == ("self", "*"):
+            continue  # self::* only ever drops the root; skip it
+        ops.append(op)
+    if not ops:
+        return None
+    return tuple(ops)
+
+
+def _expr_paths(expr: "xast.Expr") -> Optional[PrunePaths]:
+    """Prune signatures of one expression, or ``None`` (ship everywhere).
+
+    Collection queries evaluate with the shard's document root as the
+    context node, so relative location paths anchor at the root exactly
+    like absolute ones.
+    """
+    if isinstance(expr, xast.LocationPath):
+        signature = _steps_signature(expr.steps)
+        if signature is None:
+            return None
+        return (signature,)
+    if isinstance(expr, xast.UnionExpr):
+        branches: List[Tuple[PruneStep, ...]] = []
+        for operand in expr.operands:
+            paths = _expr_paths(operand)
+            if paths is None:
+                return None
+            branches.extend(paths)
+        return tuple(branches)
+    if isinstance(expr, xast.PathExpr):
+        # Result nodes pass through the source's nodes first, so the
+        # source's signature alone is already a necessary condition.
+        return _expr_paths(expr.source)
+    if isinstance(expr, xast.FilterExpr):
+        return _expr_paths(expr.primary)
+    return None
+
+
+def extract_prune_paths(ast: "xast.Expr") -> Optional[PrunePaths]:
+    """Derive the prune signature of a parsed query, if one exists.
+
+    Returns ``None`` when the query gives the synopsis nothing to
+    refute — such queries ship to every shard.
+    """
+    return _expr_paths(ast)
+
+
+def shard_admits(
+    synopsis: Optional[PathSynopsis],
+    prune_paths: Optional[PrunePaths],
+) -> bool:
+    """Whether a shard with ``synopsis`` might contribute results.
+
+    A missing synopsis (store written with ``indexes=False``, or a
+    stale index region) admits unconditionally — no evidence, no
+    pruning, the same gate the cost optimizer applies before routing
+    onto an index.
+    """
+    if synopsis is None or prune_paths is None:
+        return True
+    return any(synopsis.admits(path) for path in prune_paths)

@@ -22,11 +22,13 @@ Everything crossing the process boundary is plain picklable data:
   name, string_value)`` in document order — live node handles never
   leave the process that owns their pages.
 
-Cross-process cancellation rides a shared ``multiprocessing.Value``
-cell per worker: the parent stores the qid it wants cancelled, and a
-duck-typed cancel token (the governor only reads ``.cancelled`` /
-``.reason``) compares the cell against the task's own qid on every
-amortized governor check.  Exceptions are shipped as ``(type name,
+Cross-process cancellation rides one shared ``multiprocessing.Array``
+of qid slots (shared by every worker of the pool): the parent parks
+the qid it wants cancelled in a free slot, and a duck-typed cancel
+token (the governor only reads ``.cancelled`` / ``.reason``) scans the
+array for the task's own qid on every amortized governor check — so
+several queries can be cancelled independently while others run
+undisturbed.  Exceptions are shipped as ``(type name,
 message, attribute dict)`` and reconstructed without re-running typed
 ``__init__`` signatures, so ``QueryTimeoutError(timeout, elapsed)`` and
 friends survive the queue round-trip with their attributes intact.
@@ -53,26 +55,30 @@ _ERROR_ATTRS = (
 )
 
 
-class _CellCancelToken:
-    """Cancel token backed by a cross-process cancel cell.
+class _SlotCancelToken:
+    """Cancel token backed by the shared cancel-slot array.
 
-    The parent cancels a worker's in-flight task by storing that task's
-    qid in the worker's shared cell; this adapter makes the governor's
+    The parent cancels an in-flight query by parking its qid in a free
+    slot of the pool-wide array; this adapter makes the governor's
     amortized check observe it.  Matching on the *qid* (not a boolean)
-    means a cancel aimed at an abandoned query can never leak into the
-    next one.
+    means a cancel aimed at one query can never leak into a concurrent
+    or subsequent one.
     """
 
-    __slots__ = ("_cell", "_qid", "reason")
+    __slots__ = ("_slots", "_qid", "reason")
 
-    def __init__(self, cell, qid: int):
-        self._cell = cell
+    def __init__(self, slots, qid: int):
+        self._slots = slots
         self._qid = qid
         self.reason = "collection scatter cancelled"
 
     @property
     def cancelled(self) -> bool:
-        return self._cell.value == self._qid
+        qid = self._qid
+        for value in self._slots:
+            if value == qid:
+                return True
+        return False
 
 
 def encode_error(error: BaseException) -> Tuple[str, str, dict]:
@@ -116,7 +122,7 @@ def decode_error(encoded: Tuple[str, str, dict]) -> Exception:
 def _make_governor(
     limits: Tuple[Optional[float], Optional[float], Optional[int],
                   Optional[int]],
-    cancel_cell,
+    cancel_slots,
     qid: int,
 ) -> Optional[ResourceGovernor]:
     """Build this task's governor from the shipped collection limits.
@@ -137,7 +143,7 @@ def _make_governor(
             raise QueryTimeoutError(
                 timeout or 0.0, (timeout or 0.0) - remaining
             )
-    cancel = _CellCancelToken(cancel_cell, qid)
+    cancel = _SlotCancelToken(cancel_slots, qid)
     return ResourceGovernor(
         timeout=remaining,
         max_tuples=max_tuples,
@@ -199,7 +205,7 @@ def worker_main(
     assignments,
     task_queue,
     result_queue,
-    cancel_cell,
+    cancel_slots,
     index_mode: str,
     buffer_pages: int,
 ) -> None:
@@ -240,7 +246,7 @@ def worker_main(
                     )
                 if kind == "sleep":
                     seconds, limits = task[3], task[4]
-                    governor = _make_governor(limits, cancel_cell, qid)
+                    governor = _make_governor(limits, cancel_slots, qid)
                     payload = (
                         "string",
                         _governed_sleep(seconds, governor),
@@ -250,7 +256,7 @@ def worker_main(
                     payload = _run_query(
                         stores[shard], shard, index_mode, plan_cache,
                         shipped, variables, namespaces, limits,
-                        cancel_cell, qid,
+                        cancel_slots, qid,
                     )
                 else:
                     raise errors_module.CollectionError(
@@ -280,7 +286,7 @@ def _run_query(
     variables,
     namespaces,
     limits,
-    cancel_cell,
+    cancel_slots,
     qid: int,
 ) -> tuple:
     """Compile (cached) and evaluate one shipped plan on one shard.
@@ -305,7 +311,7 @@ def _run_query(
         if len(plan_cache) >= PLAN_CACHE_LIMIT:
             plan_cache.pop(next(iter(plan_cache)))
         plan_cache[key] = compiled
-    governor = _make_governor(limits, cancel_cell, qid)
+    governor = _make_governor(limits, cancel_slots, qid)
     result = compiled.evaluate(
         stored.root,
         variables=dict(variables or {}),

@@ -1090,6 +1090,115 @@ class XPathEngine:
                 self._engine_counters["coalesced_requests"] += 1
         return result
 
+    def evaluate_collection_stream(
+        self,
+        query: str,
+        collection,
+        eval_options=None,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        options: Optional[TranslationOptions] = None,
+    ):
+        """Evaluate over a collection, yielding result *pages*.
+
+        The collection analogue of :meth:`evaluate_stream`: the serving
+        front end pulls ``page_size``-bounded pages instead of the whole
+        merged answer at once.  The scatter-gather itself still
+        materializes per-shard slices (records must cross process
+        boundaries whole), so unlike the single-document stream this
+        bounds what is *in flight to the client*, not what the workers
+        hold; governance, pruning and the global document-order merge
+        are identical to :meth:`evaluate_collection`.  Streams are not
+        coalesced, and outcome accounting mirrors
+        :meth:`evaluate_stream`: one submission per stream, settled
+        into exactly one governance outcome when it finishes.
+
+        Node-set results page over the merged records; scalar results
+        page over the per-shard values in shard order.
+        """
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        resolved, _codegen = self._resolve_call(
+            "XPathEngine.evaluate_collection_stream", eval_options, {}
+        )
+        eval_timeout = (
+            resolved.timeout if resolved.timeout is not None
+            else self.default_timeout
+        )
+        eval_max_tuples = (
+            resolved.max_tuples if resolved.max_tuples is not None
+            else self.default_max_tuples
+        )
+        eval_max_bytes = (
+            resolved.max_bytes if resolved.max_bytes is not None
+            else self.default_max_bytes
+        )
+        with self._lock:
+            self._engine_counters["queries_submitted"] += 1
+            self._engine_counters["collection_queries"] += 1
+            self._engine_counters["stream_queries"] += 1
+        return self._collection_stream_pages(
+            query, collection, resolved, options, page_size,
+            eval_timeout, eval_max_tuples, eval_max_bytes,
+        )
+
+    def _collection_stream_pages(
+        self, query, collection, resolved, options, page_size,
+        eval_timeout, eval_max_tuples, eval_max_bytes,
+    ):
+        """Generator body of :meth:`evaluate_collection_stream`
+        (``queries_submitted`` was already counted by the caller)."""
+        settled = False
+
+        def settle(counter: str) -> None:
+            nonlocal settled
+            if settled:
+                return
+            settled = True
+            with self._lock:
+                self._engine_counters[counter] += 1
+
+        start = time.perf_counter()
+        try:
+            result = collection.evaluate(
+                query,
+                variables=resolved.variables,
+                namespaces=resolved.namespace_map(),
+                options=options,
+                timeout=eval_timeout,
+                max_tuples=eval_max_tuples,
+                max_bytes=eval_max_bytes,
+                cancel=resolved.cancel,
+            )
+            merged = result.merged()
+            yielded = False
+            for offset in range(0, len(merged), page_size):
+                with self._lock:
+                    self._engine_counters["stream_pages"] += 1
+                yield result.kind, merged[offset:offset + page_size]
+                yielded = True
+            if not yielded:
+                # An empty result still yields one (empty) page so the
+                # consumer always learns the result kind.
+                with self._lock:
+                    self._engine_counters["stream_pages"] += 1
+                yield result.kind, []
+        except QueryTimeoutError:
+            settle("queries_timed_out")
+            raise
+        except QueryCancelledError:
+            settle("queries_cancelled")
+            raise
+        except QueryBudgetError:
+            settle("budget_aborts")
+            raise
+        finally:
+            settle("queries_completed")
+            with self._lock:
+                self._execution_count += 1
+                self._execution_seconds += time.perf_counter() - start
+                self._last_collection_stats = collection.stats()
+
     def count(
         self,
         query: str,

@@ -106,6 +106,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="graceful-shutdown drain budget (default: 10)",
     )
     parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="reap keep-alive connections idle this long "
+             "(default: 60; 0 disables)",
+    )
+    parser.add_argument(
         "--index", choices=("auto", "off", "force"), default="auto",
         help="engine index-routing mode (default: auto)",
     )
@@ -153,6 +158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if arguments.drain_grace is not None:
         config_fields["drain_grace"] = arguments.drain_grace
+    if arguments.idle_timeout is not None:
+        config_fields["idle_timeout"] = arguments.idle_timeout or None
 
     try:
         config = ServerConfig(

@@ -46,6 +46,8 @@ class AdmissionController:
         self._per_client: Dict[str, int] = {}
         self._total = 0
         self._admitted = 0
+        self._released = 0
+        self._orphan_releases = 0
         self._rejected_quota = 0
         self._rejected_queue = 0
 
@@ -79,14 +81,26 @@ class AdmissionController:
             self._admitted += 1
 
     def release(self, client: str) -> None:
-        """Return ``client``'s slot (exactly once per admit)."""
+        """Return ``client``'s slot (exactly once per admit).
+
+        A release with no matching admit — a double release on some
+        exit path, the bug class this guards against — is *not*
+        silently clamped away: it leaves the quota untouched and is
+        counted as an ``orphan_releases`` anomaly in the snapshot, so a
+        stats check catches the broken path instead of the quota
+        slowly inflating.
+        """
         with self._lock:
             inflight = self._per_client.get(client, 0)
-            if inflight <= 1:
+            if inflight <= 0:
+                self._orphan_releases += 1
+                return
+            if inflight == 1:
                 self._per_client.pop(client, None)
             else:
                 self._per_client[client] = inflight - 1
             self._total = max(0, self._total - 1)
+            self._released += 1
 
     def snapshot(self) -> dict:
         """Quota counters for ``/stats`` (JSON-safe)."""
@@ -99,6 +113,8 @@ class AdmissionController:
                 "queued": max(0, self._total - self.workers),
                 "clients": dict(self._per_client),
                 "admitted": self._admitted,
+                "released": self._released,
+                "orphan_releases": self._orphan_releases,
                 "rejected_quota": self._rejected_quota,
                 "rejected_queue": self._rejected_queue,
             }

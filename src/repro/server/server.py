@@ -103,6 +103,7 @@ class ServerConfig:
     drain_grace: float = 10.0  #: shutdown drain budget (s)
     buffer_pages: int = 4  #: stream backpressure bound, in pages
     max_body_bytes: int = 1 << 20  #: request body cap
+    idle_timeout: Optional[float] = 60.0  #: idle keep-alive reap (s)
 
     def __post_init__(self):
         if self.page_size < 1 or self.max_page_size < self.page_size:
@@ -114,6 +115,10 @@ class ServerConfig:
             raise ValueError("buffer_pages must be at least 1")
         if self.drain_grace < 0:
             raise ValueError("drain_grace must not be negative")
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise ValueError(
+                "idle_timeout must be positive (or None to disable)"
+            )
 
 
 class _StreamAborted(Exception):
@@ -126,22 +131,28 @@ class _PageBuffer:
     The producer (executor thread) blocks in :meth:`put_page` once
     ``capacity`` pages are queued but unconsumed; the consumer (event
     loop) releases one slot per page it takes.  :meth:`abort` unwedges
-    a blocked producer when the consumer bails out early — the
-    producer sees :class:`_StreamAborted` at its next push.
+    a blocked producer when the consumer bails out early — it signals
+    the producer's condition variable directly, so a producer parked on
+    a full buffer sees :class:`_StreamAborted` within the wakeup
+    latency of the condition (microseconds), not at the next tick of a
+    polling loop.
     """
 
     def __init__(self, loop: asyncio.AbstractEventLoop, capacity: int):
         self._loop = loop
         self._queue: "asyncio.Queue" = asyncio.Queue()
-        self._slots = threading.Semaphore(capacity)
-        self._aborted = threading.Event()
+        self._lock = threading.Lock()
+        self._free = threading.Condition(self._lock)
+        self._slots = capacity
+        self._aborted = False
 
     def put_page(self, items: List[dict]) -> None:
-        while not self._slots.acquire(timeout=0.1):
-            if self._aborted.is_set():
+        with self._free:
+            while self._slots <= 0 and not self._aborted:
+                self._free.wait()
+            if self._aborted:
                 raise _StreamAborted()
-        if self._aborted.is_set():
-            raise _StreamAborted()
+            self._slots -= 1
         self._send(("page", items))
 
     def put_header(self, kind: str) -> None:
@@ -159,11 +170,15 @@ class _PageBuffer:
     async def get(self):
         event = await self._queue.get()
         if event[0] == "page":
-            self._slots.release()
+            with self._free:
+                self._slots += 1
+                self._free.notify()
         return event
 
     def abort(self) -> None:
-        self._aborted.set()
+        with self._free:
+            self._aborted = True
+            self._free.notify_all()
 
 
 @dataclass
@@ -215,14 +230,17 @@ class XPathServer:
         self._counters: Counter = Counter(
             requests=0, queries=0, queries_ok=0, queries_failed=0,
             rejected_draining=0, pages_sent=0, items_sent=0,
-            connections_total=0,
+            connections_total=0, connections_reaped=0,
         )
         self._lock = threading.Lock()
         self._qids = itertools.count(1)
-        self._connections: Set[asyncio.StreamWriter] = set()
+        #: writer -> last-activity loop time, or None while a request
+        #: is being served (busy connections are never reaped).
+        self._connections: Dict[asyncio.StreamWriter, Optional[float]] = {}
         self._active_cancels: Set[CancelToken] = set()
         self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
+        self._reaper: Optional[asyncio.Task] = None
         self._started_at = time.time()
 
     # -- lifecycle -----------------------------------------------------
@@ -231,6 +249,10 @@ class XPathServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self.config.idle_timeout is not None:
+            self._reaper = asyncio.get_running_loop().create_task(
+                self._reap_idle_connections()
+            )
 
     @property
     def port(self) -> int:
@@ -277,6 +299,13 @@ class XPathServer:
             hard = loop.time() + max(grace, 5.0)
             while self._admission.total_inflight and loop.time() < hard:
                 await asyncio.sleep(0.02)
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -324,13 +353,42 @@ class XPathServer:
 
     # -- connection handling -------------------------------------------
 
+    async def _reap_idle_connections(self) -> None:
+        """Close keep-alive connections idle beyond ``idle_timeout``.
+
+        A client that opens a connection and goes silent would
+        otherwise hold its fd forever (and, while draining, delay
+        shutdown); the reaper closes such connections — their blocked
+        ``readline`` sees EOF and the handler exits — and counts each
+        under ``connections_reaped``.  Connections mid-request (marked
+        busy) are never reaped, however long their query streams.
+        """
+        loop = asyncio.get_running_loop()
+        timeout = self.config.idle_timeout
+        interval = min(max(timeout / 4.0, 0.05), 1.0)
+        while True:
+            await asyncio.sleep(interval)
+            now = loop.time()
+            with self._lock:
+                stale = [
+                    conn for conn, last_active in self._connections.items()
+                    if last_active is not None
+                    and now - last_active > timeout
+                ]
+                for conn in stale:
+                    self._connections.pop(conn, None)
+                    self._counters["connections_reaped"] += 1
+            for conn in stale:
+                conn.close()
+
     async def _handle_connection(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        loop = asyncio.get_running_loop()
         with self._lock:
-            self._connections.add(writer)
+            self._connections[writer] = loop.time()
             self._counters["connections_total"] += 1
         try:
             while True:
@@ -338,7 +396,13 @@ class XPathServer:
                 if request is None:
                     break
                 self._count(requests=1)
+                with self._lock:
+                    if writer in self._connections:
+                        self._connections[writer] = None  # busy
                 keep_alive = await self._dispatch(request, writer)
+                with self._lock:
+                    if writer in self._connections:
+                        self._connections[writer] = loop.time()
                 if not keep_alive:
                     break
         except _BadRequestLine as error:
@@ -361,7 +425,7 @@ class XPathServer:
             pass
         finally:
             with self._lock:
-                self._connections.discard(writer)
+                self._connections.pop(writer, None)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -652,14 +716,26 @@ class XPathServer:
         """
         try:
             if isinstance(target, Collection):
-                result = self.engine.evaluate_collection(
-                    request.query, target, eval_options
-                )
-                buffer.put_header(result.kind)
-                merged = result.merged()
-                for start in range(0, max(len(merged), 1), page_size):
-                    page = merged[start:start + page_size]
-                    buffer.put_page([encode_item(v) for v in page])
+                if request.mode == "full":
+                    result = self.engine.evaluate_collection(
+                        request.query, target, eval_options
+                    )
+                    buffer.put_header(result.kind)
+                    merged = result.merged()
+                    for start in range(0, max(len(merged), 1), page_size):
+                        page = merged[start:start + page_size]
+                        buffer.put_page([encode_item(v) for v in page])
+                else:
+                    stream = self.engine.evaluate_collection_stream(
+                        request.query, target, eval_options,
+                        page_size=page_size,
+                    )
+                    sent_header = False
+                    for kind, page in stream:
+                        if not sent_header:
+                            buffer.put_header(kind)
+                            sent_header = True
+                        buffer.put_page([encode_item(v) for v in page])
             elif request.mode == "full":
                 result = self.engine.evaluate(
                     request.query, target, eval_options,

@@ -50,7 +50,11 @@ Every query is executed through ten independent paths:
     the multi-process pipeline (plan shipping, worker-side back-end
     compilation, cross-process result records, global document-order
     merge) must be observationally identical to in-process serving,
-    shard for shard,
+    shard for shard.  The leg runs with synopsis pruning enabled and,
+    on ungoverned runs, overlaps a second pruning-disabled submission
+    from another thread — concurrent in-flight queries on the one
+    pool — asserting both return identical canonical results (or the
+    same typed error),
 ``server``
     the stored document served over loopback HTTP through the
     streaming front end (:mod:`repro.server`): each query is POSTed to
@@ -78,6 +82,7 @@ agreement; a non-``ReproError`` exception anywhere is always reported
 from __future__ import annotations
 
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -488,14 +493,72 @@ class DifferentialRunner:
         multi-process pipeline returned exactly what in-process
         evaluation of the identical shard stores returns, shard for
         shard, in global document order.
+
+        When the run is ungoverned, the scatter-gather leg additionally
+        *overlaps* a second, pruning-disabled submission of the same
+        query from another thread: the two submissions are genuinely
+        concurrent in-flight queries on the one pool (qid-multiplexed,
+        not serialized), and the leg asserts their canonical results —
+        or their typed errors — agree, so synopsis pruning and query
+        multiplexing can never change an answer without the oracle
+        noticing.  Governed runs skip the overlap: a tripped limit may
+        legally surface on either submission, which would make their
+        comparison meaningless.
         """
         assert self._collection is not None
 
-        def run_collection() -> tuple:
-            result = self._collection_engine.evaluate_collection(
-                query, self._collection, self._eval_options()
+        def run_unpruned_leg() -> tuple:
+            result = self._collection.evaluate(
+                query,
+                variables=self.variables or None,
+                namespaces=self.namespaces or None,
+                pruning=False,
             )
             return result.canonical()
+
+        def run_collection() -> tuple:
+            if self.governance:
+                result = self._collection_engine.evaluate_collection(
+                    query, self._collection, self._eval_options()
+                )
+                return result.canonical()
+            sibling: List[Tuple[str, object]] = []
+
+            def run_sibling() -> None:
+                try:
+                    sibling.append(("value", run_unpruned_leg()))
+                except Exception as error:  # noqa: BLE001 - compared
+                    sibling.append(("error", error))
+
+            thread = threading.Thread(
+                target=run_sibling, name="oracle-unpruned-leg"
+            )
+            thread.start()
+            try:
+                result = self._collection_engine.evaluate_collection(
+                    query, self._collection, self._eval_options()
+                )
+            except Exception as error:
+                thread.join()
+                kind, payload = sibling[0]
+                if (kind != "error"
+                        or type(payload) is not type(error)):
+                    raise AssertionError(
+                        "pruned and unpruned collection legs disagree: "
+                        f"pruned raised {type(error).__name__}, "
+                        f"unpruned returned {kind}"
+                    ) from error
+                raise
+            thread.join()
+            kind, payload = sibling[0]
+            canonical = result.canonical()
+            if kind != "value" or payload != canonical:
+                raise AssertionError(
+                    "pruned and unpruned collection legs disagree: "
+                    f"unpruned leg {kind} does not match the pruned "
+                    "scatter"
+                )
+            return canonical
 
         def run_reference() -> tuple:
             return tuple(

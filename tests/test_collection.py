@@ -4,12 +4,17 @@ Covers the collection layer end to end: catalog round-trips, the global
 document-order merge guarantee (hypothesis property: the merged result
 is a permutation-free concatenation of per-shard runs), statistics
 reconciliation (``submitted == completed + timed_out + cancelled +
-failed`` at every quiescent point), worker-crash recovery (SIGKILL mid
-query → typed :class:`~repro.errors.ShardFailedError`, pool recycle,
-next query succeeds), per-shard deadline expiry cancelling sibling
-shards, and the collection-fingerprint isolation fix: two collections
-with byte-identical documents must never share compiled plans or
-coalesced results.
+failed + pruned`` at every quiescent point), worker-crash recovery
+(SIGKILL mid query → typed :class:`~repro.errors.ShardFailedError`,
+pool recycle, next query succeeds), per-shard deadline expiry
+cancelling sibling shards, concurrent scatter-gather (two queries
+provably overlap on the pool; a worker death fails *every* in-flight
+query exactly once), synopsis-driven shard pruning (selective queries
+ship to strictly fewer shards yet return canonically identical
+results — hypothesis property: pruned ≡ unpruned), and the
+collection-fingerprint isolation fix: two collections with
+byte-identical documents must never share compiled plans or coalesced
+results.
 """
 
 from __future__ import annotations
@@ -207,11 +212,15 @@ class TestMergeOrdering:
 
 def _assert_reconciled(stats):
     assert stats.submitted == (
-        stats.completed + stats.timed_out + stats.cancelled + stats.failed
+        stats.completed + stats.timed_out + stats.cancelled
+        + stats.failed + stats.shards_pruned
     )
-    for key in ("submitted", "completed", "timed_out", "cancelled",
-                "failed"):
-        assert getattr(stats, key) == sum(
+    for key, attr in (
+        ("submitted", "submitted"), ("completed", "completed"),
+        ("timed_out", "timed_out"), ("cancelled", "cancelled"),
+        ("failed", "failed"), ("pruned", "shards_pruned"),
+    ):
+        assert getattr(stats, attr) == sum(
             counters[key] for counters in stats.per_shard.values()
         )
 
@@ -292,6 +301,268 @@ class TestGovernance:
         with pytest.raises(QueryBudgetError):
             corpus_collection.evaluate("//*//*", max_tuples=3)
         _assert_reconciled(corpus_collection.stats())
+
+
+# ----------------------------------------------------------------------
+# Concurrent scatter-gather: the qid-multiplexed pool
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentQueries:
+    def test_two_queries_overlap_on_the_pool(self, tmp_path):
+        """While query A is parked mid-shard on worker 0, query B
+        scatters *and completes* on worker 1 — impossible under the
+        old serialized scatter, which held a pool-wide lock across A's
+        entire gather."""
+        with _crash_collection(tmp_path) as collection:
+            # 4 shards, 2 workers: worker 0 serves shards {0, 2},
+            # worker 1 serves shards {1, 3}.
+            blocker_done = threading.Event()
+
+            def blocker():
+                try:
+                    collection._debug_sleep(2.0, shards=[0])
+                finally:
+                    blocker_done.set()
+
+            thread = threading.Thread(target=blocker)
+            thread.start()
+            try:
+                time.sleep(0.3)  # let A land on worker 0
+                started = time.monotonic()
+                result = collection._debug_sleep(0.0, shards=[1, 3])
+                elapsed = time.monotonic() - started
+                # B resolved while A was still mid-sleep on worker 0.
+                assert not blocker_done.is_set()
+                assert elapsed < 1.5
+                assert sorted(s.shard for s in result.shards) == [1, 3]
+            finally:
+                thread.join()
+            stats = collection.stats()
+            _assert_reconciled(stats)
+            assert stats.queries == 2
+
+    def test_concurrent_real_queries_are_isolated(
+        self, corpus_collection
+    ):
+        """Overlapping *real* queries each get their own answer — no
+        cross-talk between multiplexed flights."""
+        barrier = threading.Barrier(3)
+        results = {}
+        errors = []
+
+        def run(name, query):
+            barrier.wait()
+            try:
+                results[name] = sum(
+                    corpus_collection.evaluate(query).merged()
+                )
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=("items", "count(//item)")),
+            threading.Thread(target=run, args=("flags", "count(//flag)")),
+            threading.Thread(target=run, args=("names", "count(//name)")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert results == {"items": 24.0, "flags": 8.0, "names": 24.0}
+        _assert_reconciled(corpus_collection.stats())
+
+    def test_worker_death_fails_every_inflight_query_once(
+        self, tmp_path
+    ):
+        """A worker dying with several queries in flight fails *all* of
+        them, each exactly once: shards on the dead worker as
+        ``worker-died``, everything else as ``pool-recycled``
+        collateral — and one recycle restores service."""
+        with _crash_collection(tmp_path) as collection:
+            victim = collection.pool.worker_pids()[0]
+            outcomes = {}
+
+            def run(name, shard_ids):
+                try:
+                    collection._debug_sleep(
+                        30.0, timeout=60.0, shards=shard_ids
+                    )
+                    outcomes[name] = None
+                except ShardFailedError as error:
+                    outcomes[name] = error
+
+            threads = [
+                threading.Thread(target=run, args=("a", [0, 2])),
+                threading.Thread(target=run, args=("b", [1, 3])),
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)  # both flights in the air
+            os.kill(victim, signal.SIGKILL)
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads)
+            assert isinstance(outcomes["a"], ShardFailedError)
+            assert isinstance(outcomes["b"], ShardFailedError)
+            assert outcomes["a"].reason == "worker-died"
+            assert outcomes["b"].reason == "pool-recycled"
+            stats = collection.stats()
+            assert stats.recycles == 1
+            _assert_reconciled(stats)
+            result = collection.evaluate("count(//item)")
+            assert sum(result.merged()) == 24.0
+            _assert_reconciled(collection.stats())
+
+
+# ----------------------------------------------------------------------
+# Synopsis-driven shard pruning
+# ----------------------------------------------------------------------
+
+#: Queries whose pruned and unpruned evaluations must agree exactly.
+#: Mixes selective paths, absent paths, wildcards, attributes,
+#: predicates, scalars and necessity-truncating steps (reverse axes,
+#: node-type tests) over the skewed corpus below.
+PRUNE_QUERIES = (
+    "//needle",
+    "//needle/inner",
+    "/doc/needle",
+    "//needle/@id",
+    "//common",
+    "//leaf",
+    "/doc/common/leaf",
+    "//nosuch",
+    "/doc/absent/child",
+    "//*",
+    "//common[needle]",
+    "//needle/../common",
+    "/doc/needle/inner/text()",
+    "count(//needle)",
+    "string(//needle)",
+    "//needle | //leaf",
+)
+
+
+@pytest.fixture(scope="module")
+def skewed_collection(tmp_path_factory):
+    """8 shards; only shards 2 and 5 contain ``<needle>`` subtrees."""
+    from repro.collection import create_collection
+
+    directory = tmp_path_factory.mktemp("prune") / "skewed"
+    documents = []
+    for n in range(8):
+        body = f'<common n="{n}"><leaf>v{n}</leaf></common>'
+        if n in (2, 5):
+            body += f'<needle id="n{n}"><inner>x{n}</inner></needle>'
+        documents.append(parse_document(f"<doc>{body}</doc>"))
+    create_collection(directory, documents)
+    with Collection(directory, workers=2) as collection:
+        yield collection
+
+
+def _pruned_delta(collection, query, **kwargs):
+    """Evaluate and return (result, shards pruned by this query)."""
+    before = collection.stats().shards_pruned
+    result = collection.evaluate(query, **kwargs)
+    return result, collection.stats().shards_pruned - before
+
+
+class TestPruning:
+    def test_selective_query_ships_to_fewer_shards(
+        self, skewed_collection
+    ):
+        """The ISSUE's acceptance shape: a leading-step-selective query
+        over a skewed corpus ships to strictly fewer shards than the
+        shard count while returning canonically identical results to
+        the unpruned run."""
+        pruned_result, pruned = _pruned_delta(
+            skewed_collection, "//needle"
+        )
+        assert pruned == 6  # only shards 2 and 5 admit //needle
+        unpruned = skewed_collection.evaluate("//needle", pruning=False)
+        assert pruned_result.canonical() == unpruned.canonical()
+        assert len(pruned_result.merged()) == 2
+        assert sorted(
+            record.shard for record in pruned_result.merged()
+        ) == [2, 5]
+        _assert_reconciled(skewed_collection.stats())
+
+    def test_all_shards_pruned_skips_the_pool_entirely(
+        self, skewed_collection
+    ):
+        before = skewed_collection.stats()
+        result, pruned = _pruned_delta(skewed_collection, "//nosuch")
+        assert pruned == skewed_collection.shard_count
+        assert result.merged() == []
+        after = skewed_collection.stats()
+        # Nothing was scattered: no shard completed (or failed).
+        assert after.completed == before.completed
+        assert after.failed == before.failed
+        _assert_reconciled(after)
+
+    def test_scalar_queries_are_never_pruned(self, skewed_collection):
+        """Only ``sequence``-kind plans are prunable: an aggregate
+        needs every shard's contribution (``count`` of an absent path
+        is 0 per shard, not an omitted shard)."""
+        result, pruned = _pruned_delta(
+            skewed_collection, "count(//needle)"
+        )
+        assert pruned == 0
+        assert sum(result.merged()) == 2.0
+
+    def test_pruning_disabled_ships_everywhere(self, skewed_collection):
+        _, pruned = _pruned_delta(
+            skewed_collection, "//needle", pruning=False
+        )
+        assert pruned == 0
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(query=st.sampled_from(PRUNE_QUERIES))
+    def test_pruned_equals_unpruned(self, skewed_collection, query):
+        """The hypothesis property the differential oracle also
+        enforces: pruning never changes a result, only which shards
+        the scatter ships to."""
+        pruned = skewed_collection.evaluate(query, pruning=True)
+        unpruned = skewed_collection.evaluate(query, pruning=False)
+        assert pruned.canonical() == unpruned.canonical()
+        _assert_reconciled(skewed_collection.stats())
+
+    def test_catalog_mirrors_the_synopsis_frontier(
+        self, skewed_collection
+    ):
+        catalog = load_catalog(skewed_collection.catalog.directory)
+        assert all(
+            info.synopsis is not None for info in catalog.shards
+        )
+        # The mirror is identity-neutral: fingerprints unchanged.
+        assert catalog.fingerprint() == skewed_collection.fingerprint
+
+    def test_legacy_catalog_backfills_synopsis_from_stores(
+        self, tmp_path
+    ):
+        """A collection.json written before the synopsis mirror (no
+        ``synopsis`` rows) gains one on open, lifted from each shard
+        store's own path synopsis — old collections prune too."""
+        import json as json_module
+
+        directory = tmp_path / "legacy"
+        create_collection_from_document(
+            parse_document(CORPUS_XML), directory, shards=3
+        )
+        catalog_path = directory / "collection.json"
+        payload = json_module.loads(catalog_path.read_text())
+        for row in payload["shards"]:
+            row.pop("synopsis", None)
+        catalog_path.write_text(json_module.dumps(payload))
+        catalog = load_catalog(directory)
+        assert all(
+            info.synopsis is not None for info in catalog.shards
+        )
 
 
 # ----------------------------------------------------------------------
@@ -442,6 +713,30 @@ class TestEngineSurface:
         payload = stats.to_dict()
         assert payload["collection"]["shard_count"] == 4
         assert payload["collection"]["submitted"] >= 4
+
+    def test_collection_stream_pages_partition_the_merge(
+        self, corpus_collection
+    ):
+        """``evaluate_collection_stream`` is the collection analogue of
+        ``evaluate_stream``: pages reassemble to exactly the merged
+        result, in global document order."""
+        engine = XPathEngine()
+        pages = list(
+            engine.evaluate_collection_stream(
+                "//item", corpus_collection, page_size=7
+            )
+        )
+        assert {kind for kind, _ in pages} == {"node-set"}
+        assert max(len(page) for _, page in pages) <= 7
+        assert len(pages) >= 2
+        reassembled = [record for _, page in pages for record in page]
+        reference = engine.evaluate_collection(
+            "//item", corpus_collection
+        ).merged()
+        assert reassembled == reference
+        counters = engine.stats().runtime_counters
+        assert counters["stream_queries"] >= 1
+        assert counters["collection_queries"] >= 2
 
     def test_closed_collection_raises(self, tmp_path):
         collection = _crash_collection(tmp_path)

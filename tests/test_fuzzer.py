@@ -314,3 +314,49 @@ class TestGovernedOracle:
         assert code == 0, out
         assert "no divergences" in out
         assert "governed" in out
+
+
+class TestCollectionPruningOracle:
+    """The collection leg runs with synopsis pruning *on* while (in
+    ungoverned runs) a sibling thread concurrently submits the same
+    query pruning-disabled — two genuinely overlapping in-flight
+    queries on one multiplexed pool.  A clean ``check`` therefore
+    proves pruning and multiplexing change neither answers nor typed
+    errors on any route."""
+
+    #: Skewed corpus: ``<needle>`` lives in exactly one root child, so
+    #: shard splitting leaves most shards unable to contribute to a
+    #: needle-selective query — the pruned and unpruned legs really do
+    #: scatter to different shard sets.
+    DOC_XML = (
+        "<r>"
+        + "".join(f"<a><k>{n}</k></a>" for n in range(6))
+        + "<z><needle id='n1'>x</needle></z></r>"
+    )
+
+    def test_selective_queries_agree_across_routes(self):
+        document = parse_xml(self.DOC_XML)
+        queries = [
+            "//needle",
+            "//needle/@id",
+            "//a/k",
+            "//nosuch",
+            "count(//needle)",
+            "//needle | //k",
+            "string(//needle)",
+        ]
+        with DifferentialRunner(document) as runner:
+            assert runner.check_batch(queries) == []
+
+    def test_typed_errors_agree_between_pruned_and_unpruned(self):
+        document = parse_xml(self.DOC_XML)
+        with DifferentialRunner(document) as runner:
+            for query in ("$nope", "//needle[@id = $missing]"):
+                assert not runner.check(query), query
+
+    def test_governed_runs_still_agree(self):
+        document = parse_xml(self.DOC_XML)
+        with DifferentialRunner(
+            document, governance={"timeout": 30.0}
+        ) as runner:
+            assert not runner.check("//needle")

@@ -4,14 +4,18 @@ Covers the engine's lazy paging layer (``evaluate_stream``), the wire
 protocol (request validation, the typed error-code table), loopback
 end-to-end equality against in-process evaluation (documents, stores
 and sharded collections; ≥ 2 streamed pages reassembling to the exact
-canonical result), admission quotas, graceful shutdown (in-flight
-queries drain, new queries get a clean 503, no worker threads leak),
-and the ``--version`` / exit-code conventions of both CLIs.
+canonical result), admission quotas and slot release on early
+disconnect (hammer test: in-flight returns to zero, zero orphan
+releases), idle keep-alive reaping, the event-driven page-buffer abort
+(sub-10ms producer wakeup), graceful shutdown (in-flight queries
+drain, new queries get a clean 503, no worker threads leak), and the
+``--version`` / exit-code conventions of both CLIs.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import subprocess
 import sys
 import threading
@@ -495,6 +499,164 @@ class TestAdmission:
                 assert slow.result(timeout=10).ok
         assert rejected.status == 429
         assert rejected.error["code"] == "queue-full"
+
+
+# ----------------------------------------------------------------------
+# Admission-slot release on early disconnect
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionRelease:
+    def test_early_disconnect_hammer_releases_every_slot(self, document):
+        """Streaming clients that vanish — before the header, or
+        mid-stream between header and pages — must release their
+        admission slot exactly once: in-flight returns to zero, and
+        ``orphan_releases`` (the double-release detector) stays 0."""
+        engine = _SlowEngine(delay=0.15)
+        config = ServerConfig(port=0, max_inflight=8, page_size=2)
+        body = json.dumps({"query": "//item", "page_size": 2}).encode()
+        request = (
+            b"POST /xpath HTTP/1.1\r\n"
+            b"Host: loopback\r\n"
+            b"X-Client-Id: hammer\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode("latin-1")
+            + body
+        )
+        with start_in_thread(
+            {"doc": document}, engine=engine, config=config
+        ) as handle:
+            for attempt in range(12):
+                conn = socket.create_connection(
+                    (handle.host, handle.port), timeout=10
+                )
+                conn.sendall(request)
+                if attempt % 2:
+                    # Read the response head, then vanish mid-stream.
+                    conn.settimeout(5)
+                    try:
+                        conn.recv(64)
+                    except socket.timeout:
+                        pass
+                conn.close()
+            deadline = time.monotonic() + 15.0
+            with ServerClient(handle.host, handle.port) as client:
+                while True:
+                    admission = client.stats()["server"]["admission"]
+                    if admission["inflight"] == 0:
+                        break
+                    assert time.monotonic() < deadline, admission
+                    time.sleep(0.1)
+        assert admission["inflight"] == 0
+        assert admission["clients"] == {}
+        assert admission["orphan_releases"] == 0
+        assert admission["admitted"] >= 1
+        assert admission["released"] == admission["admitted"]
+
+
+# ----------------------------------------------------------------------
+# Idle keep-alive reaping
+# ----------------------------------------------------------------------
+
+
+class TestIdleReaper:
+    def test_idle_connection_is_reaped(self, document):
+        """A keep-alive connection that goes silent is closed once it
+        exceeds ``idle_timeout`` — the regression this satellite fixes
+        is such connections holding their fd forever."""
+        config = ServerConfig(port=0, idle_timeout=0.3)
+        with start_in_thread({"doc": document}, config=config) as handle:
+            conn = socket.create_connection(
+                (handle.host, handle.port), timeout=10
+            )
+            try:
+                conn.settimeout(10)
+                # Go silent; the reaper must close us (EOF), not leave
+                # this recv blocked until the client-side timeout.
+                assert conn.recv(1) == b""
+            finally:
+                conn.close()
+            with ServerClient(handle.host, handle.port) as client:
+                stats = client.stats()
+        assert stats["server"]["counters"]["connections_reaped"] >= 1
+
+    def test_busy_connection_is_never_reaped(self, document):
+        """A connection mid-query outlives ``idle_timeout`` untouched,
+        however long its query streams."""
+        engine = _SlowEngine(delay=1.0)
+        config = ServerConfig(port=0, idle_timeout=0.2)
+        with start_in_thread(
+            {"doc": document}, engine=engine, config=config
+        ) as handle:
+            with ServerClient(
+                handle.host, handle.port, timeout=30
+            ) as client:
+                result = client.query("//item")
+                stats = client.stats()
+        assert result.ok
+        assert result.footer["items"] == NUM_ITEMS
+        # Our own keep-alive connection was busy, then freshly active;
+        # it must not be in the reaped count at query time.
+        assert stats["server"]["counters"]["queries_ok"] >= 1
+
+    def test_invalid_idle_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ServerConfig(idle_timeout=0.0)
+        with pytest.raises(ValueError):
+            ServerConfig(idle_timeout=-1.0)
+        assert ServerConfig(idle_timeout=None).idle_timeout is None
+
+
+# ----------------------------------------------------------------------
+# Page-buffer abort latency (event-driven, not polled)
+# ----------------------------------------------------------------------
+
+
+class TestPageBufferAbort:
+    def test_abort_unwedges_blocked_producer_within_10ms(self):
+        """A producer parked on a full buffer must observe abort() at
+        condition-variable wakeup latency — the old implementation
+        polled every 0.1 s, so a disconnect left the worker thread
+        computing for up to a full tick."""
+        import asyncio
+
+        from repro.server.server import _PageBuffer, _StreamAborted
+
+        loop = asyncio.new_event_loop()
+        runner = threading.Thread(target=loop.run_forever, daemon=True)
+        runner.start()
+        try:
+            latencies = []
+            for _ in range(3):
+                buffer = _PageBuffer(loop, capacity=1)
+                buffer.put_page([])  # takes the only slot
+                parked = threading.Event()
+                woke = {}
+
+                def producer(buffer=buffer, parked=parked, woke=woke):
+                    parked.set()
+                    try:
+                        buffer.put_page([])
+                    except _StreamAborted:
+                        woke["at"] = time.perf_counter()
+
+                thread = threading.Thread(target=producer)
+                thread.start()
+                assert parked.wait(5)
+                time.sleep(0.05)  # producer is inside the cond wait
+                aborted_at = time.perf_counter()
+                buffer.abort()
+                thread.join(timeout=5)
+                assert not thread.is_alive()
+                assert "at" in woke
+                latencies.append(woke["at"] - aborted_at)
+            # Best-of-3 shields against scheduler jitter on loaded
+            # hosts; the wakeup itself is microseconds.
+            assert min(latencies) < 0.010, latencies
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            runner.join(timeout=5)
+            loop.close()
 
 
 # ----------------------------------------------------------------------
